@@ -1,0 +1,105 @@
+// Experiment E6 — the Fan–Lynch encoder/decoder argument, executable:
+// canonical executions are losslessly compressed to their state-changing
+// steps and replayed; the decoder recovers the CS permutation pi. Any such
+// encoding needs log2(n!) = Omega(n log n) bits in the worst case, and the
+// measured encodings sit above that line.
+#include <cstdlib>
+#include <iostream>
+#include <set>
+
+#include "mutex/bakery.hpp"
+#include "mutex/encoder.hpp"
+#include "mutex/tournament.hpp"
+#include "mutex/visibility.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace tsb;
+
+int main(int argc, char** argv) {
+  const int max_n = argc > 1 ? std::atoi(argv[1]) : 32;
+  const int seeds = 10;
+
+  std::cout
+      << "E6: encoder/decoder round-trip over random canonical executions\n"
+      << "(tournament mutex). bits = encoded size; the information bound\n"
+      << "log2(n!) lower-bounds any lossless encoding of the CS order.\n\n";
+
+  util::Table table({"n", "log2(n!)", "bits mean", "rle bits mean",
+                     "rle bits seq", "state changes mean", "rmr mean",
+                     "roundtrips ok", "distinct pi seen"});
+
+  for (int n = 2; n <= max_n; n *= 2) {
+    mutex::TournamentMutex alg(n);
+    util::Summary bits, rle_bits, changes, rmr;
+    int ok = 0;
+    std::set<std::vector<sim::ProcId>> orders;
+    for (int seed = 1; seed <= seeds; ++seed) {
+      mutex::CanonicalOptions opts;
+      opts.strategy = mutex::CanonicalOptions::Strategy::kRandomized;
+      opts.seed = static_cast<std::uint64_t>(seed);
+      const auto run = run_canonical(alg, opts);
+      if (!run.completed) continue;
+      const auto enc = mutex::encode_execution(run, n);
+      const auto rle = mutex::encode_execution_rle(run, n);
+      bits.add(static_cast<double>(enc.bit_count));
+      rle_bits.add(static_cast<double>(rle.bit_count));
+      changes.add(static_cast<double>(run.state_change_cost));
+      rmr.add(static_cast<double>(run.rmr_cost));
+      const auto dec = mutex::decode_execution(alg, enc, /*eager_start=*/true);
+      const auto dec2 =
+          mutex::decode_execution_rle(alg, rle, /*eager_start=*/true);
+      if (dec.ok && dec.cs_order == run.cs_order && dec2.ok &&
+          dec2.cs_order == run.cs_order) {
+        ++ok;
+      }
+      orders.insert(run.cs_order);
+    }
+    // The contention-free extreme: run-length coding collapses each solo
+    // passage to one (id, run) pair — the O(C)-flavoured regime.
+    mutex::CanonicalOptions seq;
+    seq.strategy = mutex::CanonicalOptions::Strategy::kSequential;
+    const auto seq_run = run_canonical(alg, seq);
+    const double rle_seq =
+        seq_run.completed
+            ? static_cast<double>(
+                  mutex::encode_execution_rle(seq_run, n).bit_count)
+            : -1.0;
+    table.row(n, util::log2_factorial(n), bits.mean(), rle_bits.mean(),
+              rle_seq, changes.mean(), rmr.mean(),
+              std::to_string(ok) + "/" + std::to_string(seeds),
+              orders.size());
+  }
+  table.print(std::cout, "encoding size vs the information bound");
+
+  std::cout
+      << "\nVisibility-graph check (the argument's combinatorial core):\n"
+      << "in every canonical execution each pair of processes is ordered\n"
+      << "by 'who left the CS before the other entered', so the graph\n"
+      << "contains a chain over all n processes and determines pi.\n\n";
+
+  util::Table vis({"algorithm", "n", "tournament-complete", "chain == pi"});
+  for (int n : {4, 8, 16}) {
+    mutex::TournamentMutex tournament(n);
+    mutex::BakeryMutex bakery(n);
+    for (const mutex::MutexAlgorithm* alg :
+         {static_cast<const mutex::MutexAlgorithm*>(&tournament),
+          static_cast<const mutex::MutexAlgorithm*>(&bakery)}) {
+      mutex::CanonicalOptions opts;
+      opts.strategy = mutex::CanonicalOptions::Strategy::kRandomized;
+      opts.seed = 77;
+      const auto run = run_canonical(*alg, opts);
+      if (!run.completed) continue;
+      const auto g = mutex::build_visibility(run);
+      vis.row(alg->name(), n, g.tournament_complete(),
+              g.chain() == run.cs_order);
+    }
+  }
+  vis.print(std::cout, "visibility graphs");
+
+  std::cout << "Fidelity note: this encoder spends ceil(log2 n) bits per\n"
+            << "state-changing step; Fan–Lynch's metastep encoding achieves\n"
+            << "O(C) bits via amortized batching. The lower-bound line is\n"
+            << "the same either way.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Experiment E3 — cost profile of the lemma machinery: how much search the
+// constructive proofs actually perform at each system size (Lemma 1/3/4
+// invocations, D_i chain lengths, valency queries and cache behaviour,
+// schedule lengths).
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "bound/adversary.hpp"
+#include "consensus/ballot.hpp"
+#include "util/table.hpp"
+
+using namespace tsb;
+
+int main(int argc, char** argv) {
+  const int max_n = argc > 1 ? std::atoi(argv[1]) : 5;
+
+  std::cout << "E3: work performed by the constructive lemmas per system\n"
+            << "size (ballot protocol; caps as in E1).\n\n";
+
+  util::Table table({"n", "lemma1", "lemma3", "lemma4", "Di stages",
+                     "escapes", "|alpha| max", "queries", "hit rate %",
+                     "cert steps", "seconds"});
+
+  for (int n = 2; n <= max_n; ++n) {
+    const int cap = n <= 4 ? 2 * n : 3 * n;
+    consensus::BallotConsensus proto(n, cap);
+    bound::SpaceBoundAdversary adversary(proto);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = adversary.run();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (!result.ok) {
+      std::cout << "n = " << n << " FAILED: " << result.error << "\n";
+      continue;
+    }
+    const auto& ls = result.lemma_stats;
+    const double hit_rate =
+        result.valency_queries == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(result.valency_cache_hits) /
+                  static_cast<double>(result.valency_queries);
+    table.row(n, ls.lemma1_calls, ls.lemma3_calls, ls.lemma4_calls,
+              ls.total_di_stages, ls.solo_escapes, ls.longest_alpha,
+              result.valency_queries, hit_rate,
+              result.certificate.schedule.size(), secs);
+  }
+  table.print(std::cout, "lemma machinery cost profile");
+
+  std::cout << "\nReading: the Lemma 4 recursion grows the lemma-call counts\n"
+            << "roughly linearly in n while valency queries grow faster —\n"
+            << "each query is a P-only reachability problem whose state\n"
+            << "space expands with the ballot cap. The pigeonhole chain\n"
+            << "(D_i stages) stays short: register sets repeat immediately\n"
+            << "for this protocol family.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Experiment E9 — real std::atomic run: register-space instrumentation of
+// the multithreaded protocols. Every observed execution writes at least
+// n-1 distinct registers, as Theorem 1 demands; the single-writer
+// protocols write exactly n when all processes participate.
+#include <algorithm>
+#include <iostream>
+
+#include "rt/harness.hpp"
+#include "rt/rt_consensus.hpp"
+#include "rt/rt_counter.hpp"
+#include "rt/rt_snapshot.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace tsb;
+
+int main() {
+  std::cout
+      << "E9: distinct registers written by real multithreaded runs, vs\n"
+      << "the n-1 bound. 'min' is over trials — the bound must hold in\n"
+      << "every single execution, so min >= n-1 is the claim under test.\n\n";
+
+  util::Table table({"system", "n", "registers", "trials", "written min",
+                     "written max", "bound n-1", "min >= n-1"});
+
+  util::Rng rng(0xE9);
+  for (int n : {2, 4, 8, 16}) {
+    const int trials = 50;
+
+    // Consensus protocols.
+    for (int which = 0; which < 2; ++which) {
+      std::size_t wmin = SIZE_MAX, wmax = 0;
+      std::string name;
+      std::size_t regs = 0;
+      for (int t = 0; t < trials; ++t) {
+        std::unique_ptr<rt::RtConsensus> consensus;
+        if (which == 0) {
+          consensus = std::make_unique<rt::RtBallotConsensus>(n);
+        } else {
+          consensus = std::make_unique<rt::RtRoundsConsensus>(n);
+        }
+        name = consensus->name();
+        regs = consensus->registers().size();
+        std::vector<std::uint64_t> inputs;
+        for (int p = 0; p < n; ++p) inputs.push_back(rng.coin() ? 1 : 0);
+        rt::run_threads(n, [&](int p) {
+          (void)consensus->propose(p, inputs[static_cast<std::size_t>(p)]);
+        });
+        const std::size_t written =
+            consensus->registers().distinct_registers_written();
+        wmin = std::min(wmin, written);
+        wmax = std::max(wmax, written);
+      }
+      table.row(name, n, regs, trials, wmin, wmax, n - 1,
+                wmin >= static_cast<std::size_t>(n - 1));
+    }
+
+    // Counter: n-1 incrementers + 1 reader (JTT setting).
+    {
+      rt::RtSwmrCounter counter(n);
+      rt::run_threads(n, [&](int p) {
+        if (p < n - 1) {
+          for (int i = 0; i < 100; ++i) counter.inc(p);
+        } else {
+          for (int i = 0; i < 100; ++i) (void)counter.read();
+        }
+      });
+      const std::size_t written =
+          counter.registers().distinct_registers_written();
+      table.row(counter.name(), n, counter.registers().size(), 1, written,
+                written, n - 1, written >= static_cast<std::size_t>(n - 1));
+    }
+
+    // Snapshot: n-1 updaters + 1 scanner.
+    {
+      rt::RtSwmrSnapshot snap(n);
+      rt::run_threads(n, [&](int p) {
+        if (p < n - 1) {
+          for (int i = 1; i <= 100; ++i) {
+            snap.update(p, static_cast<std::uint32_t>(i));
+          }
+        } else {
+          for (int i = 0; i < 20; ++i) (void)snap.scan();
+        }
+      });
+      const std::size_t written =
+          snap.registers().distinct_registers_written();
+      table.row(snap.name(), n, snap.registers().size(), 1, written, written,
+                n - 1, written >= static_cast<std::size_t>(n - 1));
+    }
+  }
+  table.print(std::cout, "space exercised by real executions");
+
+  std::cout
+      << "\nReading: rt-ballot writes exactly n registers (its single-\n"
+      << "writer layout) — one above the paper's bound, matching the\n"
+      << "conjectured tight value n. rt-rounds allocates registers per\n"
+      << "commit-adopt round, so its written count shows how deep\n"
+      << "contention pushed the round counter in the worst trial.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// A guided tour of Zhu's lower-bound construction: runs the adversary with
+// the narrative recorder on, prints every lemma application, the final
+// execution, and the covering certificate — the paper's proof happening in
+// front of you on a concrete protocol.
+//
+// Usage: ./examples/adversary_walkthrough [n]   (default 4, supported 2..5)
+#include <cstdlib>
+#include <iostream>
+
+#include "bound/adversary.hpp"
+#include "consensus/ballot.hpp"
+#include "consensus/racing.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tsb;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 4;
+  if (n < 2 || n > 5) {
+    std::cerr << "n must be in 2..5 (larger sizes need exponentially larger "
+                 "ballot caps; see EXPERIMENTS.md)\n";
+    return 1;
+  }
+
+  const int cap = n <= 4 ? 2 * n : 3 * n;
+  consensus::BallotConsensus proto(n, cap);
+  std::cout << "Target protocol: " << proto.name() << " — " << n
+            << " processes, " << proto.num_registers()
+            << " registers, bound to prove: >= " << n - 1 << "\n\n";
+
+  bound::SpaceBoundAdversary::Options opts;
+  opts.narrative = true;
+  bound::SpaceBoundAdversary adversary(proto, opts);
+  const auto result = adversary.run();
+  if (!result.ok) {
+    std::cout << "adversary failed: " << result.error << "\n";
+    return 1;
+  }
+
+  std::cout << "=== construction narrative ===\n"
+            << result.narrative << "\n=== certificate ===\n"
+            << "inputs:   ";
+  for (auto v : result.certificate.inputs) std::cout << v << " ";
+  std::cout << "\nschedule (" << result.certificate.schedule.size()
+            << " steps): " << result.certificate.schedule.to_string()
+            << "\ncovering: ";
+  for (auto [p, r] : result.certificate.covering) {
+    std::cout << "p" << p << "->R" << r << " ";
+  }
+  std::cout << "\n\n=== independent check (engine replay only) ===\n"
+            << "distinct registers covered: "
+            << result.check.distinct_registers << " (bound " << n - 1
+            << ")\nblock write then writes exactly those registers: "
+            << (result.check.ok ? "verified" : result.check.error) << "\n";
+
+  std::cout << "\n=== bonus: a multi-writer target ===\n";
+  consensus::RacingConsensus racing(
+      2, consensus::RacingConsensus::AdoptRule::kAtLeast);
+  bound::SpaceBoundAdversary racing_adv(racing, opts);
+  const auto r2 = racing_adv.run();
+  std::cout << racing.name() << " (exhaustively verified correct for n=2): "
+            << (r2.ok ? "covered " + std::to_string(r2.check.distinct_registers) +
+                            " register(s) after schedule [" +
+                            r2.certificate.schedule.to_string() + "]"
+                      : r2.error)
+            << "\n";
+  return 0;
+}

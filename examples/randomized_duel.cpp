@@ -1,0 +1,62 @@
+// Randomized consensus duel: local coin vs voting shared coin, live on
+// your machine's threads — the protocol class ("randomized wait-free")
+// named in the paper's title line, plus the weak-leader-election contrast
+// problem from its introduction.
+//
+// Usage: ./examples/randomized_duel [n] [trials]   (defaults 4, 100)
+#include <cstdlib>
+#include <iostream>
+
+#include "rt/harness.hpp"
+#include "rt/leader_election.hpp"
+#include "rt/rt_consensus.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tsb;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int trials = argc > 2 ? std::atoi(argv[2]) : 100;
+
+  std::cout << "randomized consensus, " << n << " threads, " << trials
+            << " trials per coin\n\n";
+
+  for (auto coin : {rt::RtRandomizedConsensus::Coin::kLocal,
+                    rt::RtRandomizedConsensus::Coin::kVoting}) {
+    util::Summary rounds;
+    int violations = 0;
+    util::Rng rng(2026);
+    for (int t = 0; t < trials; ++t) {
+      rt::RtRandomizedConsensus consensus(n, coin, rng.next());
+      std::vector<std::uint64_t> outputs(static_cast<std::size_t>(n));
+      rt::run_threads(n, [&](int p) {
+        outputs[static_cast<std::size_t>(p)] =
+            consensus.propose(p, static_cast<std::uint64_t>(p % 2));
+      });
+      for (int p = 0; p < n; ++p) {
+        if (outputs[static_cast<std::size_t>(p)] != outputs[0]) ++violations;
+      }
+      rounds.add(static_cast<double>(consensus.max_round_used() + 1));
+    }
+    std::cout << (coin == rt::RtRandomizedConsensus::Coin::kLocal
+                      ? "local coin : "
+                      : "voting coin: ")
+              << "rounds mean " << rounds.mean() << ", max " << rounds.max()
+              << ", agreement violations " << violations << "\n";
+  }
+
+  std::cout << "\nweak leader election (the problem that escapes the "
+               "Omega(n) wall —\nGHHW solve it in O(log n) registers): "
+            << trials << " trials, " << n << " threads\n";
+  int bad = 0;
+  for (int t = 0; t < trials; ++t) {
+    rt::RtLeaderElection election(n);
+    std::atomic<int> leaders{0};
+    rt::run_threads(n, [&](int p) {
+      if (election.participate(p)) leaders.fetch_add(1);
+    });
+    if (leaders.load() != 1) ++bad;
+  }
+  std::cout << "trials with exactly one leader: " << trials - bad << "/"
+            << trials << "\n";
+  return 0;
+}

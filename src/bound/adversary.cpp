@@ -1,0 +1,108 @@
+#include "bound/adversary.hpp"
+
+#include "util/require.hpp"
+
+namespace tsb::bound {
+
+SpaceBoundAdversary::Result SpaceBoundAdversary::run() {
+  try {
+    return run_impl();
+  } catch (const util::RequirementFailed& e) {
+    // A lemma's precondition or postcondition failed: either the protocol
+    // is not a correct solo-terminating consensus protocol, or a capped
+    // simulation ran out of headroom. Either way: no certificate.
+    Result out;
+    out.error = e.what();
+    return out;
+  }
+}
+
+SpaceBoundAdversary::Result SpaceBoundAdversary::run_impl() {
+  Result out;
+  const int n = proto_.num_processes();
+  if (n < 2) {
+    out.error = "theorem requires n >= 2";
+    return out;
+  }
+
+  ValencyOracle oracle(proto_, {.max_configs = opts_.valency_max_configs});
+  LemmaToolkit lemmas(proto_, oracle);
+  lemmas.enable_narrative(opts_.narrative);
+
+  // Proposition 2: initial bivalent configuration.
+  auto init = lemmas.proposition2();
+  const ProcSet everyone = ProcSet::first_n(n);
+
+  out.certificate.protocol = proto_.name();
+  out.certificate.inputs = init.inputs;
+
+  if (n == 2) {
+    // Theorem 1, n = 2 case: if p0 decided without writing, p1 could not
+    // tell p0 took steps and would decide 1 from the indistinguishable
+    // configuration, violating Agreement. So p0's solo run reaches a write:
+    // one covered register = n - 1.
+    auto esc = lemmas.solo_escape(init.config, /*z=*/0, /*covered=*/{});
+    if (!esc.found) {
+      out.error = "p0 decided without ever writing: protocol violates "
+                  "Agreement (or is not solo terminating)";
+      return out;
+    }
+    out.certificate.schedule = esc.zeta_prime;
+    out.certificate.covering = {{0, esc.escape_reg}};
+  } else {
+    // Lemma 4 from the initial configuration: a pair Q bivalent from
+    // I-alpha with the other n-2 processes covering distinct registers.
+    auto l4 = lemmas.lemma4(init.config, everyone);
+    const Config c0 = sim::run(proto_, init.config, l4.alpha);
+    const ProcSet r = everyone - l4.q;
+
+    // Lemma 3: a Q-only alpha' and q in Q with R u {q} bivalent from
+    // C0-alpha'-beta.
+    auto l3 = lemmas.lemma3(c0, everyone, r);
+    const Config cq = sim::run(proto_, c0, l3.phi);
+
+    // Lemma 2: z in Q - {q} writes outside R's covered registers in its
+    // solo terminating execution from C0-alpha'.
+    const ProcId z = (l4.q.without(l3.q)).min();
+    const auto covered = covered_registers(proto_, cq, r);
+    auto esc = lemmas.solo_escape(cq, z, covered);
+    if (!esc.found) {
+      out.error = "Lemma 2 escape not found: the protocol is not a correct "
+                  "solo-terminating consensus protocol";
+      return out;
+    }
+
+    out.certificate.schedule = l4.alpha + l3.phi + esc.zeta_prime;
+    const Config final_cfg = sim::run(proto_, cq, esc.zeta_prime);
+    r.for_each([&](int p) {
+      out.certificate.covering.emplace_back(
+          p, *covered_register(proto_, final_cfg, p));
+    });
+    out.certificate.covering.emplace_back(z, esc.escape_reg);
+  }
+
+  out.lemma_stats = lemmas.stats();
+  out.valency_queries = oracle.queries();
+  out.valency_cache_hits = oracle.cache_hits();
+  out.narrative = lemmas.narrative();
+
+  if (oracle.ever_truncated()) {
+    out.error = "valency oracle hit its configuration cap; results unsound";
+    return out;
+  }
+
+  // Independent verification through the raw engine.
+  out.check = check_certificate(proto_, out.certificate);
+  if (!out.check.ok) {
+    out.error = "certificate check failed: " + out.check.error;
+    return out;
+  }
+  if (out.check.distinct_registers < n - 1) {
+    out.error = "certificate covers fewer than n-1 registers";
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace tsb::bound

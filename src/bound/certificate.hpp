@@ -1,0 +1,45 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace tsb::bound {
+
+/// A checkable witness for the space lower bound on a concrete protocol:
+/// an execution from a stated initial configuration after which a stated
+/// set of processes simultaneously cover pairwise-distinct registers.
+///
+/// The certificate deliberately contains only raw data (inputs, a schedule,
+/// claimed poised writes); `check_certificate` replays it through the
+/// execution engine alone — no valency oracle, no lemma code — so a bug in
+/// the adversary cannot vouch for itself.
+struct CoveringCertificate {
+  std::string protocol;                 ///< name, for reports
+  std::vector<sim::Value> inputs;       ///< initial configuration
+  sim::Schedule schedule;               ///< execution from that configuration
+  std::vector<std::pair<sim::ProcId, sim::RegId>> covering;  ///< claimed
+};
+
+struct CertificateCheck {
+  bool ok = false;
+  std::string error;                 ///< first failure, when !ok
+  int distinct_registers = 0;        ///< covered by the claimed processes
+  std::set<sim::RegId> registers;    ///< the covered registers
+  std::set<sim::RegId> written_after_block;  ///< written by the block write
+};
+
+/// Replay the certificate and verify:
+///  1. every claimed (process, register) is indeed a poised write in the
+///     final configuration;
+///  2. the claimed registers are pairwise distinct;
+///  3. extending the execution by the block write of the claimed processes
+///     writes exactly those registers (so the protocol's executions write
+///     `covering.size()` distinct registers — its space is at least that).
+CertificateCheck check_certificate(const sim::Protocol& proto,
+                                   const CoveringCertificate& cert);
+
+}  // namespace tsb::bound

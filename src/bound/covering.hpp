@@ -1,0 +1,52 @@
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace tsb::bound {
+
+using sim::Config;
+using sim::ProcId;
+using sim::ProcSet;
+using sim::Protocol;
+using sim::RegId;
+using sim::Schedule;
+
+/// Covering machinery (Definition 2).
+///
+/// A process covers register r in C if it is poised to write to r. A set R
+/// of processes all of which cover some register is a set of covering
+/// processes; a block write by R performs exactly one step per member —
+/// each its pending write — and nothing else. R = {} is a valid covering
+/// set with the empty block write, as the paper allows for technical
+/// reasons (the |P| = 3 base of Lemma 4 exercises it).
+
+/// The register p covers in c, i.e. the target of its pending write;
+/// nullopt if p is not poised to write.
+std::optional<RegId> covered_register(const Protocol& proto, const Config& c,
+                                      ProcId p);
+
+/// True iff every process in r covers some register in c.
+bool is_covering_set(const Protocol& proto, const Config& c, ProcSet r);
+
+/// The registers covered by processes of r in c (deduplicated).
+std::set<RegId> covered_registers(const Protocol& proto, const Config& c,
+                                  ProcSet r);
+
+/// True iff r is a covering set whose members cover pairwise distinct
+/// registers ("well spread" in the Lemma 4 outline).
+bool well_spread(const Protocol& proto, const Config& c, ProcSet r);
+
+/// The block write by R: one step per member, ascending process id. When
+/// members cover distinct registers the order is immaterial (the resulting
+/// configurations are indistinguishable); we fix an order for determinism.
+Schedule block_write(ProcSet r);
+
+/// Pretty-print "p3 covers R1, p5 covers R0" for reports.
+std::string describe_covering(const Protocol& proto, const Config& c,
+                              ProcSet r);
+
+}  // namespace tsb::bound

@@ -1,0 +1,61 @@
+#include "bound/valency.hpp"
+
+#include <cassert>
+
+#include "util/require.hpp"
+
+#include "util/rng.hpp"
+
+namespace tsb::bound {
+
+std::size_t ValencyOracle::KeyHash::operator()(const Key& k) const {
+  std::uint64_t h = k.config.hash();
+  h = util::hash_combine(h, k.pbits);
+  h = util::hash_combine(h, static_cast<std::uint64_t>(k.v));
+  return static_cast<std::size_t>(h);
+}
+
+bool ValencyOracle::can_decide(const Config& c, ProcSet p, Value v) {
+  ++queries_;
+  Key key{c, p.bits(), v};
+  if (auto it = memo_.find(key); it != memo_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  const bool result = compute(c, p, v, nullptr);
+  memo_.emplace(std::move(key), result);
+  return result;
+}
+
+Value ValencyOracle::some_decidable(const Config& c, ProcSet p) {
+  if (can_decide(c, p, 0)) return 0;
+  TSB_REQUIRE(can_decide(c, p, 1),
+              "Proposition 1(i) violated: some set can decide nothing — the "
+              "protocol is not solo terminating at a queried configuration "
+              "(for capped protocols: raise the cap)");
+  return 1;
+}
+
+std::optional<Schedule> ValencyOracle::deciding_schedule(const Config& c,
+                                                         ProcSet p, Value v) {
+  Schedule witness;
+  if (!compute(c, p, v, &witness)) return std::nullopt;
+  return witness;
+}
+
+bool ValencyOracle::compute(const Config& c, ProcSet p, Value v,
+                            Schedule* witness_out) {
+  sim::Explorer explorer(proto_, {.max_configs = opts_.max_configs});
+  auto result = explorer.explore(c, p, [&](const Config& cfg) {
+    return !sim::some_decided(proto_, cfg, v);  // abort once v is decided
+  });
+  if (result.truncated) ever_truncated_ = true;
+  if (result.aborted && witness_out != nullptr) {
+    auto w = explorer.witness(*result.abort_config);
+    assert(w.has_value());
+    *witness_out = std::move(*w);
+  }
+  return result.aborted;
+}
+
+}  // namespace tsb::bound

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "sim/explorer.hpp"
+
+namespace tsb::bound {
+
+using sim::Config;
+using sim::ConfigHash;
+using sim::ProcSet;
+using sim::Protocol;
+using sim::Schedule;
+using sim::Value;
+
+/// Zhu's refined valency (Definition 1): for a reachable configuration C
+/// and a non-empty set of processes P, "P can decide v from C" iff there is
+/// a P-only execution from C in which v is decided.
+///
+/// This oracle answers such queries *exactly* by exhaustive P-only
+/// reachability, which terminates because the experiment protocols have
+/// finite configuration spaces. Queries are memoized on (C, P, v); the
+/// lemma searches issue the same query along many prefixes.
+///
+/// A value counts as "decided in the execution" if some process is in a
+/// decided state at any configuration along it, including C itself —
+/// matching Proposition 1(iv), where an earlier decision pins the valency
+/// of every set of processes.
+class ValencyOracle {
+ public:
+  struct Options {
+    std::size_t max_configs = 2'000'000;
+  };
+
+  explicit ValencyOracle(const Protocol& proto)
+      : ValencyOracle(proto, Options{}) {}
+  ValencyOracle(const Protocol& proto, Options opts)
+      : proto_(proto), opts_(opts) {}
+
+  /// Definition 1: P can decide v from C.
+  bool can_decide(const Config& c, ProcSet p, Value v);
+
+  /// P is bivalent from C: P can decide both 0 and 1.
+  bool bivalent(const Config& c, ProcSet p) {
+    return can_decide(c, p, 0) && can_decide(c, p, 1);
+  }
+
+  /// P is v-univalent from C: P can decide v but not 1-v.
+  bool univalent_on(const Config& c, ProcSet p, Value v) {
+    return can_decide(c, p, v) && !can_decide(c, p, 1 - v);
+  }
+
+  /// Some value P can decide from C (Proposition 1(i): one always exists
+  /// for solo-terminating protocols). Returns 0 if P can decide 0, else 1.
+  Value some_decidable(const Config& c, ProcSet p);
+
+  /// A P-only schedule from C in which v is decided (witness for
+  /// can_decide). Not memoized; used to extract executions for the lemmas.
+  std::optional<Schedule> deciding_schedule(const Config& c, ProcSet p,
+                                            Value v);
+
+  /// True if any reachability query ever hit the configuration cap, which
+  /// would make answers unsound. The adversary asserts this stays false.
+  bool ever_truncated() const { return ever_truncated_; }
+
+  std::size_t queries() const { return queries_; }
+  std::size_t cache_hits() const { return cache_hits_; }
+
+ private:
+  struct Key {
+    Config config;
+    std::uint64_t pbits;
+    Value v;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  bool compute(const Config& c, ProcSet p, Value v,
+               Schedule* witness_out);
+
+  const Protocol& proto_;
+  Options opts_;
+  std::unordered_map<Key, bool, KeyHash> memo_;
+  bool ever_truncated_ = false;
+  std::size_t queries_ = 0;
+  std::size_t cache_hits_ = 0;
+};
+
+}  // namespace tsb::bound

@@ -1,0 +1,181 @@
+#include "consensus/ballot.hpp"
+
+#include <cassert>
+
+namespace tsb::consensus {
+
+BallotConsensus::BallotConsensus(int n, int max_ballot)
+    : n_(n), cap_(max_ballot) {
+  assert(n >= 1 && n <= 63);
+  assert(max_ballot >= n && max_ballot <= 255);
+}
+
+std::string BallotConsensus::name() const {
+  return "ballot-consensus(n=" + std::to_string(n_) +
+         ", max_ballot=" + std::to_string(cap_) + ")";
+}
+
+sim::Value BallotConsensus::pack_reg(int mb, int ab, int av) {
+  return (static_cast<sim::Value>(mb) << 16) |
+         (static_cast<sim::Value>(ab) << 8) |
+         static_cast<sim::Value>(av + 1);
+}
+
+void BallotConsensus::unpack_reg(sim::Value v, int& mb, int& ab, int& av) {
+  mb = static_cast<int>((v >> 16) & 0xff);
+  ab = static_cast<int>((v >> 8) & 0xff);
+  av = static_cast<int>(v & 0x3) - 1;
+}
+
+sim::State BallotConsensus::encode(const Fields& f) {
+  std::uint64_t u = 0;
+  u |= static_cast<std::uint64_t>(f.phase) << 0;       // 3 bits
+  u |= static_cast<std::uint64_t>(f.b) << 3;           // 8 bits
+  u |= static_cast<std::uint64_t>(f.pos) << 11;        // 6 bits
+  u |= static_cast<std::uint64_t>(f.max_bal) << 17;    // 8 bits
+  u |= static_cast<std::uint64_t>(f.max_ab) << 25;     // 8 bits
+  u |= static_cast<std::uint64_t>(f.av_max + 1) << 33; // 2 bits
+  u |= static_cast<std::uint64_t>(f.ab_own) << 35;     // 8 bits
+  u |= static_cast<std::uint64_t>(f.av_own + 1) << 43; // 2 bits
+  u |= static_cast<std::uint64_t>(f.v_in) << 45;       // 1 bit
+  u |= static_cast<std::uint64_t>(f.w) << 46;          // 1 bit
+  return static_cast<sim::State>(u);
+}
+
+BallotConsensus::Fields BallotConsensus::decode(sim::State s) {
+  const auto u = static_cast<std::uint64_t>(s);
+  Fields f;
+  f.phase = static_cast<int>((u >> 0) & 0x7);
+  f.b = static_cast<int>((u >> 3) & 0xff);
+  f.pos = static_cast<int>((u >> 11) & 0x3f);
+  f.max_bal = static_cast<int>((u >> 17) & 0xff);
+  f.max_ab = static_cast<int>((u >> 25) & 0xff);
+  f.av_max = static_cast<int>((u >> 33) & 0x3) - 1;
+  f.ab_own = static_cast<int>((u >> 35) & 0xff);
+  f.av_own = static_cast<int>((u >> 43) & 0x3) - 1;
+  f.v_in = static_cast<int>((u >> 45) & 0x1);
+  f.w = static_cast<int>((u >> 46) & 0x1);
+  return f;
+}
+
+bool BallotConsensus::is_stuck_state(sim::State s) const {
+  return decode(s).phase == kStuck;
+}
+
+int BallotConsensus::next_own_ballot(sim::ProcId p, int above) const {
+  // Ballots owned by p are {p+1, p+1+n, p+1+2n, ...}.
+  int b = p + 1;
+  while (b <= above) b += n_;
+  return b <= cap_ ? b : -1;
+}
+
+sim::State BallotConsensus::initial_state(sim::ProcId p,
+                                          sim::Value input) const {
+  Fields f;
+  f.phase = kPrepWrite;
+  f.b = next_own_ballot(p, 0);
+  f.v_in = static_cast<int>(input & 1);
+  assert(f.b > 0);
+  return encode(f);
+}
+
+sim::PendingOp BallotConsensus::poised(sim::ProcId p, sim::State s) const {
+  const Fields f = decode(s);
+  switch (f.phase) {
+    case kPrepWrite:
+      return sim::PendingOp::write(p, pack_reg(f.b, f.ab_own, f.av_own));
+    case kPrepCollect:
+    case kAccCollect:
+      return sim::PendingOp::read(f.pos);
+    case kAccWrite:
+      return sim::PendingOp::write(p, pack_reg(f.b, f.b, f.w));
+    case kDecided:
+      return sim::PendingOp::decide(f.av_own);
+    default:  // kStuck: harmless self-loop, keeps the state space finite
+      return sim::PendingOp::read(p);
+  }
+}
+
+sim::State BallotConsensus::finish_collect(sim::ProcId p, Fields f) const {
+  if (f.max_bal > f.b) {
+    // Someone is ahead: move to an own ballot above everything seen.
+    const int nb = next_own_ballot(p, f.max_bal);
+    Fields next;
+    if (nb < 0) {
+      next.phase = kStuck;
+      next.ab_own = f.ab_own;
+      next.av_own = f.av_own;
+      return encode(next);
+    }
+    next.phase = kPrepWrite;
+    next.b = nb;
+    next.ab_own = f.ab_own;
+    next.av_own = f.av_own;
+    next.v_in = f.v_in;
+    return encode(next);
+  }
+
+  if (f.phase == kPrepCollect) {
+    // Nothing above us: accept the value of the highest accepted ballot
+    // seen, or our input if nothing was ever accepted.
+    Fields next = f;
+    next.phase = kAccWrite;
+    next.pos = 0;
+    next.w = f.max_ab > 0 ? f.av_max : f.v_in;
+    assert(f.max_ab == 0 || f.av_max >= 0);
+    return encode(next);
+  }
+
+  // kAccCollect with nothing above us: the value is chosen.
+  Fields next;
+  next.phase = kDecided;
+  next.b = f.b;
+  next.ab_own = f.ab_own;
+  next.av_own = f.av_own;
+  assert(next.av_own >= 0);
+  return encode(next);
+}
+
+sim::State BallotConsensus::after_read(sim::ProcId p, sim::State s,
+                                       sim::Value observed) const {
+  Fields f = decode(s);
+  if (f.phase == kStuck) return s;
+  assert(f.phase == kPrepCollect || f.phase == kAccCollect);
+
+  int mb, ab, av;
+  unpack_reg(observed, mb, ab, av);
+  f.max_bal = std::max(f.max_bal, std::max(mb, ab));
+  if (ab > f.max_ab) {
+    f.max_ab = ab;
+    f.av_max = av;
+  }
+  ++f.pos;
+  if (f.pos == n_) return finish_collect(p, f);
+  return encode(f);
+}
+
+sim::State BallotConsensus::after_write(sim::ProcId p, sim::State s) const {
+  (void)p;
+  Fields f = decode(s);
+  if (f.phase == kPrepWrite) {
+    Fields next = f;
+    next.phase = kPrepCollect;
+    next.pos = 0;
+    next.max_bal = 0;
+    next.max_ab = 0;
+    next.av_max = -1;
+    return encode(next);
+  }
+  assert(f.phase == kAccWrite);
+  Fields next = f;
+  next.phase = kAccCollect;
+  next.pos = 0;
+  next.max_bal = 0;
+  next.max_ab = 0;
+  next.av_max = -1;
+  next.ab_own = f.b;   // mirror the accept-write in local state
+  next.av_own = f.w;
+  return encode(next);
+}
+
+}  // namespace tsb::consensus

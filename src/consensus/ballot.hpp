@@ -1,0 +1,108 @@
+#pragma once
+
+#include <string>
+
+#include "sim/protocol.hpp"
+
+namespace tsb::consensus {
+
+/// Obstruction-free binary consensus from n single-writer registers via
+/// ballots — shared-memory Paxos in the style of the classic round-based
+/// protocols the paper cites as upper bounds ([AH90]-era structure).
+///
+/// Register R[p] (written only by p) holds a triple (mb, ab, av):
+///   mb — the highest ballot p has started,
+///   ab — the ballot at which p last accepted a value,
+///   av — that value.
+/// Ballot numbers are partitioned by ownership: ballot b belongs to process
+/// (b-1) mod n, so no two processes ever accept at the same ballot.
+///
+/// propose(v):
+///   b := own lowest ballot
+///   loop:
+///     R[p] := (b, ab, av)                                  // prepare
+///     collect; if any mb or ab > b: b := own ballot above it; continue
+///     w := av of the highest ab seen (v if none)
+///     R[p] := (b, b, w)                                    // accept
+///     collect; if any mb or ab > b: b := own ballot above it; continue
+///     decide w
+///
+/// Safety (Agreement) is the Synod argument: if p decides w at ballot b,
+/// its final collect saw no ballot above b, so any process q moving to a
+/// ballot b' > b wrote its prepare after p's accept-write and therefore
+/// collects R[p] = (b, b, w); by induction on b' the highest accepted entry
+/// q can pick from always carries w. Validity: every accepted value is
+/// chained to some input. Solo termination: a process running alone
+/// restarts at most once (to exceed everything seen) and then decides.
+///
+/// Simulation cap: like every known correct obstruction-free consensus
+/// protocol, ballots grow without bound under contention. `max_ballot`
+/// bounds the simulated state space: a process needing a ballot above the
+/// cap enters a harmless self-loop (it re-reads its own register forever).
+/// This makes exhaustive analysis possible; configurations at the cap are
+/// the only ones where solo termination fails, and certificates produced
+/// by the adversary are checked against an uncapped instance (the capped
+/// protocol's executions below the cap are literally executions of the
+/// uncapped protocol).
+class BallotConsensus final : public sim::Protocol {
+ public:
+  /// `max_ballot` = highest usable ballot number (>= n recommended:
+  /// every process gets at least one ballot).
+  BallotConsensus(int n, int max_ballot);
+
+  std::string name() const override;
+  int num_processes() const override { return n_; }
+  int num_registers() const override { return n_; }
+  sim::Value initial_register() const override { return pack_reg(0, 0, -1); }
+  sim::State initial_state(sim::ProcId p, sim::Value input) const override;
+  sim::PendingOp poised(sim::ProcId p, sim::State s) const override;
+  sim::State after_read(sim::ProcId p, sim::State s,
+                        sim::Value observed) const override;
+  sim::State after_write(sim::ProcId p, sim::State s) const override;
+
+  int max_ballot() const { return cap_; }
+
+  /// Whether s is the ballot-cap self-loop state — the only states from
+  /// which solo termination fails (tests verify exactly that).
+  bool is_stuck_state(sim::State s) const;
+
+  /// Register word layout (also used by tests).
+  static sim::Value pack_reg(int mb, int ab, int av);
+  static void unpack_reg(sim::Value v, int& mb, int& ab, int& av);
+
+ private:
+  enum Phase : int {
+    kPrepWrite = 0,   // poised to write (b, ab, av)
+    kPrepCollect = 1, // reading all registers
+    kAccWrite = 2,    // poised to write (b, b, w)
+    kAccCollect = 3,  // reading all registers
+    kDecided = 4,
+    kStuck = 5,       // ballot cap exceeded: self-loop on own register
+  };
+
+  struct Fields {
+    int phase = kPrepWrite;
+    int b = 0;        // current ballot
+    int pos = 0;      // collect cursor
+    int max_bal = 0;  // highest mb/ab seen in current collect
+    int max_ab = 0;   // highest ab seen in current collect
+    int av_max = -1;  // value at max_ab
+    int ab_own = 0;   // own accepted ballot (mirrors R[p])
+    int av_own = -1;  // own accepted value
+    int v_in = 0;     // input, used when nothing is accepted yet
+    int w = 0;        // value being accepted (kAccWrite/kAccCollect)
+  };
+  static sim::State encode(const Fields& f);
+  static Fields decode(sim::State s);
+
+  /// Smallest ballot owned by p that is strictly greater than `above`;
+  /// -1 if it would exceed the cap.
+  int next_own_ballot(sim::ProcId p, int above) const;
+
+  sim::State finish_collect(sim::ProcId p, Fields f) const;
+
+  int n_;
+  int cap_;
+};
+
+}  // namespace tsb::consensus

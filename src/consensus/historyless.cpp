@@ -1,0 +1,75 @@
+#include "consensus/historyless.hpp"
+
+#include <cassert>
+
+namespace tsb::consensus {
+
+// State layout (both protocols): 0/1 = about to swap, carrying the input
+// bit; 2 | (d << 2) = decided d.
+namespace {
+constexpr sim::State decided(sim::Value d) { return 2 | (d << 2); }
+constexpr bool is_decided(sim::State s) { return (s & 2) != 0; }
+constexpr sim::Value decision(sim::State s) { return s >> 2; }
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SwapConsensus
+// ---------------------------------------------------------------------------
+
+sim::State SwapConsensus::initial_state(sim::ProcId, sim::Value input) const {
+  return input & 1;
+}
+
+sim::PendingOp SwapConsensus::poised(sim::ProcId, sim::State s) const {
+  if (is_decided(s)) return sim::PendingOp::decide(decision(s));
+  // Write our proposal; the returned old value arbitrates.
+  return sim::PendingOp::swap(0, s & 1);
+}
+
+sim::State SwapConsensus::after_swap(sim::ProcId, sim::State s,
+                                     sim::Value observed) const {
+  if (observed == sim::kEmptyRegister) return decided(s & 1);  // first
+  return decided(observed & 1);  // adopt whoever swapped before us
+}
+
+sim::State SwapConsensus::after_read(sim::ProcId, sim::State s,
+                                     sim::Value) const {
+  assert(false && "swap-consensus never reads");
+  return s;
+}
+
+sim::State SwapConsensus::after_write(sim::ProcId, sim::State s) const {
+  assert(false && "swap-consensus never plain-writes");
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// TasLeaderElection
+// ---------------------------------------------------------------------------
+
+sim::State TasLeaderElection::initial_state(sim::ProcId, sim::Value) const {
+  return 0;  // inputs are irrelevant to leader election
+}
+
+sim::PendingOp TasLeaderElection::poised(sim::ProcId, sim::State s) const {
+  if (is_decided(s)) return sim::PendingOp::decide(decision(s));
+  return sim::PendingOp::swap(0, 1);  // mark the object taken
+}
+
+sim::State TasLeaderElection::after_swap(sim::ProcId, sim::State,
+                                         sim::Value observed) const {
+  return decided(observed == sim::kEmptyRegister ? 1 : 0);
+}
+
+sim::State TasLeaderElection::after_read(sim::ProcId, sim::State s,
+                                         sim::Value) const {
+  assert(false && "test-and-set never reads");
+  return s;
+}
+
+sim::State TasLeaderElection::after_write(sim::ProcId, sim::State s) const {
+  assert(false && "test-and-set never plain-writes");
+  return s;
+}
+
+}  // namespace tsb::consensus

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <string>
+
+#include "sim/protocol.hpp"
+
+namespace tsb::consensus {
+
+/// Protocols from *historyless* base objects — the paper's Section 4:
+/// "the Omega(sqrt n) lower bound in [FHS98] actually holds for historyless
+/// base objects, such as swap objects. It is not clear how to modify our
+/// lower bound to work in this case. The difficulty is that, when a
+/// process performs swap, it sees the value it overwrote."
+///
+/// These protocols make that boundary executable. A single swap register
+/// solves 2-process consensus wait-free (swap has consensus number 2) —
+/// whereas bench_protocol_search shows no 1-register read/write protocol
+/// exists. One swap register also solves test-and-set (weak leader
+/// election) for ANY n, deterministically and wait-free — impossible from
+/// read/write registers altogether. The reason Zhu's technique cannot rule
+/// this out is demonstrated in bench_historyless: a "hidden" swap is
+/// always detected by the next swapper.
+
+/// Wait-free binary consensus for n = 2 from ONE swap register.
+///
+/// propose(v): old := swap(R0, v); decide (old == empty ? v : old).
+///
+/// The first swapper wins and the second adopts the overwritten value —
+/// two steps, wait-free, anonymous. The model checker verifies n = 2
+/// exhaustively; at n >= 3 the third swapper sees the *second* process's
+/// value and agreement fails (swap's consensus number is exactly 2), which
+/// the checker also exhibits.
+class SwapConsensus final : public sim::Protocol {
+ public:
+  explicit SwapConsensus(int n) : n_(n) {}
+
+  std::string name() const override {
+    return "swap-consensus(n=" + std::to_string(n_) + ")";
+  }
+  int num_processes() const override { return n_; }
+  int num_registers() const override { return 1; }
+  sim::State initial_state(sim::ProcId p, sim::Value input) const override;
+  sim::PendingOp poised(sim::ProcId p, sim::State s) const override;
+  sim::State after_read(sim::ProcId p, sim::State s,
+                        sim::Value observed) const override;
+  sim::State after_write(sim::ProcId p, sim::State s) const override;
+  sim::State after_swap(sim::ProcId p, sim::State s,
+                        sim::Value observed) const override;
+
+ private:
+  int n_;
+};
+
+/// Deterministic wait-free test-and-set (= weak leader election) for any n
+/// from ONE swap register: old := swap(R0, taken); leader iff old == empty.
+///
+/// Contrast object for the paper's discussion of weak leader election:
+/// from read/write registers the problem needs Theta(log n) registers and
+/// intricate obstruction-free machinery (GHHW); one historyless swap
+/// object collapses it to a single step. A process decides 1 (leader) or
+/// 0 (not leader).
+class TasLeaderElection final : public sim::Protocol {
+ public:
+  explicit TasLeaderElection(int n) : n_(n) {}
+
+  std::string name() const override {
+    return "tas-leader-election(n=" + std::to_string(n_) + ")";
+  }
+  int num_processes() const override { return n_; }
+  int num_registers() const override { return 1; }
+  sim::State initial_state(sim::ProcId p, sim::Value input) const override;
+  sim::PendingOp poised(sim::ProcId p, sim::State s) const override;
+  sim::State after_read(sim::ProcId p, sim::State s,
+                        sim::Value observed) const override;
+  sim::State after_write(sim::ProcId p, sim::State s) const override;
+  sim::State after_swap(sim::ProcId p, sim::State s,
+                        sim::Value observed) const override;
+
+ private:
+  int n_;
+};
+
+}  // namespace tsb::consensus

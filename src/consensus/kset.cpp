@@ -1,0 +1,68 @@
+#include "consensus/kset.hpp"
+
+#include <cassert>
+
+namespace tsb::consensus {
+
+PartitionedKSet::PartitionedKSet(int n, int k, int max_ballot)
+    : n_(n), k_(k) {
+  assert(k >= 1 && n >= 2 * k);
+  group_.resize(static_cast<std::size_t>(n));
+  local_.resize(static_cast<std::size_t>(n));
+
+  // Near-equal contiguous groups: the first (n % k) groups get one extra.
+  int next = 0;
+  for (int g = 0; g < k; ++g) {
+    const int size = n / k + (g < n % k ? 1 : 0);
+    reg_offset_.push_back(next);  // registers are laid out like processes
+    groups_.push_back(std::make_unique<BallotConsensus>(size, max_ballot));
+    for (int i = 0; i < size; ++i, ++next) {
+      group_[static_cast<std::size_t>(next)] = g;
+      local_[static_cast<std::size_t>(next)] = i;
+    }
+  }
+  assert(next == n);
+}
+
+std::string PartitionedKSet::name() const {
+  return "partitioned-kset(n=" + std::to_string(n_) +
+         ", k=" + std::to_string(k_) + ")";
+}
+
+int PartitionedKSet::num_registers() const {
+  return n_;  // one single-writer register per process, grouped
+}
+
+sim::Value PartitionedKSet::initial_register() const {
+  return BallotConsensus::pack_reg(0, 0, -1);
+}
+
+sim::ProcId PartitionedKSet::local_proc(sim::ProcId p) const {
+  return local_[static_cast<std::size_t>(p)];
+}
+
+sim::State PartitionedKSet::initial_state(sim::ProcId p,
+                                          sim::Value input) const {
+  return groups_[static_cast<std::size_t>(group_of(p))]->initial_state(
+      local_proc(p), input);
+}
+
+sim::PendingOp PartitionedKSet::poised(sim::ProcId p, sim::State s) const {
+  const int g = group_of(p);
+  sim::PendingOp op = groups_[static_cast<std::size_t>(g)]->poised(local_proc(p), s);
+  if (op.is_read() || op.is_write()) op.reg += reg_offset(g);
+  return op;
+}
+
+sim::State PartitionedKSet::after_read(sim::ProcId p, sim::State s,
+                                       sim::Value observed) const {
+  return groups_[static_cast<std::size_t>(group_of(p))]->after_read(
+      local_proc(p), s, observed);
+}
+
+sim::State PartitionedKSet::after_write(sim::ProcId p, sim::State s) const {
+  return groups_[static_cast<std::size_t>(group_of(p))]->after_write(
+      local_proc(p), s);
+}
+
+}  // namespace tsb::consensus

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "consensus/ballot.hpp"
+#include "sim/protocol.hpp"
+
+namespace tsb::consensus {
+
+/// k-set agreement by partitioning: the n processes are split into k
+/// contiguous groups and each group runs an independent binary consensus
+/// (BallotConsensus) on its members' inputs. At most one value is decided
+/// per group, so at most k values overall; every decided value is some
+/// process's input.
+///
+/// The paper's Section 4 asks whether the covering/valency technique yields
+/// an Omega(n-k) space bound for k-set agreement (the best protocols use
+/// n-k+1 registers [BRS15]). This partitioned protocol is not
+/// space-optimal — it uses n registers — but it makes the conjectured bound
+/// concrete on an instance: running the Theorem 1 adversary inside each
+/// group forces sum over groups of (n_g - 1) = n - k distinct covered
+/// registers, matching the conjecture's form. bench_space_bound reports
+/// this experiment.
+class PartitionedKSet final : public sim::Protocol {
+ public:
+  /// Splits n processes into k groups of near-equal size (every group gets
+  /// at least 2 processes; requires n >= 2k). `max_ballot` is per group.
+  PartitionedKSet(int n, int k, int max_ballot);
+
+  std::string name() const override;
+  int num_processes() const override { return n_; }
+  int num_registers() const override;
+  sim::Value initial_register() const override;
+  sim::State initial_state(sim::ProcId p, sim::Value input) const override;
+  sim::PendingOp poised(sim::ProcId p, sim::State s) const override;
+  sim::State after_read(sim::ProcId p, sim::State s,
+                        sim::Value observed) const override;
+  sim::State after_write(sim::ProcId p, sim::State s) const override;
+
+  int k() const { return k_; }
+  int group_of(sim::ProcId p) const { return group_[static_cast<std::size_t>(p)]; }
+  int group_size(int g) const { return groups_[static_cast<std::size_t>(g)]->num_processes(); }
+  const BallotConsensus& group_protocol(int g) const {
+    return *groups_[static_cast<std::size_t>(g)];
+  }
+
+ private:
+  sim::ProcId local_proc(sim::ProcId p) const;
+  int reg_offset(int g) const { return reg_offset_[static_cast<std::size_t>(g)]; }
+
+  int n_;
+  int k_;
+  std::vector<std::unique_ptr<BallotConsensus>> groups_;
+  std::vector<int> group_;       // process -> group
+  std::vector<int> local_;       // process -> index within group
+  std::vector<int> reg_offset_;  // group -> first register index
+};
+
+}  // namespace tsb::consensus

@@ -1,0 +1,119 @@
+#include "consensus/racing.hpp"
+
+#include <cassert>
+
+namespace tsb::consensus {
+
+namespace {
+constexpr int kCollect = 0;
+constexpr int kWrite = 1;
+constexpr int kDecide = 2;
+}  // namespace
+
+RacingConsensus::RacingConsensus(int n, AdoptRule rule) : n_(n), rule_(rule) {
+  assert(n >= 1 && n <= 15);  // 4-bit fields
+}
+
+std::string RacingConsensus::name() const {
+  return std::string("racing-consensus(") +
+         (rule_ == AdoptRule::kStrictMajority ? "strict" : "at-least") +
+         ", n=" + std::to_string(n_) + ")";
+}
+
+sim::State RacingConsensus::encode(const Fields& f) {
+  return static_cast<sim::State>(
+      (static_cast<std::uint64_t>(f.tag) << 0) |
+      (static_cast<std::uint64_t>(f.v) << 2) |
+      (static_cast<std::uint64_t>(f.pos) << 3) |
+      (static_cast<std::uint64_t>(f.c0) << 7) |
+      (static_cast<std::uint64_t>(f.c1) << 11) |
+      (static_cast<std::uint64_t>(f.f0) << 15) |
+      (static_cast<std::uint64_t>(f.f1) << 19) |
+      (static_cast<std::uint64_t>(f.t) << 23));
+}
+
+RacingConsensus::Fields RacingConsensus::decode(sim::State s) {
+  const auto u = static_cast<std::uint64_t>(s);
+  Fields f;
+  f.tag = static_cast<int>((u >> 0) & 0x3);
+  f.v = static_cast<int>((u >> 2) & 0x1);
+  f.pos = static_cast<int>((u >> 3) & 0xf);
+  f.c0 = static_cast<int>((u >> 7) & 0xf);
+  f.c1 = static_cast<int>((u >> 11) & 0xf);
+  f.f0 = static_cast<int>((u >> 15) & 0xf);
+  f.f1 = static_cast<int>((u >> 19) & 0xf);
+  f.t = static_cast<int>((u >> 23) & 0xf);
+  return f;
+}
+
+sim::State RacingConsensus::initial_state(sim::ProcId, sim::Value input) const {
+  Fields f;
+  f.tag = kCollect;
+  f.v = static_cast<int>(input & 1);
+  f.pos = 0;
+  f.f0 = n_;  // "no register differing from 0 seen yet"
+  f.f1 = n_;
+  return encode(f);
+}
+
+sim::PendingOp RacingConsensus::poised(sim::ProcId, sim::State s) const {
+  const Fields f = decode(s);
+  switch (f.tag) {
+    case kCollect:
+      return sim::PendingOp::read(f.pos);
+    case kWrite:
+      return sim::PendingOp::write(f.t, f.v);
+    default:
+      return sim::PendingOp::decide(f.v);
+  }
+}
+
+sim::State RacingConsensus::finish_collect(Fields f) const {
+  // Post-collect rule: adopt, then decide or write.
+  const int cv = f.v == 0 ? f.c0 : f.c1;
+  const int cvb = f.v == 0 ? f.c1 : f.c0;
+  const bool adopt = rule_ == AdoptRule::kStrictMajority
+                         ? cvb > cv
+                         : (cvb >= cv && cvb > 0);
+  Fields next;
+  next.v = adopt ? 1 - f.v : f.v;
+  const int count = next.v == 0 ? f.c0 : f.c1;
+  if (count == n_) {
+    next.tag = kDecide;
+    return encode(next);
+  }
+  next.tag = kWrite;
+  next.t = next.v == 0 ? f.f0 : f.f1;
+  assert(next.t < n_);  // count < n, so some register differs from v
+  return encode(next);
+}
+
+sim::State RacingConsensus::after_read(sim::ProcId, sim::State s,
+                                       sim::Value observed) const {
+  Fields f = decode(s);
+  assert(f.tag == kCollect);
+  if (observed == 0) {
+    ++f.c0;
+  } else if (observed == 1) {
+    ++f.c1;
+  }
+  if (observed != 0 && f.f0 == n_) f.f0 = f.pos;
+  if (observed != 1 && f.f1 == n_) f.f1 = f.pos;
+  ++f.pos;
+  if (f.pos == n_) return finish_collect(f);
+  return encode(f);
+}
+
+sim::State RacingConsensus::after_write(sim::ProcId, sim::State s) const {
+  Fields f = decode(s);
+  assert(f.tag == kWrite);
+  Fields next;
+  next.tag = kCollect;
+  next.v = f.v;
+  next.pos = 0;
+  next.f0 = n_;
+  next.f1 = n_;
+  return encode(next);
+}
+
+}  // namespace tsb::consensus

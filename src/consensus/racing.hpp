@@ -1,0 +1,91 @@
+#pragma once
+
+#include <string>
+
+#include "sim/protocol.hpp"
+
+namespace tsb::consensus {
+
+/// Anonymous, memoryless-style obstruction-free binary consensus from n
+/// registers holding values in {empty, 0, 1} — in the style of the upper
+/// bound [Zhu15] cited by the paper ("there is a memoryless anonymous
+/// protocol that uses n registers").
+///
+/// propose(v):
+///   repeat:
+///     collect R[0..n-1]                       (one read per step)
+///     if more registers hold the complement of v than hold v: v := ~v
+///     if all n registers hold v: decide v
+///     else: write v to the first register not holding v
+///
+/// The only state carried across loop iterations is the preference v
+/// (memoryless); within a collect the process tracks counts and the first
+/// register differing from each value, which is what the post-collect rule
+/// needs. Register alphabet and local state are finite, so the full
+/// configuration space is finite and the model checker settles every
+/// instance *exhaustively*.
+///
+/// What the checker found (see test_model_checker.cpp):
+///  * kStrictMajority (adopt iff count(~v) > count(v)): UNSAFE already at
+///    n = 2 — a single stale covered write lands after a decider saw an
+///    all-v view, the victim then sees a 1-1 tie, keeps its preference and
+///    overwrites: a textbook covered-write obliteration, i.e. exactly the
+///    phenomenon the paper's Lemma 2/3 machinery formalizes.
+///  * kAtLeast (adopt iff count(~v) >= count(v) > 0... complement count
+///    positive): exhaustively CORRECT for n = 2 — agreement, validity and
+///    solo termination from every one of the reachable configurations.
+///    This makes it a finite-state, anonymous, memoryless, multi-writer
+///    obstruction-free consensus protocol using n = 2 registers
+///    (consistent with the paper's conjecture that n are necessary).
+///    At n = 3 the same rule is UNSAFE again (deeper obliteration).
+///
+/// Both rules are kept: the n = 2 kAtLeast instance is a genuine
+/// upper-bound protocol the Theorem 1 adversary runs against (with
+/// multi-writer registers, so its covering witness is not an artifact of
+/// register ownership), and the broken instances are regression anchors
+/// proving the model checker has teeth.
+class RacingConsensus final : public sim::Protocol {
+ public:
+  enum class AdoptRule {
+    kStrictMajority,  ///< adopt ~v iff count(~v) > count(v)
+    kAtLeast,         ///< adopt ~v iff count(~v) >= count(v) and count(~v) > 0
+  };
+
+  explicit RacingConsensus(int n, AdoptRule rule = AdoptRule::kStrictMajority);
+
+  std::string name() const override;
+  int num_processes() const override { return n_; }
+  int num_registers() const override { return n_; }
+  sim::State initial_state(sim::ProcId p, sim::Value input) const override;
+  sim::PendingOp poised(sim::ProcId p, sim::State s) const override;
+  sim::State after_read(sim::ProcId p, sim::State s,
+                        sim::Value observed) const override;
+  sim::State after_write(sim::ProcId p, sim::State s) const override;
+
+  AdoptRule rule() const { return rule_; }
+
+ private:
+  // Local-state encoding. Fields (4 bits each unless noted):
+  //   tag: 0 = collecting, 1 = poised to write, 2 = decided
+  //   v:   current preference (1 bit)
+  //   pos: next register to read in the current collect
+  //   c0, c1: registers seen holding 0 / holding 1 so far
+  //   f0, f1: first register seen not holding 0 / not holding 1 (n = none)
+  //   t:   write target (tag 1 only)
+  struct Fields {
+    int tag = 0;
+    int v = 0;
+    int pos = 0;
+    int c0 = 0, c1 = 0;
+    int f0 = 0, f1 = 0;
+    int t = 0;
+  };
+  static sim::State encode(const Fields& f);
+  static Fields decode(sim::State s);
+  sim::State finish_collect(Fields f) const;
+
+  int n_;
+  AdoptRule rule_;
+};
+
+}  // namespace tsb::consensus

@@ -1,0 +1,18 @@
+#include "mutex/algorithm.hpp"
+
+namespace tsb::mutex {
+
+MutexConfig mutex_initial(const MutexAlgorithm& alg) {
+  MutexConfig c;
+  c.states.reserve(static_cast<std::size_t>(alg.num_processes()));
+  for (sim::ProcId p = 0; p < alg.num_processes(); ++p) {
+    c.states.push_back(alg.initial_state(p));
+  }
+  c.regs.reserve(static_cast<std::size_t>(alg.num_registers()));
+  for (sim::RegId r = 0; r < alg.num_registers(); ++r) {
+    c.regs.push_back(alg.initial_register(r));
+  }
+  return c;
+}
+
+}  // namespace tsb::mutex

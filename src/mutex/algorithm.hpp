@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/op.hpp"
+
+namespace tsb::mutex {
+
+/// Where a process is in the mutual-exclusion protocol's lifecycle.
+enum class Section { kRemainder, kTrying, kCritical, kExit };
+
+/// A mutual-exclusion algorithm from read/write registers, expressed as a
+/// deterministic step machine per process (the model of the Fan–Lynch
+/// lower bound, deck part II).
+///
+/// Memory steps (poised/after_read/after_write) are only taken while the
+/// process is in its trying or exit section. Entering the trying section
+/// and starting the exit section are local transitions initiated by the
+/// scheduler (begin_trying / begin_exit); a process reaches the critical
+/// section when a memory step lands it in a state whose section() is
+/// kCritical, and returns to the remainder when its exit section's last
+/// memory step lands in a kRemainder state.
+class MutexAlgorithm {
+ public:
+  virtual ~MutexAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+  virtual int num_processes() const = 0;
+  virtual int num_registers() const = 0;
+  virtual sim::Value initial_register(sim::RegId r) const = 0;
+  virtual sim::State initial_state(sim::ProcId p) const = 0;
+
+  virtual Section section(sim::ProcId p, sim::State s) const = 0;
+
+  /// Pending memory operation; read or write only, valid in trying/exit.
+  virtual sim::PendingOp poised(sim::ProcId p, sim::State s) const = 0;
+  virtual sim::State after_read(sim::ProcId p, sim::State s,
+                                sim::Value observed) const = 0;
+  virtual sim::State after_write(sim::ProcId p, sim::State s) const = 0;
+
+  /// Local transition out of the remainder section.
+  virtual sim::State begin_trying(sim::ProcId p, sim::State s) const = 0;
+  /// Local transition out of the critical section.
+  virtual sim::State begin_exit(sim::ProcId p, sim::State s) const = 0;
+};
+
+/// Shared-memory configuration for a mutex system.
+struct MutexConfig {
+  std::vector<sim::State> states;
+  std::vector<sim::Value> regs;
+};
+
+MutexConfig mutex_initial(const MutexAlgorithm& alg);
+
+}  // namespace tsb::mutex

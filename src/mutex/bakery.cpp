@@ -1,0 +1,123 @@
+#include "mutex/bakery.hpp"
+
+#include <cassert>
+
+namespace tsb::mutex {
+
+BakeryMutex::BakeryMutex(int n) : n_(n) { assert(n >= 2 && n <= 200); }
+
+std::string BakeryMutex::name() const {
+  return "bakery(n=" + std::to_string(n_) + ")";
+}
+
+sim::State BakeryMutex::initial_state(sim::ProcId) const {
+  return make(kIdle, 0, 0);
+}
+
+Section BakeryMutex::section(sim::ProcId, sim::State s) const {
+  switch (phase_of(s)) {
+    case kIdle:
+    case kDone:
+      return Section::kRemainder;
+    case kCS:
+      return Section::kCritical;
+    case kExitWrite:
+      return Section::kExit;
+    default:
+      return Section::kTrying;
+  }
+}
+
+int BakeryMutex::next_other(sim::ProcId p, int k) const {
+  int next = k + 1;
+  if (next == p) ++next;
+  return next;
+}
+
+sim::State BakeryMutex::advance_wait(sim::ProcId p, int k,
+                                     sim::Value mine) const {
+  const int next = next_other(p, k);
+  if (next >= n_) return make(kCS, 0, mine);
+  return make(kWaitChoosing, next, mine);
+}
+
+sim::PendingOp BakeryMutex::poised(sim::ProcId p, sim::State s) const {
+  const int k = k_of(s);
+  switch (phase_of(s)) {
+    case kWriteChoosing1:
+      return sim::PendingOp::write(p, 1);
+    case kScanMax:
+      return sim::PendingOp::read(n_ + k);
+    case kWriteNumber:
+      return sim::PendingOp::write(n_ + p, num_of(s) + 1);
+    case kWriteChoosing0:
+      return sim::PendingOp::write(p, 0);
+    case kWaitChoosing:
+      return sim::PendingOp::read(k);
+    case kWaitNumber:
+      return sim::PendingOp::read(n_ + k);
+    case kExitWrite:
+      return sim::PendingOp::write(n_ + p, 0);
+    default:
+      assert(false && "no pending memory operation in this section");
+      return sim::PendingOp::read(0);
+  }
+}
+
+sim::State BakeryMutex::after_read(sim::ProcId p, sim::State s,
+                                   sim::Value observed) const {
+  const int k = k_of(s);
+  const sim::Value num = num_of(s);
+  switch (phase_of(s)) {
+    case kScanMax: {
+      const sim::Value mx = std::max(num, observed);
+      if (k + 1 < n_) return make(kScanMax, k + 1, mx);
+      return make(kWriteNumber, 0, mx);
+    }
+    case kWaitChoosing:
+      if (observed != 0) return s;  // spin, zero state change
+      return make(kWaitNumber, k, num);
+    case kWaitNumber:
+      if (observed == 0 || observed > num || (observed == num && k > p)) {
+        return advance_wait(p, k, num);
+      }
+      return s;  // (number[k], k) < (number[p], p): keep waiting
+    default:
+      assert(false);
+      return s;
+  }
+}
+
+sim::State BakeryMutex::after_write(sim::ProcId p, sim::State s) const {
+  (void)p;
+  switch (phase_of(s)) {
+    case kWriteChoosing1:
+      return make(kScanMax, 0, 0);
+    case kWriteNumber:
+      return make(kWriteChoosing0, 0, num_of(s) + 1);  // remember my ticket
+    case kWriteChoosing0: {
+      const int first = next_other(p, -1);
+      if (first >= n_) return make(kCS, 0, num_of(s));
+      return make(kWaitChoosing, first, num_of(s));
+    }
+    case kExitWrite:
+      return make(kDone, 0, 0);
+    default:
+      assert(false);
+      return s;
+  }
+}
+
+sim::State BakeryMutex::begin_trying(sim::ProcId, sim::State s) const {
+  assert(phase_of(s) == kIdle || phase_of(s) == kDone);
+  (void)s;
+  return make(kWriteChoosing1, 0, 0);
+}
+
+sim::State BakeryMutex::begin_exit(sim::ProcId, sim::State s) const {
+  assert(phase_of(s) == kCS);
+  (void)s;
+  return make(kExitWrite, 0, 0);
+}
+
+}  // namespace tsb::mutex

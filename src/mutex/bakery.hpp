@@ -1,0 +1,68 @@
+#pragma once
+
+#include "mutex/algorithm.hpp"
+
+namespace tsb::mutex {
+
+/// Lamport's bakery algorithm — the classic O(n)-accesses-per-passage
+/// baseline sitting between Peterson (polynomially worse under contention)
+/// and the tournament (logarithmically better):
+///
+///   choosing[i] := 1
+///   number[i] := 1 + max(number[0..n-1])
+///   choosing[i] := 0
+///   for k != i:
+///     wait until choosing[k] == 0
+///     wait until number[k] == 0 or (number[k], k) > (number[i], i)
+///   // critical section
+///   number[i] := 0
+///
+/// Registers: choosing[i] = register i (init 0),
+///            number[i]   = register n + i (init 0). Ticket numbers grow
+/// without bound in long executions; canonical executions keep them small.
+class BakeryMutex final : public MutexAlgorithm {
+ public:
+  explicit BakeryMutex(int n);
+
+  std::string name() const override;
+  int num_processes() const override { return n_; }
+  int num_registers() const override { return 2 * n_; }
+  sim::Value initial_register(sim::RegId) const override { return 0; }
+  sim::State initial_state(sim::ProcId) const override;
+  Section section(sim::ProcId p, sim::State s) const override;
+  sim::PendingOp poised(sim::ProcId p, sim::State s) const override;
+  sim::State after_read(sim::ProcId p, sim::State s,
+                        sim::Value observed) const override;
+  sim::State after_write(sim::ProcId p, sim::State s) const override;
+  sim::State begin_trying(sim::ProcId p, sim::State s) const override;
+  sim::State begin_exit(sim::ProcId p, sim::State s) const override;
+
+ private:
+  enum Phase : int {
+    kIdle = 0,
+    kWriteChoosing1,
+    kScanMax,        // read number[k], accumulate the max
+    kWriteNumber,    // number[p] := max + 1
+    kWriteChoosing0,
+    kWaitChoosing,   // spin until choosing[k] == 0
+    kWaitNumber,     // spin until number[k]==0 or (number[k],k) > (mine,p)
+    kCS,
+    kExitWrite,      // number[p] := 0
+    kDone,
+  };
+  // Layout: phase (4 bits) | k (8 bits) | my/max number (the rest).
+  static sim::State make(int phase, int k, sim::Value num) {
+    return static_cast<sim::State>(phase) | (static_cast<sim::State>(k) << 4) |
+           (num << 12);
+  }
+  static int phase_of(sim::State s) { return static_cast<int>(s & 0xf); }
+  static int k_of(sim::State s) { return static_cast<int>((s >> 4) & 0xff); }
+  static sim::Value num_of(sim::State s) { return s >> 12; }
+
+  int next_other(sim::ProcId p, int k) const;
+  sim::State advance_wait(sim::ProcId p, int k, sim::Value mine) const;
+
+  int n_;
+};
+
+}  // namespace tsb::mutex

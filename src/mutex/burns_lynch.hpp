@@ -1,0 +1,85 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mutex/cost_model.hpp"
+
+namespace tsb::mutex {
+
+/// Burns–Lynch covering for mutual exclusion — the origin of the covering
+/// argument the paper builds on (deck: "the first covering argument is due
+/// to Burns and Lynch [BL93]"). Their theorem: any deadlock-free mutual
+/// exclusion algorithm for n processes uses at least n registers.
+///
+/// The executable form mirrors the perturbation adversary: drive each
+/// process, alone, through its trying section until it is poised to write
+/// a register nobody covers yet. A correct algorithm must reach such a
+/// write before entering the critical section: a process that enters the
+/// CS having written only covered registers is invisible after the block
+/// write, and a second process can be driven into the CS alongside it.
+/// After n stages, n distinct registers are covered.
+class MutexCoveringAdversary {
+ public:
+  struct Options {
+    std::size_t step_cap = 1'000'000;
+  };
+
+  struct Result {
+    bool complete = false;  ///< all n processes escaped: n distinct covered
+    int distinct_registers = 0;
+    std::vector<std::pair<sim::ProcId, sim::RegId>> covering;
+    /// Process that reached the CS without an uncovered write, if any —
+    /// for a correct algorithm this never happens; for the broken
+    /// NaiveLock it is the smoking gun.
+    sim::ProcId invisible_entrant = -1;
+    std::string narrative;
+  };
+
+  MutexCoveringAdversary(const MutexAlgorithm& alg, Options opts)
+      : alg_(alg), opts_(opts) {}
+  explicit MutexCoveringAdversary(const MutexAlgorithm& alg)
+      : MutexCoveringAdversary(alg, Options{}) {}
+
+  Result run();
+
+ private:
+  const MutexAlgorithm& alg_;
+  Options opts_;
+};
+
+/// Deliberately broken lock: test-and-set *without* the atomicity —
+/// read the flag until it is 0, then write 1 and enter. The window between
+/// the read and the write admits two processes into the critical section;
+/// the canonical driver's exclusion check and the covering adversary's
+/// invisible-entrant detection both catch it. Negative control for the
+/// Burns–Lynch experiment (and a reminder of why test-and-set must be a
+/// primitive — see consensus/historyless.hpp for the swap-based one).
+class NaiveLock final : public MutexAlgorithm {
+ public:
+  explicit NaiveLock(int n) : n_(n) {}
+
+  std::string name() const override {
+    return "naive-lock(n=" + std::to_string(n_) + ")";
+  }
+  int num_processes() const override { return n_; }
+  int num_registers() const override { return 1; }
+  sim::Value initial_register(sim::RegId) const override { return 0; }
+  sim::State initial_state(sim::ProcId) const override { return 0; }
+  Section section(sim::ProcId p, sim::State s) const override;
+  sim::PendingOp poised(sim::ProcId p, sim::State s) const override;
+  sim::State after_read(sim::ProcId p, sim::State s,
+                        sim::Value observed) const override;
+  sim::State after_write(sim::ProcId p, sim::State s) const override;
+  sim::State begin_trying(sim::ProcId p, sim::State s) const override;
+  sim::State begin_exit(sim::ProcId p, sim::State s) const override;
+
+ private:
+  // States: 0 idle, 1 reading flag, 2 poised to write 1 (the race window),
+  // 3 critical, 4 exit write, 5 done.
+  int n_;
+};
+
+}  // namespace tsb::mutex

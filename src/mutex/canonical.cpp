@@ -1,0 +1,140 @@
+#include "mutex/canonical.hpp"
+
+#include <cassert>
+
+namespace tsb::mutex {
+
+std::string CanonicalResult::summary() const {
+  std::string s = completed ? "completed" : "DID NOT COMPLETE";
+  if (exclusion_violated) s += " MUTUAL EXCLUSION VIOLATED";
+  s += " rmr=" + std::to_string(rmr_cost) +
+       " state_changes=" + std::to_string(state_change_cost) +
+       " steps=" + std::to_string(total_steps);
+  return s;
+}
+
+CanonicalResult run_canonical(const MutexAlgorithm& alg,
+                              const CanonicalOptions& opts) {
+  const int n = alg.num_processes();
+  CanonicalResult out;
+  out.per_proc_rmr.assign(static_cast<std::size_t>(n), 0);
+  out.enter_step.assign(static_cast<std::size_t>(n), SIZE_MAX);
+  out.leave_step.assign(static_cast<std::size_t>(n), SIZE_MAX);
+  out.finish_step.assign(static_cast<std::size_t>(n), SIZE_MAX);
+
+  MutexConfig cfg = mutex_initial(alg);
+  CostAccountant acct(n, alg.num_registers());
+  util::Rng rng(opts.seed);
+
+  std::vector<bool> started(static_cast<std::size_t>(n), false);
+  std::vector<bool> finished(static_cast<std::size_t>(n), false);
+  std::vector<bool> in_cs(static_cast<std::size_t>(n), false);
+  int finished_count = 0;
+
+  // Sequential order (or the identity).
+  std::vector<sim::ProcId> order = opts.order;
+  if (order.empty()) {
+    for (sim::ProcId p = 0; p < n; ++p) order.push_back(p);
+  }
+  assert(static_cast<int>(order.size()) == n);
+
+  const bool sequential =
+      opts.strategy == CanonicalOptions::Strategy::kSequential;
+  if (!sequential) {
+    for (sim::ProcId p = 0; p < n; ++p) {
+      cfg.states[static_cast<std::size_t>(p)] =
+          alg.begin_trying(p, cfg.states[static_cast<std::size_t>(p)]);
+      started[static_cast<std::size_t>(p)] = true;
+    }
+  }
+
+  // Event clock: advances on every event (local transitions and memory
+  // steps), so CS enter/leave timestamps are strictly ordered.
+  std::size_t clock = 0;
+  std::size_t rr_cursor = 0;
+  auto pick = [&]() -> sim::ProcId {
+    if (sequential) {
+      for (sim::ProcId p : order) {
+        if (!finished[static_cast<std::size_t>(p)]) return p;
+      }
+      return -1;
+    }
+    std::vector<sim::ProcId> unfinished;
+    for (sim::ProcId p = 0; p < n; ++p) {
+      if (!finished[static_cast<std::size_t>(p)]) unfinished.push_back(p);
+    }
+    if (unfinished.empty()) return -1;
+    if (opts.strategy == CanonicalOptions::Strategy::kRoundRobin) {
+      return unfinished[(rr_cursor++) % unfinished.size()];
+    }
+    return unfinished[rng.below(unfinished.size())];
+  };
+
+  while (finished_count < n) {
+    if (out.total_steps >= opts.step_cap) return out;  // not completed
+    const sim::ProcId p = pick();
+    if (p < 0) break;
+    const auto up = static_cast<std::size_t>(p);
+
+    if (!started[up]) {
+      cfg.states[up] = alg.begin_trying(p, cfg.states[up]);
+      started[up] = true;
+    }
+    Section sec = alg.section(p, cfg.states[up]);
+    if (sec == Section::kCritical) {
+      cfg.states[up] = alg.begin_exit(p, cfg.states[up]);
+      in_cs[up] = false;
+      out.leave_step[up] = ++clock;
+      sec = alg.section(p, cfg.states[up]);
+      if (sec == Section::kRemainder) {  // exit needed no memory steps
+        finished[up] = true;
+        out.finish_step[up] = ++clock;
+        ++finished_count;
+        continue;
+      }
+    }
+    if (sec == Section::kRemainder) {
+      // A process we started that is already back in its remainder.
+      finished[up] = true;
+      out.finish_step[up] = ++clock;
+      ++finished_count;
+      continue;
+    }
+
+    MutexStep step = mutex_step(alg, cfg, p, &acct);
+    cfg = step.config;
+    ++out.total_steps;
+    ++clock;
+    out.rmr_cost += step.cost;
+    if (step.state_changed) {
+      ++out.state_change_cost;
+      out.changing_schedule.push_back(p);
+    }
+
+    const Section after = alg.section(p, cfg.states[up]);
+    if (after == Section::kCritical && !in_cs[up]) {
+      in_cs[up] = true;
+      out.cs_order.push_back(p);
+      out.enter_step[up] = clock;
+      // Exclusion invariant: nobody else may be in the CS now.
+      for (sim::ProcId q = 0; q < n; ++q) {
+        if (q != p && in_cs[static_cast<std::size_t>(q)]) {
+          out.exclusion_violated = true;
+        }
+      }
+    }
+    if (after == Section::kRemainder) {
+      finished[up] = true;
+      out.finish_step[up] = clock;
+      ++finished_count;
+    }
+  }
+
+  for (sim::ProcId p = 0; p < n; ++p) {
+    out.per_proc_rmr[static_cast<std::size_t>(p)] = acct.total_for(p);
+  }
+  out.completed = finished_count == n && !out.exclusion_violated;
+  return out;
+}
+
+}  // namespace tsb::mutex

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mutex/cost_model.hpp"
+#include "util/rng.hpp"
+
+namespace tsb::mutex {
+
+/// Canonical executions (Fan–Lynch): every process enters the critical
+/// section exactly once. The drivers here produce them under different
+/// schedulers and account costs in two measures:
+///
+///  * rmr_cost — cache-coherent RMRs, i.e. non-busy-waiting accesses: a
+///    read is charged only if the register changed since the process last
+///    read it; every write is charged. This is the "total work" measure of
+///    the deck (busy-waiting excluded).
+///  * state_change_cost — memory steps after which the process's local
+///    state differs (the state-change cost model); always >= rmr-informative
+///    reads and the measure the execution encoder is keyed to.
+///
+/// The scheduler policy is deterministic given the sequence of memory
+/// steps: a process begins its trying section before its first memory step,
+/// and begins its exit section when it is scheduled while in the critical
+/// section. The encoder/decoder pair relies on exactly this determinism.
+struct CanonicalOptions {
+  enum class Strategy {
+    kSequential,  ///< one passage at a time, in `order` (no contention)
+    kRoundRobin,  ///< all start trying; rotate among unfinished processes
+    kRandomized,  ///< all start trying; uniformly random unfinished process
+  };
+  Strategy strategy = Strategy::kRoundRobin;
+  std::vector<sim::ProcId> order;  ///< kSequential: passage order (default id)
+  std::uint64_t seed = 1;          ///< kRandomized
+  std::size_t step_cap = 50'000'000;
+};
+
+struct CanonicalResult {
+  bool completed = false;            ///< every process finished one passage
+  bool exclusion_violated = false;   ///< two processes in the CS at once
+  std::int64_t rmr_cost = 0;
+  std::int64_t state_change_cost = 0;
+  std::size_t total_steps = 0;       ///< memory steps executed
+  std::vector<sim::ProcId> cs_order; ///< order of CS entries (the pi)
+  std::vector<std::int64_t> per_proc_rmr;
+  /// Per process: memory-step index at which it entered the CS / left the
+  /// CS (began its exit section) / finished its passage (SIZE_MAX if it
+  /// never did). Visibility graphs use enter/leave.
+  std::vector<std::size_t> enter_step;
+  std::vector<std::size_t> leave_step;
+  std::vector<std::size_t> finish_step;
+  /// Process ids of the state-changing memory steps, in order — the
+  /// encoder's input; replaying exactly these steps reproduces the
+  /// execution (steps that change no local state change no register that
+  /// anyone reads differently... they change nothing at all).
+  std::vector<sim::ProcId> changing_schedule;
+
+  std::string summary() const;
+};
+
+CanonicalResult run_canonical(const MutexAlgorithm& alg,
+                              const CanonicalOptions& opts);
+
+}  // namespace tsb::mutex

@@ -1,0 +1,63 @@
+#include "mutex/cost_model.hpp"
+
+#include <cassert>
+
+namespace tsb::mutex {
+
+CostAccountant::CostAccountant(int processes, int registers)
+    : n_(processes), m_(registers) {
+  valid_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(m_),
+                0);
+  per_proc_.assign(static_cast<std::size_t>(n_), 0);
+}
+
+int CostAccountant::on_read(sim::ProcId p, sim::RegId r) {
+  auto& valid = valid_[static_cast<std::size_t>(p) *
+                           static_cast<std::size_t>(m_) +
+                       static_cast<std::size_t>(r)];
+  if (valid) return 0;  // cache hit: local spin, free
+  valid = 1;
+  ++per_proc_[static_cast<std::size_t>(p)];
+  ++total_;
+  return 1;
+}
+
+int CostAccountant::on_write(sim::ProcId p, sim::RegId r) {
+  for (int q = 0; q < n_; ++q) {
+    valid_[static_cast<std::size_t>(q) * static_cast<std::size_t>(m_) +
+           static_cast<std::size_t>(r)] = static_cast<std::uint8_t>(q == p);
+  }
+  ++per_proc_[static_cast<std::size_t>(p)];
+  ++total_;
+  return 1;
+}
+
+MutexStep mutex_step(const MutexAlgorithm& alg, const MutexConfig& c,
+                     sim::ProcId p, CostAccountant* acct, sim::Trace* trace) {
+  const auto up = static_cast<std::size_t>(p);
+  const sim::State s = c.states[up];
+  const Section sec = alg.section(p, s);
+  assert(sec == Section::kTrying || sec == Section::kExit);
+  (void)sec;
+
+  const sim::PendingOp op = alg.poised(p, s);
+  MutexStep out;
+  out.config = c;
+  sim::StepRecord rec{p, op, 0};
+  if (op.is_read()) {
+    const sim::Value observed = c.regs[static_cast<std::size_t>(op.reg)];
+    rec.read_result = observed;
+    out.config.states[up] = alg.after_read(p, s, observed);
+    if (acct != nullptr) out.cost = acct->on_read(p, op.reg);
+  } else {
+    assert(op.is_write());
+    out.config.regs[static_cast<std::size_t>(op.reg)] = op.value;
+    out.config.states[up] = alg.after_write(p, s);
+    if (acct != nullptr) out.cost = acct->on_write(p, op.reg);
+  }
+  out.state_changed = out.config.states[up] != s;
+  if (trace != nullptr) trace->records.push_back(rec);
+  return out;
+}
+
+}  // namespace tsb::mutex

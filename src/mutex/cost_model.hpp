@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mutex/algorithm.hpp"
+#include "sim/trace.hpp"
+
+namespace tsb::mutex {
+
+/// Cost accounting in the spirit of Fan–Lynch's state-change cost model,
+/// realized as the standard cache-coherent RMR measure:
+///
+///  * a read of register r by process p costs 1 iff p has no valid cached
+///    copy of r (first access, or some other process wrote r since p's
+///    last read of it) — busy-waiting on unchanged registers is free;
+///  * a write costs 1 and invalidates every other process's cached copy.
+///
+/// Under this measure the Yang–Anderson-style tournament incurs O(log n)
+/// per passage (Theta(n log n) per canonical execution, matching the
+/// Fan–Lynch bound's tightness) while Peterson's n-process algorithm,
+/// whose waiting condition rescans n registers that keep changing, pays
+/// polynomially more — the separation experiment E5 measures both.
+class CostAccountant {
+ public:
+  CostAccountant(int processes, int registers);
+
+  /// Cost of p reading r (and updates the cache).
+  int on_read(sim::ProcId p, sim::RegId r);
+
+  /// Cost of p writing r (and invalidates other caches).
+  int on_write(sim::ProcId p, sim::RegId r);
+
+  std::int64_t total() const { return total_; }
+  std::int64_t total_for(sim::ProcId p) const {
+    return per_proc_[static_cast<std::size_t>(p)];
+  }
+
+ private:
+  int n_;
+  int m_;
+  std::vector<std::uint8_t> valid_;  // n x m cache-validity matrix
+  std::vector<std::int64_t> per_proc_;
+  std::int64_t total_ = 0;
+};
+
+/// One memory step by p at configuration c. Returns the new configuration;
+/// adds the step's cost to `acct` (if non-null), records it in `trace`
+/// (if non-null), and reports whether the process's local state changed.
+struct MutexStep {
+  MutexConfig config;
+  bool state_changed = false;
+  int cost = 0;
+};
+MutexStep mutex_step(const MutexAlgorithm& alg, const MutexConfig& c,
+                     sim::ProcId p, CostAccountant* acct = nullptr,
+                     sim::Trace* trace = nullptr);
+
+}  // namespace tsb::mutex

@@ -1,0 +1,114 @@
+#include "mutex/peterson.hpp"
+
+#include <cassert>
+
+namespace tsb::mutex {
+
+PetersonMutex::PetersonMutex(int n) : n_(n) { assert(n >= 2 && n <= 200); }
+
+std::string PetersonMutex::name() const {
+  return "peterson(n=" + std::to_string(n_) + ")";
+}
+
+sim::State PetersonMutex::initial_state(sim::ProcId) const {
+  return make(kIdle, 0, 0);
+}
+
+Section PetersonMutex::section(sim::ProcId, sim::State s) const {
+  switch (phase_of(s)) {
+    case kIdle:
+    case kDone:
+      return Section::kRemainder;
+    case kCS:
+      return Section::kCritical;
+    case kExitWrite:
+      return Section::kExit;
+    default:
+      return Section::kTrying;
+  }
+}
+
+int PetersonMutex::next_other(sim::ProcId p, int k) const {
+  int next = k + 1;
+  if (next == p) ++next;
+  return next;
+}
+
+sim::State PetersonMutex::advance_level(sim::ProcId p, int m) const {
+  // Levels run 0..n-2; passing the last one grants the critical section.
+  if (m == n_ - 2) return make(kCS, 0, 0);
+  (void)p;
+  return make(kWriteLevel, m + 1, 0);
+}
+
+sim::PendingOp PetersonMutex::poised(sim::ProcId p, sim::State s) const {
+  const int m = m_of(s);
+  switch (phase_of(s)) {
+    case kWriteLevel:
+      return sim::PendingOp::write(p, m);
+    case kWriteWaiting:
+      return sim::PendingOp::write(n_ + m, p);
+    case kReadWaiting:
+      return sim::PendingOp::read(n_ + m);
+    case kScan:
+      return sim::PendingOp::read(k_of(s));
+    case kExitWrite:
+      return sim::PendingOp::write(p, -1);
+    default:
+      assert(false && "no pending memory operation in this section");
+      return sim::PendingOp::read(0);
+  }
+}
+
+sim::State PetersonMutex::after_read(sim::ProcId p, sim::State s,
+                                     sim::Value observed) const {
+  const int m = m_of(s);
+  switch (phase_of(s)) {
+    case kReadWaiting:
+      if (observed != p) return advance_level(p, m);  // no longer the waiter
+      {
+        const int k = next_other(p, -1);
+        if (k >= n_) return advance_level(p, m);  // n = 1 edge; unreachable
+        return make(kScan, m, k);
+      }
+    case kScan: {
+      if (observed >= m) return make(kReadWaiting, m, 0);  // keep waiting
+      const int k = next_other(p, k_of(s));
+      if (k >= n_) return advance_level(p, m);  // nobody at level >= m
+      return make(kScan, m, k);
+    }
+    default:
+      assert(false);
+      return s;
+  }
+}
+
+sim::State PetersonMutex::after_write(sim::ProcId p, sim::State s) const {
+  (void)p;
+  const int m = m_of(s);
+  switch (phase_of(s)) {
+    case kWriteLevel:
+      return make(kWriteWaiting, m, 0);
+    case kWriteWaiting:
+      return make(kReadWaiting, m, 0);
+    case kExitWrite:
+      return make(kDone, 0, 0);
+    default:
+      assert(false);
+      return s;
+  }
+}
+
+sim::State PetersonMutex::begin_trying(sim::ProcId, sim::State s) const {
+  assert(phase_of(s) == kIdle || phase_of(s) == kDone);
+  (void)s;
+  return make(kWriteLevel, 0, 0);
+}
+
+sim::State PetersonMutex::begin_exit(sim::ProcId, sim::State s) const {
+  assert(phase_of(s) == kCS);
+  (void)s;
+  return make(kExitWrite, 0, 0);
+}
+
+}  // namespace tsb::mutex

@@ -1,0 +1,67 @@
+#pragma once
+
+#include "mutex/algorithm.hpp"
+
+namespace tsb::mutex {
+
+/// Peterson's n-process mutual exclusion, exactly as in the deck:
+///
+///   // level[0..n-1] = {-1}; waiting[0..n-2] = {-1}
+///   for (m = 0; m < n-1; m++) {
+///     level[i] = m;
+///     waiting[m] = i;
+///     while (waiting[m] == i && (exists k != i: level[k] >= m)) { spin }
+///   }
+///   // critical section
+///   level[i] = -1;  // exit
+///
+/// The waiting condition rescans the level array; whenever other processes
+/// move, those reads are informative (cache-coherence misses), which is
+/// why Peterson's total work in canonical executions grows like n^3 — the
+/// deck's motivating "expensive" baseline for the Fan–Lynch bound.
+///
+/// Registers: level[i] = register i (initially -1),
+///            waiting[m] = register n + m (initially -1).
+class PetersonMutex final : public MutexAlgorithm {
+ public:
+  explicit PetersonMutex(int n);
+
+  std::string name() const override;
+  int num_processes() const override { return n_; }
+  int num_registers() const override { return 2 * n_ - 1; }
+  sim::Value initial_register(sim::RegId) const override { return -1; }
+  sim::State initial_state(sim::ProcId) const override;
+  Section section(sim::ProcId p, sim::State s) const override;
+  sim::PendingOp poised(sim::ProcId p, sim::State s) const override;
+  sim::State after_read(sim::ProcId p, sim::State s,
+                        sim::Value observed) const override;
+  sim::State after_write(sim::ProcId p, sim::State s) const override;
+  sim::State begin_trying(sim::ProcId p, sim::State s) const override;
+  sim::State begin_exit(sim::ProcId p, sim::State s) const override;
+
+ private:
+  enum Phase : int {
+    kIdle = 0,
+    kWriteLevel,
+    kWriteWaiting,
+    kReadWaiting,
+    kScan,
+    kCS,
+    kExitWrite,
+    kDone,
+  };
+  static sim::State make(int phase, int m, int k) {
+    return static_cast<sim::State>(phase) | (static_cast<sim::State>(m) << 4) |
+           (static_cast<sim::State>(k) << 12);
+  }
+  static int phase_of(sim::State s) { return static_cast<int>(s & 0xf); }
+  static int m_of(sim::State s) { return static_cast<int>((s >> 4) & 0xff); }
+  static int k_of(sim::State s) { return static_cast<int>((s >> 12) & 0xff); }
+
+  sim::State advance_level(sim::ProcId p, int m) const;
+  int next_other(sim::ProcId p, int k) const;  // next k > given, k != p
+
+  int n_;
+};
+
+}  // namespace tsb::mutex

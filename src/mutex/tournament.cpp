@@ -1,0 +1,112 @@
+#include "mutex/tournament.hpp"
+
+#include <cassert>
+
+namespace tsb::mutex {
+
+TournamentMutex::TournamentMutex(int n) : n_(n) {
+  assert(n >= 2);
+  leaves_ = 1;
+  height_ = 0;
+  while (leaves_ < n) {
+    leaves_ <<= 1;
+    ++height_;
+  }
+}
+
+std::string TournamentMutex::name() const {
+  return "tournament(n=" + std::to_string(n_) + ")";
+}
+
+sim::State TournamentMutex::initial_state(sim::ProcId) const {
+  return make(kIdle, 0);
+}
+
+Section TournamentMutex::section(sim::ProcId, sim::State s) const {
+  switch (phase_of(s)) {
+    case kIdle:
+    case kDone:
+      return Section::kRemainder;
+    case kCS:
+      return Section::kCritical;
+    case kExitWrite:
+      return Section::kExit;
+    default:
+      return Section::kTrying;
+  }
+}
+
+sim::State TournamentMutex::acquired(sim::ProcId p, int level) const {
+  (void)p;
+  if (level == height_) return make(kCS, 0);
+  return make(kWriteFlag, level + 1);
+}
+
+sim::PendingOp TournamentMutex::poised(sim::ProcId p, sim::State s) const {
+  const int level = level_of(s);
+  const int node = node_at(p, level);
+  const int side = side_at(p, level);
+  switch (phase_of(s)) {
+    case kWriteFlag:
+      return sim::PendingOp::write(reg_flag(node, side), 1);
+    case kWriteTurn:
+      return sim::PendingOp::write(reg_turn(node), side);
+    case kReadFlag:
+      return sim::PendingOp::read(reg_flag(node, 1 - side));
+    case kReadTurn:
+      return sim::PendingOp::read(reg_turn(node));
+    case kExitWrite:
+      return sim::PendingOp::write(reg_flag(node, side), 0);
+    default:
+      assert(false && "no pending memory operation in this section");
+      return sim::PendingOp::read(0);
+  }
+}
+
+sim::State TournamentMutex::after_read(sim::ProcId p, sim::State s,
+                                       sim::Value observed) const {
+  const int level = level_of(s);
+  const int side = side_at(p, level);
+  switch (phase_of(s)) {
+    case kReadFlag:
+      if (observed == 0) return acquired(p, level);  // peer not competing
+      return make(kReadTurn, level);
+    case kReadTurn:
+      if (observed == 1 - side) return acquired(p, level);  // peer yielded
+      return make(kReadFlag, level);  // local spin on the node's registers
+    default:
+      assert(false);
+      return s;
+  }
+}
+
+sim::State TournamentMutex::after_write(sim::ProcId p, sim::State s) const {
+  (void)p;
+  const int level = level_of(s);
+  switch (phase_of(s)) {
+    case kWriteFlag:
+      return make(kWriteTurn, level);
+    case kWriteTurn:
+      return make(kReadFlag, level);
+    case kExitWrite:
+      if (level == 1) return make(kDone, 0);
+      return make(kExitWrite, level - 1);  // release the path downwards
+    default:
+      assert(false);
+      return s;
+  }
+}
+
+sim::State TournamentMutex::begin_trying(sim::ProcId, sim::State s) const {
+  assert(phase_of(s) == kIdle || phase_of(s) == kDone);
+  (void)s;
+  return make(kWriteFlag, 1);
+}
+
+sim::State TournamentMutex::begin_exit(sim::ProcId, sim::State s) const {
+  assert(phase_of(s) == kCS);
+  (void)s;
+  return make(kExitWrite, height_);
+}
+
+}  // namespace tsb::mutex

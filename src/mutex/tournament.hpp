@@ -1,0 +1,72 @@
+#pragma once
+
+#include "mutex/algorithm.hpp"
+
+namespace tsb::mutex {
+
+/// Tournament mutual exclusion: a complete binary tree of two-process
+/// Peterson locks, the structure with which Yang–Anderson achieve the
+/// O(n log n) canonical-execution cost that makes the Fan–Lynch
+/// Omega(n log n) bound tight. A process climbs from its leaf to the root,
+/// acquiring the Peterson-2 lock at every node (spinning only on that
+/// node's two registers — local spinning), and releases the path top-down
+/// on exit. Each passage performs O(log n) writes and informative reads.
+///
+/// Node nd (1..L-1, heap order, L = next power of two >= n) owns three
+/// registers at base 3*(nd-1): flag[0], flag[1], turn.
+class TournamentMutex final : public MutexAlgorithm {
+ public:
+  explicit TournamentMutex(int n);
+
+  std::string name() const override;
+  int num_processes() const override { return n_; }
+  int num_registers() const override { return 3 * (leaves_ - 1); }
+  sim::Value initial_register(sim::RegId) const override { return 0; }
+  sim::State initial_state(sim::ProcId) const override;
+  Section section(sim::ProcId p, sim::State s) const override;
+  sim::PendingOp poised(sim::ProcId p, sim::State s) const override;
+  sim::State after_read(sim::ProcId p, sim::State s,
+                        sim::Value observed) const override;
+  sim::State after_write(sim::ProcId p, sim::State s) const override;
+  sim::State begin_trying(sim::ProcId p, sim::State s) const override;
+  sim::State begin_exit(sim::ProcId p, sim::State s) const override;
+
+  int height() const { return height_; }
+
+ private:
+  enum Phase : int {
+    kIdle = 0,
+    kWriteFlag,   // flag[side] := 1 at the current node
+    kWriteTurn,   // turn := side
+    kReadFlag,    // spin: read flag[1-side]
+    kReadTurn,    // spin: read turn
+    kCS,
+    kExitWrite,   // flag[side] := 0, root first
+    kDone,
+  };
+  static sim::State make(int phase, int level) {
+    return static_cast<sim::State>(phase) |
+           (static_cast<sim::State>(level) << 4);
+  }
+  static int phase_of(sim::State s) { return static_cast<int>(s & 0xf); }
+  static int level_of(sim::State s) { return static_cast<int>(s >> 4); }
+
+  /// Node on p's path at level j (1 = leaf's parent ... height = root).
+  int node_at(sim::ProcId p, int level) const {
+    return (leaves_ + p) >> level;
+  }
+  /// Which side of that node p arrives on.
+  int side_at(sim::ProcId p, int level) const {
+    return ((leaves_ + p) >> (level - 1)) & 1;
+  }
+  int reg_flag(int node, int side) const { return 3 * (node - 1) + side; }
+  int reg_turn(int node) const { return 3 * (node - 1) + 2; }
+
+  sim::State acquired(sim::ProcId p, int level) const;
+
+  int n_;
+  int leaves_;
+  int height_;
+};
+
+}  // namespace tsb::mutex

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mutex/canonical.hpp"
+
+namespace tsb::mutex {
+
+/// The visibility graph of a canonical execution (Fan–Lynch): there is an
+/// edge j -> i ("pi sees pj") iff pj finished its passage before pi
+/// entered the critical section.
+///
+/// The information-theoretic argument rests on two facts this module makes
+/// checkable on concrete executions:
+///  1. for every pair of processes, at least one sees the other — if two
+///     processes missed each other, an adversary could drive both into the
+///     CS simultaneously (deck part II); and
+///  2. the graph therefore contains a directed chain over all n processes,
+///     i.e. it determines the CS permutation pi, which takes
+///     log2(n!) = Omega(n log n) bits to specify.
+struct VisibilityGraph {
+  int n = 0;
+  /// sees[i][j]: pi sees pj.
+  std::vector<std::vector<bool>> sees;
+
+  /// Fact 1: every pair is ordered at least one way.
+  bool tournament_complete() const;
+
+  /// The chain recovered from the graph: processes sorted by how many
+  /// others they see (the i-th entrant sees exactly i-1 predecessors in a
+  /// canonical execution). Empty if the counts are not 0..n-1.
+  std::vector<sim::ProcId> chain() const;
+
+  std::size_t edge_count() const;
+  std::string to_string() const;
+};
+
+/// Build the graph from a completed canonical execution.
+VisibilityGraph build_visibility(const CanonicalResult& result);
+
+}  // namespace tsb::mutex

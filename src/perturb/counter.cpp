@@ -1,0 +1,122 @@
+#include "perturb/counter.hpp"
+
+#include <cassert>
+
+namespace tsb::perturb {
+
+// ---------------------------------------------------------------------------
+// SwmrCounter
+//
+// Incrementer state: (count << 1) | phase, phase 0 = poised to write own
+// register, phase 1 = poised to complete.
+// Reader state:      (sum << 8) | (pos << 1) | 1-bit marker unused; the
+// reader is identified by its process id, so states need no role tag.
+// ---------------------------------------------------------------------------
+
+SwmrCounter::SwmrCounter(int n) : n_(n) { assert(n >= 2); }
+
+std::string SwmrCounter::name() const {
+  return "swmr-counter(n=" + std::to_string(n_) + ")";
+}
+
+sim::State SwmrCounter::initial_state(sim::ProcId) const { return 0; }
+
+sim::PendingOp SwmrCounter::poised(sim::ProcId p, sim::State s) const {
+  if (p < n_ - 1) {
+    const sim::Value count = s >> 1;
+    if ((s & 1) == 0) return sim::PendingOp::write(p, count + 1);
+    return sim::PendingOp::decide(count + 1);  // inc() returns own new count
+  }
+  // Reader: one read per register, then complete with the sum.
+  const sim::Value sum = s >> 8;
+  const int pos = static_cast<int>((s >> 1) & 0x7f);
+  if (pos < n_) return sim::PendingOp::read(pos);
+  return sim::PendingOp::decide(sum);
+}
+
+sim::State SwmrCounter::after_read(sim::ProcId p, sim::State s,
+                                   sim::Value observed) const {
+  assert(p == n_ - 1);
+  (void)p;
+  const sim::Value sum = (s >> 8) + observed;
+  const sim::Value pos = ((s >> 1) & 0x7f) + 1;
+  return (sum << 8) | (pos << 1);
+}
+
+sim::State SwmrCounter::after_write(sim::ProcId p, sim::State s) const {
+  assert(p < n_ - 1);
+  (void)p;
+  return s | 1;  // same count, now poised to complete
+}
+
+sim::State SwmrCounter::after_complete(sim::ProcId p, sim::State s) const {
+  if (p < n_ - 1) {
+    const sim::Value count = (s >> 1) + 1;
+    return count << 1;  // next inc(), poised to write count+1
+  }
+  return 0;  // reader: fresh collect
+}
+
+// ---------------------------------------------------------------------------
+// CyclicCounter
+//
+// Incrementer state: phase 0 = poised to read R[target]; phase 1 = poised
+// to write R[target] := observed+1; phase 2 = poised to complete. Layout:
+// (observed << 10) | (target << 2) | phase, plus op index to advance the
+// target — the target itself carries it (target = ops % m).
+// Reader: same collect layout as SwmrCounter but over m registers.
+// ---------------------------------------------------------------------------
+
+CyclicCounter::CyclicCounter(int n, int m) : n_(n), m_(m) {
+  assert(n >= 2 && m >= 1);
+}
+
+std::string CyclicCounter::name() const {
+  return "cyclic-counter(n=" + std::to_string(n_) +
+         ", m=" + std::to_string(m_) + ")";
+}
+
+sim::State CyclicCounter::initial_state(sim::ProcId) const { return 0; }
+
+sim::PendingOp CyclicCounter::poised(sim::ProcId p, sim::State s) const {
+  if (p < n_ - 1) {
+    const int phase = static_cast<int>(s & 0x3);
+    const int target = static_cast<int>((s >> 2) & 0xff);
+    const sim::Value observed = s >> 10;
+    if (phase == 0) return sim::PendingOp::read(target);
+    if (phase == 1) return sim::PendingOp::write(target, observed + 1);
+    return sim::PendingOp::decide(observed + 1);
+  }
+  const sim::Value sum = s >> 8;
+  const int pos = static_cast<int>((s >> 1) & 0x7f);
+  if (pos < m_) return sim::PendingOp::read(pos);
+  return sim::PendingOp::decide(sum);
+}
+
+sim::State CyclicCounter::after_read(sim::ProcId p, sim::State s,
+                                     sim::Value observed) const {
+  if (p < n_ - 1) {
+    const sim::State target = (s >> 2) & 0xff;
+    return (observed << 10) | (target << 2) | 1;
+  }
+  const sim::Value sum = (s >> 8) + observed;
+  const sim::Value pos = ((s >> 1) & 0x7f) + 1;
+  return (sum << 8) | (pos << 1);
+}
+
+sim::State CyclicCounter::after_write(sim::ProcId p, sim::State s) const {
+  assert(p < n_ - 1);
+  (void)p;
+  return (s & ~static_cast<sim::State>(0x3)) | 2;  // poised to complete
+}
+
+sim::State CyclicCounter::after_complete(sim::ProcId p, sim::State s) const {
+  if (p < n_ - 1) {
+    const int target = static_cast<int>((s >> 2) & 0xff);
+    const int next_target = (target + 1) % m_;
+    return static_cast<sim::State>(next_target) << 2;  // phase 0
+  }
+  return 0;
+}
+
+}  // namespace tsb::perturb

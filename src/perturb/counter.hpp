@@ -1,0 +1,63 @@
+#pragma once
+
+#include "perturb/long_lived.hpp"
+
+namespace tsb::perturb {
+
+/// Wait-free counter from n single-writer registers (one per process):
+/// inc() writes own register := own count + 1 (one step); read() collects
+/// all registers and returns their sum. Space complexity n — matching the
+/// JTT lower bound of n-1 up to one register, like the implementations the
+/// paper calls "nearly optimal".
+///
+/// Processes 0..n-2 are incrementers; process n-1 is the reader (the
+/// observer pn of the perturbation argument).
+class SwmrCounter final : public LongLivedObject {
+ public:
+  explicit SwmrCounter(int n);
+
+  std::string name() const override;
+  int num_processes() const override { return n_; }
+  int num_registers() const override { return n_; }
+  sim::Value initial_register() const override { return 0; }
+  sim::State initial_state(sim::ProcId p) const override;
+  sim::PendingOp poised(sim::ProcId p, sim::State s) const override;
+  sim::State after_read(sim::ProcId p, sim::State s,
+                        sim::Value observed) const override;
+  sim::State after_write(sim::ProcId p, sim::State s) const override;
+  sim::State after_complete(sim::ProcId p, sim::State s) const override;
+
+ private:
+  int n_;
+};
+
+/// Deliberately space-starved counter: m < n-1 shared registers, inc()
+/// spreads writes round-robin (read target, write target+delta... here:
+/// read R[i], write R[i]+1 with i cycling per operation), read() sums.
+///
+/// By JTT this cannot be a correct (linearizable, solo-terminating)
+/// counter: with fewer than n-1 registers, updates can be obliterated by
+/// covering writes. The perturbation adversary exhibits the violation —
+/// completed inc()s that a subsequent read() does not observe. Kept as the
+/// negative control for experiment E4.
+class CyclicCounter final : public LongLivedObject {
+ public:
+  CyclicCounter(int n, int m);
+
+  std::string name() const override;
+  int num_processes() const override { return n_; }
+  int num_registers() const override { return m_; }
+  sim::Value initial_register() const override { return 0; }
+  sim::State initial_state(sim::ProcId p) const override;
+  sim::PendingOp poised(sim::ProcId p, sim::State s) const override;
+  sim::State after_read(sim::ProcId p, sim::State s,
+                        sim::Value observed) const override;
+  sim::State after_write(sim::ProcId p, sim::State s) const override;
+  sim::State after_complete(sim::ProcId p, sim::State s) const override;
+
+ private:
+  int n_;
+  int m_;
+};
+
+}  // namespace tsb::perturb

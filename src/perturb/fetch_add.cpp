@@ -1,0 +1,119 @@
+#include "perturb/fetch_add.hpp"
+
+#include <cassert>
+
+namespace tsb::perturb {
+
+// ---------------------------------------------------------------------------
+// FetchAddCounter
+// State: (sum << 24) | (count << 10) | (pos << 2) | phase.
+//   phase 0: reading register `pos` of the collect
+//   phase 1: poised to write own register := count + 1 (incrementers)
+//   phase 2: poised to complete, returning `sum`
+// `count` mirrors the process's own register (single writer).
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr sim::State fa_make(sim::Value sum, sim::Value count, int pos,
+                             int phase) {
+  return (sum << 24) | (count << 10) | (static_cast<sim::State>(pos) << 2) |
+         phase;
+}
+constexpr sim::Value fa_sum(sim::State s) { return s >> 24; }
+constexpr sim::Value fa_count(sim::State s) { return (s >> 10) & 0x3fff; }
+constexpr int fa_pos(sim::State s) { return static_cast<int>((s >> 2) & 0xff); }
+constexpr int fa_phase(sim::State s) { return static_cast<int>(s & 0x3); }
+}  // namespace
+
+FetchAddCounter::FetchAddCounter(int n) : n_(n) { assert(n >= 2); }
+
+std::string FetchAddCounter::name() const {
+  return "fetch-add(n=" + std::to_string(n_) + ")";
+}
+
+sim::State FetchAddCounter::initial_state(sim::ProcId) const {
+  return fa_make(0, 0, 0, 0);
+}
+
+sim::PendingOp FetchAddCounter::poised(sim::ProcId p, sim::State s) const {
+  switch (fa_phase(s)) {
+    case 0:
+      return sim::PendingOp::read(fa_pos(s));
+    case 1:
+      return sim::PendingOp::write(p, fa_count(s) + 1);
+    default:
+      return sim::PendingOp::decide(fa_sum(s));
+  }
+}
+
+sim::State FetchAddCounter::after_read(sim::ProcId p, sim::State s,
+                                       sim::Value observed) const {
+  assert(fa_phase(s) == 0);
+  const sim::Value sum = fa_sum(s) + observed;
+  const int pos = fa_pos(s) + 1;
+  if (pos < n_) return fa_make(sum, fa_count(s), pos, 0);
+  // Collect done: incrementers bump their register, the observer (n-1)
+  // completes directly — fetch_add(0).
+  return fa_make(sum, fa_count(s), 0, p < n_ - 1 ? 1 : 2);
+}
+
+sim::State FetchAddCounter::after_write(sim::ProcId p, sim::State s) const {
+  assert(fa_phase(s) == 1 && p < n_ - 1);
+  (void)p;
+  return fa_make(fa_sum(s), fa_count(s) + 1, 0, 2);
+}
+
+sim::State FetchAddCounter::after_complete(sim::ProcId, sim::State s) const {
+  return fa_make(0, fa_count(s), 0, 0);  // fresh collect, keep own mirror
+}
+
+// ---------------------------------------------------------------------------
+// ModuloCounter
+// Incrementer state: (count << 1) | phase (0 write, 1 complete) — as in
+// SwmrCounter. Reader: (sum << 8) | (pos << 1); completes with sum % k.
+// ---------------------------------------------------------------------------
+
+ModuloCounter::ModuloCounter(int n, std::int64_t k) : n_(n), k_(k) {
+  assert(n >= 2 && k >= 2);
+}
+
+std::string ModuloCounter::name() const {
+  return "modulo-counter(n=" + std::to_string(n_) +
+         ", k=" + std::to_string(k_) + ")";
+}
+
+sim::State ModuloCounter::initial_state(sim::ProcId) const { return 0; }
+
+sim::PendingOp ModuloCounter::poised(sim::ProcId p, sim::State s) const {
+  if (p < n_ - 1) {
+    const sim::Value count = s >> 1;
+    if ((s & 1) == 0) return sim::PendingOp::write(p, count + 1);
+    return sim::PendingOp::decide((count + 1) % k_);
+  }
+  const sim::Value sum = s >> 8;
+  const int pos = static_cast<int>((s >> 1) & 0x7f);
+  if (pos < n_) return sim::PendingOp::read(pos);
+  return sim::PendingOp::decide(sum % k_);
+}
+
+sim::State ModuloCounter::after_read(sim::ProcId p, sim::State s,
+                                     sim::Value observed) const {
+  assert(p == n_ - 1);
+  (void)p;
+  const sim::Value sum = (s >> 8) + observed;
+  const sim::Value pos = ((s >> 1) & 0x7f) + 1;
+  return (sum << 8) | (pos << 1);
+}
+
+sim::State ModuloCounter::after_write(sim::ProcId p, sim::State s) const {
+  assert(p < n_ - 1);
+  (void)p;
+  return s | 1;
+}
+
+sim::State ModuloCounter::after_complete(sim::ProcId p, sim::State s) const {
+  if (p < n_ - 1) return ((s >> 1) + 1) << 1;
+  return 0;
+}
+
+}  // namespace tsb::perturb

@@ -1,0 +1,75 @@
+#pragma once
+
+#include "perturb/long_lived.hpp"
+
+namespace tsb::perturb {
+
+/// fetch&add from n single-writer registers — another member of JTT's
+/// set A (besides increment, snapshot, modulo-k counters): fetch_add(1)
+/// returns the pre-increment counter value, so the operation itself is
+/// the observer.
+///
+/// Implementation: incrementers collect all registers, then write their
+/// own register (own count + 1) and return the collected sum — the classic
+/// collect-then-bump structure. This read-collect makes fetch&add's return
+/// value only *regular* under concurrency (like a read of the SWMR-sum
+/// counter); the perturbation experiment needs exactly that: a squeezed
+/// batch of operations must be visible to a later one.
+///
+/// Processes 0..n-2 run fetch_add(1) repeatedly; process n-1 runs
+/// fetch_add(0) (a pure read of the running total, keeping the observer
+/// role of the JTT construction).
+class FetchAddCounter final : public LongLivedObject {
+ public:
+  explicit FetchAddCounter(int n);
+
+  std::string name() const override;
+  int num_processes() const override { return n_; }
+  int num_registers() const override { return n_; }
+  sim::Value initial_register() const override { return 0; }
+  sim::State initial_state(sim::ProcId p) const override;
+  sim::PendingOp poised(sim::ProcId p, sim::State s) const override;
+  sim::State after_read(sim::ProcId p, sim::State s,
+                        sim::Value observed) const override;
+  sim::State after_write(sim::ProcId p, sim::State s) const override;
+  sim::State after_complete(sim::ProcId p, sim::State s) const override;
+
+ private:
+  // State: (sum << 24) | (count << 10) | (pos << 2) | phase.
+  // phase 0 = collecting, 1 = poised to write own register (incrementers
+  // only), 2 = poised to complete with `sum`.
+  int n_;
+};
+
+/// Modulo-k counter from n single-writer registers (JTT's set A requires
+/// k >= 2n): inc() bumps the own register; read() returns the collected
+/// sum mod k. Same space shape as SwmrCounter; the perturbation argument
+/// needs k large enough that squeezing up to k-1 operations stays visible
+/// (a squeeze of exactly k would wrap to invisibility — which the
+/// adversary demo can exhibit, the executable version of why JTT require
+/// k >= 2n).
+///
+/// Processes 0..n-2 increment; process n-1 reads (mod k).
+class ModuloCounter final : public LongLivedObject {
+ public:
+  ModuloCounter(int n, std::int64_t k);
+
+  std::string name() const override;
+  int num_processes() const override { return n_; }
+  int num_registers() const override { return n_; }
+  sim::Value initial_register() const override { return 0; }
+  sim::State initial_state(sim::ProcId p) const override;
+  sim::PendingOp poised(sim::ProcId p, sim::State s) const override;
+  sim::State after_read(sim::ProcId p, sim::State s,
+                        sim::Value observed) const override;
+  sim::State after_write(sim::ProcId p, sim::State s) const override;
+  sim::State after_complete(sim::ProcId p, sim::State s) const override;
+
+  std::int64_t modulus() const { return k_; }
+
+ private:
+  int n_;
+  std::int64_t k_;
+};
+
+}  // namespace tsb::perturb

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/op.hpp"
+#include "sim/trace.hpp"
+#include "util/proc_set.hpp"
+
+namespace tsb::perturb {
+
+/// A long-lived shared object implementation in the read/write model —
+/// the setting of the Jayanti–Tan–Toueg lower bound (deck part I.1).
+///
+/// Unlike one-shot consensus (sim::Protocol), processes here perform
+/// operations repeatedly: a PendingOp of kind kDecide is reinterpreted as
+/// "complete the current operation with this result", after which
+/// `after_complete` starts the next operation. Each process runs a fixed
+/// operation assigned by the implementation (e.g. workers run inc() and the
+/// observer runs read() on a counter).
+class LongLivedObject {
+ public:
+  virtual ~LongLivedObject() = default;
+
+  virtual std::string name() const = 0;
+  virtual int num_processes() const = 0;
+  virtual int num_registers() const = 0;
+  virtual sim::Value initial_register() const = 0;
+  virtual sim::State initial_state(sim::ProcId p) const = 0;
+
+  /// kRead/kWrite as in sim::Protocol; kDecide = operation completes,
+  /// value = the operation's result.
+  virtual sim::PendingOp poised(sim::ProcId p, sim::State s) const = 0;
+  virtual sim::State after_read(sim::ProcId p, sim::State s,
+                                sim::Value observed) const = 0;
+  virtual sim::State after_write(sim::ProcId p, sim::State s) const = 0;
+
+  /// Successor after the pending completion: begins the next operation.
+  virtual sim::State after_complete(sim::ProcId p, sim::State s) const = 0;
+};
+
+/// A configuration of a long-lived object system, with completion
+/// accounting (how many operations each process has finished — the
+/// perturbation argument counts completed inc()s).
+struct LLConfig {
+  std::vector<sim::State> states;
+  std::vector<sim::Value> regs;
+  std::vector<std::int64_t> completed;    ///< ops finished, per process
+  std::vector<sim::Value> last_result;    ///< result of the last finished op
+
+  bool operator==(const LLConfig&) const = default;
+};
+
+LLConfig ll_initial(const LongLivedObject& obj);
+
+/// One step by p; completions advance the accounting. Appends to trace if
+/// non-null (completions are recorded as kDecide records).
+LLConfig ll_step(const LongLivedObject& obj, const LLConfig& c, sim::ProcId p,
+                 sim::Trace* trace = nullptr);
+
+/// Run p alone until it completes exactly `ops` operations (or the step cap
+/// runs out — returns nullopt then). The returned config is poised at the
+/// start of p's next operation.
+struct LLSoloRun {
+  LLConfig config;
+  sim::Value last_result = 0;
+  std::size_t steps = 0;
+};
+std::optional<LLSoloRun> ll_run_ops(const LongLivedObject& obj,
+                                    const LLConfig& c, sim::ProcId p,
+                                    std::int64_t ops,
+                                    std::size_t max_steps = 1'000'000);
+
+/// The register p is poised to write in c, if any.
+std::optional<sim::RegId> ll_covered_register(const LongLivedObject& obj,
+                                              const LLConfig& c,
+                                              sim::ProcId p);
+
+}  // namespace tsb::perturb

@@ -1,0 +1,109 @@
+#include "perturb/perturbation.hpp"
+
+#include <cassert>
+
+namespace tsb::perturb {
+
+namespace {
+LLConfig apply_block_write(
+    const LongLivedObject& obj, LLConfig cfg,
+    const std::vector<std::pair<sim::ProcId, sim::RegId>>& covering) {
+  for (auto [p, r] : covering) {
+    // The covering process must still be poised at its recorded register:
+    // it has taken no steps since it was captured.
+    assert(ll_covered_register(obj, cfg, p) == std::optional<sim::RegId>(r));
+    cfg = ll_step(obj, cfg, p);
+  }
+  return cfg;
+}
+}  // namespace
+
+PerturbationAdversary::Demo PerturbationAdversary::run_demo(
+    const LLConfig& cfg,
+    const std::vector<std::pair<sim::ProcId, sim::RegId>>& covering,
+    sim::ProcId perturber, int stage) {
+  Demo demo;
+  demo.stage = stage;
+  demo.perturber = perturber;
+  demo.squeezed_ops = opts_.squeeze_ops;
+  const sim::ProcId observer = obj_.num_processes() - 1;
+
+  // Branch without the squeeze: block write, then one observer operation.
+  {
+    LLConfig c = apply_block_write(obj_, cfg, covering);
+    auto run = ll_run_ops(obj_, c, observer, 1, opts_.escape_step_cap);
+    assert(run.has_value() && "observer operation did not terminate solo");
+    demo.observer_without = run->last_result;
+  }
+  // Branch with the squeeze in front of the block write.
+  {
+    auto squeezed =
+        ll_run_ops(obj_, cfg, perturber, opts_.squeeze_ops,
+                   opts_.escape_step_cap);
+    assert(squeezed.has_value() && "squeezed operations did not terminate");
+    LLConfig c = apply_block_write(obj_, squeezed->config, covering);
+    auto run = ll_run_ops(obj_, c, observer, 1, opts_.escape_step_cap);
+    assert(run.has_value());
+    demo.observer_with = run->last_result;
+  }
+  demo.visible = demo.observer_without != demo.observer_with;
+  return demo;
+}
+
+PerturbationAdversary::Result PerturbationAdversary::run() {
+  Result out;
+  const int n = obj_.num_processes();
+  assert(n >= 2);
+
+  LLConfig cfg = ll_initial(obj_);
+  std::set<sim::RegId> covered;
+
+  for (sim::ProcId worker = 0; worker < n - 1; ++worker) {
+    const int stage = static_cast<int>(out.covering.size());
+
+    if (opts_.run_demos) {
+      Demo demo = run_demo(cfg, out.covering, worker, stage);
+      if (!demo.visible) ++out.invisible_squeezes;
+      out.narrative += "stage " + std::to_string(stage) + ": squeeze of " +
+                       std::to_string(demo.squeezed_ops) + " ops by p" +
+                       std::to_string(worker) + " is " +
+                       (demo.visible ? "visible" : "INVISIBLE (lost updates)") +
+                       " to the observer (" +
+                       std::to_string(demo.observer_without) + " -> " +
+                       std::to_string(demo.observer_with) + ")\n";
+      out.demos.push_back(demo);
+    }
+
+    // Escape: run the worker until it is poised to write a fresh register.
+    bool escaped = false;
+    for (std::size_t step = 0; step < opts_.escape_step_cap; ++step) {
+      const sim::PendingOp op =
+          obj_.poised(worker, cfg.states[static_cast<std::size_t>(worker)]);
+      if (op.is_write() && covered.count(op.reg) == 0) {
+        covered.insert(op.reg);
+        out.covering.emplace_back(worker, op.reg);
+        out.narrative += "stage " + std::to_string(stage) + ": p" +
+                         std::to_string(worker) + " covers R" +
+                         std::to_string(op.reg) + " after " +
+                         std::to_string(step) + " steps\n";
+        escaped = true;
+        break;
+      }
+      cfg = ll_step(obj_, cfg, worker);
+    }
+    if (!escaped) {
+      out.failed_stage = static_cast<int>(worker);
+      out.narrative += "stage " + std::to_string(stage) + ": p" +
+                       std::to_string(worker) +
+                       " never escaped the covered set — the object cannot "
+                       "be a correct perturbable implementation\n";
+      break;
+    }
+  }
+
+  out.distinct_registers = static_cast<int>(covered.size());
+  out.covering_complete = out.distinct_registers == n - 1;
+  return out;
+}
+
+}  // namespace tsb::perturb

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "perturb/long_lived.hpp"
+
+namespace tsb::perturb {
+
+/// The Jayanti–Tan–Toueg perturbation adversary (deck part I.1), executable.
+///
+/// Inductively drives workers p0..p_{n-2} until each is poised to write a
+/// register outside the set covered so far: after stage k, k processes
+/// cover k distinct registers. For a correct (linearizable, solo-
+/// terminating) perturbable object — counters, snapshots — JTT guarantees
+/// every stage succeeds, giving n-1 distinct covered registers: the object
+/// uses at least n-1 registers.
+///
+/// The adversary also runs the *perturbation experiment* that powers the
+/// proof: with k processes covering, squeeze several operations by a
+/// not-yet-covering worker in front of the block write, then let the
+/// observer (process n-1) run one operation. If the squeezed operations
+/// wrote only covered registers, the block write obliterates them and the
+/// observer's result cannot change — which for a counter means completed
+/// inc()s were lost. Correct implementations always escape the covered set
+/// (demo visible = true); the space-starved CyclicCounter gets caught
+/// (escape fails and the demo exhibits the lost updates).
+class PerturbationAdversary {
+ public:
+  struct Options {
+    std::size_t escape_step_cap = 100'000;  ///< per-stage solo step budget
+    std::int64_t squeeze_ops = 3;           ///< operations squeezed per demo
+    bool run_demos = true;
+  };
+
+  struct Demo {
+    int stage = 0;                ///< covering size when the demo ran
+    sim::ProcId perturber = -1;
+    std::int64_t squeezed_ops = 0;
+    sim::Value observer_without = 0;  ///< result after block write, no squeeze
+    sim::Value observer_with = 0;     ///< result after squeeze + block write
+    bool visible = false;             ///< the squeeze changed the result
+  };
+
+  struct Result {
+    bool covering_complete = false;  ///< all n-1 stages escaped
+    int failed_stage = -1;           ///< stage whose escape failed, or -1
+    std::vector<std::pair<sim::ProcId, sim::RegId>> covering;
+    int distinct_registers = 0;
+    std::vector<Demo> demos;
+    /// Demos where a squeeze was invisible: completed operations whose
+    /// effect a later operation missed — a linearizability violation for
+    /// counters/snapshots.
+    int invisible_squeezes = 0;
+    std::string narrative;
+  };
+
+  PerturbationAdversary(const LongLivedObject& obj, Options opts)
+      : obj_(obj), opts_(opts) {}
+  explicit PerturbationAdversary(const LongLivedObject& obj)
+      : PerturbationAdversary(obj, Options{}) {}
+
+  Result run();
+
+ private:
+  Demo run_demo(const LLConfig& cfg,
+                const std::vector<std::pair<sim::ProcId, sim::RegId>>& covering,
+                sim::ProcId perturber, int stage);
+
+  const LongLivedObject& obj_;
+  Options opts_;
+};
+
+}  // namespace tsb::perturb

@@ -1,0 +1,140 @@
+#include "perturb/snapshot.hpp"
+
+#include <cassert>
+
+#include "util/interner.hpp"
+
+namespace tsb::perturb {
+
+// Updater p (< n-1) state: (count << 1) | phase, phase 0 = poised write,
+// phase 1 = poised complete. Scanner (p == n-1) state: interned byte string
+// (see below); the interner lives in the object and is only touched from
+// the single-threaded simulation.
+namespace {
+
+struct ScanState {
+  int phase = 0;              // 0 = first collect, 1 = second collect
+  int pos = 0;                // next register to read
+  std::vector<sim::Value> view1;    // candidate view (phase 1)
+  std::vector<sim::Value> partial;  // entries read in the current collect
+  bool done = false;          // poised to complete with `digest`
+  sim::Value digest = 0;
+
+  std::string serialize() const {
+    util::ByteWriter w;
+    w.put_u8(static_cast<std::uint8_t>(phase));
+    w.put_u8(static_cast<std::uint8_t>(pos));
+    w.put_u8(done ? 1 : 0);
+    w.put_i64(digest);
+    w.put_i32(static_cast<std::int32_t>(view1.size()));
+    for (sim::Value v : view1) w.put_i64(v);
+    w.put_i32(static_cast<std::int32_t>(partial.size()));
+    for (sim::Value v : partial) w.put_i64(v);
+    return w.str();
+  }
+
+  static ScanState deserialize(const std::string& bytes) {
+    util::ByteReader r(bytes);
+    ScanState s;
+    s.phase = r.get_u8();
+    s.pos = r.get_u8();
+    s.done = r.get_u8() != 0;
+    s.digest = r.get_i64();
+    const auto n1 = static_cast<std::size_t>(r.get_i32());
+    s.view1.reserve(n1);
+    for (std::size_t i = 0; i < n1; ++i) s.view1.push_back(r.get_i64());
+    const auto n2 = static_cast<std::size_t>(r.get_i32());
+    s.partial.reserve(n2);
+    for (std::size_t i = 0; i < n2; ++i) s.partial.push_back(r.get_i64());
+    return s;
+  }
+};
+
+// One interner per snapshot instance would force mutable members through
+// the const Protocol API; a function-local singleton keyed by nothing is
+// shared across instances, which is harmless: states are only compared
+// within one instance and ids are stable.
+util::StateInterner& interner() {
+  static util::StateInterner instance;
+  return instance;
+}
+
+sim::State intern_scan(const ScanState& s) {
+  return interner().intern(s.serialize());
+}
+
+ScanState lookup_scan(sim::State id) {
+  return ScanState::deserialize(interner().lookup(id));
+}
+
+}  // namespace
+
+SwmrSnapshot::SwmrSnapshot(int n) : n_(n) { assert(n >= 2); }
+
+std::string SwmrSnapshot::name() const {
+  return "swmr-snapshot(n=" + std::to_string(n_) + ")";
+}
+
+sim::State SwmrSnapshot::initial_state(sim::ProcId p) const {
+  if (p < n_ - 1) return 0;
+  return intern_scan(ScanState{});
+}
+
+sim::PendingOp SwmrSnapshot::poised(sim::ProcId p, sim::State s) const {
+  if (p < n_ - 1) {
+    const sim::Value count = s >> 1;
+    if ((s & 1) == 0) {
+      return sim::PendingOp::write(p, pack_entry(count + 1, count + 1));
+    }
+    return sim::PendingOp::decide(0);  // update() returns ack
+  }
+  const ScanState scan = lookup_scan(s);
+  if (scan.done) return sim::PendingOp::decide(scan.digest);
+  return sim::PendingOp::read(scan.pos);
+}
+
+sim::State SwmrSnapshot::after_read(sim::ProcId p, sim::State s,
+                                    sim::Value observed) const {
+  assert(p == n_ - 1);
+  (void)p;
+  ScanState scan = lookup_scan(s);
+  assert(!scan.done);
+  scan.partial.push_back(observed);
+  ++scan.pos;
+  if (scan.pos < n_) return intern_scan(scan);
+
+  // Collect finished.
+  if (scan.phase == 0) {
+    scan.phase = 1;
+    scan.pos = 0;
+    scan.view1 = std::move(scan.partial);
+    scan.partial.clear();
+    return intern_scan(scan);
+  }
+  if (scan.partial == scan.view1) {
+    // Double collect succeeded: the common view is an atomic snapshot.
+    ScanState done;
+    done.done = true;
+    for (sim::Value e : scan.partial) done.digest += entry_value(e);
+    return intern_scan(done);
+  }
+  // Retry: the latest collect becomes the candidate.
+  ScanState retry;
+  retry.phase = 1;
+  retry.pos = 0;
+  retry.view1 = std::move(scan.partial);
+  return intern_scan(retry);
+}
+
+sim::State SwmrSnapshot::after_write(sim::ProcId p, sim::State s) const {
+  assert(p < n_ - 1);
+  (void)p;
+  return s | 1;
+}
+
+sim::State SwmrSnapshot::after_complete(sim::ProcId p, sim::State s) const {
+  if (p < n_ - 1) return ((s >> 1) + 1) << 1;
+  return intern_scan(ScanState{});
+}
+
+}  // namespace tsb::perturb

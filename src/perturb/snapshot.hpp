@@ -1,0 +1,49 @@
+#pragma once
+
+#include "perturb/long_lived.hpp"
+
+namespace tsb::perturb {
+
+/// Single-writer snapshot from n registers, scan by double collect
+/// (Afek et al. style, obstruction-free variant: a scan retries until two
+/// consecutive collects are identical, which a solo run achieves in two
+/// collects; no helping is needed for obstruction freedom).
+///
+/// Register p holds (seq << 32) | value, written only by process p.
+/// update(v): one write with an incremented sequence number.
+/// scan(): repeat { collect; collect } until equal; returns the sum of the
+/// component values (a digest is enough for the perturbation experiments —
+/// the full view is available via the registers themselves).
+///
+/// Single-writer snapshot is in JTT's set A: its space complexity is at
+/// least n-1. This implementation uses n, and the perturbation adversary
+/// drives n-1 processes to cover n-1 distinct registers (experiment E4).
+///
+/// Processes 0..n-2 are updaters (update(k) with k = 1, 2, ... per op);
+/// process n-1 is the scanner.
+class SwmrSnapshot final : public LongLivedObject {
+ public:
+  explicit SwmrSnapshot(int n);
+
+  std::string name() const override;
+  int num_processes() const override { return n_; }
+  int num_registers() const override { return n_; }
+  sim::Value initial_register() const override { return 0; }
+  sim::State initial_state(sim::ProcId p) const override;
+  sim::PendingOp poised(sim::ProcId p, sim::State s) const override;
+  sim::State after_read(sim::ProcId p, sim::State s,
+                        sim::Value observed) const override;
+  sim::State after_write(sim::ProcId p, sim::State s) const override;
+  sim::State after_complete(sim::ProcId p, sim::State s) const override;
+
+  static sim::Value pack_entry(sim::Value seq, sim::Value value) {
+    return (seq << 32) | (value & 0xffffffff);
+  }
+  static sim::Value entry_seq(sim::Value e) { return e >> 32; }
+  static sim::Value entry_value(sim::Value e) { return e & 0xffffffff; }
+
+ private:
+  int n_;
+};
+
+}  // namespace tsb::perturb

@@ -1,0 +1,70 @@
+#include "rt/atomic_registers.hpp"
+
+#include <cassert>
+
+namespace tsb::rt {
+
+AtomicRegisterArray::AtomicRegisterArray(std::size_t size)
+    : size_(size), cells_(std::make_unique<Cell[]>(size)) {}
+
+std::uint64_t AtomicRegisterArray::read(std::size_t r) const {
+  assert(r < size_);
+  cells_[r].reads.fetch_add(1, std::memory_order_relaxed);
+  return cells_[r].value.load(std::memory_order_seq_cst);
+}
+
+void AtomicRegisterArray::write(std::size_t r, std::uint64_t v) {
+  assert(r < size_);
+  cells_[r].writes.fetch_add(1, std::memory_order_relaxed);
+  cells_[r].written.store(1, std::memory_order_relaxed);
+  cells_[r].value.store(v, std::memory_order_seq_cst);
+}
+
+std::uint64_t AtomicRegisterArray::total_reads() const {
+  std::uint64_t sum = 0;
+  for (std::size_t r = 0; r < size_; ++r) {
+    sum += cells_[r].reads.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::uint64_t AtomicRegisterArray::total_writes() const {
+  std::uint64_t sum = 0;
+  for (std::size_t r = 0; r < size_; ++r) {
+    sum += cells_[r].writes.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::size_t AtomicRegisterArray::distinct_registers_written() const {
+  std::size_t count = 0;
+  for (std::size_t r = 0; r < size_; ++r) {
+    count += cells_[r].written.load(std::memory_order_relaxed);
+  }
+  return count;
+}
+
+std::vector<std::size_t> AtomicRegisterArray::written_registers() const {
+  std::vector<std::size_t> out;
+  for (std::size_t r = 0; r < size_; ++r) {
+    if (cells_[r].written.load(std::memory_order_relaxed)) out.push_back(r);
+  }
+  return out;
+}
+
+void AtomicRegisterArray::reset_stats() {
+  for (std::size_t r = 0; r < size_; ++r) {
+    cells_[r].reads.store(0, std::memory_order_relaxed);
+    cells_[r].writes.store(0, std::memory_order_relaxed);
+    cells_[r].written.store(0, std::memory_order_relaxed);
+  }
+}
+
+void AtomicRegisterArray::reset(std::uint64_t value) {
+  for (std::size_t r = 0; r < size_; ++r) {
+    cells_[r].value.store(value, std::memory_order_seq_cst);
+  }
+  reset_stats();
+}
+
+}  // namespace tsb::rt

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tsb::rt {
+
+/// An array of atomic (linearizable) shared registers with built-in space
+/// and step instrumentation — the runtime counterpart of the simulator's
+/// register model, used by every multithreaded implementation.
+///
+/// All accesses are seq_cst: atomic registers in the literature are
+/// linearizable MWMR registers, and seq_cst loads/stores of a single
+/// std::atomic word provide exactly that (plus a convenient global order).
+///
+/// Instrumentation answers the experiments' questions directly:
+///  * distinct_registers_written() — the space actually exercised, the
+///    quantity the n-1 lower bound constrains;
+///  * total reads/writes — step counts for the work experiments.
+/// Counters are relaxed; they do not order anything.
+class AtomicRegisterArray {
+ public:
+  explicit AtomicRegisterArray(std::size_t size);
+
+  std::size_t size() const { return size_; }
+
+  std::uint64_t read(std::size_t r) const;
+  void write(std::size_t r, std::uint64_t v);
+
+  std::uint64_t total_reads() const;
+  std::uint64_t total_writes() const;
+  std::size_t distinct_registers_written() const;
+  std::vector<std::size_t> written_registers() const;
+
+  /// Clears counters and written-marks (not register contents).
+  void reset_stats();
+  /// Resets contents to `value` as well.
+  void reset(std::uint64_t value = 0);
+
+ private:
+  // One cache line per register: the experiments measure algorithmic
+  // communication, which false sharing would contaminate.
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+    std::atomic<std::uint64_t> reads{0};
+    std::atomic<std::uint64_t> writes{0};
+    std::atomic<std::uint8_t> written{0};
+  };
+
+  std::size_t size_;
+  std::unique_ptr<Cell[]> cells_;
+};
+
+}  // namespace tsb::rt

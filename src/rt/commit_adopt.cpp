@@ -1,0 +1,68 @@
+#include "rt/commit_adopt.hpp"
+
+#include <cassert>
+
+namespace tsb::rt {
+
+namespace {
+// A/B entries: 0 = empty; otherwise value+1 in the low 32 bits, and for B
+// a flag bit 33 marking "phase 1 saw a uniform proposal set".
+constexpr std::uint64_t kUniformFlag = 1ull << 33;
+
+std::uint64_t encode(std::uint64_t v) { return v + 1; }
+std::uint64_t decode(std::uint64_t e) { return (e & 0xffffffffull) - 1; }
+}  // namespace
+
+CommitAdopt::CommitAdopt(AtomicRegisterArray& regs, std::size_t base, int n)
+    : regs_(regs), base_(base), n_(n) {
+  assert(base + registers_needed(n) <= regs.size());
+}
+
+CommitAdopt::Result CommitAdopt::propose(int p, std::uint64_t v) {
+  assert(v < (1ull << 31));
+
+  // Phase 1: publish, then check whether everyone visible agrees.
+  regs_.write(base_ + static_cast<std::size_t>(p), encode(v));
+  bool uniform = true;
+  for (int q = 0; q < n_; ++q) {
+    const std::uint64_t e = regs_.read(base_ + static_cast<std::size_t>(q));
+    if (e != 0 && decode(e) != v) uniform = false;
+  }
+
+  // Phase 2: publish the phase-1 verdict, then reconcile.
+  regs_.write(base_ + static_cast<std::size_t>(n_ + p),
+              encode(v) | (uniform ? kUniformFlag : 0));
+  bool all_uniform_same = true;
+  bool saw_any = false;
+  std::uint64_t anchored_value = 0;
+  bool anchored = false;
+  for (int q = 0; q < n_; ++q) {
+    const std::uint64_t e =
+        regs_.read(base_ + static_cast<std::size_t>(n_ + q));
+    if (e == 0) continue;
+    saw_any = true;
+    const std::uint64_t u = decode(e);
+    if (e & kUniformFlag) {
+      anchored = true;
+      anchored_value = u;
+    }
+    if (!(e & kUniformFlag) || u != v) all_uniform_same = false;
+  }
+  assert(saw_any);  // we wrote our own entry
+  (void)saw_any;
+
+  Result out;
+  if (uniform && all_uniform_same) {
+    out.commit = true;
+    out.anchored = true;
+    out.value = v;
+  } else if (anchored) {
+    out.anchored = true;
+    out.value = anchored_value;
+  } else {
+    out.value = v;
+  }
+  return out;
+}
+
+}  // namespace tsb::rt

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+#include "rt/atomic_registers.hpp"
+
+namespace tsb::rt {
+
+/// Commit-adopt (Gafni's reconciliation primitive) from 2n single-writer
+/// registers — the round building block of the classic obstruction-free
+/// and randomized consensus protocols ([AH90]-style) in this repository.
+///
+/// propose(p, v) returns (decision, value) with the guarantees:
+///  * if every caller proposes the same v, every caller commits v;
+///  * if any caller commits v, every caller returns value v (commit or
+///    adopt), and no other value is ever committed;
+///  * wait-free: two writes and two collects.
+///
+/// Register layout within the backing array, starting at `base`:
+///   A[p] = base + p       (phase-1 proposals)
+///   B[p] = base + n + p   (phase-2 proposals with a "saw uniform" flag)
+/// Values must fit in 31 bits; 0 encodes "empty".
+class CommitAdopt {
+ public:
+  CommitAdopt(AtomicRegisterArray& regs, std::size_t base, int n);
+
+  static std::size_t registers_needed(int n) {
+    return 2 * static_cast<std::size_t>(n);
+  }
+
+  struct Result {
+    bool commit = false;    ///< safe to decide `value`
+    bool anchored = false;  ///< some phase-2 entry was uniform: `value` is
+                            ///< the only possibly-committed value
+    std::uint64_t value = 0;
+  };
+
+  Result propose(int p, std::uint64_t v);
+
+ private:
+  AtomicRegisterArray& regs_;
+  std::size_t base_;
+  int n_;
+};
+
+}  // namespace tsb::rt

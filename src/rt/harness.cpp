@@ -1,0 +1,50 @@
+#include "rt/harness.hpp"
+
+#include <thread>
+
+namespace tsb::rt {
+
+void SpinBarrier::arrive_and_wait() {
+  const int gen = generation_.load(std::memory_order_acquire);
+  if (waiting_.fetch_add(1, std::memory_order_acq_rel) == parties_ - 1) {
+    waiting_.store(0, std::memory_order_relaxed);
+    generation_.store(gen + 1, std::memory_order_release);
+    return;
+  }
+  std::uint32_t round = 0;
+  while (generation_.load(std::memory_order_acquire) == gen) {
+    spin_backoff(round);
+  }
+}
+
+void run_threads(int n, const std::function<void(int)>& body) {
+  SpinBarrier barrier(n);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      barrier.arrive_and_wait();
+      body(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+void spin_backoff(std::uint32_t& round) {
+  if (round < 16) {
+    cpu_relax();
+  } else {
+    std::this_thread::yield();
+  }
+  ++round;
+}
+
+}  // namespace tsb::rt

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <chrono>
+#include <functional>
+#include <vector>
+
+namespace tsb::rt {
+
+/// Sense-reversing spin barrier for aligned thread starts — experiments
+/// want all processes to begin an algorithm at (nearly) the same instant
+/// so contention is real.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int parties) : parties_(parties) {}
+
+  void arrive_and_wait();
+
+ private:
+  const int parties_;
+  std::atomic<int> waiting_{0};
+  std::atomic<int> generation_{0};
+};
+
+/// Spawn `n` threads, release them through a shared barrier, run
+/// `body(thread_id)` in each, and join. Exceptions in bodies terminate —
+/// experiment code is expected not to throw.
+void run_threads(int n, const std::function<void(int)>& body);
+
+/// Wall-clock a callable, in seconds.
+template <typename F>
+double time_seconds(F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  f();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Brief polite pause inside spin loops (exponential-ish backoff is the
+/// caller's business; this is the single-step primitive).
+void cpu_relax();
+
+/// Spin-loop step that stays polite on oversubscribed machines: pauses for
+/// the first few rounds, then yields the CPU. On a single-core box (where
+/// a pure pause-spin burns a full scheduler quantum per lock handoff —
+/// milliseconds) this is the difference between microsecond and
+/// millisecond handoffs. Callers keep one counter per wait episode.
+void spin_backoff(std::uint32_t& round);
+
+}  // namespace tsb::rt

@@ -1,0 +1,65 @@
+#include "rt/leader_election.hpp"
+
+#include <cassert>
+
+#include "rt/harness.hpp"
+
+namespace tsb::rt {
+
+namespace {
+int leaves_for(int n) {
+  int leaves = 1;
+  while (leaves < n) leaves <<= 1;
+  return leaves;
+}
+int height_for(int n) {
+  int leaves = 1, height = 0;
+  while (leaves < n) {
+    leaves <<= 1;
+    ++height;
+  }
+  return height;
+}
+// Register roles within a node.
+constexpr int kFlag0 = 0;
+constexpr int kFlag1 = 1;
+constexpr int kTurn = 2;   // 0 = unset, else side+1
+constexpr int kWon = 3;    // 0 = unset, else side+1
+}  // namespace
+
+RtLeaderElection::RtLeaderElection(int n)
+    : n_(n),
+      leaves_(leaves_for(n)),
+      height_(height_for(n)),
+      regs_(static_cast<std::size_t>(
+          4 * (leaves_for(n) > 1 ? leaves_for(n) - 1 : 1))) {
+  assert(n >= 1);
+}
+
+bool RtLeaderElection::duel(int node, int side) {
+  regs_.write(reg(node, kFlag0 + side), 1);
+  regs_.write(reg(node, kTurn), static_cast<std::uint64_t>(side + 1));
+  std::uint32_t round = 0;
+  for (;;) {
+    if (regs_.read(reg(node, kFlag0 + (1 - side))) == 0) return true;
+    const std::uint64_t turn = regs_.read(reg(node, kTurn));
+    if (turn == static_cast<std::uint64_t>((1 - side) + 1)) return true;
+    const std::uint64_t won = regs_.read(reg(node, kWon));
+    if (won == static_cast<std::uint64_t>((1 - side) + 1)) return false;
+    spin_backoff(round);
+  }
+}
+
+bool RtLeaderElection::participate(int p) {
+  assert(p >= 0 && p < n_);
+  if (n_ == 1) return true;
+  for (int level = 1; level <= height_; ++level) {
+    const int node = node_at(p, level);
+    const int side = side_at(p, level);
+    if (!duel(node, side)) return false;  // lost: not the leader
+    regs_.write(reg(node, kWon), static_cast<std::uint64_t>(side + 1));
+  }
+  return true;  // won every duel up to the root
+}
+
+}  // namespace tsb::rt

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rt/atomic_registers.hpp"
+
+namespace tsb::rt {
+
+/// Weak leader election — the paper's contrast problem: each process
+/// learns only whether *it* was chosen; exactly one process ever wins.
+/// (The GHHW line of work the paper cites solves it deterministically and
+/// obstruction-free in O(log n) registers, far below the Omega(n) wall
+/// consensus hits; that construction is intricate and out of scope here.)
+///
+/// This implementation is a tournament of two-party duels. Each duel is a
+/// Peterson-style handshake (flag[2], turn) plus a result register the
+/// winner announces through:
+///
+///   flag[s] := 1; turn := s
+///   spin: flag[1-s] == 0        -> WIN  (peer absent so far: any peer
+///                                        arriving later writes turn after
+///                                        me and loses by the turn rule)
+///   or:   turn == 1-s           -> WIN  (peer wrote turn after me)
+///   or:   won == 1-s            -> LOSE (peer announced)
+///   winner: won := s
+///
+/// With both parties present, the later turn-writer observes turn == own
+/// side and waits for the announcement; the earlier one wins via the turn
+/// rule. Exactly one wins. Losers return immediately (weak LE needs no
+/// more). Liveness is deadlock-freedom assuming no crashes: a process that
+/// stops forever mid-duel can strand its peer — deterministic wait-free
+/// leader election from registers is impossible, and matching GHHW's
+/// obstruction-freedom needs their machinery.
+class RtLeaderElection {
+ public:
+  explicit RtLeaderElection(int n);
+
+  std::string name() const {
+    return "rt-leader-election(n=" + std::to_string(n_) + ")";
+  }
+  int num_processes() const { return n_; }
+
+  /// Returns true for exactly one participant.
+  bool participate(int p);
+
+  const AtomicRegisterArray& registers() const { return regs_; }
+
+ private:
+  // Per tree node: flag0, flag1, turn, won (4 registers).
+  int node_at(int p, int level) const { return (leaves_ + p) >> level; }
+  int side_at(int p, int level) const {
+    return ((leaves_ + p) >> (level - 1)) & 1;
+  }
+  std::size_t reg(int node, int which) const {
+    return static_cast<std::size_t>(4 * (node - 1) + which);
+  }
+
+  bool duel(int node, int side);
+
+  int n_;
+  int leaves_;
+  int height_;
+  AtomicRegisterArray regs_;
+};
+
+}  // namespace tsb::rt

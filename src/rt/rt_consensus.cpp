@@ -1,0 +1,203 @@
+#include "rt/rt_consensus.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "rt/harness.hpp"
+
+namespace tsb::rt {
+
+// ---------------------------------------------------------------------------
+// RtBallotConsensus
+// ---------------------------------------------------------------------------
+
+RtBallotConsensus::RtBallotConsensus(int n)
+    : n_(n), regs_(static_cast<std::size_t>(n)) {
+  assert(n >= 1);
+}
+
+std::string RtBallotConsensus::name() const {
+  return "rt-ballot(n=" + std::to_string(n_) + ")";
+}
+
+// Word layout: mb and ab get 24 bits each, av the low 16 (value+1; 0 = none).
+std::uint64_t RtBallotConsensus::pack(std::uint64_t mb, std::uint64_t ab,
+                                      std::uint64_t av) {
+  return (mb << 40) | (ab << 16) | av;
+}
+
+void RtBallotConsensus::unpack(std::uint64_t word, std::uint64_t& mb,
+                               std::uint64_t& ab, std::uint64_t& av) {
+  mb = word >> 40;
+  ab = (word >> 16) & 0xffffff;
+  av = word & 0xffff;
+}
+
+std::uint64_t RtBallotConsensus::propose(int p, std::uint64_t v) {
+  assert(v < (1ull << 15));
+  const auto un = static_cast<std::uint64_t>(n_);
+  std::uint64_t b = static_cast<std::uint64_t>(p) + 1;  // own ballots: p+1+kn
+  std::uint64_t my_ab = 0;
+  std::uint64_t my_av = 0;  // encoded value+1; 0 = none
+  util::Rng backoff(util::mix64(static_cast<std::uint64_t>(p) + 0x5157));
+  std::uint64_t retries = 0;
+
+  auto relax = [&] {
+    // Randomized backoff breaks ballot-race livelock between symmetric
+    // threads; obstruction freedom guarantees whoever gets a quiet window
+    // finishes in two phases. Yielding keeps single-core machines moving.
+    std::uint32_t round = retries > 2 ? 1000 : 0;  // yield quickly
+    const std::uint64_t spins =
+        backoff.below(1ull << std::min<std::uint64_t>(4 + retries, 10));
+    for (std::uint64_t i = 0; i < spins; ++i) spin_backoff(round);
+    ++retries;
+  };
+
+  for (;;) {
+    // Prepare: announce the ballot, keep the accepted fields.
+    regs_.write(static_cast<std::size_t>(p), pack(b, my_ab, my_av));
+
+    std::uint64_t highest = 0;
+    std::uint64_t best_ab = 0;
+    std::uint64_t best_av = 0;
+    for (int q = 0; q < n_; ++q) {
+      std::uint64_t mb, ab, av;
+      unpack(regs_.read(static_cast<std::size_t>(q)), mb, ab, av);
+      highest = std::max(highest, std::max(mb, ab));
+      if (ab > best_ab) {
+        best_ab = ab;
+        best_av = av;
+      }
+    }
+    if (highest > b) {
+      while (b <= highest) b += un;
+      relax();
+      continue;
+    }
+
+    // Accept the value of the highest accepted ballot (or our input).
+    const std::uint64_t w = best_ab > 0 ? best_av : v + 1;
+    my_ab = b;
+    my_av = w;
+    regs_.write(static_cast<std::size_t>(p), pack(b, b, w));
+
+    std::uint64_t above = 0;
+    for (int q = 0; q < n_; ++q) {
+      std::uint64_t mb, ab, av;
+      unpack(regs_.read(static_cast<std::size_t>(q)), mb, ab, av);
+      above = std::max(above, std::max(mb, ab));
+    }
+    if (above > b) {
+      while (b <= above) b += un;
+      relax();
+      continue;
+    }
+    return w - 1;  // chosen
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RtRoundsConsensus
+// ---------------------------------------------------------------------------
+
+RtRoundsConsensus::RtRoundsConsensus(int n, int max_rounds)
+    : n_(n),
+      max_rounds_(max_rounds),
+      regs_(CommitAdopt::registers_needed(n) *
+            static_cast<std::size_t>(max_rounds)) {}
+
+std::string RtRoundsConsensus::name() const {
+  return "rt-rounds(n=" + std::to_string(n_) + ")";
+}
+
+std::uint64_t RtRoundsConsensus::propose(int p, std::uint64_t v) {
+  std::uint64_t pref = v;
+  for (int r = 0; r < max_rounds_; ++r) {
+    CommitAdopt ca(regs_, CommitAdopt::registers_needed(n_) *
+                              static_cast<std::size_t>(r),
+                   n_);
+    const CommitAdopt::Result res = ca.propose(p, pref);
+    pref = res.value;
+    if (res.commit) return pref;
+    std::uint32_t round = 1000;  // contention proven: yield immediately
+    spin_backoff(round);
+  }
+  assert(false && "round bank exhausted: pathological contention");
+  return pref;
+}
+
+// ---------------------------------------------------------------------------
+// RtRandomizedConsensus
+// ---------------------------------------------------------------------------
+
+RtRandomizedConsensus::RtRandomizedConsensus(int n, Coin coin,
+                                             std::uint64_t seed,
+                                             int max_rounds)
+    : n_(n),
+      coin_(coin),
+      max_rounds_(max_rounds),
+      seed_(seed),
+      // Per round: 2n commit-adopt registers plus n voting registers.
+      regs_(static_cast<std::size_t>(3 * n) *
+            static_cast<std::size_t>(max_rounds)) {}
+
+std::string RtRandomizedConsensus::name() const {
+  return std::string("rt-randomized(") +
+         (coin_ == Coin::kLocal ? "local-coin" : "voting-coin") +
+         ", n=" + std::to_string(n_) + ")";
+}
+
+void RtRandomizedConsensus::reset() {
+  regs_.reset(0);
+  max_round_used_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t RtRandomizedConsensus::shared_coin(int p, int round,
+                                                 util::Rng& rng) {
+  if (coin_ == Coin::kLocal) return rng.coin() ? 1 : 0;
+  // Voting coin: everyone publishes one +/-1 vote for this round in its
+  // own register, collects all votes, and takes the sign of the sum.
+  // Against the schedulers real threads produce, all processes usually
+  // read the same full bank and agree.
+  const std::size_t base = static_cast<std::size_t>(3 * n_) *
+                               static_cast<std::size_t>(round) +
+                           static_cast<std::size_t>(2 * n_);
+  // Encode +1 as 2, -1 as 1, empty as 0.
+  regs_.write(base + static_cast<std::size_t>(p), rng.coin() ? 2 : 1);
+  std::int64_t sum = 0;
+  for (int q = 0; q < n_; ++q) {
+    const std::uint64_t e = regs_.read(base + static_cast<std::size_t>(q));
+    if (e == 2) ++sum;
+    if (e == 1) --sum;
+  }
+  return sum >= 0 ? 1 : 0;
+}
+
+std::uint64_t RtRandomizedConsensus::propose(int p, std::uint64_t v) {
+  assert(v <= 1 && "randomized consensus is binary: the coin proposes 0/1");
+  util::Rng rng(util::hash_combine(seed_, static_cast<std::uint64_t>(p)));
+  std::uint64_t pref = v;
+  for (int r = 0; r < max_rounds_; ++r) {
+    CommitAdopt ca(regs_, static_cast<std::size_t>(3 * n_) *
+                              static_cast<std::size_t>(r),
+                   n_);
+    const CommitAdopt::Result res = ca.propose(p, pref);
+    // Track the deepest round reached (for the step-complexity experiment).
+    int seen = max_round_used_.load(std::memory_order_relaxed);
+    while (seen < r && !max_round_used_.compare_exchange_weak(
+                           seen, r, std::memory_order_relaxed)) {
+    }
+    if (res.commit) return res.value;
+    if (res.anchored) {
+      pref = res.value;  // a commit on res.value may exist: stick to it
+    } else {
+      // Nobody can have committed this round: free to follow the coin.
+      const std::uint64_t c = shared_coin(p, r, rng);
+      pref = c;
+    }
+  }
+  assert(false && "randomized consensus exceeded its round bank");
+  return pref;
+}
+
+}  // namespace tsb::rt

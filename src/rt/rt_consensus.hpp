@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "rt/atomic_registers.hpp"
+#include "rt/commit_adopt.hpp"
+#include "util/rng.hpp"
+
+namespace tsb::rt {
+
+/// Runtime (multithreaded) binary/small-value consensus protocols on
+/// instrumented atomic registers. These are the "laptop run" counterparts
+/// of the simulator protocols: same algorithms, unbounded rounds, real
+/// contention, with register-space instrumentation for experiment E9.
+class RtConsensus {
+ public:
+  virtual ~RtConsensus() = default;
+  virtual std::string name() const = 0;
+  virtual int num_processes() const = 0;
+
+  /// Propose v (< 2^31) as process p; returns the decided value.
+  /// Thread-safe for distinct p.
+  virtual std::uint64_t propose(int p, std::uint64_t v) = 0;
+
+  virtual const AtomicRegisterArray& registers() const = 0;
+  virtual void reset() = 0;  ///< prepare for a fresh instance
+};
+
+/// Shared-memory Paxos with per-process ballots from n single-writer
+/// registers — the unbounded-ballot original of consensus::BallotConsensus
+/// (see that header for the algorithm and its safety argument). Space: n
+/// registers, one register-word triple (mb, ab, av) per process.
+/// Obstruction-free; live under real schedulers thanks to ballot racing
+/// (a loser re-prepares above the winner, and in practice one of them
+/// lands a quiet window quickly).
+class RtBallotConsensus final : public RtConsensus {
+ public:
+  explicit RtBallotConsensus(int n);
+
+  std::string name() const override;
+  int num_processes() const override { return n_; }
+  std::uint64_t propose(int p, std::uint64_t v) override;
+  const AtomicRegisterArray& registers() const override { return regs_; }
+  void reset() override { regs_.reset(0); }
+
+ private:
+  static std::uint64_t pack(std::uint64_t mb, std::uint64_t ab,
+                            std::uint64_t av);
+  static void unpack(std::uint64_t word, std::uint64_t& mb, std::uint64_t& ab,
+                     std::uint64_t& av);
+
+  int n_;
+  AtomicRegisterArray regs_;
+};
+
+/// Round-based obstruction-free consensus: rounds of commit-adopt; decide
+/// on commit. The classic structure the paper's introduction refers to.
+/// Rounds consume registers (2n each) from a preallocated bank; exceeding
+/// the bank is a hard failure (tests size it generously — contention
+/// resolves within a few rounds in practice).
+class RtRoundsConsensus final : public RtConsensus {
+ public:
+  RtRoundsConsensus(int n, int max_rounds = 512);
+
+  std::string name() const override;
+  int num_processes() const override { return n_; }
+  std::uint64_t propose(int p, std::uint64_t v) override;
+  const AtomicRegisterArray& registers() const override { return regs_; }
+  void reset() override { regs_.reset(0); }
+
+ private:
+  int n_;
+  int max_rounds_;
+  AtomicRegisterArray regs_;
+};
+
+/// Randomized wait-free(-in-expectation) consensus in the Aspnes–Herlihy
+/// style: rounds of commit-adopt; a process that leaves a round unanchored
+/// takes its next preference from a coin. Two coins are provided:
+///  * kLocal — private coin flips (terminates against the oblivious
+///    schedulers real threads provide; simple);
+///  * kVoting — a shared coin by vote aggregation in n single-writer
+///    registers per round (all processes likely see the same flip, giving
+///    constant expected rounds).
+class RtRandomizedConsensus final : public RtConsensus {
+ public:
+  enum class Coin { kLocal, kVoting };
+
+  RtRandomizedConsensus(int n, Coin coin, std::uint64_t seed,
+                        int max_rounds = 4096);
+
+  std::string name() const override;
+  int num_processes() const override { return n_; }
+  std::uint64_t propose(int p, std::uint64_t v) override;
+  const AtomicRegisterArray& registers() const override { return regs_; }
+  void reset() override;
+
+  /// Rounds consumed by the slowest process in the last run (statistics
+  /// for experiment E8).
+  int max_round_used() const {
+    return max_round_used_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t shared_coin(int p, int round, util::Rng& rng);
+
+  int n_;
+  Coin coin_;
+  int max_rounds_;
+  std::uint64_t seed_;
+  AtomicRegisterArray regs_;
+  std::atomic<int> max_round_used_{0};
+};
+
+}  // namespace tsb::rt

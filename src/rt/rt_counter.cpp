@@ -1,0 +1,28 @@
+#include "rt/rt_counter.hpp"
+
+#include <cassert>
+
+namespace tsb::rt {
+
+RtSwmrCounter::RtSwmrCounter(int n)
+    : n_(n),
+      regs_(static_cast<std::size_t>(n)),
+      local_(static_cast<std::size_t>(n), 0) {
+  assert(n >= 1);
+}
+
+void RtSwmrCounter::inc(int p) {
+  // Single-writer: only p touches local_[p] and register p.
+  const std::uint64_t next = ++local_[static_cast<std::size_t>(p)];
+  regs_.write(static_cast<std::size_t>(p), next);
+}
+
+std::uint64_t RtSwmrCounter::read() const {
+  std::uint64_t sum = 0;
+  for (int q = 0; q < n_; ++q) {
+    sum += regs_.read(static_cast<std::size_t>(q));
+  }
+  return sum;
+}
+
+}  // namespace tsb::rt

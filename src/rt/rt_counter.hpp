@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rt/atomic_registers.hpp"
+
+namespace tsb::rt {
+
+/// Wait-free counter from n single-writer registers (runtime counterpart
+/// of perturb::SwmrCounter): inc() is one write to the caller's register,
+/// read() collects and sums. Space n = JTT's n-1 plus one.
+///
+/// Correctness note for tests: a read() that runs concurrently with
+/// inc()s returns a value between "incs completed before the read began"
+/// and "incs started before the read ended" (it is a regular counter —
+/// exactly what the perturbation bound needs).
+class RtSwmrCounter {
+ public:
+  explicit RtSwmrCounter(int n);
+
+  std::string name() const { return "rt-swmr-counter(n=" + std::to_string(n_) + ")"; }
+  int num_processes() const { return n_; }
+
+  /// Process p's increment; p-private (single writer).
+  void inc(int p);
+
+  /// Anyone may read.
+  std::uint64_t read() const;
+
+  const AtomicRegisterArray& registers() const { return regs_; }
+
+ private:
+  int n_;
+  AtomicRegisterArray regs_;
+  std::vector<std::uint64_t> local_;  // own count mirror, one per process
+};
+
+}  // namespace tsb::rt

@@ -1,0 +1,107 @@
+#include "rt/rt_mutex.hpp"
+
+#include <cassert>
+
+#include "rt/harness.hpp"
+
+namespace tsb::rt {
+
+// ---------------------------------------------------------------------------
+// RtPetersonMutex
+// ---------------------------------------------------------------------------
+
+RtPetersonMutex::RtPetersonMutex(int n)
+    : n_(n), regs_(static_cast<std::size_t>(2 * n - 1)) {
+  assert(n >= 2);
+  // level[i] starts at "-1"; stored with +1 offset, so 0 is correct.
+}
+
+std::string RtPetersonMutex::name() const {
+  return "rt-peterson(n=" + std::to_string(n_) + ")";
+}
+
+void RtPetersonMutex::lock(int p) {
+  for (int m = 0; m < n_ - 1; ++m) {
+    regs_.write(static_cast<std::size_t>(p),
+                static_cast<std::uint64_t>(m + 1));  // level[p] = m
+    regs_.write(static_cast<std::size_t>(n_ + m),
+                static_cast<std::uint64_t>(p + 1));  // waiting[m] = p
+    std::uint32_t round = 0;
+    for (;;) {
+      if (regs_.read(static_cast<std::size_t>(n_ + m)) !=
+          static_cast<std::uint64_t>(p + 1)) {
+        break;  // someone else is the waiter now
+      }
+      bool higher = false;
+      for (int k = 0; k < n_ && !higher; ++k) {
+        if (k == p) continue;
+        if (regs_.read(static_cast<std::size_t>(k)) >=
+            static_cast<std::uint64_t>(m + 1)) {
+          higher = true;
+        }
+      }
+      if (!higher) break;  // nobody at level >= m anymore
+      spin_backoff(round);
+    }
+  }
+}
+
+void RtPetersonMutex::unlock(int p) {
+  regs_.write(static_cast<std::size_t>(p), 0);  // level[p] = -1
+}
+
+// ---------------------------------------------------------------------------
+// RtTournamentMutex
+// ---------------------------------------------------------------------------
+
+namespace {
+int leaves_for(int n) {
+  int leaves = 1;
+  while (leaves < n) leaves <<= 1;
+  return leaves;
+}
+int height_for(int n) {
+  int leaves = 1, height = 0;
+  while (leaves < n) {
+    leaves <<= 1;
+    ++height;
+  }
+  return height;
+}
+}  // namespace
+
+RtTournamentMutex::RtTournamentMutex(int n)
+    : n_(n),
+      leaves_(leaves_for(n)),
+      height_(height_for(n)),
+      regs_(static_cast<std::size_t>(3 * (leaves_for(n) - 1))) {
+  assert(n >= 2);
+}
+
+std::string RtTournamentMutex::name() const {
+  return "rt-tournament(n=" + std::to_string(n_) + ")";
+}
+
+void RtTournamentMutex::lock(int p) {
+  for (int level = 1; level <= height_; ++level) {
+    const int node = node_at(p, level);
+    const int side = side_at(p, level);
+    regs_.write(reg_flag(node, side), 1);
+    regs_.write(reg_turn(node), static_cast<std::uint64_t>(side));
+    std::uint32_t round = 0;
+    while (regs_.read(reg_flag(node, 1 - side)) == 1 &&
+           regs_.read(reg_turn(node)) == static_cast<std::uint64_t>(side)) {
+      spin_backoff(round);
+    }
+  }
+}
+
+void RtTournamentMutex::unlock(int p) {
+  for (int level = height_; level >= 1; --level) {
+    const int node = node_at(p, level);
+    const int side = side_at(p, level);
+    regs_.write(reg_flag(node, side), 0);
+  }
+}
+
+}  // namespace tsb::rt

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rt/atomic_registers.hpp"
+
+namespace tsb::rt {
+
+/// Runtime mutual-exclusion locks over instrumented atomic registers —
+/// the multithreaded counterparts of the mutex-module algorithms, used by
+/// the throughput experiment (E10) and the exclusion stress tests.
+class RtMutex {
+ public:
+  virtual ~RtMutex() = default;
+  virtual std::string name() const = 0;
+  virtual int num_processes() const = 0;
+  virtual void lock(int p) = 0;
+  virtual void unlock(int p) = 0;
+  virtual const AtomicRegisterArray& registers() const = 0;
+};
+
+/// Peterson's n-process filter lock on atomics.
+class RtPetersonMutex final : public RtMutex {
+ public:
+  explicit RtPetersonMutex(int n);
+  std::string name() const override;
+  int num_processes() const override { return n_; }
+  void lock(int p) override;
+  void unlock(int p) override;
+  const AtomicRegisterArray& registers() const override { return regs_; }
+
+ private:
+  // Registers: level[i] = i, waiting[m] = n + m. Values are offset by one
+  // so the "empty"/-1 level is register value 0.
+  int n_;
+  AtomicRegisterArray regs_;
+};
+
+/// Tournament of two-process Peterson locks on atomics.
+class RtTournamentMutex final : public RtMutex {
+ public:
+  explicit RtTournamentMutex(int n);
+  std::string name() const override;
+  int num_processes() const override { return n_; }
+  void lock(int p) override;
+  void unlock(int p) override;
+  const AtomicRegisterArray& registers() const override { return regs_; }
+
+ private:
+  int node_at(int p, int level) const { return (leaves_ + p) >> level; }
+  int side_at(int p, int level) const {
+    return ((leaves_ + p) >> (level - 1)) & 1;
+  }
+  std::size_t reg_flag(int node, int side) const {
+    return static_cast<std::size_t>(3 * (node - 1) + side);
+  }
+  std::size_t reg_turn(int node) const {
+    return static_cast<std::size_t>(3 * (node - 1) + 2);
+  }
+
+  int n_;
+  int leaves_;
+  int height_;
+  AtomicRegisterArray regs_;
+};
+
+}  // namespace tsb::rt

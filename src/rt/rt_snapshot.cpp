@@ -1,0 +1,47 @@
+#include "rt/rt_snapshot.hpp"
+
+#include <cassert>
+
+#include "rt/harness.hpp"
+
+namespace tsb::rt {
+
+RtSwmrSnapshot::RtSwmrSnapshot(int n)
+    : n_(n),
+      regs_(static_cast<std::size_t>(n)),
+      seq_(static_cast<std::size_t>(n), 0) {
+  assert(n >= 1);
+}
+
+void RtSwmrSnapshot::update(int p, std::uint32_t v) {
+  const std::uint64_t seq = ++seq_[static_cast<std::size_t>(p)];
+  regs_.write(static_cast<std::size_t>(p), (seq << 32) | v);
+}
+
+std::vector<std::uint32_t> RtSwmrSnapshot::scan() const {
+  std::vector<std::uint64_t> a(static_cast<std::size_t>(n_));
+  std::vector<std::uint64_t> b(static_cast<std::size_t>(n_));
+  auto collect = [&](std::vector<std::uint64_t>& view) {
+    for (int q = 0; q < n_; ++q) {
+      view[static_cast<std::size_t>(q)] =
+          regs_.read(static_cast<std::size_t>(q));
+    }
+  };
+  collect(a);
+  std::uint32_t round = 0;
+  for (;;) {
+    collect(b);
+    if (a == b) break;
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    a.swap(b);
+    spin_backoff(round);
+  }
+  std::vector<std::uint32_t> out(static_cast<std::size_t>(n_));
+  for (int q = 0; q < n_; ++q) {
+    out[static_cast<std::size_t>(q)] =
+        static_cast<std::uint32_t>(a[static_cast<std::size_t>(q)]);
+  }
+  return out;
+}
+
+}  // namespace tsb::rt

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/atomic_registers.hpp"
+
+namespace tsb::rt {
+
+/// Single-writer atomic snapshot from n registers, obstruction-free scan
+/// by double collect (Afek et al.'s core mechanism; we omit the helping
+/// machinery that upgrades it to wait-freedom because the paper's model
+/// only requires solo termination).
+///
+/// Register p holds (seq << 32) | value; update(p, v) is one write with an
+/// incremented sequence number. scan() repeats collects until two
+/// consecutive ones are identical — that common view is a linearizable
+/// snapshot (any write between the collects would have bumped a sequence
+/// number).
+class RtSwmrSnapshot {
+ public:
+  explicit RtSwmrSnapshot(int n);
+
+  std::string name() const {
+    return "rt-swmr-snapshot(n=" + std::to_string(n_) + ")";
+  }
+  int num_processes() const { return n_; }
+
+  /// Process p's update; p-private. Values must fit 32 bits.
+  void update(int p, std::uint32_t v);
+
+  /// Linearizable snapshot of all components.
+  std::vector<std::uint32_t> scan() const;
+
+  /// Scan retry statistics (collect pairs beyond the first, summed).
+  std::uint64_t scan_retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+
+  const AtomicRegisterArray& registers() const { return regs_; }
+
+ private:
+  int n_;
+  AtomicRegisterArray regs_;
+  std::vector<std::uint64_t> seq_;  // own sequence mirror, one per process
+  mutable std::atomic<std::uint64_t> retries_{0};
+};
+
+}  // namespace tsb::rt

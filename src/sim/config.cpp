@@ -1,0 +1,71 @@
+#include "sim/config.hpp"
+
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace tsb::sim {
+
+std::uint64_t Config::hash() const {
+  std::uint64_t h = 0x5bd1e995u;
+  for (State s : states) {
+    h = util::hash_combine(h, static_cast<std::uint64_t>(s));
+  }
+  h = util::hash_combine(h, 0xabcdefull);  // separate the two sections
+  for (Value v : regs) {
+    h = util::hash_combine(h, static_cast<std::uint64_t>(v));
+  }
+  return h;
+}
+
+std::string Config::to_string() const {
+  std::string out = "states=[";
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(states[i]);
+  }
+  out += "] regs=[";
+  for (std::size_t i = 0; i < regs.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(regs[i]);
+  }
+  return out + "]";
+}
+
+Config initial_config(const Protocol& proto, const std::vector<Value>& inputs) {
+  assert(static_cast<int>(inputs.size()) == proto.num_processes());
+  Config c;
+  c.states.reserve(inputs.size());
+  for (ProcId p = 0; p < proto.num_processes(); ++p) {
+    c.states.push_back(proto.initial_state(p, inputs[p]));
+  }
+  c.regs.assign(static_cast<std::size_t>(proto.num_registers()),
+                proto.initial_register());
+  return c;
+}
+
+bool indistinguishable(const Config& c, const Config& d, ProcSet p) {
+  if (c.regs != d.regs) return false;
+  if (c.states.size() != d.states.size()) return false;
+  bool same = true;
+  p.for_each([&](int proc) {
+    if (c.states[static_cast<std::size_t>(proc)] !=
+        d.states[static_cast<std::size_t>(proc)]) {
+      same = false;
+    }
+  });
+  return same;
+}
+
+std::optional<Value> decision_of(const Protocol& proto, const Config& c,
+                                 ProcId p) {
+  const PendingOp op = proto.poised(p, c.states[static_cast<std::size_t>(p)]);
+  if (op.is_decide()) return op.value;
+  return std::nullopt;
+}
+
+PendingOp poised_in(const Protocol& proto, const Config& c, ProcId p) {
+  return proto.poised(p, c.states[static_cast<std::size_t>(p)]);
+}
+
+}  // namespace tsb::sim

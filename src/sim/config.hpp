@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/protocol.hpp"
+#include "util/proc_set.hpp"
+
+namespace tsb::sim {
+
+using util::ProcSet;
+
+/// A configuration of a protocol: the local state of every process and the
+/// contents of every register. Pure value type: copyable, hashable,
+/// comparable — the valency analyzer and model checker key everything on it.
+struct Config {
+  std::vector<State> states;  ///< indexed by ProcId
+  std::vector<Value> regs;    ///< indexed by RegId
+
+  bool operator==(const Config&) const = default;
+
+  std::uint64_t hash() const;
+
+  std::string to_string() const;
+};
+
+struct ConfigHash {
+  std::uint64_t operator()(const Config& c) const { return c.hash(); }
+};
+
+/// The initial configuration for the given input vector
+/// (inputs.size() == num_processes()).
+Config initial_config(const Protocol& proto, const std::vector<Value>& inputs);
+
+/// Configurations C and D are indistinguishable to a set of processes P if
+/// every process in P has the same local state in both and every register
+/// has the same contents in both (paper, Section 2). Any P-only execution
+/// applicable at C is then applicable at D with identical behaviour.
+bool indistinguishable(const Config& c, const Config& d, ProcSet p);
+
+/// Whether process p has decided in configuration c, and if so what.
+std::optional<Value> decision_of(const Protocol& proto, const Config& c,
+                                 ProcId p);
+
+/// The operation process p is poised to perform in c.
+PendingOp poised_in(const Protocol& proto, const Config& c, ProcId p);
+
+}  // namespace tsb::sim

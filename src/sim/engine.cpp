@@ -1,0 +1,114 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+
+namespace tsb::sim {
+
+std::string PendingOp::to_string() const {
+  switch (kind) {
+    case OpKind::kRead:
+      return "read(R" + std::to_string(reg) + ")";
+    case OpKind::kWrite:
+      return "write(R" + std::to_string(reg) + ", " + std::to_string(value) +
+             ")";
+    case OpKind::kDecide:
+      return "decide(" + std::to_string(value) + ")";
+    case OpKind::kSwap:
+      return "swap(R" + std::to_string(reg) + ", " + std::to_string(value) +
+             ")";
+  }
+  return "?";
+}
+
+std::string StepRecord::to_string() const {
+  std::string out = "p" + std::to_string(proc) + ": " + op.to_string();
+  if (op.is_read() || op.is_swap()) {
+    out += " -> " + std::to_string(read_result);
+  }
+  return out;
+}
+
+Config step(const Protocol& proto, const Config& c, ProcId p, Trace* trace) {
+  assert(p >= 0 && p < proto.num_processes());
+  const State s = c.states[static_cast<std::size_t>(p)];
+  const PendingOp op = proto.poised(p, s);
+
+  if (op.is_decide()) {
+    // Decided processes have terminated; stepping them changes nothing.
+    return c;
+  }
+
+  Config next = c;
+  StepRecord rec{p, op, 0};
+  assert(op.reg >= 0 && op.reg < proto.num_registers());
+  if (op.is_read()) {
+    const Value observed = c.regs[static_cast<std::size_t>(op.reg)];
+    rec.read_result = observed;
+    next.states[static_cast<std::size_t>(p)] = proto.after_read(p, s, observed);
+  } else if (op.is_swap()) {
+    const Value overwritten = c.regs[static_cast<std::size_t>(op.reg)];
+    rec.read_result = overwritten;
+    next.regs[static_cast<std::size_t>(op.reg)] = op.value;
+    next.states[static_cast<std::size_t>(p)] =
+        proto.after_swap(p, s, overwritten);
+  } else {
+    next.regs[static_cast<std::size_t>(op.reg)] = op.value;
+    next.states[static_cast<std::size_t>(p)] = proto.after_write(p, s);
+  }
+  if (trace != nullptr) trace->records.push_back(rec);
+  return next;
+}
+
+Config run(const Protocol& proto, const Config& c, const Schedule& alpha,
+           Trace* trace) {
+  Config cur = c;
+  for (ProcId p : alpha.steps()) cur = step(proto, cur, p, trace);
+  return cur;
+}
+
+SoloRun run_solo(const Protocol& proto, const Config& c, ProcId p,
+                 std::size_t max_steps) {
+  SoloRun out;
+  out.final = c;
+  for (std::size_t i = 0; i < max_steps; ++i) {
+    if (auto d = decision_of(proto, out.final, p)) {
+      out.decided = true;
+      out.decision = *d;
+      return out;
+    }
+    out.final = step(proto, out.final, p, &out.trace);
+    out.schedule.push(p);
+  }
+  if (auto d = decision_of(proto, out.final, p)) {
+    out.decided = true;
+    out.decision = *d;
+  }
+  return out;
+}
+
+bool all_decided(const Protocol& proto, const Config& c, ProcSet p, Value v) {
+  bool ok = true;
+  p.for_each([&](int q) {
+    auto d = decision_of(proto, c, q);
+    if (!d || *d != v) ok = false;
+  });
+  return ok;
+}
+
+bool some_decided(const Protocol& proto, const Config& c, Value v) {
+  for (ProcId q = 0; q < proto.num_processes(); ++q) {
+    auto d = decision_of(proto, c, q);
+    if (d && *d == v) return true;
+  }
+  return false;
+}
+
+ProcSet decided_set(const Protocol& proto, const Config& c) {
+  ProcSet out;
+  for (ProcId q = 0; q < proto.num_processes(); ++q) {
+    if (decision_of(proto, c, q)) out = out.with(q);
+  }
+  return out;
+}
+
+}  // namespace tsb::sim

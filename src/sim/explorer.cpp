@@ -1,0 +1,68 @@
+#include "sim/explorer.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace tsb::sim {
+
+Explorer::Result Explorer::explore(
+    const Config& root, ProcSet p,
+    const std::function<bool(const Config&)>& visit) {
+  index_.clear();
+  parent_.clear();
+
+  Result res;
+  std::deque<Config> frontier;
+
+  auto discover = [&](const Config& c, int parent, ProcId via) -> bool {
+    auto [it, inserted] = index_.try_emplace(c, static_cast<int>(parent_.size()));
+    if (!inserted) return true;  // already seen
+    parent_.emplace_back(parent, via);
+    ++res.visited;
+    if (!visit(c)) {
+      res.aborted = true;
+      res.abort_config = c;
+      return false;
+    }
+    frontier.push_back(c);
+    return true;
+  };
+
+  if (!discover(root, -1, -1)) return res;
+
+  while (!frontier.empty()) {
+    if (index_.size() >= opts_.max_configs) {
+      res.truncated = true;
+      break;
+    }
+    Config cur = std::move(frontier.front());
+    frontier.pop_front();
+    const int cur_idx = index_.at(cur);
+
+    bool keep_going = true;
+    p.for_each([&](int q) {
+      if (!keep_going) return;
+      if (decision_of(proto_, cur, q)) return;  // terminated: no edge
+      Config next = step(proto_, cur, q);
+      keep_going = discover(next, cur_idx, q);
+    });
+    if (!keep_going) break;
+  }
+  return res;
+}
+
+std::optional<Schedule> Explorer::witness(const Config& target) const {
+  auto it = index_.find(target);
+  if (it == index_.end()) return std::nullopt;
+  std::vector<ProcId> rev;
+  int idx = it->second;
+  while (idx >= 0) {
+    auto [par, via] = parent_[static_cast<std::size_t>(idx)];
+    if (par >= 0) rev.push_back(via);
+    idx = par;
+  }
+  std::reverse(rev.begin(), rev.end());
+  return Schedule(std::move(rev));
+}
+
+}  // namespace tsb::sim

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace tsb::sim {
+
+/// Breadth-first enumeration of the configurations reachable from a root by
+/// P-only executions.
+///
+/// This is the mechanical core behind valency queries ("does there exist a
+/// P-only execution from C deciding v?") and the exhaustive model checker.
+/// It assumes the P-only reachable space is finite — true for the finite-
+/// state protocols the experiments target — and otherwise reports
+/// truncation at a configurable cap rather than diverging.
+///
+/// Steps by already-decided processes are no-ops in the model and are not
+/// generated as edges (they would only add self-loops).
+class Explorer {
+ public:
+  struct Options {
+    std::size_t max_configs = 2'000'000;
+  };
+
+  explicit Explorer(const Protocol& proto) : Explorer(proto, Options{}) {}
+  Explorer(const Protocol& proto, Options opts) : proto_(proto), opts_(opts) {}
+
+  struct Result {
+    bool truncated = false;       ///< hit max_configs before exhausting
+    bool aborted = false;         ///< visitor returned false
+    std::size_t visited = 0;      ///< configurations enumerated
+    std::optional<Config> abort_config;  ///< config the visitor stopped on
+  };
+
+  /// Enumerate configurations reachable from `root` by P-only steps,
+  /// calling `visit` on each (including the root). `visit` returning false
+  /// aborts the search; the aborting configuration is reported in the
+  /// result, and `witness()` can reconstruct the schedule that reached it.
+  Result explore(const Config& root, ProcSet p,
+                 const std::function<bool(const Config&)>& visit);
+
+  /// Schedule from the last explore()'s root to `target`; target must have
+  /// been visited. Empty optional if it was not.
+  std::optional<Schedule> witness(const Config& target) const;
+
+ private:
+  const Protocol& proto_;
+  Options opts_;
+
+  // BFS bookkeeping from the most recent explore() call, kept for witness
+  // reconstruction.
+  std::unordered_map<Config, int, ConfigHash> index_;
+  std::vector<std::pair<int, ProcId>> parent_;  // (parent index, step proc)
+};
+
+}  // namespace tsb::sim

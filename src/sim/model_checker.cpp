@@ -1,0 +1,129 @@
+#include "sim/model_checker.hpp"
+
+#include <set>
+
+namespace tsb::sim {
+
+std::vector<std::vector<Value>> all_binary_inputs(int n) {
+  std::vector<std::vector<Value>> out;
+  const std::size_t count = 1ull << n;
+  out.reserve(count);
+  for (std::size_t mask = 0; mask < count; ++mask) {
+    std::vector<Value> inputs(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p) {
+      inputs[static_cast<std::size_t>(p)] = (mask >> p) & 1u;
+    }
+    out.push_back(std::move(inputs));
+  }
+  return out;
+}
+
+std::string ModelChecker::Report::summary() const {
+  std::string s = ok ? "OK" : ("VIOLATION: " + violation);
+  s += " (initial configs: " + std::to_string(initial_configs) +
+       ", reachable configs: " + std::to_string(total_configs) +
+       ", solo runs: " + std::to_string(solo_runs_checked) +
+       ", max solo steps: " + std::to_string(max_solo_steps_seen) + ")";
+  if (solo_failures > 0) {
+    s += " [" + std::to_string(solo_failures) +
+         " configs without solo termination]";
+  }
+  if (truncated) s += " [TRUNCATED: bound exceeded, result incomplete]";
+  return s;
+}
+
+ModelChecker::Report ModelChecker::check(
+    const std::vector<std::vector<Value>>& input_vectors) {
+  Report rep;
+  const int n = proto_.num_processes();
+  const ProcSet everyone = ProcSet::first_n(n);
+
+  for (const auto& inputs : input_vectors) {
+    ++rep.initial_configs;
+    const Config init = initial_config(proto_, inputs);
+    const std::set<Value> legal(inputs.begin(), inputs.end());
+
+    Explorer explorer(proto_, {.max_configs = opts_.max_configs});
+    auto fail = [&](const Config& c, std::string what) {
+      rep.ok = false;
+      rep.violation = std::move(what);
+      rep.bad_config = c;
+      rep.bad_inputs = inputs;
+      return false;  // abort exploration
+    };
+
+    auto result = explorer.explore(init, everyone, [&](const Config& c) {
+      // Agreement (k-set) + validity over decided values in c.
+      std::set<Value> decided;
+      for (ProcId p = 0; p < n; ++p) {
+        if (auto d = decision_of(proto_, c, p)) {
+          decided.insert(*d);
+          if (legal.count(*d) == 0) {
+            return fail(c, "validity: p" + std::to_string(p) + " decided " +
+                               std::to_string(*d) +
+                               " which is no process's input");
+          }
+        }
+      }
+      if (static_cast<int>(decided.size()) > opts_.k) {
+        return fail(c, std::to_string(decided.size()) +
+                           " distinct values decided; k = " +
+                           std::to_string(opts_.k));
+      }
+
+      if (opts_.check_solo_termination && opts_.solo_from_every_config) {
+        for (ProcId p = 0; p < n; ++p) {
+          if (decision_of(proto_, c, p)) continue;
+          SoloRun solo = run_solo(proto_, c, p, opts_.solo_step_cap);
+          ++rep.solo_runs_checked;
+          rep.max_solo_steps_seen =
+              std::max(rep.max_solo_steps_seen, solo.schedule.size());
+          if (!solo.decided) {
+            if (opts_.fail_on_solo_violation) {
+              return fail(c, "solo termination: p" + std::to_string(p) +
+                                 " ran alone for " +
+                                 std::to_string(opts_.solo_step_cap) +
+                                 " steps without deciding");
+            }
+            ++rep.solo_failures;
+            if (!rep.sample_solo_failure) rep.sample_solo_failure = c;
+            break;  // count each configuration at most once
+          }
+        }
+      }
+      return true;
+    });
+
+    rep.total_configs += result.visited;
+    rep.truncated = rep.truncated || result.truncated;
+
+    if (opts_.check_solo_termination && !opts_.solo_from_every_config) {
+      for (ProcId p = 0; p < n; ++p) {
+        SoloRun solo = run_solo(proto_, init, p, opts_.solo_step_cap);
+        ++rep.solo_runs_checked;
+        rep.max_solo_steps_seen =
+            std::max(rep.max_solo_steps_seen, solo.schedule.size());
+        if (!solo.decided) {
+          rep.ok = false;
+          rep.violation = "solo termination from initial configuration";
+          rep.bad_config = init;
+          rep.bad_inputs = inputs;
+        }
+      }
+    }
+
+    if (!rep.ok) {
+      if (rep.bad_config) {
+        rep.schedule_to_bad = explorer.witness(*rep.bad_config);
+      }
+      return rep;
+    }
+  }
+  return rep;
+}
+
+ModelChecker::Report ModelChecker::check_all_binary_inputs() {
+  return check(all_binary_inputs(proto_.num_processes()));
+}
+
+}  // namespace tsb::sim

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+
+#include "sim/value.hpp"
+
+namespace tsb::sim {
+
+/// The things a process can be poised to do in a configuration.
+///
+/// A step in the model is: read a register (receiving its contents), write
+/// a value to a register (receiving an acknowledgement), or decide. Decide
+/// is terminal: a decided process takes no further steps, and its decision
+/// is a function of its local state.
+///
+/// kSwap extends the model to *historyless* base objects (the paper's
+/// Section 4): an atomic swap writes a value and returns the overwritten
+/// one. Zhu's lower bound technique does not carry over to swap — "when a
+/// process performs swap, it sees the value it overwrote", so hidden-write
+/// obliteration is detectable — and the swap-based protocols in
+/// consensus/historyless.hpp demonstrate that boundary executably. The
+/// covering machinery (Definition 2) deliberately does NOT count a poised
+/// swap as covering a register.
+enum class OpKind : std::uint8_t { kRead, kWrite, kDecide, kSwap };
+
+struct PendingOp {
+  OpKind kind = OpKind::kRead;
+  RegId reg = -1;   ///< target register for kRead / kWrite
+  Value value = 0;  ///< value written for kWrite; decision for kDecide
+
+  static PendingOp read(RegId r) { return {OpKind::kRead, r, 0}; }
+  static PendingOp write(RegId r, Value v) { return {OpKind::kWrite, r, v}; }
+  static PendingOp decide(Value v) { return {OpKind::kDecide, -1, v}; }
+  static PendingOp swap(RegId r, Value v) { return {OpKind::kSwap, r, v}; }
+
+  bool is_read() const { return kind == OpKind::kRead; }
+  bool is_write() const { return kind == OpKind::kWrite; }
+  bool is_decide() const { return kind == OpKind::kDecide; }
+  bool is_swap() const { return kind == OpKind::kSwap; }
+
+  bool operator==(const PendingOp&) const = default;
+
+  std::string to_string() const;
+};
+
+/// Record of one executed step, for traces and certificates.
+struct StepRecord {
+  ProcId proc = -1;
+  PendingOp op;
+  Value read_result = 0;  ///< contents returned, when op.is_read()
+
+  std::string to_string() const;
+};
+
+}  // namespace tsb::sim

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/op.hpp"
+#include "sim/value.hpp"
+
+namespace tsb::sim {
+
+/// A protocol in the asynchronous read/write shared-memory model,
+/// expressed as a deterministic step machine per process.
+///
+/// This is the model of Zhu's paper (Section 2): each process runs a
+/// deterministic algorithm; a configuration consists of every process's
+/// local state plus the contents of every register; a step by process p is
+/// the operation p is poised to perform in its current state.
+///
+/// Determinism matters: the lower bound is stated for nondeterministic
+/// solo-terminating protocols, which subsume randomized ones by fixing the
+/// coin flips. We model randomized protocols by baking a coin stream into
+/// the local state (see consensus/randomized.hpp), so the simulator itself
+/// stays deterministic and configurations remain pure value types.
+///
+/// Contract:
+///  * `poised(p, s)` must be a pure function of (p, s).
+///  * After `poised(p, s).is_decide()`, the state is terminal; the engine
+///    never calls `after_*` on it. Decisions are stable by construction.
+///  * `after_read` / `after_write` return the successor local state. They
+///    must be pure; the engine owns register mutation.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Number of processes the instance is configured for (n >= 2).
+  virtual int num_processes() const = 0;
+
+  /// Number of shared registers the protocol uses (its space complexity).
+  virtual int num_registers() const = 0;
+
+  /// Initial contents of every register; the model requires this to be the
+  /// same in all initial configurations (independent of inputs).
+  virtual Value initial_register() const { return kEmptyRegister; }
+
+  /// Initial local state of process p with input `input`.
+  virtual State initial_state(ProcId p, Value input) const = 0;
+
+  /// The operation process p is poised to perform in local state s.
+  virtual PendingOp poised(ProcId p, State s) const = 0;
+
+  /// Successor state after p's pending read returned `observed`.
+  virtual State after_read(ProcId p, State s, Value observed) const = 0;
+
+  /// Successor state after p's pending write was applied.
+  virtual State after_write(ProcId p, State s) const = 0;
+
+  /// Successor state after p's pending swap returned the overwritten value
+  /// `observed`. Only called for protocols that issue kSwap ops (the
+  /// historyless extension, paper Section 4); read/write protocols never
+  /// override this.
+  virtual State after_swap(ProcId p, State s, Value observed) const {
+    (void)p;
+    (void)s;
+    (void)observed;
+    // Reaching this means poised() returned kSwap without an override.
+    throw std::logic_error("protocol issued a swap without after_swap");
+  }
+};
+
+}  // namespace tsb::sim

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/model_checker.hpp"
+#include "sim/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace tsb::sim {
+
+/// A finite, table-driven, anonymous protocol: the search space for the
+/// brute-force experiment (E7).
+///
+/// Local state is (mode, pref) with mode in [0, modes) and pref in {0,1}.
+/// All processes run the same tables (anonymity). Registers hold values in
+/// {empty, 0, 1}. Per state the protocol either reads a register, writes
+/// 0/1 to a register, or decides its current preference (deciding pref is
+/// forced: it makes Validity structural, shrinking the search space without
+/// excluding any protocol that could be correct up to renaming decisions).
+struct TableProtocolSpec {
+  int n = 2;      ///< processes
+  int m = 1;      ///< registers
+  int modes = 1;  ///< modes per preference; states = 2 * modes
+
+  // Indexed by state = mode * 2 + pref.
+  std::vector<std::uint8_t> op_kind;  ///< 0 = read, 1 = write, 2 = decide
+  std::vector<std::uint8_t> op_reg;   ///< operand register for read/write
+  std::vector<std::uint8_t> op_val;   ///< value written (0/1) for write
+
+  // Read successor: indexed by state * 3 + obs, obs: 0 = empty, 1, 2 = 0/1.
+  std::vector<std::uint8_t> read_next;
+  // Write successor: indexed by state.
+  std::vector<std::uint8_t> write_next;
+
+  int num_states() const { return 2 * modes; }
+  std::string to_string() const;
+};
+
+class TableProtocol final : public Protocol {
+ public:
+  explicit TableProtocol(TableProtocolSpec spec);
+
+  std::string name() const override { return "table-protocol"; }
+  int num_processes() const override { return spec_.n; }
+  int num_registers() const override { return spec_.m; }
+  State initial_state(ProcId p, Value input) const override;
+  PendingOp poised(ProcId p, State s) const override;
+  State after_read(ProcId p, State s, Value observed) const override;
+  State after_write(ProcId p, State s) const override;
+
+  const TableProtocolSpec& spec() const { return spec_; }
+
+ private:
+  TableProtocolSpec spec_;
+};
+
+/// Brute-force sweep over the TableProtocol family.
+class ProtocolSearch {
+ public:
+  struct Options {
+    int n = 2;
+    int m = 1;
+    int modes = 1;
+    std::size_t max_candidates = 0;  ///< 0 = no cap (full enumeration)
+    std::size_t solo_step_cap = 64;
+    std::size_t max_configs = 20'000;
+  };
+
+  struct Stats {
+    std::size_t candidates = 0;     ///< genomes examined
+    std::size_t skipped_trivial = 0;  ///< rejected without model checking
+    std::size_t safe = 0;           ///< pass agreement + validity
+    std::size_t live = 0;           ///< additionally pass solo termination
+    std::vector<TableProtocolSpec> winners;  ///< fully correct protocols
+  };
+
+  /// Exhaustively enumerate every genome (mixed-radix counter) and model
+  /// check each. With Options::max_candidates > 0 stops after that many.
+  static Stats exhaustive(const Options& opts);
+
+  /// Uniformly sample `count` genomes; useful where exhaustion is infeasible.
+  static Stats sample(const Options& opts, std::size_t count, util::Rng& rng);
+
+  /// Total genome count for the family (may saturate at SIZE_MAX).
+  static std::size_t family_size(const Options& opts);
+
+ private:
+  static Stats run(const Options& opts,
+                   const std::function<bool(TableProtocolSpec&)>& next_spec);
+  static bool plausible(const TableProtocolSpec& spec);
+  static void check_one(const Options& opts, const TableProtocolSpec& spec,
+                        Stats& stats);
+};
+
+}  // namespace tsb::sim

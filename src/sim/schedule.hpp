@@ -1,0 +1,54 @@
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "sim/value.hpp"
+#include "util/proc_set.hpp"
+
+namespace tsb::sim {
+
+/// A schedule: the sequence of process ids taking steps, i.e. an element of
+/// Pi^* in the paper's notation. Together with a starting configuration it
+/// determines an execution (protocols are deterministic).
+class Schedule {
+ public:
+  Schedule() = default;
+  Schedule(std::initializer_list<ProcId> steps) : steps_(steps) {}
+  explicit Schedule(std::vector<ProcId> steps) : steps_(std::move(steps)) {}
+
+  static Schedule solo(ProcId p, std::size_t count);
+
+  const std::vector<ProcId>& steps() const { return steps_; }
+  std::size_t size() const { return steps_.size(); }
+  bool empty() const { return steps_.empty(); }
+  ProcId operator[](std::size_t i) const { return steps_[i]; }
+
+  void push(ProcId p) { steps_.push_back(p); }
+  void append(const Schedule& other);
+
+  /// Concatenation, written multiplicatively as in the paper (C-alpha-beta).
+  friend Schedule operator+(Schedule a, const Schedule& b) {
+    a.append(b);
+    return a;
+  }
+
+  /// The first `k` steps.
+  Schedule prefix(std::size_t k) const;
+
+  /// Set of processes taking at least one step.
+  util::ProcSet participants() const;
+
+  /// True iff every step is by a process in P (a "P-only" schedule).
+  bool only(util::ProcSet p) const;
+
+  bool operator==(const Schedule&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<ProcId> steps_;
+};
+
+}  // namespace tsb::sim

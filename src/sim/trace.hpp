@@ -1,0 +1,49 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/op.hpp"
+
+namespace tsb::sim {
+
+/// Sequence of executed steps; the "execution" corresponding to a schedule
+/// applied at a configuration. Certificates replay traces and check them
+/// against raw engine semantics.
+struct Trace {
+  std::vector<StepRecord> records;
+
+  void append(const Trace& other) {
+    records.insert(records.end(), other.records.begin(), other.records.end());
+  }
+
+  /// Registers written at least once in the trace (swaps write too).
+  std::set<RegId> registers_written() const {
+    std::set<RegId> out;
+    for (const auto& r : records) {
+      if (r.op.is_write() || r.op.is_swap()) out.insert(r.op.reg);
+    }
+    return out;
+  }
+
+  /// Registers accessed (read, written, or swapped).
+  std::set<RegId> registers_accessed() const {
+    std::set<RegId> out;
+    for (const auto& r : records) {
+      if (!r.op.is_decide()) out.insert(r.op.reg);
+    }
+    return out;
+  }
+
+  std::string to_string() const {
+    std::string out;
+    for (const auto& r : records) {
+      out += r.to_string();
+      out += "\n";
+    }
+    return out;
+  }
+};
+
+}  // namespace tsb::sim

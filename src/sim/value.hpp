@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/packing.hpp"
+
+namespace tsb::sim {
+
+/// Process identifier: index in [0, n).
+using ProcId = int;
+
+/// Register identifier: index in [0, m).
+using RegId = int;
+
+/// Register contents. The model allows unbounded registers; every protocol
+/// in this repository packs its register words losslessly into int64 (see
+/// util/packing.hpp), which keeps configurations cheap value types. The
+/// lower bound is insensitive to this choice: Zhu's theorem holds "even if
+/// the registers are of unbounded size", i.e. large values cannot help, and
+/// none of our protocols needs more than a (round, value) pair.
+using Value = std::int64_t;
+
+/// Local process state, encoded in one word. Protocols with structured
+/// state intern it (util::StateInterner) or pack it (util::packing).
+using State = std::int64_t;
+
+/// Initial contents of every register in every initial configuration
+/// (the model fixes these to be input-independent).
+inline constexpr Value kEmptyRegister = tsb::util::kNilValue;
+
+}  // namespace tsb::sim

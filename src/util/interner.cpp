@@ -1,0 +1,57 @@
+#include "util/interner.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace tsb::util {
+
+std::int64_t StateInterner::intern(const std::string& bytes) {
+  auto [it, inserted] =
+      ids_.try_emplace(bytes, static_cast<std::int64_t>(table_.size()));
+  if (inserted) table_.push_back(bytes);
+  return it->second;
+}
+
+const std::string& StateInterner::lookup(std::int64_t id) const {
+  assert(id >= 0 && static_cast<std::size_t>(id) < table_.size());
+  return table_[static_cast<std::size_t>(id)];
+}
+
+bool StateInterner::contains(const std::string& bytes) const {
+  return ids_.count(bytes) != 0;
+}
+
+void ByteWriter::put_i64(std::int64_t v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  bytes_.append(buf, sizeof v);
+}
+
+void ByteWriter::put_i32(std::int32_t v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  bytes_.append(buf, sizeof v);
+}
+
+std::int64_t ByteReader::get_i64() {
+  assert(pos_ + sizeof(std::int64_t) <= bytes_.size());
+  std::int64_t v;
+  std::memcpy(&v, bytes_.data() + pos_, sizeof v);
+  pos_ += sizeof v;
+  return v;
+}
+
+std::int32_t ByteReader::get_i32() {
+  assert(pos_ + sizeof(std::int32_t) <= bytes_.size());
+  std::int32_t v;
+  std::memcpy(&v, bytes_.data() + pos_, sizeof v);
+  pos_ += sizeof v;
+  return v;
+}
+
+std::uint8_t ByteReader::get_u8() {
+  assert(pos_ < bytes_.size());
+  return static_cast<std::uint8_t>(bytes_[pos_++]);
+}
+
+}  // namespace tsb::util

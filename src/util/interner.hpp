@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tsb::util {
+
+/// Maps arbitrary byte strings to dense int64 ids and back.
+///
+/// Simulator protocol states must be single int64 words so configurations
+/// stay hashable value types. Protocols whose local state does not pack into
+/// 64 bits (e.g. round-based protocols carrying a view) serialize the state
+/// to bytes and intern it here; the id becomes the state word.
+///
+/// Ids are assigned consecutively from 0, so a protocol can also use the
+/// interner as a visited-state census.
+class StateInterner {
+ public:
+  /// Intern a byte string; returns a stable id.
+  std::int64_t intern(const std::string& bytes);
+
+  /// Reverse lookup. id must have been produced by intern().
+  const std::string& lookup(std::int64_t id) const;
+
+  /// Whether the byte string is already interned (does not insert).
+  bool contains(const std::string& bytes) const;
+
+  std::size_t size() const { return table_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::int64_t> ids_;
+  std::vector<std::string> table_;
+};
+
+/// Tiny append-only byte serializer used with StateInterner.
+class ByteWriter {
+ public:
+  void put_i64(std::int64_t v);
+  void put_i32(std::int32_t v);
+  void put_u8(std::uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  const std::string& str() const { return bytes_; }
+
+ private:
+  std::string bytes_;
+};
+
+/// Cursor-based reader matching ByteWriter.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& bytes) : bytes_(bytes) {}
+  std::int64_t get_i64();
+  std::int32_t get_i32();
+  std::uint8_t get_u8();
+  bool done() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tsb::util

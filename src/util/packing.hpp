@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace tsb::util {
+
+/// Lossless packing of small structured values into the int64 register /
+/// state word used by the simulator.
+///
+/// The model allows unbounded registers; our concrete protocols only ever
+/// store pairs such as (round, value) or (id, preference). Packing them
+/// into one word keeps configurations hashable and cheap to copy, which the
+/// valency analyzer depends on.
+///
+/// Layout of pack_pair: [ hi : 32 bits | lo : 32 bits ], both fields are
+/// signed 32-bit values stored zig-zag-free by offsetting through uint32.
+
+constexpr std::int64_t kNilValue = -1;  ///< canonical "empty register" mark
+
+inline std::int64_t pack_pair(std::int32_t hi, std::int32_t lo) {
+  return static_cast<std::int64_t>(
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(hi)) << 32) |
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(lo)));
+}
+
+inline std::int32_t unpack_hi(std::int64_t packed) {
+  return static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(static_cast<std::uint64_t>(packed) >> 32));
+}
+
+inline std::int32_t unpack_lo(std::int64_t packed) {
+  return static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(static_cast<std::uint64_t>(packed)));
+}
+
+/// Packing of (a, b, c, d) 16-bit fields; used by protocol states that track
+/// a program counter plus a few small scalars.
+inline std::int64_t pack_quad(std::uint16_t a, std::uint16_t b,
+                              std::uint16_t c, std::uint16_t d) {
+  return static_cast<std::int64_t>(
+      (static_cast<std::uint64_t>(a) << 48) |
+      (static_cast<std::uint64_t>(b) << 32) |
+      (static_cast<std::uint64_t>(c) << 16) | static_cast<std::uint64_t>(d));
+}
+
+inline std::uint16_t quad_a(std::int64_t p) {
+  return static_cast<std::uint16_t>(static_cast<std::uint64_t>(p) >> 48);
+}
+inline std::uint16_t quad_b(std::int64_t p) {
+  return static_cast<std::uint16_t>(static_cast<std::uint64_t>(p) >> 32);
+}
+inline std::uint16_t quad_c(std::int64_t p) {
+  return static_cast<std::uint16_t>(static_cast<std::uint64_t>(p) >> 16);
+}
+inline std::uint16_t quad_d(std::int64_t p) {
+  return static_cast<std::uint16_t>(static_cast<std::uint64_t>(p));
+}
+
+}  // namespace tsb::util

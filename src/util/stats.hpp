@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tsb::util {
+
+/// Streaming summary statistics (Welford) for benchmark measurements.
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double total() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Ordinary least squares fit of y = a + b*x. Used by the mutex-cost
+/// experiment to estimate growth exponents (fit log-cost against log-n and
+/// against log(n log n)).
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+
+LinearFit fit_line(const std::vector<double>& xs,
+                   const std::vector<double>& ys);
+
+/// log2(n!) computed in double precision; the Fan-Lynch information bound.
+double log2_factorial(int n);
+
+/// Exact percentile (by sorting a copy); p in [0,100].
+double percentile(std::vector<double> values, double p);
+
+}  // namespace tsb::util

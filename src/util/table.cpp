@@ -1,0 +1,91 @@
+#include "util/table.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+namespace tsb::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  assert(!headers_.empty());
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::to_cell(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+
+std::string Table::to_text(const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      if (c + 1 < row.size()) {
+        line.append(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out;
+  if (!title.empty()) out += "== " + title + " ==\n";
+  out += render_row(headers_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Table::to_csv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string q = "\"";
+    for (char ch : cell) {
+      if (ch == '"') q += '"';
+      q += ch;
+    }
+    return q + "\"";
+  };
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += quote(headers_[c]);
+    if (c + 1 < headers_.size()) out += ',';
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += quote(row[c]);
+      if (c + 1 < row.size()) out += ',';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  os << to_text(title) << '\n';
+}
+
+}  // namespace tsb::util

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tsb::util {
+
+/// Column-aligned plain-text table used by every benchmark binary so that
+/// experiment output is directly comparable across runs (and greppable by
+/// EXPERIMENTS.md tooling). Also renders CSV for downstream plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; the number of cells must equal the number of headers.
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each argument with to_cell().
+  template <typename... Ts>
+  Table& row(const Ts&... vals) {
+    return add_row({to_cell(vals)...});
+  }
+
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(bool b) { return b ? "yes" : "no"; }
+  static std::string to_cell(double v);
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    return std::to_string(v);
+  }
+
+  /// Render with aligned columns, a header rule, and an optional title.
+  std::string to_text(const std::string& title = "") const;
+  std::string to_csv() const;
+
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tsb::util

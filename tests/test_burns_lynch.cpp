@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mutex/bakery.hpp"
+#include "mutex/burns_lynch.hpp"
+#include "mutex/canonical.hpp"
+#include "mutex/peterson.hpp"
+#include "mutex/tournament.hpp"
+
+namespace tsb::mutex {
+namespace {
+
+enum class Algo { kPeterson, kTournament, kBakery };
+
+std::unique_ptr<MutexAlgorithm> make(Algo a, int n) {
+  switch (a) {
+    case Algo::kPeterson:
+      return std::make_unique<PetersonMutex>(n);
+    case Algo::kTournament:
+      return std::make_unique<TournamentMutex>(n);
+    default:
+      return std::make_unique<BakeryMutex>(n);
+  }
+}
+
+struct Case {
+  Algo algo;
+  int n;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const char* names[] = {"peterson", "tournament", "bakery"};
+  return std::string(names[static_cast<int>(info.param.algo)]) + "_n" +
+         std::to_string(info.param.n);
+}
+
+class BurnsLynchTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(BurnsLynchTest, CoversNDistinctRegisters) {
+  auto alg = make(GetParam().algo, GetParam().n);
+  MutexCoveringAdversary adversary(*alg);
+  const auto result = adversary.run();
+  EXPECT_TRUE(result.complete) << result.narrative;
+  EXPECT_EQ(result.distinct_registers, GetParam().n)
+      << "Burns-Lynch: a correct mutex must let the adversary cover n "
+         "distinct registers";
+  EXPECT_EQ(result.invisible_entrant, -1);
+  EXPECT_LE(GetParam().n, alg->num_registers())
+      << "covering n distinct registers requires space >= n";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, BurnsLynchTest,
+    ::testing::Values(Case{Algo::kPeterson, 2}, Case{Algo::kPeterson, 5},
+                      Case{Algo::kTournament, 4}, Case{Algo::kTournament, 7},
+                      Case{Algo::kBakery, 3}, Case{Algo::kBakery, 6}),
+    case_name);
+
+TEST(BurnsLynch, CoveringProcessesStayPoised) {
+  // The covering is simultaneous: replay the construction and verify every
+  // recorded (process, register) claim in the final configuration.
+  PetersonMutex alg(4);
+  MutexCoveringAdversary adversary(alg);
+  const auto result = adversary.run();
+  ASSERT_TRUE(result.complete);
+
+  MutexConfig cfg = mutex_initial(alg);
+  std::set<sim::RegId> covered;
+  for (auto [p, claimed] : result.covering) {
+    const auto up = static_cast<std::size_t>(p);
+    cfg.states[up] = alg.begin_trying(p, cfg.states[up]);
+    for (int guard = 0; guard < 100000; ++guard) {
+      const sim::PendingOp op = alg.poised(p, cfg.states[up]);
+      if (op.is_write() && covered.count(op.reg) == 0) {
+        EXPECT_EQ(op.reg, claimed);
+        covered.insert(op.reg);
+        break;
+      }
+      cfg = mutex_step(alg, cfg, p).config;
+    }
+  }
+  EXPECT_EQ(covered.size(), 4u);
+}
+
+TEST(NaiveLock, CoveringAdversaryCatchesTheInvisibleEntrant) {
+  NaiveLock lock(3);
+  MutexCoveringAdversary adversary(lock);
+  const auto result = adversary.run();
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.invisible_entrant, 1)
+      << "p1 must slip into the CS behind p0's covered write";
+  EXPECT_EQ(result.distinct_registers, 1);
+}
+
+TEST(NaiveLock, CanonicalDriverDetectsBrokenExclusion) {
+  NaiveLock lock(3);
+  CanonicalOptions opts;
+  opts.strategy = CanonicalOptions::Strategy::kRoundRobin;
+  const auto result = run_canonical(lock, opts);
+  EXPECT_TRUE(result.exclusion_violated)
+      << "round-robin drives two processes through the read-write window";
+  EXPECT_FALSE(result.completed);
+}
+
+TEST(NaiveLock, WorksWithoutContention) {
+  // Solo, the naive lock is fine — the bug needs interleaving, which is
+  // the point of the covering adversary.
+  NaiveLock lock(2);
+  CanonicalOptions opts;
+  opts.strategy = CanonicalOptions::Strategy::kSequential;
+  const auto result = run_canonical(lock, opts);
+  EXPECT_TRUE(result.completed) << result.summary();
+  EXPECT_FALSE(result.exclusion_violated);
+}
+
+}  // namespace
+}  // namespace tsb::mutex

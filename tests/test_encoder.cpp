@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mutex/bakery.hpp"
+#include "mutex/encoder.hpp"
+#include "mutex/peterson.hpp"
+#include "mutex/tournament.hpp"
+#include "util/stats.hpp"
+
+namespace tsb::mutex {
+namespace {
+
+enum class Algo { kPeterson, kTournament, kBakery };
+
+std::unique_ptr<MutexAlgorithm> make(Algo a, int n) {
+  switch (a) {
+    case Algo::kPeterson:
+      return std::make_unique<PetersonMutex>(n);
+    case Algo::kTournament:
+      return std::make_unique<TournamentMutex>(n);
+    default:
+      return std::make_unique<BakeryMutex>(n);
+  }
+}
+
+struct Case {
+  Algo algo;
+  int n;
+  CanonicalOptions::Strategy strategy;
+  std::uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const char* names[] = {"peterson", "tournament", "bakery"};
+  const char* strat =
+      info.param.strategy == CanonicalOptions::Strategy::kSequential
+          ? "seq"
+          : (info.param.strategy == CanonicalOptions::Strategy::kRoundRobin
+                 ? "rr"
+                 : "rand");
+  return std::string(names[static_cast<int>(info.param.algo)]) + "_n" +
+         std::to_string(info.param.n) + "_" + strat + "_s" +
+         std::to_string(info.param.seed);
+}
+
+class EncoderRoundTrip : public ::testing::TestWithParam<Case> {};
+
+TEST_P(EncoderRoundTrip, DecoderRecoversTheCsPermutation) {
+  const auto& param = GetParam();
+  auto alg = make(param.algo, param.n);
+  CanonicalOptions opts;
+  opts.strategy = param.strategy;
+  opts.seed = param.seed;
+  const auto result = run_canonical(*alg, opts);
+  ASSERT_TRUE(result.completed) << result.summary();
+
+  const ExecutionEncoding enc = encode_execution(result, param.n);
+  EXPECT_EQ(enc.symbols, result.changing_schedule.size());
+  EXPECT_EQ(enc.bit_count,
+            enc.symbols * static_cast<std::size_t>(enc.bits_per_symbol));
+
+  const bool eager =
+      param.strategy != CanonicalOptions::Strategy::kSequential;
+  const DecodeResult dec = decode_execution(*alg, enc, eager);
+  ASSERT_TRUE(dec.ok) << dec.error;
+  EXPECT_EQ(dec.cs_order, result.cs_order)
+      << "the encoding must determine the CS permutation";
+  EXPECT_EQ(dec.steps_replayed, enc.symbols);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EncoderRoundTrip,
+    ::testing::Values(
+        Case{Algo::kPeterson, 3, CanonicalOptions::Strategy::kRoundRobin, 1},
+        Case{Algo::kPeterson, 5, CanonicalOptions::Strategy::kRandomized, 3},
+        Case{Algo::kTournament, 4, CanonicalOptions::Strategy::kRoundRobin, 1},
+        Case{Algo::kTournament, 8, CanonicalOptions::Strategy::kRandomized, 9},
+        Case{Algo::kBakery, 3, CanonicalOptions::Strategy::kRoundRobin, 1},
+        Case{Algo::kBakery, 6, CanonicalOptions::Strategy::kRandomized, 5},
+        Case{Algo::kTournament, 6, CanonicalOptions::Strategy::kSequential, 1},
+        Case{Algo::kBakery, 4, CanonicalOptions::Strategy::kSequential, 1}),
+    case_name);
+
+TEST_P(EncoderRoundTrip, RleVariantAlsoRecoversThePermutation) {
+  const auto& param = GetParam();
+  auto alg = make(param.algo, param.n);
+  CanonicalOptions opts;
+  opts.strategy = param.strategy;
+  opts.seed = param.seed;
+  const auto result = run_canonical(*alg, opts);
+  ASSERT_TRUE(result.completed);
+
+  const ExecutionEncoding plain = encode_execution(result, param.n);
+  const ExecutionEncoding rle = encode_execution_rle(result, param.n);
+  EXPECT_EQ(rle.symbols, plain.symbols);
+
+  const bool eager =
+      param.strategy != CanonicalOptions::Strategy::kSequential;
+  const DecodeResult dec = decode_execution_rle(*alg, rle, eager);
+  ASSERT_TRUE(dec.ok) << dec.error;
+  EXPECT_EQ(dec.cs_order, result.cs_order);
+  if (param.strategy == CanonicalOptions::Strategy::kSequential) {
+    // Long solo runs compress dramatically under run-length coding.
+    EXPECT_LT(rle.bit_count, plain.bit_count);
+  }
+}
+
+TEST(EncoderRle, SequentialRunsCompressTowardO_C) {
+  BakeryMutex alg(8);
+  CanonicalOptions opts;
+  opts.strategy = CanonicalOptions::Strategy::kSequential;
+  const auto result = run_canonical(alg, opts);
+  ASSERT_TRUE(result.completed);
+  const auto plain = encode_execution(result, 8);
+  const auto rle = encode_execution_rle(result, 8);
+  EXPECT_LT(rle.bit_count * 4, plain.bit_count)
+      << "a fully sequential execution is 8 runs; RLE must crush it";
+  const auto dec = decode_execution_rle(alg, rle, /*eager_start=*/false);
+  ASSERT_TRUE(dec.ok) << dec.error;
+  EXPECT_EQ(dec.cs_order, result.cs_order);
+}
+
+TEST(EncoderRle, TruncatedStreamFailsCleanly) {
+  TournamentMutex alg(4);
+  CanonicalOptions opts;
+  const auto result = run_canonical(alg, opts);
+  ASSERT_TRUE(result.completed);
+  ExecutionEncoding rle = encode_execution_rle(result, 4);
+  rle.bytes.resize(rle.bytes.size() / 4);
+  rle.bit_count = rle.bytes.size() * 8;
+  const auto dec = decode_execution_rle(alg, rle, /*eager_start=*/true);
+  EXPECT_FALSE(dec.ok);
+  EXPECT_FALSE(dec.error.empty());
+}
+
+TEST(Encoder, BitsPerSymbolIsCeilLog2) {
+  CanonicalResult r;
+  r.changing_schedule = {0, 1, 2};
+  EXPECT_EQ(encode_execution(r, 2).bits_per_symbol, 1);
+  EXPECT_EQ(encode_execution(r, 3).bits_per_symbol, 2);
+  EXPECT_EQ(encode_execution(r, 4).bits_per_symbol, 2);
+  EXPECT_EQ(encode_execution(r, 5).bits_per_symbol, 3);
+  EXPECT_EQ(encode_execution(r, 64).bits_per_symbol, 6);
+}
+
+TEST(Encoder, EncodingSizeDominatesInformationBound) {
+  // log2(n!) is a lower bound on the bits any lossless encoding of the CS
+  // permutation needs; our encodings must sit above it.
+  for (int n : {4, 8, 12}) {
+    TournamentMutex alg(n);
+    CanonicalOptions opts;
+    opts.strategy = CanonicalOptions::Strategy::kRandomized;
+    opts.seed = 42;
+    const auto result = run_canonical(alg, opts);
+    ASSERT_TRUE(result.completed);
+    const auto enc = encode_execution(result, n);
+    EXPECT_GE(static_cast<double>(enc.bit_count), util::log2_factorial(n));
+  }
+}
+
+TEST(Encoder, DifferentOrdersYieldDifferentEncodings) {
+  BakeryMutex alg(4);
+  CanonicalOptions a;
+  a.strategy = CanonicalOptions::Strategy::kSequential;
+  a.order = {0, 1, 2, 3};
+  CanonicalOptions b = a;
+  b.order = {3, 2, 1, 0};
+  const auto ra = run_canonical(alg, a);
+  const auto rb = run_canonical(alg, b);
+  ASSERT_TRUE(ra.completed);
+  ASSERT_TRUE(rb.completed);
+  EXPECT_NE(encode_execution(ra, 4).bytes, encode_execution(rb, 4).bytes);
+}
+
+TEST(Decoder, DetectsOutOfRangeSymbols) {
+  TournamentMutex alg(2);  // 1 bit per symbol; n = 2 ids are always valid,
+  // so corrupt by truncation instead: an empty encoding replays nothing.
+  ExecutionEncoding enc;
+  enc.bits_per_symbol = 1;
+  enc.symbols = 0;
+  const auto dec = decode_execution(alg, enc, /*eager_start=*/true);
+  EXPECT_FALSE(dec.ok);
+  EXPECT_FALSE(dec.error.empty());
+}
+
+TEST(Decoder, TamperedEncodingDoesNotReproduceTheOrder) {
+  BakeryMutex alg(4);
+  CanonicalOptions opts;
+  opts.strategy = CanonicalOptions::Strategy::kRoundRobin;
+  const auto result = run_canonical(alg, opts);
+  ASSERT_TRUE(result.completed);
+  ExecutionEncoding enc = encode_execution(result, 4);
+  ASSERT_FALSE(enc.bytes.empty());
+  // Drop the second half of the execution: some process can no longer
+  // complete its passage, so the replay must report failure.
+  enc.symbols /= 2;
+  const auto dec = decode_execution(alg, enc, /*eager_start=*/true);
+  EXPECT_FALSE(dec.ok);
+  EXPECT_FALSE(dec.error.empty());
+}
+
+}  // namespace
+}  // namespace tsb::mutex

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "consensus/historyless.hpp"
+#include "sim/explorer.hpp"
+#include "sim/model_checker.hpp"
+
+namespace tsb::consensus {
+namespace {
+
+TEST(EngineSwap, SwapReturnsOverwrittenValueAndWrites) {
+  SwapConsensus proto(2);
+  sim::Config c = sim::initial_config(proto, {1, 0});
+  sim::Trace trace;
+  c = sim::step(proto, c, 0, &trace);  // p0 swaps in its proposal 1
+  ASSERT_EQ(trace.records.size(), 1u);
+  EXPECT_TRUE(trace.records[0].op.is_swap());
+  EXPECT_EQ(trace.records[0].read_result, sim::kEmptyRegister);
+  EXPECT_EQ(c.regs[0], 1);
+
+  c = sim::step(proto, c, 1, &trace);  // p1 swaps in 0, sees 1
+  EXPECT_EQ(trace.records[1].read_result, 1);
+  EXPECT_EQ(c.regs[0], 0);
+  EXPECT_EQ(trace.registers_written(), std::set<sim::RegId>{0});
+}
+
+TEST(EngineSwap, ProtocolsWithoutAfterSwapThrow) {
+  // A protocol that issues kSwap without overriding after_swap is a bug;
+  // the base class throws rather than corrupting state.
+  class Broken final : public sim::Protocol {
+   public:
+    std::string name() const override { return "broken"; }
+    int num_processes() const override { return 1; }
+    int num_registers() const override { return 1; }
+    sim::State initial_state(sim::ProcId, sim::Value) const override {
+      return 0;
+    }
+    sim::PendingOp poised(sim::ProcId, sim::State) const override {
+      return sim::PendingOp::swap(0, 1);
+    }
+    sim::State after_read(sim::ProcId, sim::State s,
+                          sim::Value) const override {
+      return s;
+    }
+    sim::State after_write(sim::ProcId, sim::State s) const override {
+      return s;
+    }
+  };
+  Broken proto;
+  const sim::Config c = sim::initial_config(proto, {0});
+  EXPECT_THROW((void)sim::step(proto, c, 0), std::logic_error);
+}
+
+TEST(SwapConsensus, TwoProcessesExhaustivelyCorrect) {
+  SwapConsensus proto(2);
+  sim::ModelChecker checker(proto);
+  const auto report = checker.check_all_binary_inputs();
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_FALSE(report.truncated);
+  // Wait-free in exactly one memory step per process.
+  EXPECT_LE(report.max_solo_steps_seen, 1u);
+}
+
+TEST(SwapConsensus, ThreeProcessesViolateAgreement) {
+  // Swap's consensus number is 2; the checker exhibits the violation.
+  SwapConsensus proto(3);
+  sim::ModelChecker::Options opts;
+  opts.check_solo_termination = false;
+  sim::ModelChecker checker(proto, opts);
+  const auto report = checker.check_all_binary_inputs();
+  ASSERT_FALSE(report.ok);
+  ASSERT_TRUE(report.schedule_to_bad.has_value());
+  const sim::Config init = sim::initial_config(proto, *report.bad_inputs);
+  const sim::Config bad = sim::run(proto, init, *report.schedule_to_bad);
+  EXPECT_TRUE(sim::some_decided(proto, bad, 0));
+  EXPECT_TRUE(sim::some_decided(proto, bad, 1));
+}
+
+TEST(SwapConsensus, SecondSwapperAdoptsTheFirst) {
+  SwapConsensus proto(2);
+  sim::Config c = sim::initial_config(proto, {1, 0});
+  c = sim::step(proto, c, 0);
+  c = sim::step(proto, c, 1);
+  EXPECT_EQ(sim::decision_of(proto, c, 0), std::optional<sim::Value>(1));
+  EXPECT_EQ(sim::decision_of(proto, c, 1), std::optional<sim::Value>(1));
+}
+
+class TasTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TasTest, ExactlyOneLeaderInEveryCompleteExecution) {
+  const int n = GetParam();
+  TasLeaderElection proto(n);
+  const std::vector<sim::Value> inputs(static_cast<std::size_t>(n), 0);
+  const sim::Config init = sim::initial_config(proto, inputs);
+  sim::Explorer explorer(proto);
+  bool ok = true;
+  std::size_t complete = 0;
+  auto result = explorer.explore(
+      init, sim::ProcSet::first_n(n), [&](const sim::Config& c) {
+        int leaders = 0, decided = 0;
+        for (int p = 0; p < n; ++p) {
+          if (auto d = sim::decision_of(proto, c, p)) {
+            ++decided;
+            leaders += *d == 1;
+          }
+        }
+        if (leaders > 1) ok = false;
+        if (decided == n) {
+          ++complete;
+          if (leaders != 1) ok = false;
+        }
+        return ok;
+      });
+  EXPECT_TRUE(ok);
+  EXPECT_FALSE(result.truncated);
+  EXPECT_GT(complete, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TasTest, ::testing::Values(2, 3, 4, 6));
+
+TEST(TasLeaderElection, FirstSwapperIsTheLeader) {
+  TasLeaderElection proto(3);
+  sim::Config c = sim::initial_config(proto, {0, 0, 0});
+  c = sim::step(proto, c, 1);  // p1 swaps first
+  c = sim::step(proto, c, 0);
+  c = sim::step(proto, c, 2);
+  EXPECT_EQ(sim::decision_of(proto, c, 1), std::optional<sim::Value>(1));
+  EXPECT_EQ(sim::decision_of(proto, c, 0), std::optional<sim::Value>(0));
+  EXPECT_EQ(sim::decision_of(proto, c, 2), std::optional<sim::Value>(0));
+}
+
+}  // namespace
+}  // namespace tsb::consensus

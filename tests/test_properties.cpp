@@ -1,0 +1,182 @@
+// Cross-cutting property tests: invariants that must hold along *every*
+// execution, checked over randomized sweeps — the glue between the paper's
+// definitions and the implementation.
+#include <gtest/gtest.h>
+
+#include "bound/adversary.hpp"
+#include "bound/valency.hpp"
+#include "consensus/ballot.hpp"
+#include "consensus/racing.hpp"
+#include "perturb/counter.hpp"
+#include "perturb/perturbation.hpp"
+#include "util/rng.hpp"
+
+namespace tsb {
+namespace {
+
+using bound::ValencyOracle;
+using consensus::BallotConsensus;
+using sim::Config;
+using sim::ProcSet;
+
+class BallotProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BallotProperties, DecisionsAreStable) {
+  // Once a process decides, its decision never changes along any
+  // continuation (decide states are terminal by construction; this checks
+  // the whole pipeline, not just poised()).
+  BallotConsensus proto(3, 9);
+  util::Rng rng(GetParam());
+  Config c = sim::initial_config(proto, {0, 1, 1});
+  std::vector<std::optional<sim::Value>> decided(3);
+  for (int i = 0; i < 300; ++i) {
+    c = sim::step(proto, c, static_cast<int>(rng.below(3)));
+    for (int p = 0; p < 3; ++p) {
+      const auto d = sim::decision_of(proto, c, p);
+      if (decided[static_cast<std::size_t>(p)]) {
+        ASSERT_EQ(d, decided[static_cast<std::size_t>(p)])
+            << "decision changed after step " << i;
+      }
+      decided[static_cast<std::size_t>(p)] = d;
+    }
+  }
+}
+
+TEST_P(BallotProperties, Proposition1ivAlongDecidingExecutions) {
+  // Prop 1(iv): if v is decided in an execution from C, then every
+  // non-empty set is v-univalent from the resulting configuration.
+  BallotConsensus proto(3, 9);
+  ValencyOracle oracle(proto);
+  util::Rng rng(GetParam() ^ 0xf00d);
+  Config c = sim::initial_config(proto, {0, 1, 0});
+
+  // Drive some random contention, then let p0 decide.
+  for (int i = 0; i < 12; ++i) {
+    c = sim::step(proto, c, static_cast<int>(rng.below(3)));
+  }
+  const auto solo = sim::run_solo(proto, c, 0, 10'000);
+  ASSERT_TRUE(solo.decided);
+  const Config after = solo.final;
+
+  for (std::uint64_t bits = 1; bits < 8; ++bits) {
+    const ProcSet set{static_cast<std::uint64_t>(bits)};
+    EXPECT_TRUE(oracle.univalent_on(after, set, solo.decision))
+        << "set " << set.to_string() << " not univalent on the decided "
+        << solo.decision;
+  }
+}
+
+TEST_P(BallotProperties, UnivalenceIsClosedUnderOwnSteps) {
+  // If P is v-univalent from C, it stays v-univalent after any step by a
+  // member of P (P-only executions from the successor are suffixes of
+  // P-only executions from C).
+  BallotConsensus proto(2, 6);
+  ValencyOracle oracle(proto);
+  util::Rng rng(GetParam() ^ 0xbeef);
+  Config c = sim::initial_config(proto, {0, 1});
+  for (int i = 0; i < 30; ++i) {
+    for (int p = 0; p < 2; ++p) {
+      const ProcSet single = ProcSet::single(p);
+      for (sim::Value v : {0, 1}) {
+        if (oracle.univalent_on(c, single, v)) {
+          const Config next = sim::step(proto, c, p);
+          EXPECT_TRUE(oracle.univalent_on(next, single, v));
+        }
+      }
+    }
+    c = sim::step(proto, c, static_cast<int>(rng.below(2)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BallotProperties,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Determinism, AdversaryIsReproducible) {
+  BallotConsensus proto(4, 8);
+  bound::SpaceBoundAdversary a(proto);
+  bound::SpaceBoundAdversary b(proto);
+  const auto ra = a.run();
+  const auto rb = b.run();
+  ASSERT_TRUE(ra.ok);
+  ASSERT_TRUE(rb.ok);
+  EXPECT_EQ(ra.certificate.schedule, rb.certificate.schedule);
+  EXPECT_EQ(ra.certificate.covering, rb.certificate.covering);
+  EXPECT_EQ(ra.valency_queries, rb.valency_queries);
+}
+
+TEST(Determinism, PerturbationAdversaryIsReproducible) {
+  perturb::SwmrCounter counter(5);
+  perturb::PerturbationAdversary a(counter);
+  perturb::PerturbationAdversary b(counter);
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_EQ(ra.covering, rb.covering);
+  EXPECT_EQ(ra.narrative, rb.narrative);
+}
+
+TEST(Determinism, RunEqualsFoldOfSteps) {
+  BallotConsensus proto(3, 6);
+  util::Rng rng(99);
+  std::vector<sim::ProcId> steps;
+  for (int i = 0; i < 50; ++i) {
+    steps.push_back(static_cast<int>(rng.below(3)));
+  }
+  Config via_run = sim::run(proto, sim::initial_config(proto, {1, 0, 1}),
+                            sim::Schedule(steps));
+  Config via_fold = sim::initial_config(proto, {1, 0, 1});
+  for (sim::ProcId p : steps) via_fold = sim::step(proto, via_fold, p);
+  EXPECT_EQ(via_run, via_fold);
+}
+
+TEST(CoveringInvariant, AdversaryCertificateCoversOnlyWriteTargets) {
+  // Every covering claim the adversary emits is a pending WRITE — never a
+  // read, never a swap (Definition 2 is about writes only).
+  BallotConsensus proto(5, 15);
+  bound::SpaceBoundAdversary adversary(proto);
+  const auto result = adversary.run();
+  ASSERT_TRUE(result.ok);
+  const Config final_cfg = sim::run(
+      proto, sim::initial_config(proto, result.certificate.inputs),
+      result.certificate.schedule);
+  for (auto [p, r] : result.certificate.covering) {
+    const sim::PendingOp op = sim::poised_in(proto, final_cfg, p);
+    EXPECT_TRUE(op.is_write());
+    EXPECT_EQ(op.reg, r);
+  }
+}
+
+TEST(RacingInvariant, CollectObservationsNeverExceedRegisters) {
+  // The racing protocol's internal counters stay within [0, n] along any
+  // execution (packing-soundness sweep).
+  consensus::RacingConsensus proto(
+      4, consensus::RacingConsensus::AdoptRule::kAtLeast);
+  util::Rng rng(7);
+  Config c = sim::initial_config(proto, {0, 1, 0, 1});
+  for (int i = 0; i < 2000; ++i) {
+    c = sim::step(proto, c, static_cast<int>(rng.below(4)));
+    for (sim::Value reg : c.regs) {
+      EXPECT_TRUE(reg == sim::kEmptyRegister || reg == 0 || reg == 1)
+          << "register escaped the {empty,0,1} alphabet";
+    }
+  }
+}
+
+TEST(ScheduleInvariant, ParticipantsMatchSteps) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    sim::Schedule s;
+    ProcSet expected;
+    const int len = static_cast<int>(rng.below(20));
+    for (int i = 0; i < len; ++i) {
+      const int p = static_cast<int>(rng.below(6));
+      s.push(p);
+      expected = expected.with(p);
+    }
+    EXPECT_EQ(s.participants(), expected);
+    EXPECT_TRUE(s.only(expected));
+    EXPECT_EQ(s.prefix(s.size()), s);
+  }
+}
+
+}  // namespace
+}  // namespace tsb

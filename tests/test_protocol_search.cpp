@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "sim/model_checker.hpp"
+#include "sim/protocol_search.hpp"
+
+namespace tsb::sim {
+namespace {
+
+TableProtocolSpec hand_spec() {
+  // A 2-state (modes = 1) spec over one register:
+  //   s0 (pref 0): decide 0
+  //   s1 (pref 1): read R0; empty -> s1, sees 0 -> s0, sees 1 -> s1
+  TableProtocolSpec spec;
+  spec.n = 2;
+  spec.m = 1;
+  spec.modes = 1;
+  spec.op_kind = {2, 0};
+  spec.op_reg = {0, 0};
+  spec.op_val = {0, 0};
+  spec.read_next = {0, 0, 0, /*s1:*/ 1, 0, 1};
+  spec.write_next = {0, 0};
+  return spec;
+}
+
+TEST(TableProtocol, MechanicsFollowTheTables) {
+  TableProtocol proto(hand_spec());
+  EXPECT_EQ(proto.initial_state(0, 0), 0);
+  EXPECT_EQ(proto.initial_state(1, 1), 1);
+
+  // State 0 decides its preference 0.
+  EXPECT_EQ(proto.poised(0, 0), PendingOp::decide(0));
+  // State 1 reads R0 and transitions per the observation.
+  EXPECT_EQ(proto.poised(0, 1), PendingOp::read(0));
+  EXPECT_EQ(proto.after_read(0, 1, kEmptyRegister), 1);
+  EXPECT_EQ(proto.after_read(0, 1, 0), 0);
+  EXPECT_EQ(proto.after_read(0, 1, 1), 1);
+}
+
+TEST(TableProtocol, SpecToStringMentionsEveryState) {
+  const std::string s = hand_spec().to_string();
+  EXPECT_NE(s.find("s0"), std::string::npos);
+  EXPECT_NE(s.find("s1"), std::string::npos);
+  EXPECT_NE(s.find("decide 0"), std::string::npos);
+}
+
+TEST(FamilySize, MatchesClosedForm) {
+  // Per state: m*S^3 reads + 2m*S writes + 1 decide; genomes = per_state^S.
+  ProtocolSearch::Options opts;
+  opts.n = 2;
+  opts.m = 1;
+  opts.modes = 1;  // S = 2: (8 + 4 + 1)^2 = 169
+  EXPECT_EQ(ProtocolSearch::family_size(opts), 169u);
+  opts.m = 2;  // (2*8 + 8 + 1)^2 = 625
+  EXPECT_EQ(ProtocolSearch::family_size(opts), 625u);
+  opts.modes = 2;  // S = 4: (2*64 + 16 + 1)^4 = 145^4
+  EXPECT_EQ(ProtocolSearch::family_size(opts), 145ull * 145 * 145 * 145);
+}
+
+TEST(ExhaustiveSearch, EnumeratesTheWholeFamilyOnce) {
+  ProtocolSearch::Options opts;
+  opts.n = 2;
+  opts.m = 1;
+  opts.modes = 1;
+  const auto stats = ProtocolSearch::exhaustive(opts);
+  EXPECT_EQ(stats.candidates, ProtocolSearch::family_size(opts));
+}
+
+TEST(ExhaustiveSearch, NoOneRegisterConsensusForTwoProcesses) {
+  // Supports the paper's conjecture (space complexity n, proved for
+  // n <= 3): no anonymous table protocol solves 2-process OF consensus
+  // with a single register — within this family, checked exhaustively.
+  for (int modes : {1, 2}) {
+    ProtocolSearch::Options opts;
+    opts.n = 2;
+    opts.m = 1;
+    opts.modes = modes;
+    opts.max_candidates = modes == 1 ? 0 : 200'000;  // cap the big family
+    const auto stats = ProtocolSearch::exhaustive(opts);
+    EXPECT_EQ(stats.live, 0u) << "a winner would be a sensational bug";
+    EXPECT_TRUE(stats.winners.empty());
+    EXPECT_GT(stats.candidates, 0u);
+  }
+}
+
+TEST(ExhaustiveSearch, SafeButNotLiveProtocolsExist) {
+  // Vacuously safe protocols (never deciding) pass agreement + validity
+  // and fail solo termination; the counters must reflect that.
+  ProtocolSearch::Options opts;
+  opts.n = 2;
+  opts.m = 1;
+  opts.modes = 1;
+  const auto stats = ProtocolSearch::exhaustive(opts);
+  EXPECT_GT(stats.safe, stats.live);
+  EXPECT_GT(stats.skipped_trivial, 0u) << "all-read genomes are skipped";
+}
+
+TEST(SampledSearch, RunsTheRequestedNumberOfCandidates) {
+  ProtocolSearch::Options opts;
+  opts.n = 2;
+  opts.m = 2;
+  opts.modes = 2;
+  util::Rng rng(2024);
+  const auto stats = ProtocolSearch::sample(opts, 2000, rng);
+  EXPECT_EQ(stats.candidates, 2000u);
+  EXPECT_EQ(stats.live, 0u)
+      << "a random 2-register winner at this density would be miraculous";
+}
+
+TEST(SampledSearch, DeterministicUnderSeed) {
+  ProtocolSearch::Options opts;
+  opts.n = 2;
+  opts.m = 1;
+  opts.modes = 2;
+  util::Rng a(7), b(7);
+  const auto sa = ProtocolSearch::sample(opts, 500, a);
+  const auto sb = ProtocolSearch::sample(opts, 500, b);
+  EXPECT_EQ(sa.safe, sb.safe);
+  EXPECT_EQ(sa.live, sb.live);
+  EXPECT_EQ(sa.skipped_trivial, sb.skipped_trivial);
+}
+
+}  // namespace
+}  // namespace tsb::sim

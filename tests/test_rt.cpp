@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+
+#include "rt/atomic_registers.hpp"
+#include "rt/commit_adopt.hpp"
+#include "rt/harness.hpp"
+#include "rt/leader_election.hpp"
+#include "rt/rt_consensus.hpp"
+#include "rt/rt_counter.hpp"
+#include "rt/rt_mutex.hpp"
+#include "rt/rt_snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace tsb::rt {
+namespace {
+
+TEST(AtomicRegisters, InstrumentationCountsAccesses) {
+  AtomicRegisterArray regs(4);
+  regs.write(0, 7);
+  regs.write(0, 8);
+  regs.write(2, 9);
+  EXPECT_EQ(regs.read(0), 8u);
+  EXPECT_EQ(regs.read(3), 0u);
+  EXPECT_EQ(regs.total_writes(), 3u);
+  EXPECT_EQ(regs.total_reads(), 2u);
+  EXPECT_EQ(regs.distinct_registers_written(), 2u);
+  EXPECT_EQ(regs.written_registers(), (std::vector<std::size_t>{0, 2}));
+  regs.reset_stats();
+  EXPECT_EQ(regs.total_writes(), 0u);
+  EXPECT_EQ(regs.distinct_registers_written(), 0u);
+  EXPECT_EQ(regs.read(0), 8u) << "reset_stats must keep contents";
+}
+
+TEST(Harness, BarrierReleasesAllThreads) {
+  std::atomic<int> done{0};
+  run_threads(8, [&](int) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(CommitAdopt, UnanimousProposalsCommit) {
+  AtomicRegisterArray regs(CommitAdopt::registers_needed(4));
+  CommitAdopt ca(regs, 0, 4);
+  std::atomic<int> commits{0};
+  run_threads(4, [&](int p) {
+    const auto res = ca.propose(p, 5);
+    EXPECT_EQ(res.value, 5u);
+    if (res.commit) commits.fetch_add(1);
+  });
+  EXPECT_EQ(commits.load(), 4) << "all-same proposals must all commit";
+}
+
+TEST(CommitAdopt, CommitForcesEveryoneToTheValue) {
+  for (int trial = 0; trial < 200; ++trial) {
+    AtomicRegisterArray regs(CommitAdopt::registers_needed(3));
+    CommitAdopt ca(regs, 0, 3);
+    std::atomic<std::uint64_t> committed_value{UINT64_MAX};
+    std::uint64_t returned[3];
+    run_threads(3, [&](int p) {
+      const auto res = ca.propose(p, static_cast<std::uint64_t>(p % 2));
+      returned[p] = res.value;
+      if (res.commit) committed_value.store(res.value);
+    });
+    const std::uint64_t committed = committed_value.load();
+    if (committed != UINT64_MAX) {
+      for (int p = 0; p < 3; ++p) {
+        EXPECT_EQ(returned[p], committed)
+            << "commit-adopt agreement violated in trial " << trial;
+      }
+    }
+  }
+}
+
+std::unique_ptr<RtConsensus> make_consensus(int which, int n,
+                                            std::uint64_t seed) {
+  switch (which) {
+    case 0:
+      return std::make_unique<RtBallotConsensus>(n);
+    case 1:
+      return std::make_unique<RtRoundsConsensus>(n);
+    case 2:
+      return std::make_unique<RtRandomizedConsensus>(
+          n, RtRandomizedConsensus::Coin::kLocal, seed);
+    default:
+      return std::make_unique<RtRandomizedConsensus>(
+          n, RtRandomizedConsensus::Coin::kVoting, seed);
+  }
+}
+
+struct ConsensusCase {
+  int which;
+  int n;
+};
+
+std::string consensus_case_name(
+    const ::testing::TestParamInfo<ConsensusCase>& info) {
+  static const char* const names[] = {"ballot", "rounds", "randlocal",
+                                      "randvote"};
+  return std::string(names[info.param.which]) + "_n" +
+         std::to_string(info.param.n);
+}
+
+class RtConsensusTest : public ::testing::TestWithParam<ConsensusCase> {};
+
+TEST_P(RtConsensusTest, AgreementAndValidityUnderRealThreads) {
+  const auto [which, n] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(which) * 1000 +
+                static_cast<std::uint64_t>(n));
+  const int trials = 60;
+  for (int trial = 0; trial < trials; ++trial) {
+    auto consensus = make_consensus(which, n, rng.next());
+    std::vector<std::uint64_t> inputs;
+    for (int p = 0; p < n; ++p) inputs.push_back(rng.coin() ? 1 : 0);
+    std::vector<std::uint64_t> outputs(static_cast<std::size_t>(n));
+    run_threads(n, [&](int p) {
+      outputs[static_cast<std::size_t>(p)] =
+          consensus->propose(p, inputs[static_cast<std::size_t>(p)]);
+    });
+    const std::uint64_t decided = outputs[0];
+    for (int p = 0; p < n; ++p) {
+      EXPECT_EQ(outputs[static_cast<std::size_t>(p)], decided)
+          << consensus->name() << " trial " << trial;
+    }
+    EXPECT_TRUE(std::find(inputs.begin(), inputs.end(), decided) !=
+                inputs.end())
+        << consensus->name() << ": decided value is nobody's input";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, RtConsensusTest,
+    ::testing::Values(ConsensusCase{0, 2}, ConsensusCase{0, 4},
+                      ConsensusCase{0, 8}, ConsensusCase{1, 2},
+                      ConsensusCase{1, 4}, ConsensusCase{1, 8},
+                      ConsensusCase{2, 2}, ConsensusCase{2, 4},
+                      ConsensusCase{3, 4}, ConsensusCase{3, 8}),
+    consensus_case_name);
+
+TEST(RtBallot, SpaceUsageIsExactlyN) {
+  const int n = 6;
+  RtBallotConsensus consensus(n);
+  run_threads(n, [&](int p) {
+    (void)consensus.propose(p, static_cast<std::uint64_t>(p % 2));
+  });
+  // With all n participating, every single-writer register is written:
+  // the protocol exercises n >= n-1 registers, matching the bound.
+  EXPECT_EQ(consensus.registers().distinct_registers_written(),
+            static_cast<std::size_t>(n));
+}
+
+TEST(RtCounter, SequentialSemantics) {
+  RtSwmrCounter counter(3);
+  counter.inc(0);
+  counter.inc(0);
+  counter.inc(1);
+  EXPECT_EQ(counter.read(), 3u);
+}
+
+TEST(RtCounter, ConcurrentIncrementsAllLand) {
+  const int n = 8;
+  const int per_thread = 10'000;
+  RtSwmrCounter counter(n);
+  run_threads(n, [&](int p) {
+    for (int i = 0; i < per_thread; ++i) counter.inc(p);
+  });
+  EXPECT_EQ(counter.read(), static_cast<std::uint64_t>(n) * per_thread);
+}
+
+TEST(RtCounter, ConcurrentReadsAreRegular) {
+  // A read concurrent with incs returns at least the incs completed before
+  // it started and at most those started before it ended.
+  const int workers = 4;
+  const int per_thread = 20'000;
+  RtSwmrCounter counter(workers + 1);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+  run_threads(workers + 1, [&](int p) {
+    if (p < workers) {
+      for (int i = 0; i < per_thread; ++i) counter.inc(p);
+      if (p == 0) stop.store(true);
+    } else {
+      std::uint64_t last = 0;
+      while (!stop.load()) {
+        const std::uint64_t now = counter.read();
+        if (now < last) violations.fetch_add(1);  // monotonicity
+        last = now;
+      }
+    }
+  });
+  EXPECT_EQ(violations.load(), 0u);
+}
+
+TEST(RtSnapshot, ComponentsAreMonotoneAcrossScans) {
+  const int updaters = 3;
+  const int per_thread = 5'000;
+  RtSwmrSnapshot snap(updaters + 1);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+  run_threads(updaters + 1, [&](int p) {
+    if (p < updaters) {
+      for (int i = 1; i <= per_thread; ++i) {
+        snap.update(p, static_cast<std::uint32_t>(i));
+      }
+      if (p == 0) stop.store(true);
+    } else {
+      std::vector<std::uint32_t> last(updaters + 1, 0);
+      while (!stop.load()) {
+        const auto view = snap.scan();
+        for (std::size_t i = 0; i < view.size(); ++i) {
+          if (view[i] < last[i]) violations.fetch_add(1);
+        }
+        last = view;
+      }
+    }
+  });
+  EXPECT_EQ(violations.load(), 0u)
+      << "snapshot components regressed across scans";
+}
+
+TEST(RtSnapshot, QuiescentScanIsExact) {
+  RtSwmrSnapshot snap(3);
+  snap.update(0, 10);
+  snap.update(1, 20);
+  snap.update(1, 21);
+  const auto view = snap.scan();
+  EXPECT_EQ(view, (std::vector<std::uint32_t>{10, 21, 0}));
+}
+
+struct MutexCase {
+  bool tournament;
+  int n;
+};
+
+class RtMutexTest : public ::testing::TestWithParam<MutexCase> {};
+
+TEST_P(RtMutexTest, ExclusionProtectsAPlainCounter) {
+  const auto [tournament, n] = GetParam();
+  std::unique_ptr<RtMutex> mtx;
+  if (tournament) {
+    mtx = std::make_unique<RtTournamentMutex>(n);
+  } else {
+    mtx = std::make_unique<RtPetersonMutex>(n);
+  }
+  const int per_thread = tournament ? 2000 : 500;
+  long counter = 0;  // deliberately unprotected by atomics
+  run_threads(n, [&](int p) {
+    for (int i = 0; i < per_thread; ++i) {
+      mtx->lock(p);
+      const long snapshot = counter;
+      cpu_relax();
+      counter = snapshot + 1;
+      mtx->unlock(p);
+    }
+  });
+  EXPECT_EQ(counter, static_cast<long>(n) * per_thread)
+      << mtx->name() << ": lost updates imply broken mutual exclusion";
+}
+
+INSTANTIATE_TEST_SUITE_P(Locks, RtMutexTest,
+                         ::testing::Values(MutexCase{false, 2},
+                                           MutexCase{false, 4},
+                                           MutexCase{true, 2},
+                                           MutexCase{true, 4},
+                                           MutexCase{true, 8}),
+                         [](const auto& info) {
+                           return std::string(info.param.tournament
+                                                  ? "tournament"
+                                                  : "peterson") +
+                                  "_n" + std::to_string(info.param.n);
+                         });
+
+TEST(LeaderElection, ExactlyOneLeaderEveryTrial) {
+  for (int n : {2, 3, 5, 8}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      RtLeaderElection election(n);
+      std::atomic<int> leaders{0};
+      run_threads(n, [&](int p) {
+        if (election.participate(p)) leaders.fetch_add(1);
+      });
+      ASSERT_EQ(leaders.load(), 1)
+          << "n = " << n << " trial " << trial << ": leader count wrong";
+    }
+  }
+}
+
+TEST(LeaderElection, SoloParticipantWins) {
+  RtLeaderElection election(4);
+  EXPECT_TRUE(election.participate(2));
+  // A later arrival must lose against the established winner.
+  EXPECT_FALSE(election.participate(3));
+}
+
+TEST(RandomizedConsensus, RoundsStatisticIsPopulated) {
+  RtRandomizedConsensus consensus(4, RtRandomizedConsensus::Coin::kVoting,
+                                  1234);
+  run_threads(4, [&](int p) {
+    (void)consensus.propose(p, static_cast<std::uint64_t>(p % 2));
+  });
+  EXPECT_GE(consensus.max_round_used(), 0);
+  EXPECT_LT(consensus.max_round_used(), 4096);
+}
+
+}  // namespace
+}  // namespace tsb::rt

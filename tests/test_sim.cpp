@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/explorer.hpp"
+#include "toy_protocol.hpp"
+
+namespace tsb::sim {
+namespace {
+
+using test::ToyProtocol;
+
+TEST(Config, InitialConfigurationShape) {
+  ToyProtocol proto(3);
+  const Config c = initial_config(proto, {5, 6, 7});
+  EXPECT_EQ(c.states.size(), 3u);
+  EXPECT_EQ(c.regs.size(), 3u);
+  for (Value r : c.regs) EXPECT_EQ(r, kEmptyRegister);
+  EXPECT_FALSE(decision_of(proto, c, 0).has_value());
+}
+
+TEST(Config, HashAndEquality) {
+  ToyProtocol proto(2);
+  const Config a = initial_config(proto, {0, 1});
+  const Config b = initial_config(proto, {0, 1});
+  const Config c = initial_config(proto, {1, 1});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a, c);  // hash may collide in principle; equality must not
+}
+
+TEST(Engine, WriteStepUpdatesRegisterAndState) {
+  ToyProtocol proto(2);
+  Config c = initial_config(proto, {5, 9});
+  Trace trace;
+  c = step(proto, c, 0, &trace);
+  EXPECT_EQ(c.regs[0], 5);
+  EXPECT_EQ(c.regs[1], kEmptyRegister);
+  ASSERT_EQ(trace.records.size(), 1u);
+  EXPECT_TRUE(trace.records[0].op.is_write());
+  EXPECT_EQ(trace.records[0].op.reg, 0);
+  EXPECT_EQ(trace.records[0].op.value, 5);
+}
+
+TEST(Engine, ReadStepObservesCurrentContents) {
+  ToyProtocol proto(2);
+  Config c = initial_config(proto, {5, 9});
+  c = step(proto, c, 1);  // p1 writes 9 to R1
+  c = step(proto, c, 0);  // p0 writes 5 to R0
+  Trace trace;
+  c = step(proto, c, 0, &trace);  // p0 reads R1 -> 9
+  ASSERT_EQ(trace.records.size(), 1u);
+  EXPECT_TRUE(trace.records[0].op.is_read());
+  EXPECT_EQ(trace.records[0].read_result, 9);
+  const auto decision = decision_of(proto, c, 0);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(*decision, 5 + 10 * 10);  // input + 10 * (9 + 1)
+}
+
+TEST(Engine, DecidedProcessStepsAreNoOps) {
+  ToyProtocol proto(2);
+  Config c = initial_config(proto, {1, 2});
+  c = run(proto, c, Schedule{0, 0});  // p0: write, read(empty)
+  ASSERT_TRUE(decision_of(proto, c, 0).has_value());
+  const Config before = c;
+  Trace trace;
+  c = step(proto, c, 0, &trace);
+  EXPECT_EQ(c, before);
+  EXPECT_TRUE(trace.records.empty());
+}
+
+TEST(Engine, RunAppliesScheduleLeftToRight) {
+  ToyProtocol proto(2);
+  const Config c = initial_config(proto, {3, 4});
+  // p0 reads before p1 writes vs after: decisions differ.
+  const Config fast = run(proto, c, Schedule{0, 0, 1, 1});
+  const Config slow = run(proto, c, Schedule{1, 0, 0, 1});
+  EXPECT_EQ(*decision_of(proto, fast, 0), 3 + 10 * 0);       // read empty
+  EXPECT_EQ(*decision_of(proto, slow, 0), 3 + 10 * (4 + 1));  // read 4
+}
+
+TEST(Engine, SoloRunStopsAtDecision) {
+  ToyProtocol proto(2);
+  const Config c = initial_config(proto, {3, 4});
+  const SoloRun solo = run_solo(proto, c, 0, 100);
+  EXPECT_TRUE(solo.decided);
+  EXPECT_EQ(solo.schedule.size(), 2u);
+  EXPECT_TRUE(solo.schedule.only(ProcSet::single(0)));
+  EXPECT_EQ(solo.decision, 3);
+}
+
+TEST(Engine, SoloRunReportsCapExhaustion) {
+  ToyProtocol proto(2);
+  const Config c = initial_config(proto, {3, 4});
+  const SoloRun solo = run_solo(proto, c, 0, 1);  // needs 2 steps
+  EXPECT_FALSE(solo.decided);
+  EXPECT_EQ(solo.schedule.size(), 1u);
+}
+
+TEST(Engine, DecidedSetAndSomeDecided) {
+  ToyProtocol proto(2);
+  Config c = initial_config(proto, {3, 4});
+  EXPECT_TRUE(decided_set(proto, c).is_empty());
+  c = run(proto, c, Schedule{0, 0});
+  EXPECT_EQ(decided_set(proto, c), ProcSet::single(0));
+  EXPECT_TRUE(some_decided(proto, c, 3));
+  EXPECT_FALSE(some_decided(proto, c, 4));
+}
+
+TEST(Indistinguishability, SeparatesOnRegistersAndStates) {
+  ToyProtocol proto(2);
+  const Config a = initial_config(proto, {3, 4});
+  Config b = a;
+  EXPECT_TRUE(indistinguishable(a, b, ProcSet::first_n(2)));
+
+  b.states[0] = 999;  // p0's state differs
+  EXPECT_FALSE(indistinguishable(a, b, ProcSet::first_n(2)));
+  EXPECT_TRUE(indistinguishable(a, b, ProcSet::single(1)));
+
+  Config c = a;
+  c.regs[0] = 77;  // registers are visible to everyone
+  EXPECT_FALSE(indistinguishable(a, c, ProcSet::single(1)));
+}
+
+TEST(Schedule, AlgebraAndQueries) {
+  const Schedule a{0, 1, 0};
+  const Schedule b{2};
+  const Schedule ab = a + b;
+  EXPECT_EQ(ab.size(), 4u);
+  EXPECT_EQ(ab[3], 2);
+  EXPECT_EQ(ab.prefix(2), (Schedule{0, 1}));
+  EXPECT_EQ(a.participants(), ProcSet::single(0).with(1));
+  EXPECT_TRUE(a.only(ProcSet::first_n(2)));
+  EXPECT_FALSE(ab.only(ProcSet::first_n(2)));
+  EXPECT_EQ(Schedule::solo(3, 2).to_string(), "p3 p3");
+}
+
+TEST(Explorer, EnumeratesFullToyGraph) {
+  ToyProtocol proto(2);
+  const Config root = initial_config(proto, {3, 4});
+  Explorer explorer(proto);
+  std::size_t decided_both = 0;
+  auto result =
+      explorer.explore(root, ProcSet::first_n(2), [&](const Config& c) {
+        if (decided_set(proto, c) == ProcSet::first_n(2)) ++decided_both;
+        return true;
+      });
+  EXPECT_FALSE(result.truncated);
+  EXPECT_FALSE(result.aborted);
+  // Each process runs write-then-read; interleavings produce a small DAG.
+  EXPECT_GE(result.visited, 9u);
+  EXPECT_LE(result.visited, 16u);
+  EXPECT_GE(decided_both, 1u);
+}
+
+TEST(Explorer, WitnessReplaysToTarget) {
+  ToyProtocol proto(2);
+  const Config root = initial_config(proto, {3, 4});
+  Explorer explorer(proto);
+  std::optional<Config> target;
+  explorer.explore(root, ProcSet::first_n(2), [&](const Config& c) {
+    if (decided_set(proto, c) == ProcSet::first_n(2)) {
+      target = c;
+      return false;  // abort at the first fully-decided configuration
+    }
+    return true;
+  });
+  ASSERT_TRUE(target.has_value());
+  const auto witness = explorer.witness(*target);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(run(proto, root, *witness), *target);
+}
+
+TEST(Explorer, RespectsProcessRestriction) {
+  ToyProtocol proto(2);
+  const Config root = initial_config(proto, {3, 4});
+  Explorer explorer(proto);
+  auto result = explorer.explore(root, ProcSet::single(0),
+                                 [](const Config&) { return true; });
+  // p0 alone: root, after write, after read (decided) = 3 configurations.
+  EXPECT_EQ(result.visited, 3u);
+}
+
+TEST(Explorer, TruncationReported) {
+  ToyProtocol proto(3);
+  const Config root = initial_config(proto, {1, 2, 3});
+  Explorer explorer(proto, {.max_configs = 2});
+  auto result = explorer.explore(root, ProcSet::first_n(3),
+                                 [](const Config&) { return true; });
+  EXPECT_TRUE(result.truncated);
+}
+
+}  // namespace
+}  // namespace tsb::sim

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+
+#include "sim/protocol.hpp"
+
+namespace tsb::test {
+
+/// A deliberately trivial protocol for exercising the engine: process p
+/// writes its input to register p, reads register (p+1) mod n, then
+/// "decides" input + 10 * (observed + 1). Not a consensus protocol — a
+/// fixture whose executions are easy to predict by hand.
+class ToyProtocol final : public sim::Protocol {
+ public:
+  explicit ToyProtocol(int n) : n_(n) {}
+
+  std::string name() const override { return "toy"; }
+  int num_processes() const override { return n_; }
+  int num_registers() const override { return n_; }
+
+  // State layout: pc (2 bits) | input (8 bits) | observed+1 (8 bits).
+  sim::State initial_state(sim::ProcId, sim::Value input) const override {
+    return (input & 0xff) << 2;
+  }
+
+  sim::PendingOp poised(sim::ProcId p, sim::State s) const override {
+    const int pc = static_cast<int>(s & 0x3);
+    const sim::Value input = (s >> 2) & 0xff;
+    const sim::Value observed = ((s >> 10) & 0xff) - 1;
+    switch (pc) {
+      case 0:
+        return sim::PendingOp::write(p, input);
+      case 1:
+        return sim::PendingOp::read((p + 1) % n_);
+      default:
+        return sim::PendingOp::decide(input + 10 * (observed + 1));
+    }
+  }
+
+  sim::State after_read(sim::ProcId, sim::State s,
+                        sim::Value observed) const override {
+    return (s & ~(0x3 | (0xffll << 10))) | 2 | ((observed + 1) << 10);
+  }
+
+  sim::State after_write(sim::ProcId, sim::State s) const override {
+    return (s & ~0x3ll) | 1;
+  }
+
+ private:
+  int n_;
+};
+
+}  // namespace tsb::test

@@ -1,0 +1,157 @@
+// tsb — command-line front end to the library's machinery.
+//
+//   tsb adversary [n] [cap]        run Theorem 1's construction (narrated)
+//   tsb check <proto> [n] [cap]    exhaustively model check a protocol
+//   tsb search [modes] [cap]       sweep the 1-register protocol family
+//   tsb mutex [n]                  canonical-cost + Burns-Lynch summary
+//   tsb perturb [n]                JTT perturbation adversary on a counter
+//
+// Protocols for `check`: ballot | racing-strict | racing-atleast | swap
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+
+#include "bound/adversary.hpp"
+#include "consensus/ballot.hpp"
+#include "consensus/historyless.hpp"
+#include "consensus/racing.hpp"
+#include "mutex/burns_lynch.hpp"
+#include "mutex/canonical.hpp"
+#include "mutex/peterson.hpp"
+#include "mutex/tournament.hpp"
+#include "perturb/counter.hpp"
+#include "perturb/perturbation.hpp"
+#include "sim/model_checker.hpp"
+#include "sim/protocol_search.hpp"
+
+using namespace tsb;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  tsb adversary [n=4] [cap=2n]     Theorem 1 construction\n"
+         "  tsb check <proto> [n=2] [cap=2n] exhaustive model check\n"
+         "      proto: ballot | racing-strict | racing-atleast | swap\n"
+         "  tsb search [modes=1] [cap=0]     1-register protocol sweep\n"
+         "  tsb mutex [n=8]                  mutex cost + covering summary\n"
+         "  tsb perturb [n=5]                JTT adversary on the counter\n";
+  return 2;
+}
+
+std::unique_ptr<sim::Protocol> make_protocol(const std::string& name, int n,
+                                             int cap) {
+  if (name == "ballot") return std::make_unique<consensus::BallotConsensus>(n, cap);
+  if (name == "racing-strict") {
+    return std::make_unique<consensus::RacingConsensus>(
+        n, consensus::RacingConsensus::AdoptRule::kStrictMajority);
+  }
+  if (name == "racing-atleast") {
+    return std::make_unique<consensus::RacingConsensus>(
+        n, consensus::RacingConsensus::AdoptRule::kAtLeast);
+  }
+  if (name == "swap") return std::make_unique<consensus::SwapConsensus>(n);
+  return nullptr;
+}
+
+int cmd_adversary(int n, int cap) {
+  consensus::BallotConsensus proto(n, cap);
+  bound::SpaceBoundAdversary::Options opts;
+  opts.narrative = true;
+  bound::SpaceBoundAdversary adversary(proto, opts);
+  const auto result = adversary.run();
+  if (!result.ok) {
+    std::cout << "FAILED: " << result.error << "\n";
+    return 1;
+  }
+  std::cout << result.narrative << "\ncovered "
+            << result.check.distinct_registers << " distinct registers "
+            << "(bound n-1 = " << n - 1 << "); certificate "
+            << (result.check.ok ? "verified" : "REJECTED") << "\n";
+  return 0;
+}
+
+int cmd_check(const std::string& name, int n, int cap) {
+  auto proto = make_protocol(name, n, cap);
+  if (!proto) return usage();
+  sim::ModelChecker::Options opts;
+  opts.fail_on_solo_violation = name != "ballot";  // caps stall by design
+  sim::ModelChecker checker(*proto, opts);
+  const auto report = checker.check_all_binary_inputs();
+  std::cout << proto->name() << ": " << report.summary() << "\n";
+  if (!report.ok && report.schedule_to_bad) {
+    std::cout << "counterexample schedule: "
+              << report.schedule_to_bad->to_string() << "\n";
+  }
+  return report.ok ? 0 : 1;
+}
+
+int cmd_search(int modes, std::size_t cap) {
+  sim::ProtocolSearch::Options opts;
+  opts.n = 2;
+  opts.m = 1;
+  opts.modes = modes;
+  opts.max_candidates = cap;
+  const auto stats = sim::ProtocolSearch::exhaustive(opts);
+  std::cout << "family " << sim::ProtocolSearch::family_size(opts)
+            << ", examined " << stats.candidates << ", safe " << stats.safe
+            << ", live " << stats.live << "\n";
+  for (const auto& winner : stats.winners) {
+    std::cout << "WINNER: " << winner.to_string() << "\n";
+  }
+  return 0;
+}
+
+int cmd_mutex(int n) {
+  mutex::PetersonMutex peterson(n);
+  mutex::TournamentMutex tournament(n);
+  for (const mutex::MutexAlgorithm* alg :
+       {static_cast<const mutex::MutexAlgorithm*>(&peterson),
+        static_cast<const mutex::MutexAlgorithm*>(&tournament)}) {
+    mutex::CanonicalOptions opts;
+    opts.strategy = mutex::CanonicalOptions::Strategy::kRoundRobin;
+    const auto run = run_canonical(*alg, opts);
+    mutex::MutexCoveringAdversary covering(*alg);
+    const auto bl = covering.run();
+    std::cout << alg->name() << ": canonical rmr " << run.rmr_cost
+              << ", Burns-Lynch covering " << bl.distinct_registers << "/"
+              << n << "\n";
+  }
+  return 0;
+}
+
+int cmd_perturb(int n) {
+  perturb::SwmrCounter counter(n);
+  perturb::PerturbationAdversary adversary(counter);
+  const auto result = adversary.run();
+  std::cout << result.narrative << "covered " << result.distinct_registers
+            << " distinct registers (bound n-1 = " << n - 1 << ")\n";
+  return result.covering_complete ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  auto arg = [&](int i, int def) {
+    return argc > i ? std::atoi(argv[i]) : def;
+  };
+
+  if (cmd == "adversary") {
+    const int n = arg(2, 4);
+    return cmd_adversary(n, arg(3, n <= 4 ? 2 * n : 3 * n));
+  }
+  if (cmd == "check" && argc >= 3) {
+    const int n = arg(3, 2);
+    return cmd_check(argv[2], n, arg(4, 2 * n));
+  }
+  if (cmd == "search") {
+    return cmd_search(arg(2, 1), static_cast<std::size_t>(arg(3, 0)));
+  }
+  if (cmd == "mutex") return cmd_mutex(arg(2, 8));
+  if (cmd == "perturb") return cmd_perturb(arg(2, 5));
+  return usage();
+}
