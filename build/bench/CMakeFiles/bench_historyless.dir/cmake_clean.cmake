@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_historyless.dir/bench_historyless.cpp.o"
+  "CMakeFiles/bench_historyless.dir/bench_historyless.cpp.o.d"
+  "bench_historyless"
+  "bench_historyless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_historyless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

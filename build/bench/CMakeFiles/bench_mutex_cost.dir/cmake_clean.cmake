@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mutex_cost.dir/bench_mutex_cost.cpp.o"
+  "CMakeFiles/bench_mutex_cost.dir/bench_mutex_cost.cpp.o.d"
+  "bench_mutex_cost"
+  "bench_mutex_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mutex_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perturbable.dir/bench_perturbable.cpp.o"
+  "CMakeFiles/bench_perturbable.dir/bench_perturbable.cpp.o.d"
+  "bench_perturbable"
+  "bench_perturbable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perturbable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

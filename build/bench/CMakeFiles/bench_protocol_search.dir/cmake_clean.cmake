@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_protocol_search.dir/bench_protocol_search.cpp.o"
+  "CMakeFiles/bench_protocol_search.dir/bench_protocol_search.cpp.o.d"
+  "bench_protocol_search"
+  "bench_protocol_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protocol_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rt_space.dir/bench_rt_space.cpp.o"
+  "CMakeFiles/bench_rt_space.dir/bench_rt_space.cpp.o.d"
+  "bench_rt_space"
+  "bench_rt_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rt_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

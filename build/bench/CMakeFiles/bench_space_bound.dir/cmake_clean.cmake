@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_space_bound.dir/bench_space_bound.cpp.o"
+  "CMakeFiles/bench_space_bound.dir/bench_space_bound.cpp.o.d"
+  "bench_space_bound"
+  "bench_space_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_space_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_walkthrough.dir/adversary_walkthrough.cpp.o"
+  "CMakeFiles/adversary_walkthrough.dir/adversary_walkthrough.cpp.o.d"
+  "adversary_walkthrough"
+  "adversary_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kset_agreement.dir/kset_agreement.cpp.o"
+  "CMakeFiles/kset_agreement.dir/kset_agreement.cpp.o.d"
+  "kset_agreement"
+  "kset_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kset_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

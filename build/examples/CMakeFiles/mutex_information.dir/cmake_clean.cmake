@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutex_information.dir/mutex_information.cpp.o"
+  "CMakeFiles/mutex_information.dir/mutex_information.cpp.o.d"
+  "mutex_information"
+  "mutex_information.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutex_information.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomized_duel.dir/randomized_duel.cpp.o"
+  "CMakeFiles/randomized_duel.dir/randomized_duel.cpp.o.d"
+  "randomized_duel"
+  "randomized_duel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomized_duel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bound/adversary.cpp" "src/CMakeFiles/tsb_bound.dir/bound/adversary.cpp.o" "gcc" "src/CMakeFiles/tsb_bound.dir/bound/adversary.cpp.o.d"
+  "/root/repo/src/bound/certificate.cpp" "src/CMakeFiles/tsb_bound.dir/bound/certificate.cpp.o" "gcc" "src/CMakeFiles/tsb_bound.dir/bound/certificate.cpp.o.d"
+  "/root/repo/src/bound/covering.cpp" "src/CMakeFiles/tsb_bound.dir/bound/covering.cpp.o" "gcc" "src/CMakeFiles/tsb_bound.dir/bound/covering.cpp.o.d"
+  "/root/repo/src/bound/lemmas.cpp" "src/CMakeFiles/tsb_bound.dir/bound/lemmas.cpp.o" "gcc" "src/CMakeFiles/tsb_bound.dir/bound/lemmas.cpp.o.d"
+  "/root/repo/src/bound/valency.cpp" "src/CMakeFiles/tsb_bound.dir/bound/valency.cpp.o" "gcc" "src/CMakeFiles/tsb_bound.dir/bound/valency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsb_bound.dir/bound/adversary.cpp.o"
+  "CMakeFiles/tsb_bound.dir/bound/adversary.cpp.o.d"
+  "CMakeFiles/tsb_bound.dir/bound/certificate.cpp.o"
+  "CMakeFiles/tsb_bound.dir/bound/certificate.cpp.o.d"
+  "CMakeFiles/tsb_bound.dir/bound/covering.cpp.o"
+  "CMakeFiles/tsb_bound.dir/bound/covering.cpp.o.d"
+  "CMakeFiles/tsb_bound.dir/bound/lemmas.cpp.o"
+  "CMakeFiles/tsb_bound.dir/bound/lemmas.cpp.o.d"
+  "CMakeFiles/tsb_bound.dir/bound/valency.cpp.o"
+  "CMakeFiles/tsb_bound.dir/bound/valency.cpp.o.d"
+  "libtsb_bound.a"
+  "libtsb_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsb_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

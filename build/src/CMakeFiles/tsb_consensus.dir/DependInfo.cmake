@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/ballot.cpp" "src/CMakeFiles/tsb_consensus.dir/consensus/ballot.cpp.o" "gcc" "src/CMakeFiles/tsb_consensus.dir/consensus/ballot.cpp.o.d"
+  "/root/repo/src/consensus/historyless.cpp" "src/CMakeFiles/tsb_consensus.dir/consensus/historyless.cpp.o" "gcc" "src/CMakeFiles/tsb_consensus.dir/consensus/historyless.cpp.o.d"
+  "/root/repo/src/consensus/kset.cpp" "src/CMakeFiles/tsb_consensus.dir/consensus/kset.cpp.o" "gcc" "src/CMakeFiles/tsb_consensus.dir/consensus/kset.cpp.o.d"
+  "/root/repo/src/consensus/racing.cpp" "src/CMakeFiles/tsb_consensus.dir/consensus/racing.cpp.o" "gcc" "src/CMakeFiles/tsb_consensus.dir/consensus/racing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsb_consensus.dir/consensus/ballot.cpp.o"
+  "CMakeFiles/tsb_consensus.dir/consensus/ballot.cpp.o.d"
+  "CMakeFiles/tsb_consensus.dir/consensus/historyless.cpp.o"
+  "CMakeFiles/tsb_consensus.dir/consensus/historyless.cpp.o.d"
+  "CMakeFiles/tsb_consensus.dir/consensus/kset.cpp.o"
+  "CMakeFiles/tsb_consensus.dir/consensus/kset.cpp.o.d"
+  "CMakeFiles/tsb_consensus.dir/consensus/racing.cpp.o"
+  "CMakeFiles/tsb_consensus.dir/consensus/racing.cpp.o.d"
+  "libtsb_consensus.a"
+  "libtsb_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsb_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

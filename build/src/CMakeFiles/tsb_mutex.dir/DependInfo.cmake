@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mutex/algorithm.cpp" "src/CMakeFiles/tsb_mutex.dir/mutex/algorithm.cpp.o" "gcc" "src/CMakeFiles/tsb_mutex.dir/mutex/algorithm.cpp.o.d"
+  "/root/repo/src/mutex/bakery.cpp" "src/CMakeFiles/tsb_mutex.dir/mutex/bakery.cpp.o" "gcc" "src/CMakeFiles/tsb_mutex.dir/mutex/bakery.cpp.o.d"
+  "/root/repo/src/mutex/burns_lynch.cpp" "src/CMakeFiles/tsb_mutex.dir/mutex/burns_lynch.cpp.o" "gcc" "src/CMakeFiles/tsb_mutex.dir/mutex/burns_lynch.cpp.o.d"
+  "/root/repo/src/mutex/canonical.cpp" "src/CMakeFiles/tsb_mutex.dir/mutex/canonical.cpp.o" "gcc" "src/CMakeFiles/tsb_mutex.dir/mutex/canonical.cpp.o.d"
+  "/root/repo/src/mutex/cost_model.cpp" "src/CMakeFiles/tsb_mutex.dir/mutex/cost_model.cpp.o" "gcc" "src/CMakeFiles/tsb_mutex.dir/mutex/cost_model.cpp.o.d"
+  "/root/repo/src/mutex/encoder.cpp" "src/CMakeFiles/tsb_mutex.dir/mutex/encoder.cpp.o" "gcc" "src/CMakeFiles/tsb_mutex.dir/mutex/encoder.cpp.o.d"
+  "/root/repo/src/mutex/peterson.cpp" "src/CMakeFiles/tsb_mutex.dir/mutex/peterson.cpp.o" "gcc" "src/CMakeFiles/tsb_mutex.dir/mutex/peterson.cpp.o.d"
+  "/root/repo/src/mutex/tournament.cpp" "src/CMakeFiles/tsb_mutex.dir/mutex/tournament.cpp.o" "gcc" "src/CMakeFiles/tsb_mutex.dir/mutex/tournament.cpp.o.d"
+  "/root/repo/src/mutex/visibility.cpp" "src/CMakeFiles/tsb_mutex.dir/mutex/visibility.cpp.o" "gcc" "src/CMakeFiles/tsb_mutex.dir/mutex/visibility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

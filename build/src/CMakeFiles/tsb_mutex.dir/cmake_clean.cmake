@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsb_mutex.dir/mutex/algorithm.cpp.o"
+  "CMakeFiles/tsb_mutex.dir/mutex/algorithm.cpp.o.d"
+  "CMakeFiles/tsb_mutex.dir/mutex/bakery.cpp.o"
+  "CMakeFiles/tsb_mutex.dir/mutex/bakery.cpp.o.d"
+  "CMakeFiles/tsb_mutex.dir/mutex/burns_lynch.cpp.o"
+  "CMakeFiles/tsb_mutex.dir/mutex/burns_lynch.cpp.o.d"
+  "CMakeFiles/tsb_mutex.dir/mutex/canonical.cpp.o"
+  "CMakeFiles/tsb_mutex.dir/mutex/canonical.cpp.o.d"
+  "CMakeFiles/tsb_mutex.dir/mutex/cost_model.cpp.o"
+  "CMakeFiles/tsb_mutex.dir/mutex/cost_model.cpp.o.d"
+  "CMakeFiles/tsb_mutex.dir/mutex/encoder.cpp.o"
+  "CMakeFiles/tsb_mutex.dir/mutex/encoder.cpp.o.d"
+  "CMakeFiles/tsb_mutex.dir/mutex/peterson.cpp.o"
+  "CMakeFiles/tsb_mutex.dir/mutex/peterson.cpp.o.d"
+  "CMakeFiles/tsb_mutex.dir/mutex/tournament.cpp.o"
+  "CMakeFiles/tsb_mutex.dir/mutex/tournament.cpp.o.d"
+  "CMakeFiles/tsb_mutex.dir/mutex/visibility.cpp.o"
+  "CMakeFiles/tsb_mutex.dir/mutex/visibility.cpp.o.d"
+  "libtsb_mutex.a"
+  "libtsb_mutex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsb_mutex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

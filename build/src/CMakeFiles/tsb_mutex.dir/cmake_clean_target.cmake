@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtsb_mutex.a"
+)

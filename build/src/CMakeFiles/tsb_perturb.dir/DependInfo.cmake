@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perturb/counter.cpp" "src/CMakeFiles/tsb_perturb.dir/perturb/counter.cpp.o" "gcc" "src/CMakeFiles/tsb_perturb.dir/perturb/counter.cpp.o.d"
+  "/root/repo/src/perturb/fetch_add.cpp" "src/CMakeFiles/tsb_perturb.dir/perturb/fetch_add.cpp.o" "gcc" "src/CMakeFiles/tsb_perturb.dir/perturb/fetch_add.cpp.o.d"
+  "/root/repo/src/perturb/long_lived.cpp" "src/CMakeFiles/tsb_perturb.dir/perturb/long_lived.cpp.o" "gcc" "src/CMakeFiles/tsb_perturb.dir/perturb/long_lived.cpp.o.d"
+  "/root/repo/src/perturb/perturbation.cpp" "src/CMakeFiles/tsb_perturb.dir/perturb/perturbation.cpp.o" "gcc" "src/CMakeFiles/tsb_perturb.dir/perturb/perturbation.cpp.o.d"
+  "/root/repo/src/perturb/snapshot.cpp" "src/CMakeFiles/tsb_perturb.dir/perturb/snapshot.cpp.o" "gcc" "src/CMakeFiles/tsb_perturb.dir/perturb/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

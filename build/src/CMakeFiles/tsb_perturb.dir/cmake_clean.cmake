@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsb_perturb.dir/perturb/counter.cpp.o"
+  "CMakeFiles/tsb_perturb.dir/perturb/counter.cpp.o.d"
+  "CMakeFiles/tsb_perturb.dir/perturb/fetch_add.cpp.o"
+  "CMakeFiles/tsb_perturb.dir/perturb/fetch_add.cpp.o.d"
+  "CMakeFiles/tsb_perturb.dir/perturb/long_lived.cpp.o"
+  "CMakeFiles/tsb_perturb.dir/perturb/long_lived.cpp.o.d"
+  "CMakeFiles/tsb_perturb.dir/perturb/perturbation.cpp.o"
+  "CMakeFiles/tsb_perturb.dir/perturb/perturbation.cpp.o.d"
+  "CMakeFiles/tsb_perturb.dir/perturb/snapshot.cpp.o"
+  "CMakeFiles/tsb_perturb.dir/perturb/snapshot.cpp.o.d"
+  "libtsb_perturb.a"
+  "libtsb_perturb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsb_perturb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

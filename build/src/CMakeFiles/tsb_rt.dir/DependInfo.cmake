@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/atomic_registers.cpp" "src/CMakeFiles/tsb_rt.dir/rt/atomic_registers.cpp.o" "gcc" "src/CMakeFiles/tsb_rt.dir/rt/atomic_registers.cpp.o.d"
+  "/root/repo/src/rt/commit_adopt.cpp" "src/CMakeFiles/tsb_rt.dir/rt/commit_adopt.cpp.o" "gcc" "src/CMakeFiles/tsb_rt.dir/rt/commit_adopt.cpp.o.d"
+  "/root/repo/src/rt/harness.cpp" "src/CMakeFiles/tsb_rt.dir/rt/harness.cpp.o" "gcc" "src/CMakeFiles/tsb_rt.dir/rt/harness.cpp.o.d"
+  "/root/repo/src/rt/leader_election.cpp" "src/CMakeFiles/tsb_rt.dir/rt/leader_election.cpp.o" "gcc" "src/CMakeFiles/tsb_rt.dir/rt/leader_election.cpp.o.d"
+  "/root/repo/src/rt/rt_consensus.cpp" "src/CMakeFiles/tsb_rt.dir/rt/rt_consensus.cpp.o" "gcc" "src/CMakeFiles/tsb_rt.dir/rt/rt_consensus.cpp.o.d"
+  "/root/repo/src/rt/rt_counter.cpp" "src/CMakeFiles/tsb_rt.dir/rt/rt_counter.cpp.o" "gcc" "src/CMakeFiles/tsb_rt.dir/rt/rt_counter.cpp.o.d"
+  "/root/repo/src/rt/rt_mutex.cpp" "src/CMakeFiles/tsb_rt.dir/rt/rt_mutex.cpp.o" "gcc" "src/CMakeFiles/tsb_rt.dir/rt/rt_mutex.cpp.o.d"
+  "/root/repo/src/rt/rt_snapshot.cpp" "src/CMakeFiles/tsb_rt.dir/rt/rt_snapshot.cpp.o" "gcc" "src/CMakeFiles/tsb_rt.dir/rt/rt_snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

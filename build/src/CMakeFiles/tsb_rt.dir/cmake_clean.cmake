@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsb_rt.dir/rt/atomic_registers.cpp.o"
+  "CMakeFiles/tsb_rt.dir/rt/atomic_registers.cpp.o.d"
+  "CMakeFiles/tsb_rt.dir/rt/commit_adopt.cpp.o"
+  "CMakeFiles/tsb_rt.dir/rt/commit_adopt.cpp.o.d"
+  "CMakeFiles/tsb_rt.dir/rt/harness.cpp.o"
+  "CMakeFiles/tsb_rt.dir/rt/harness.cpp.o.d"
+  "CMakeFiles/tsb_rt.dir/rt/leader_election.cpp.o"
+  "CMakeFiles/tsb_rt.dir/rt/leader_election.cpp.o.d"
+  "CMakeFiles/tsb_rt.dir/rt/rt_consensus.cpp.o"
+  "CMakeFiles/tsb_rt.dir/rt/rt_consensus.cpp.o.d"
+  "CMakeFiles/tsb_rt.dir/rt/rt_counter.cpp.o"
+  "CMakeFiles/tsb_rt.dir/rt/rt_counter.cpp.o.d"
+  "CMakeFiles/tsb_rt.dir/rt/rt_mutex.cpp.o"
+  "CMakeFiles/tsb_rt.dir/rt/rt_mutex.cpp.o.d"
+  "CMakeFiles/tsb_rt.dir/rt/rt_snapshot.cpp.o"
+  "CMakeFiles/tsb_rt.dir/rt/rt_snapshot.cpp.o.d"
+  "libtsb_rt.a"
+  "libtsb_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsb_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config.cpp" "src/CMakeFiles/tsb_sim.dir/sim/config.cpp.o" "gcc" "src/CMakeFiles/tsb_sim.dir/sim/config.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/tsb_sim.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/tsb_sim.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/explorer.cpp" "src/CMakeFiles/tsb_sim.dir/sim/explorer.cpp.o" "gcc" "src/CMakeFiles/tsb_sim.dir/sim/explorer.cpp.o.d"
+  "/root/repo/src/sim/model_checker.cpp" "src/CMakeFiles/tsb_sim.dir/sim/model_checker.cpp.o" "gcc" "src/CMakeFiles/tsb_sim.dir/sim/model_checker.cpp.o.d"
+  "/root/repo/src/sim/protocol_search.cpp" "src/CMakeFiles/tsb_sim.dir/sim/protocol_search.cpp.o" "gcc" "src/CMakeFiles/tsb_sim.dir/sim/protocol_search.cpp.o.d"
+  "/root/repo/src/sim/schedule.cpp" "src/CMakeFiles/tsb_sim.dir/sim/schedule.cpp.o" "gcc" "src/CMakeFiles/tsb_sim.dir/sim/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsb_sim.dir/sim/config.cpp.o"
+  "CMakeFiles/tsb_sim.dir/sim/config.cpp.o.d"
+  "CMakeFiles/tsb_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/tsb_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/tsb_sim.dir/sim/explorer.cpp.o"
+  "CMakeFiles/tsb_sim.dir/sim/explorer.cpp.o.d"
+  "CMakeFiles/tsb_sim.dir/sim/model_checker.cpp.o"
+  "CMakeFiles/tsb_sim.dir/sim/model_checker.cpp.o.d"
+  "CMakeFiles/tsb_sim.dir/sim/protocol_search.cpp.o"
+  "CMakeFiles/tsb_sim.dir/sim/protocol_search.cpp.o.d"
+  "CMakeFiles/tsb_sim.dir/sim/schedule.cpp.o"
+  "CMakeFiles/tsb_sim.dir/sim/schedule.cpp.o.d"
+  "libtsb_sim.a"
+  "libtsb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

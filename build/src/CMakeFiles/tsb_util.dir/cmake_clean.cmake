@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsb_util.dir/util/interner.cpp.o"
+  "CMakeFiles/tsb_util.dir/util/interner.cpp.o.d"
+  "CMakeFiles/tsb_util.dir/util/rng.cpp.o"
+  "CMakeFiles/tsb_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/tsb_util.dir/util/stats.cpp.o"
+  "CMakeFiles/tsb_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/tsb_util.dir/util/table.cpp.o"
+  "CMakeFiles/tsb_util.dir/util/table.cpp.o.d"
+  "libtsb_util.a"
+  "libtsb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_burns_lynch.dir/test_burns_lynch.cpp.o"
+  "CMakeFiles/test_burns_lynch.dir/test_burns_lynch.cpp.o.d"
+  "test_burns_lynch"
+  "test_burns_lynch.pdb"
+  "test_burns_lynch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_burns_lynch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

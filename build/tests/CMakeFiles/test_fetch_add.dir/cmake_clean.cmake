@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fetch_add.dir/test_fetch_add.cpp.o"
+  "CMakeFiles/test_fetch_add.dir/test_fetch_add.cpp.o.d"
+  "test_fetch_add"
+  "test_fetch_add.pdb"
+  "test_fetch_add[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fetch_add.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

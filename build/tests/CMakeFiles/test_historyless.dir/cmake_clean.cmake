@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_historyless.dir/test_historyless.cpp.o"
+  "CMakeFiles/test_historyless.dir/test_historyless.cpp.o.d"
+  "test_historyless"
+  "test_historyless.pdb"
+  "test_historyless[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_historyless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lemmas.dir/test_lemmas.cpp.o"
+  "CMakeFiles/test_lemmas.dir/test_lemmas.cpp.o.d"
+  "test_lemmas"
+  "test_lemmas.pdb"
+  "test_lemmas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lemmas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

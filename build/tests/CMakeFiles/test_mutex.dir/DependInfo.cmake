@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mutex.cpp" "tests/CMakeFiles/test_mutex.dir/test_mutex.cpp.o" "gcc" "tests/CMakeFiles/test_mutex.dir/test_mutex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsb_bound.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsb_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsb_perturb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsb_mutex.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsb_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_search.dir/test_protocol_search.cpp.o"
+  "CMakeFiles/test_protocol_search.dir/test_protocol_search.cpp.o.d"
+  "test_protocol_search"
+  "test_protocol_search.pdb"
+  "test_protocol_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_valency.dir/test_valency.cpp.o"
+  "CMakeFiles/test_valency.dir/test_valency.cpp.o.d"
+  "test_valency"
+  "test_valency.pdb"
+  "test_valency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_valency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

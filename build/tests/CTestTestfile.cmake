@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_valency[1]_include.cmake")
+include("/root/repo/build/tests/test_lemmas[1]_include.cmake")
+include("/root/repo/build/tests/test_adversary[1]_include.cmake")
+include("/root/repo/build/tests/test_consensus[1]_include.cmake")
+include("/root/repo/build/tests/test_model_checker[1]_include.cmake")
+include("/root/repo/build/tests/test_perturb[1]_include.cmake")
+include("/root/repo/build/tests/test_mutex[1]_include.cmake")
+include("/root/repo/build/tests/test_encoder[1]_include.cmake")
+include("/root/repo/build/tests/test_rt[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol_search[1]_include.cmake")
+include("/root/repo/build/tests/test_historyless[1]_include.cmake")
+include("/root/repo/build/tests/test_burns_lynch[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_fetch_add[1]_include.cmake")

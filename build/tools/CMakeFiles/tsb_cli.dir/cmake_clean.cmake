@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsb_cli.dir/tsb_cli.cpp.o"
+  "CMakeFiles/tsb_cli.dir/tsb_cli.cpp.o.d"
+  "tsb"
+  "tsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
