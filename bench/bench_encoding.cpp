@@ -11,6 +11,7 @@
 #include "mutex/encoder.hpp"
 #include "mutex/tournament.hpp"
 #include "mutex/visibility.hpp"
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -101,5 +102,6 @@ int main(int argc, char** argv) {
             << "state-changing step; Fan–Lynch's metastep encoding achieves\n"
             << "O(C) bits via amortized batching. The lower-bound line is\n"
             << "the same either way.\n";
+  obs::emit_metrics("bench_encoding");
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <set>
 
 #include "consensus/historyless.hpp"
+#include "obs/metrics.hpp"
 #include "sim/explorer.hpp"
 #include "sim/model_checker.hpp"
 #include "util/table.hpp"
@@ -155,5 +156,6 @@ int main() {
       << "and indeed one swap object beats every read/write space bound\n"
       << "above. The FHS98 Omega(sqrt n) bound still holds for historyless\n"
       << "objects; closing that gap is the paper's open problem.\n";
+  obs::emit_metrics("bench_historyless");
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "bound/adversary.hpp"
 #include "consensus/ballot.hpp"
+#include "obs/metrics.hpp"
 #include "util/table.hpp"
 
 using namespace tsb;
@@ -54,5 +55,6 @@ int main(int argc, char** argv) {
             << "space expands with the ballot cap. The pigeonhole chain\n"
             << "(D_i stages) stays short: register sets repeat immediately\n"
             << "for this protocol family.\n";
+  obs::emit_metrics("bench_lemmas");
   return 0;
 }

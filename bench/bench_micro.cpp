@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "obs/metrics.hpp"
 #include "rt/harness.hpp"
 #include "rt/rt_counter.hpp"
 #include "rt/rt_mutex.hpp"
@@ -124,4 +125,13 @@ BENCHMARK(BM_PetersonLock)->ThreadRange(1, 4)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the run ends with the machine-readable
+// metrics line every bench binary emits (register traffic, step counts).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  tsb::obs::emit_metrics("bench_micro");
+  return 0;
+}

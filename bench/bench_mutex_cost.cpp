@@ -13,6 +13,7 @@
 #include "mutex/canonical.hpp"
 #include "mutex/peterson.hpp"
 #include "mutex/tournament.hpp"
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -121,5 +122,6 @@ int main(int argc, char** argv) {
     }
   }
   bl.print(std::cout, "Burns-Lynch covering (origin of the technique)");
+  obs::emit_metrics("bench_mutex_cost");
   return 0;
 }

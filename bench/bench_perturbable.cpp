@@ -5,6 +5,7 @@
 // increments = lost updates).
 #include <iostream>
 
+#include "obs/metrics.hpp"
 #include "perturb/counter.hpp"
 #include "perturb/fetch_add.hpp"
 #include "perturb/perturbation.hpp"
@@ -93,5 +94,6 @@ int main() {
   const auto result = adversary.run();
   std::cout << "\n--- " << broken.name() << " narrative ---\n"
             << result.narrative;
+  obs::emit_metrics("bench_perturbable");
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <iostream>
 
+#include "obs/metrics.hpp"
 #include "sim/protocol_search.hpp"
 #include "util/table.hpp"
 
@@ -96,5 +97,6 @@ int main() {
       << "\nReading: zero 'live' protocols with one register at any mode\n"
       << "count supports the conjecture that 2-process consensus needs 2\n"
       << "registers (proved by Zhu for n <= 3, beyond this paper).\n";
+  obs::emit_metrics("bench_protocol_search");
   return 0;
 }

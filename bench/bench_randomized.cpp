@@ -4,6 +4,7 @@
 // coin vs a voting shared coin, on real threads.
 #include <iostream>
 
+#include "obs/metrics.hpp"
 #include "rt/harness.hpp"
 #include "rt/rt_consensus.hpp"
 #include "util/stats.hpp"
@@ -74,5 +75,6 @@ int main() {
       << "local coin admits executions with unboundedly many rounds\n"
       << "while a strong shared coin bounds them in expectation [AH90,\n"
       << "AC08].\n";
+  obs::emit_metrics("bench_randomized");
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "obs/metrics.hpp"
 #include "rt/harness.hpp"
 #include "rt/rt_consensus.hpp"
 #include "rt/rt_counter.hpp"
@@ -97,5 +98,6 @@ int main() {
       << "conjectured tight value n. rt-rounds allocates registers per\n"
       << "commit-adopt round, so its written count shows how deep\n"
       << "contention pushed the round counter in the worst trial.\n";
+  obs::emit_metrics("bench_rt_space");
   return 0;
 }

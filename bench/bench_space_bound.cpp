@@ -12,6 +12,7 @@
 #include "consensus/ballot.hpp"
 #include "consensus/kset.hpp"
 #include "consensus/racing.hpp"
+#include "obs/metrics.hpp"
 #include "util/table.hpp"
 
 using namespace tsb;
@@ -86,5 +87,6 @@ int main(int argc, char** argv) {
     kset.row(c.n, c.k, c.k, covered, c.n - c.k);
   }
   kset.print(std::cout, "k-set agreement: covered registers vs n-k");
+  obs::emit_metrics("bench_space_bound");
   return 0;
 }

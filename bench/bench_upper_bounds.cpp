@@ -8,6 +8,7 @@
 #include "consensus/ballot.hpp"
 #include "consensus/kset.hpp"
 #include "consensus/racing.hpp"
+#include "obs/metrics.hpp"
 #include "sim/model_checker.hpp"
 #include "util/table.hpp"
 
@@ -80,5 +81,6 @@ int main() {
       << "the paper's n-1 lower bound (the paper conjectures n is tight;\n"
       << "proven for n <= 3). The VIOLATION rows are deliberately broken\n"
       << "variants whose counterexamples are covered-write obliterations.\n";
+  obs::emit_metrics("bench_upper_bounds");
   return 0;
 }

@@ -1,5 +1,8 @@
 #include "bound/adversary.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_sink.hpp"
 #include "util/require.hpp"
 
 namespace tsb::bound {
@@ -18,6 +21,7 @@ SpaceBoundAdversary::Result SpaceBoundAdversary::run() {
 }
 
 SpaceBoundAdversary::Result SpaceBoundAdversary::run_impl() {
+  obs::Span span("adversary.run");
   Result out;
   const int n = proto_.num_processes();
   if (n < 2) {
@@ -81,10 +85,23 @@ SpaceBoundAdversary::Result SpaceBoundAdversary::run_impl() {
     out.certificate.covering.emplace_back(z, esc.escape_reg);
   }
 
+  // The full covering is in place: n-1 distinct registers (the certificate
+  // checker re-verifies this claim below against the raw engine).
+  obs::TraceSink::global().counter("covered", n - 1);
+
   out.lemma_stats = lemmas.stats();
   out.valency_queries = oracle.queries();
   out.valency_cache_hits = oracle.cache_hits();
   out.narrative = lemmas.narrative();
+
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("bound.valency_queries").add(out.valency_queries);
+  reg.counter("bound.valency_cache_hits").add(out.valency_cache_hits);
+  reg.counter("bound.lemma1_calls").add(out.lemma_stats.lemma1_calls);
+  reg.counter("bound.lemma3_calls").add(out.lemma_stats.lemma3_calls);
+  reg.counter("bound.lemma4_calls").add(out.lemma_stats.lemma4_calls);
+  reg.counter("bound.solo_escapes").add(out.lemma_stats.solo_escapes);
+  reg.counter("bound.di_stages").add(out.lemma_stats.total_di_stages);
 
   if (oracle.ever_truncated()) {
     out.error = "valency oracle hit its configuration cap; results unsound";
@@ -102,6 +119,9 @@ SpaceBoundAdversary::Result SpaceBoundAdversary::run_impl() {
     return out;
   }
   out.ok = true;
+  obs::TraceSink::global().instant("certificate.verified",
+                                   out.check.distinct_registers);
+  span.set_value(out.check.distinct_registers);
   return out;
 }
 

@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "obs/progress.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_sink.hpp"
 #include "util/require.hpp"
 
 namespace tsb::bound {
@@ -179,6 +182,8 @@ LemmaToolkit::Lemma3Result LemmaToolkit::lemma3(const Config& c, ProcSet p,
 }
 
 LemmaToolkit::Lemma4Result LemmaToolkit::lemma4(const Config& c, ProcSet p) {
+  obs::Span span("lemma4");
+  span.set_value(p.size());
   ++stats_.lemma4_calls;
   TSB_REQUIRE(p.size() >= 2, "Lemma 4 needs |P| >= 2");
   TSB_REQUIRE(oracle_.bivalent(c, p), "Lemma 4 precondition: P bivalent");
@@ -211,6 +216,7 @@ LemmaToolkit::Lemma4Result LemmaToolkit::lemma4(const Config& c, ProcSet p) {
   };
   std::vector<Stage> stages;
 
+  obs::Heartbeat hb("lemma4");
   auto push_stage = [&](const Config& d_i, ProcSet q_i) {
     Stage s;
     s.d_i = d_i;
@@ -219,6 +225,15 @@ LemmaToolkit::Lemma4Result LemmaToolkit::lemma4(const Config& c, ProcSet p) {
     s.covered = covered_registers(proto_, d_i, s.r_i);
     TSB_REQUIRE(well_spread(proto_, d_i, s.r_i),
                 "induction hypothesis: R_i must be well spread");
+    // The covering being forced, live: each D_i stage's distinct covered
+    // registers as a Chrome counter track.
+    obs::TraceSink::global().counter(
+        "covered", static_cast<std::int64_t>(s.covered.size()));
+    hb.beat([&] {
+      return "|P|=" + std::to_string(p.size()) + " stage " +
+             std::to_string(stages.size()) + " covered=" +
+             std::to_string(stages.empty() ? 0 : stages.back().covered.size());
+    });
     stages.push_back(std::move(s));
     ++stats_.total_di_stages;
   };
@@ -312,6 +327,9 @@ LemmaToolkit::Lemma4Result LemmaToolkit::lemma4(const Config& c, ProcSet p) {
                   covered_registers(proto_, c_alpha, p - q_j).size()) ==
                   p.size() - 2,
               "covering size mismatch");
+  // z's hidden escape write joined the covering: |P| - 2 at this level.
+  obs::TraceSink::global().counter(
+      "covered", static_cast<std::int64_t>(p.size() - 2));
 
   stats_.longest_alpha = std::max(stats_.longest_alpha, alpha.size());
   --depth_;

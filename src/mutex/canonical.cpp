@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace tsb::mutex {
 
 std::string CanonicalResult::summary() const {
@@ -15,6 +18,7 @@ std::string CanonicalResult::summary() const {
 
 CanonicalResult run_canonical(const MutexAlgorithm& alg,
                               const CanonicalOptions& opts) {
+  obs::Span span("mutex.canonical");
   const int n = alg.num_processes();
   CanonicalResult out;
   out.per_proc_rmr.assign(static_cast<std::size_t>(n), 0);
@@ -134,6 +138,16 @@ CanonicalResult run_canonical(const MutexAlgorithm& alg,
     out.per_proc_rmr[static_cast<std::size_t>(p)] = acct.total_for(p);
   }
   out.completed = finished_count == n && !out.exclusion_violated;
+
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("mutex.canonical.runs").add();
+  reg.counter("mutex.canonical.steps").add(out.total_steps);
+  reg.counter("mutex.canonical.rmr")
+      .add(static_cast<std::uint64_t>(out.rmr_cost));
+  obs::Histogram& per_proc = reg.histogram("mutex.canonical.per_proc_rmr");
+  for (const std::int64_t c : out.per_proc_rmr) {
+    per_proc.record(static_cast<std::uint64_t>(c));
+  }
   return out;
 }
 

@@ -1,0 +1,44 @@
+#include "obs/progress.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace tsb::obs {
+
+namespace {
+std::atomic<bool> progress_on{false};
+}
+
+void set_progress(bool on) {
+  progress_on.store(on, std::memory_order_relaxed);
+}
+
+bool progress_enabled() {
+  return progress_on.load(std::memory_order_relaxed);
+}
+
+Heartbeat::Heartbeat(const char* what, std::chrono::milliseconds interval)
+    : what_(what),
+      interval_(interval),
+      start_(std::chrono::steady_clock::now()),
+      last_(start_) {}
+
+void Heartbeat::beat(const std::function<std::string()>& line) {
+  if (!progress_enabled()) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (now - last_ < interval_) return;
+  last_ = now;
+  const double secs = std::chrono::duration<double>(now - start_).count();
+  std::fprintf(stderr, "[%s +%.1fs] %s\n", what_, secs, line().c_str());
+  std::fflush(stderr);
+}
+
+void Heartbeat::flush(const std::string& line) {
+  if (!progress_enabled()) return;
+  const auto now = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(now - start_).count();
+  std::fprintf(stderr, "[%s +%.1fs] %s\n", what_, secs, line.c_str());
+  std::fflush(stderr);
+}
+
+}  // namespace tsb::obs

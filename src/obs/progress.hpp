@@ -1,0 +1,43 @@
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+
+namespace tsb::obs {
+
+/// Global switch for progress heartbeats (CLI --progress). Off by default:
+/// library code calls Heartbeat::beat unconditionally and the disabled
+/// check is a single relaxed load.
+void set_progress(bool on);
+bool progress_enabled();
+
+/// Rate-limited progress line for long computations. A caller in a hot
+/// loop calls beat() with a lambda that renders the line; the lambda runs
+/// only when progress is enabled and at most once per interval, so the
+/// rendering cost (string building) is never paid on the fast path.
+///
+///   obs::Heartbeat hb("model-check");
+///   ... hb.beat([&] { return "configs=" + std::to_string(n); });
+///
+/// Lines go to stderr so they interleave with, but do not corrupt,
+/// machine-readable stdout.
+class Heartbeat {
+ public:
+  explicit Heartbeat(
+      const char* what,
+      std::chrono::milliseconds interval = std::chrono::milliseconds(1000));
+
+  void beat(const std::function<std::string()>& line);
+
+  /// Emit unconditionally (end-of-phase summary), if progress is enabled.
+  void flush(const std::string& line);
+
+ private:
+  const char* what_;
+  std::chrono::milliseconds interval_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_;
+};
+
+}  // namespace tsb::obs

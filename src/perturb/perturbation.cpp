@@ -2,6 +2,10 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_sink.hpp"
+
 namespace tsb::perturb {
 
 namespace {
@@ -51,6 +55,8 @@ PerturbationAdversary::Demo PerturbationAdversary::run_demo(
 }
 
 PerturbationAdversary::Result PerturbationAdversary::run() {
+  obs::Span span("perturb.run");
+  obs::Registry& reg = obs::Registry::global();
   Result out;
   const int n = obj_.num_processes();
   assert(n >= 2);
@@ -82,6 +88,10 @@ PerturbationAdversary::Result PerturbationAdversary::run() {
       if (op.is_write() && covered.count(op.reg) == 0) {
         covered.insert(op.reg);
         out.covering.emplace_back(worker, op.reg);
+        reg.counter("perturb.stages").add();
+        reg.counter("perturb.escape_steps").add(step);
+        obs::TraceSink::global().counter(
+            "perturb.covered", static_cast<std::int64_t>(covered.size()));
         out.narrative += "stage " + std::to_string(stage) + ": p" +
                          std::to_string(worker) + " covers R" +
                          std::to_string(op.reg) + " after " +
@@ -103,6 +113,10 @@ PerturbationAdversary::Result PerturbationAdversary::run() {
 
   out.distinct_registers = static_cast<int>(covered.size());
   out.covering_complete = out.distinct_registers == n - 1;
+  reg.counter("perturb.demos").add(out.demos.size());
+  reg.counter("perturb.invisible_squeezes").add(
+      static_cast<std::uint64_t>(out.invisible_squeezes));
+  span.set_value(out.distinct_registers);
   return out;
 }
 

@@ -2,46 +2,55 @@
 
 #include <cassert>
 
+#include "obs/trace_sink.hpp"
+
 namespace tsb::rt {
+
+namespace {
+// Process-wide aggregates across every register array, for end-of-run
+// metrics export; instance accessors use the per-instance counters.
+struct RegMetrics {
+  obs::Counter& reads = obs::Registry::global().counter("rt.registers.reads");
+  obs::Counter& writes =
+      obs::Registry::global().counter("rt.registers.writes");
+};
+RegMetrics& reg_metrics() {
+  static RegMetrics m;
+  return m;
+}
+}  // namespace
 
 AtomicRegisterArray::AtomicRegisterArray(std::size_t size)
     : size_(size), cells_(std::make_unique<Cell[]>(size)) {}
 
+AtomicRegisterArray::~AtomicRegisterArray() {
+  // Fold this array's totals into the process-wide aggregates once, at
+  // quiescence, rather than paying a second sharded add on every access.
+  // (Counts cover the interval since the last reset_stats().)
+  reg_metrics().reads.add(reads_.value());
+  reg_metrics().writes.add(writes_.value());
+}
+
 std::uint64_t AtomicRegisterArray::read(std::size_t r) const {
   assert(r < size_);
-  cells_[r].reads.fetch_add(1, std::memory_order_relaxed);
+  reads_.add();
+  obs::trace_instant("reg.read", static_cast<std::int64_t>(r));
   return cells_[r].value.load(std::memory_order_seq_cst);
 }
 
 void AtomicRegisterArray::write(std::size_t r, std::uint64_t v) {
   assert(r < size_);
-  cells_[r].writes.fetch_add(1, std::memory_order_relaxed);
-  cells_[r].written.store(1, std::memory_order_relaxed);
+  writes_.add();
+  obs::trace_instant("reg.write", static_cast<std::int64_t>(r));
+  if (cells_[r].written.load(std::memory_order_relaxed) == 0 &&
+      cells_[r].written.exchange(1, std::memory_order_relaxed) == 0) {
+    // First write to this register: the covered count grows — the runtime
+    // mirror of the paper's quantity, traced over time.
+    const std::size_t now =
+        distinct_.fetch_add(1, std::memory_order_relaxed) + 1;
+    obs::trace_counter("rt.covered", static_cast<std::int64_t>(now));
+  }
   cells_[r].value.store(v, std::memory_order_seq_cst);
-}
-
-std::uint64_t AtomicRegisterArray::total_reads() const {
-  std::uint64_t sum = 0;
-  for (std::size_t r = 0; r < size_; ++r) {
-    sum += cells_[r].reads.load(std::memory_order_relaxed);
-  }
-  return sum;
-}
-
-std::uint64_t AtomicRegisterArray::total_writes() const {
-  std::uint64_t sum = 0;
-  for (std::size_t r = 0; r < size_; ++r) {
-    sum += cells_[r].writes.load(std::memory_order_relaxed);
-  }
-  return sum;
-}
-
-std::size_t AtomicRegisterArray::distinct_registers_written() const {
-  std::size_t count = 0;
-  for (std::size_t r = 0; r < size_; ++r) {
-    count += cells_[r].written.load(std::memory_order_relaxed);
-  }
-  return count;
 }
 
 std::vector<std::size_t> AtomicRegisterArray::written_registers() const {
@@ -53,9 +62,10 @@ std::vector<std::size_t> AtomicRegisterArray::written_registers() const {
 }
 
 void AtomicRegisterArray::reset_stats() {
+  reads_.reset();
+  writes_.reset();
+  distinct_.store(0, std::memory_order_relaxed);
   for (std::size_t r = 0; r < size_; ++r) {
-    cells_[r].reads.store(0, std::memory_order_relaxed);
-    cells_[r].writes.store(0, std::memory_order_relaxed);
     cells_[r].written.store(0, std::memory_order_relaxed);
   }
 }

@@ -5,6 +5,8 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace tsb::rt {
 
 /// An array of atomic (linearizable) shared registers with built-in space
@@ -19,19 +21,27 @@ namespace tsb::rt {
 ///  * distinct_registers_written() — the space actually exercised, the
 ///    quantity the n-1 lower bound constrains;
 ///  * total reads/writes — step counts for the work experiments.
-/// Counters are relaxed; they do not order anything.
+/// Counting goes through the obs metrics layer: per-thread sharded relaxed
+/// counters, so instrumentation adds no shared contended cache line to the
+/// algorithm being measured. The accessors are thin views over those
+/// metrics. When tracing is enabled, each access also lands on the calling
+/// thread's trace timeline and the running distinct-registers count is
+/// emitted as a "rt.covered" counter track.
 class AtomicRegisterArray {
  public:
   explicit AtomicRegisterArray(std::size_t size);
+  ~AtomicRegisterArray();
 
   std::size_t size() const { return size_; }
 
   std::uint64_t read(std::size_t r) const;
   void write(std::size_t r, std::uint64_t v);
 
-  std::uint64_t total_reads() const;
-  std::uint64_t total_writes() const;
-  std::size_t distinct_registers_written() const;
+  std::uint64_t total_reads() const { return reads_.value(); }
+  std::uint64_t total_writes() const { return writes_.value(); }
+  std::size_t distinct_registers_written() const {
+    return distinct_.load(std::memory_order_relaxed);
+  }
   std::vector<std::size_t> written_registers() const;
 
   /// Clears counters and written-marks (not register contents).
@@ -44,13 +54,14 @@ class AtomicRegisterArray {
   // communication, which false sharing would contaminate.
   struct alignas(64) Cell {
     std::atomic<std::uint64_t> value{0};
-    std::atomic<std::uint64_t> reads{0};
-    std::atomic<std::uint64_t> writes{0};
     std::atomic<std::uint8_t> written{0};
   };
 
   std::size_t size_;
   std::unique_ptr<Cell[]> cells_;
+  mutable obs::Counter reads_;
+  obs::Counter writes_;
+  std::atomic<std::size_t> distinct_{0};
 };
 
 }  // namespace tsb::rt

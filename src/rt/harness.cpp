@@ -2,6 +2,9 @@
 
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace tsb::rt {
 
 void SpinBarrier::arrive_and_wait() {
@@ -23,11 +26,17 @@ void run_threads(int n, const std::function<void(int)>& body) {
   threads.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     threads.emplace_back([&, i] {
+      // Trace timelines are keyed by the logical process id, not the OS
+      // thread — re-runs and thread-pool reuse then line up in Perfetto.
+      obs::set_thread_id(i);
       barrier.arrive_and_wait();
+      obs::Span span("rt.thread");
+      span.set_value(i);
       body(i);
     });
   }
   for (auto& t : threads) t.join();
+  obs::Registry::global().counter("rt.run_threads").add();
 }
 
 void cpu_relax() {

@@ -2,7 +2,25 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
+
 namespace tsb::sim {
+
+namespace {
+// Step counts by op kind; a lower bound's "work" is steps, so every future
+// perf PR reads these. Looked up once, then relaxed sharded adds.
+struct StepCounters {
+  obs::Counter& read = obs::Registry::global().counter("sim.steps.read");
+  obs::Counter& write = obs::Registry::global().counter("sim.steps.write");
+  obs::Counter& swap = obs::Registry::global().counter("sim.steps.swap");
+  obs::Counter& decided_noop =
+      obs::Registry::global().counter("sim.steps.decided_noop");
+};
+StepCounters& step_counters() {
+  static StepCounters c;
+  return c;
+}
+}  // namespace
 
 std::string PendingOp::to_string() const {
   switch (kind) {
@@ -35,6 +53,7 @@ Config step(const Protocol& proto, const Config& c, ProcId p, Trace* trace) {
 
   if (op.is_decide()) {
     // Decided processes have terminated; stepping them changes nothing.
+    step_counters().decided_noop.add();
     return c;
   }
 
@@ -42,16 +61,19 @@ Config step(const Protocol& proto, const Config& c, ProcId p, Trace* trace) {
   StepRecord rec{p, op, 0};
   assert(op.reg >= 0 && op.reg < proto.num_registers());
   if (op.is_read()) {
+    step_counters().read.add();
     const Value observed = c.regs[static_cast<std::size_t>(op.reg)];
     rec.read_result = observed;
     next.states[static_cast<std::size_t>(p)] = proto.after_read(p, s, observed);
   } else if (op.is_swap()) {
+    step_counters().swap.add();
     const Value overwritten = c.regs[static_cast<std::size_t>(op.reg)];
     rec.read_result = overwritten;
     next.regs[static_cast<std::size_t>(op.reg)] = op.value;
     next.states[static_cast<std::size_t>(p)] =
         proto.after_swap(p, s, overwritten);
   } else {
+    step_counters().write.add();
     next.regs[static_cast<std::size_t>(op.reg)] = op.value;
     next.states[static_cast<std::size_t>(p)] = proto.after_write(p, s);
   }

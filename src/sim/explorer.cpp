@@ -3,7 +3,25 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+
 namespace tsb::sim {
+
+namespace {
+struct ExploreMetrics {
+  obs::Counter& visited =
+      obs::Registry::global().counter("sim.explore.visited");
+  obs::Counter& dedup_hits =
+      obs::Registry::global().counter("sim.explore.dedup_hits");
+  obs::Gauge& frontier =
+      obs::Registry::global().gauge("sim.explore.frontier");
+};
+ExploreMetrics& explore_metrics() {
+  static ExploreMetrics m;
+  return m;
+}
+}  // namespace
 
 Explorer::Result Explorer::explore(
     const Config& root, ProcSet p,
@@ -13,12 +31,18 @@ Explorer::Result Explorer::explore(
 
   Result res;
   std::deque<Config> frontier;
+  ExploreMetrics& metrics = explore_metrics();
+  obs::Heartbeat hb("explore");
 
   auto discover = [&](const Config& c, int parent, ProcId via) -> bool {
     auto [it, inserted] = index_.try_emplace(c, static_cast<int>(parent_.size()));
-    if (!inserted) return true;  // already seen
+    if (!inserted) {
+      metrics.dedup_hits.add();
+      return true;  // already seen
+    }
     parent_.emplace_back(parent, via);
     ++res.visited;
+    metrics.visited.add();
     if (!visit(c)) {
       res.aborted = true;
       res.abort_config = c;
@@ -30,10 +54,18 @@ Explorer::Result Explorer::explore(
 
   if (!discover(root, -1, -1)) return res;
 
+  std::size_t expanded = 0;
   while (!frontier.empty()) {
     if (index_.size() >= opts_.max_configs) {
       res.truncated = true;
       break;
+    }
+    if ((++expanded & 0xFFF) == 0) {
+      metrics.frontier.set(static_cast<std::int64_t>(frontier.size()));
+      hb.beat([&] {
+        return "configs=" + std::to_string(res.visited) +
+               " frontier=" + std::to_string(frontier.size());
+      });
     }
     Config cur = std::move(frontier.front());
     frontier.pop_front();

@@ -2,7 +2,25 @@
 
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/span.hpp"
+
 namespace tsb::sim {
+
+namespace {
+struct CheckMetrics {
+  obs::Counter& initial =
+      obs::Registry::global().counter("mc.initial_configs");
+  obs::Counter& configs = obs::Registry::global().counter("mc.configs");
+  obs::Counter& solo_runs = obs::Registry::global().counter("mc.solo_runs");
+  obs::Gauge& max_solo = obs::Registry::global().gauge("mc.max_solo_steps");
+};
+CheckMetrics& check_metrics() {
+  static CheckMetrics m;
+  return m;
+}
+}  // namespace
 
 std::vector<std::vector<Value>> all_binary_inputs(int n) {
   std::vector<std::vector<Value>> out;
@@ -37,9 +55,19 @@ ModelChecker::Report ModelChecker::check(
   Report rep;
   const int n = proto_.num_processes();
   const ProcSet everyone = ProcSet::first_n(n);
+  CheckMetrics& metrics = check_metrics();
+  obs::Heartbeat hb("model-check");
 
   for (const auto& inputs : input_vectors) {
+    obs::Span span("mc.input_vector");
     ++rep.initial_configs;
+    metrics.initial.add();
+    hb.beat([&] {
+      return "input " + std::to_string(rep.initial_configs) + "/" +
+             std::to_string(input_vectors.size()) +
+             " configs=" + std::to_string(rep.total_configs) +
+             " solo_runs=" + std::to_string(rep.solo_runs_checked);
+    });
     const Config init = initial_config(proto_, inputs);
     const std::set<Value> legal(inputs.begin(), inputs.end());
 
@@ -76,6 +104,8 @@ ModelChecker::Report ModelChecker::check(
           if (decision_of(proto_, c, p)) continue;
           SoloRun solo = run_solo(proto_, c, p, opts_.solo_step_cap);
           ++rep.solo_runs_checked;
+          metrics.solo_runs.add();
+          metrics.max_solo.set(static_cast<std::int64_t>(solo.schedule.size()));
           rep.max_solo_steps_seen =
               std::max(rep.max_solo_steps_seen, solo.schedule.size());
           if (!solo.decided) {
@@ -95,12 +125,15 @@ ModelChecker::Report ModelChecker::check(
     });
 
     rep.total_configs += result.visited;
+    metrics.configs.add(result.visited);
+    span.set_value(static_cast<std::int64_t>(result.visited));
     rep.truncated = rep.truncated || result.truncated;
 
     if (opts_.check_solo_termination && !opts_.solo_from_every_config) {
       for (ProcId p = 0; p < n; ++p) {
         SoloRun solo = run_solo(proto_, init, p, opts_.solo_step_cap);
         ++rep.solo_runs_checked;
+        metrics.solo_runs.add();
         rep.max_solo_steps_seen =
             std::max(rep.max_solo_steps_seen, solo.schedule.size());
         if (!solo.decided) {

@@ -6,11 +6,25 @@
 //   tsb mutex [n]                  canonical-cost + Burns-Lynch summary
 //   tsb perturb [n]                JTT perturbation adversary on a counter
 //
+// Observability flags (any position, any subcommand):
+//   --trace=FILE     record a trace; .jsonl gets JSONL, else Chrome
+//                    trace_event JSON (chrome://tracing, Perfetto)
+//   --metrics        print the metrics registry as one JSON line at exit
+//   --progress       heartbeat lines on stderr during long computations
+//   --valency-cap=N  valency oracle configuration cap (adversary only)
+//
+// Exit codes (distinct so CI can tell misuse from refutation):
+//   0  success
+//   1  violation / failed construction (a result, not a usage problem)
+//   2  usage error: unknown subcommand, unknown protocol, bad flag
+//
 // Protocols for `check`: ballot | racing-strict | racing-atleast | swap
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bound/adversary.hpp"
 #include "consensus/ballot.hpp"
@@ -20,6 +34,7 @@
 #include "mutex/canonical.hpp"
 #include "mutex/peterson.hpp"
 #include "mutex/tournament.hpp"
+#include "obs/obs.hpp"
 #include "perturb/counter.hpp"
 #include "perturb/perturbation.hpp"
 #include "sim/model_checker.hpp"
@@ -29,6 +44,10 @@ using namespace tsb;
 
 namespace {
 
+constexpr int kExitOk = 0;
+constexpr int kExitViolation = 1;
+constexpr int kExitUsage = 2;
+
 int usage() {
   std::cerr
       << "usage:\n"
@@ -37,8 +56,30 @@ int usage() {
          "      proto: ballot | racing-strict | racing-atleast | swap\n"
          "  tsb search [modes=1] [cap=0]     1-register protocol sweep\n"
          "  tsb mutex [n=8]                  mutex cost + covering summary\n"
-         "  tsb perturb [n=5]                JTT adversary on the counter\n";
-  return 2;
+         "  tsb perturb [n=5]                JTT adversary on the counter\n"
+         "flags: --trace=FILE --metrics --progress --valency-cap=N\n"
+         "exit codes: 0 ok, 1 violation/failed construction, 2 usage error\n";
+  return kExitUsage;
+}
+
+struct ObsFlags {
+  std::string trace_file;
+  bool metrics = false;
+  std::size_t valency_cap = 0;  // 0 = pick a default that scales with n
+};
+
+// Smallest ballot cap for which BallotConsensus both solo-terminates and
+// satisfies the adversary's valency demands, found by sweeping (EXPERIMENTS.md).
+int default_ballot_cap(int n) {
+  if (n <= 4) return 2 * n;
+  if (n == 5) return 3 * n;
+  return 5 * n - 2;  // n=6 -> 28, verified; extrapolated beyond
+}
+
+// The valency oracle explores far more configurations at the caps n >= 6
+// needs; 2M is comfortable through n=5 and unsound beyond it.
+std::size_t default_valency_cap(int n) {
+  return n <= 5 ? 2'000'000 : 40'000'000;
 }
 
 std::unique_ptr<sim::Protocol> make_protocol(const std::string& name, int n,
@@ -56,21 +97,24 @@ std::unique_ptr<sim::Protocol> make_protocol(const std::string& name, int n,
   return nullptr;
 }
 
-int cmd_adversary(int n, int cap) {
+int cmd_adversary(int n, int cap, const ObsFlags& obs_flags) {
   consensus::BallotConsensus proto(n, cap);
   bound::SpaceBoundAdversary::Options opts;
   opts.narrative = true;
+  opts.valency_max_configs = obs_flags.valency_cap
+                                 ? obs_flags.valency_cap
+                                 : default_valency_cap(n);
   bound::SpaceBoundAdversary adversary(proto, opts);
   const auto result = adversary.run();
   if (!result.ok) {
     std::cout << "FAILED: " << result.error << "\n";
-    return 1;
+    return kExitViolation;
   }
   std::cout << result.narrative << "\ncovered "
             << result.check.distinct_registers << " distinct registers "
             << "(bound n-1 = " << n - 1 << "); certificate "
             << (result.check.ok ? "verified" : "REJECTED") << "\n";
-  return 0;
+  return kExitOk;
 }
 
 int cmd_check(const std::string& name, int n, int cap) {
@@ -85,7 +129,7 @@ int cmd_check(const std::string& name, int n, int cap) {
     std::cout << "counterexample schedule: "
               << report.schedule_to_bad->to_string() << "\n";
   }
-  return report.ok ? 0 : 1;
+  return report.ok ? kExitOk : kExitViolation;
 }
 
 int cmd_search(int modes, std::size_t cap) {
@@ -101,7 +145,7 @@ int cmd_search(int modes, std::size_t cap) {
   for (const auto& winner : stats.winners) {
     std::cout << "WINNER: " << winner.to_string() << "\n";
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_mutex(int n) {
@@ -119,7 +163,7 @@ int cmd_mutex(int n) {
               << ", Burns-Lynch covering " << bl.distinct_registers << "/"
               << n << "\n";
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_perturb(int n) {
@@ -128,30 +172,73 @@ int cmd_perturb(int n) {
   const auto result = adversary.run();
   std::cout << result.narrative << "covered " << result.distinct_registers
             << " distinct registers (bound n-1 = " << n - 1 << ")\n";
-  return result.covering_complete ? 0 : 1;
+  return result.covering_complete ? kExitOk : kExitViolation;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  auto arg = [&](int i, int def) {
-    return argc > i ? std::atoi(argv[i]) : def;
+  // Peel observability flags off argv (they may appear anywhere) so the
+  // positional parsing below stays unchanged.
+  ObsFlags obs_flags;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--trace=", 0) == 0) {
+      obs_flags.trace_file = a.substr(std::strlen("--trace="));
+      if (obs_flags.trace_file.empty()) return usage();
+    } else if (a == "--metrics") {
+      obs_flags.metrics = true;
+    } else if (a == "--progress") {
+      obs::set_progress(true);
+    } else if (a.rfind("--valency-cap=", 0) == 0) {
+      obs_flags.valency_cap = std::strtoull(
+          a.c_str() + std::strlen("--valency-cap="), nullptr, 10);
+      if (obs_flags.valency_cap == 0) return usage();
+    } else if (a.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag: " << a << "\n";
+      return usage();
+    } else {
+      args.push_back(a);
+    }
+  }
+  if (args.empty()) return usage();
+  if (!obs_flags.trace_file.empty()) obs::TraceSink::global().enable();
+
+  const std::string cmd = args[0];
+  auto arg = [&](std::size_t i, int def) {
+    return args.size() > i ? std::atoi(args[i].c_str()) : def;
   };
 
+  int rc = kExitUsage;
   if (cmd == "adversary") {
-    const int n = arg(2, 4);
-    return cmd_adversary(n, arg(3, n <= 4 ? 2 * n : 3 * n));
+    const int n = arg(1, 4);
+    rc = cmd_adversary(n, arg(2, default_ballot_cap(n)), obs_flags);
+  } else if (cmd == "check" && args.size() >= 2) {
+    const int n = arg(2, 2);
+    rc = cmd_check(args[1], n, arg(3, 2 * n));
+  } else if (cmd == "search") {
+    rc = cmd_search(arg(1, 1), static_cast<std::size_t>(arg(2, 0)));
+  } else if (cmd == "mutex") {
+    rc = cmd_mutex(arg(1, 8));
+  } else if (cmd == "perturb") {
+    rc = cmd_perturb(arg(1, 5));
+  } else {
+    return usage();
   }
-  if (cmd == "check" && argc >= 3) {
-    const int n = arg(3, 2);
-    return cmd_check(argv[2], n, arg(4, 2 * n));
+
+  if (!obs_flags.trace_file.empty()) {
+    obs::TraceSink& sink = obs::TraceSink::global();
+    sink.disable();
+    if (!sink.write_file(obs_flags.trace_file)) {
+      std::cerr << "could not write trace to " << obs_flags.trace_file << "\n";
+      if (rc == kExitOk) rc = kExitViolation;
+    } else {
+      std::cerr << "trace: " << sink.size() << " events ("
+                << sink.dropped() << " dropped) -> " << obs_flags.trace_file
+                << "\n";
+    }
   }
-  if (cmd == "search") {
-    return cmd_search(arg(2, 1), static_cast<std::size_t>(arg(3, 0)));
-  }
-  if (cmd == "mutex") return cmd_mutex(arg(2, 8));
-  if (cmd == "perturb") return cmd_perturb(arg(2, 5));
-  return usage();
+  if (obs_flags.metrics) obs::emit_metrics("tsb " + cmd);
+  return rc;
 }
