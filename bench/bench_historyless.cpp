@@ -31,7 +31,7 @@ TasVerdict verify_tas(int n) {
   sim::Explorer explorer(proto);
   TasVerdict verdict;
   auto result = explorer.explore(
-      init, sim::ProcSet::first_n(n), [&](const sim::Config& c) {
+      init, sim::ProcSet::first_n(n), [&](const sim::ConfigView& c) {
         ++verdict.configs;
         int leaders = 0;
         int decided = 0;

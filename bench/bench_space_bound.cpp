@@ -20,7 +20,11 @@ using namespace tsb;
 namespace {
 
 void run_case(util::Table& table, const sim::Protocol& proto, int n) {
-  bound::SpaceBoundAdversary adversary(proto);
+  bound::SpaceBoundAdversary::Options opts;
+  // The oracle explores far more configurations at the caps n >= 6 needs;
+  // 2M is comfortable through n = 5 and unsound beyond it (matches the CLI).
+  if (n >= 6) opts.valency_max_configs = 40'000'000;
+  bound::SpaceBoundAdversary adversary(proto, opts);
   const auto t0 = std::chrono::steady_clock::now();
   const auto result = adversary.run();
   const double secs =
@@ -56,9 +60,9 @@ int main(int argc, char** argv) {
     run_case(table, racing, 2);
   }
   for (int n = 2; n <= max_n; ++n) {
-    // Cap chosen empirically: the construction at size n needs ~3n ballots
-    // of headroom (n = 5 needs 15; see EXPERIMENTS.md).
-    const int cap = n <= 4 ? 2 * n : 3 * n;
+    // Caps found by sweeping (EXPERIMENTS.md): n <= 4 needs 2n ballots of
+    // headroom, n = 5 needs 3n, n = 6 needs 5n-2 = 28.
+    const int cap = n <= 4 ? 2 * n : (n == 5 ? 3 * n : 5 * n - 2);
     consensus::BallotConsensus ballot(n, cap);
     run_case(table, ballot, n);
   }

@@ -29,7 +29,8 @@ SpaceBoundAdversary::Result SpaceBoundAdversary::run_impl() {
     return out;
   }
 
-  ValencyOracle oracle(proto_, {.max_configs = opts_.valency_max_configs});
+  ValencyOracle oracle(proto_, {.max_configs = opts_.valency_max_configs,
+                                .threads = opts_.threads});
   LemmaToolkit lemmas(proto_, oracle);
   lemmas.enable_narrative(opts_.narrative);
 

@@ -17,6 +17,9 @@ class SpaceBoundAdversary {
  public:
   struct Options {
     std::size_t valency_max_configs = 2'000'000;
+    /// Worker threads for the oracle's reachability passes (> 1 uses the
+    /// parallel explorer; results are identical at any thread count).
+    int threads = 1;
     bool narrative = false;  ///< record a human-readable walkthrough
   };
 

@@ -3,28 +3,20 @@
 #include <cassert>
 
 #include "util/require.hpp"
-
 #include "util/rng.hpp"
 
 namespace tsb::bound {
 
-std::size_t ValencyOracle::KeyHash::operator()(const Key& k) const {
-  std::uint64_t h = k.config.hash();
+std::size_t ValencyOracle::PairKeyHash::operator()(const PairKey& k) const {
+  std::uint64_t h = static_cast<std::uint64_t>(k.root);
   h = util::hash_combine(h, k.pbits);
-  h = util::hash_combine(h, static_cast<std::uint64_t>(k.v));
   return static_cast<std::size_t>(h);
 }
 
 bool ValencyOracle::can_decide(const Config& c, ProcSet p, Value v) {
+  TSB_REQUIRE(v == 0 || v == 1, "valency queries are binary");
   ++queries_;
-  Key key{c, p.bits(), v};
-  if (auto it = memo_.find(key); it != memo_.end()) {
-    ++cache_hits_;
-    return it->second;
-  }
-  const bool result = compute(c, p, v, nullptr);
-  memo_.emplace(std::move(key), result);
-  return result;
+  return lookup(c, p).can[v];
 }
 
 Value ValencyOracle::some_decidable(const Config& c, ProcSet p) {
@@ -38,24 +30,71 @@ Value ValencyOracle::some_decidable(const Config& c, ProcSet p) {
 
 std::optional<Schedule> ValencyOracle::deciding_schedule(const Config& c,
                                                          ProcSet p, Value v) {
-  Schedule witness;
-  if (!compute(c, p, v, &witness)) return std::nullopt;
-  return witness;
+  TSB_REQUIRE(v == 0 || v == 1, "valency queries are binary");
+  ++queries_;
+  const PairAnswer& a = lookup(c, p);
+  if (!a.can[v]) return std::nullopt;
+  return a.witness[v];
 }
 
-bool ValencyOracle::compute(const Config& c, ProcSet p, Value v,
-                            Schedule* witness_out) {
-  sim::Explorer explorer(proto_, {.max_configs = opts_.max_configs});
-  auto result = explorer.explore(c, p, [&](const Config& cfg) {
-    return !sim::some_decided(proto_, cfg, v);  // abort once v is decided
-  });
-  if (result.truncated) ever_truncated_ = true;
-  if (result.aborted && witness_out != nullptr) {
-    auto w = explorer.witness(*result.abort_config);
-    assert(w.has_value());
-    *witness_out = std::move(*w);
+const ValencyOracle::PairAnswer& ValencyOracle::lookup(const Config& c,
+                                                       ProcSet p) {
+  roots_.pack(c, roots_.scratch());
+  const PairKey key{roots_.intern_scratch().id, p.bits()};
+  if (auto it = memo_.find(key); it != memo_.end()) {
+    ++cache_hits_;
+    return it->second;
   }
-  return result.aborted;
+  PairAnswer answer = compute_pair(c, p);
+  return memo_.emplace(key, std::move(answer)).first->second;
+}
+
+ValencyOracle::PairAnswer ValencyOracle::compute_pair(const Config& c,
+                                                      ProcSet p) {
+  ++explorations_;
+  const int n = proto_.num_processes();
+  sim::ConfigId found[2] = {sim::kNoConfig, sim::kNoConfig};
+  // One pass answers both values: scan each visited configuration for
+  // deciding processes (matching some_decided) and keep going until both
+  // a 0-deciding and a 1-deciding configuration have been seen — or the
+  // P-only space is exhausted, which makes the negative answers exact.
+  auto visit = [&](const sim::ConfigView& cv) {
+    for (sim::ProcId q = 0; q < n; ++q) {
+      const sim::PendingOp op = proto_.poised(q, cv.states[q]);
+      if (!op.is_decide()) continue;
+      const sim::Value v = op.value;
+      if ((v == 0 || v == 1) && found[v] == sim::kNoConfig) found[v] = cv.id;
+    }
+    return found[0] == sim::kNoConfig || found[1] == sim::kNoConfig;
+  };
+
+  PairAnswer answer;
+  auto finish = [&](auto& explorer, const sim::ExploreResult& res) {
+    // A truncated pass can only under-report; positive answers found
+    // before the cap are still sound.
+    if (res.truncated) ever_truncated_ = true;
+    for (int v = 0; v < 2; ++v) {
+      if (found[v] == sim::kNoConfig) continue;
+      answer.can[v] = true;
+      auto w = explorer.witness_by_id(found[v]);
+      assert(w.has_value());
+      answer.witness[v] = std::move(*w);
+    }
+  };
+
+  if (opts_.threads > 1) {
+    if (!par_) {
+      par_.emplace(proto_, sim::ParallelExplorer::Options{opts_.max_configs,
+                                                          opts_.threads});
+    }
+    finish(*par_, par_->explore(c, p, visit));
+  } else {
+    if (!seq_) {
+      seq_.emplace(proto_, sim::Explorer::Options{opts_.max_configs});
+    }
+    finish(*seq_, seq_->explore(c, p, visit));
+  }
+  return answer;
 }
 
 }  // namespace tsb::bound

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "sim/explorer.hpp"
+#include "sim/parallel_explorer.hpp"
 
 namespace tsb::bound {
 
@@ -21,8 +22,16 @@ using sim::Value;
 ///
 /// This oracle answers such queries *exactly* by exhaustive P-only
 /// reachability, which terminates because the experiment protocols have
-/// finite configuration spaces. Queries are memoized on (C, P, v); the
-/// lemma searches issue the same query along many prefixes.
+/// finite configuration spaces.
+///
+/// Exploration is shared between the two values: one BFS pass per (C, P)
+/// answers both v = 0 and v = 1 (it runs until a deciding configuration for
+/// each value is found, or the P-only space is exhausted), and the deciding
+/// witnesses are extracted from the same pass. Results are memoized per
+/// (C, P) pair, keyed on an interned 32-bit id of C rather than a full
+/// configuration copy — so querying the complementary value, or asking for
+/// a witness after a decidability check (the lemma searches do both,
+/// constantly), never explores again.
 ///
 /// A value counts as "decided in the execution" if some process is in a
 /// decided state at any configuration along it, including C itself —
@@ -32,12 +41,17 @@ class ValencyOracle {
  public:
   struct Options {
     std::size_t max_configs = 2'000'000;
+    /// Worker threads for each reachability pass; > 1 switches to the
+    /// ParallelExplorer (identical results, see its determinism rule).
+    int threads = 1;
   };
 
   explicit ValencyOracle(const Protocol& proto)
       : ValencyOracle(proto, Options{}) {}
   ValencyOracle(const Protocol& proto, Options opts)
-      : proto_(proto), opts_(opts) {}
+      : proto_(proto),
+        opts_(opts),
+        roots_(proto.num_processes(), proto.num_registers()) {}
 
   /// Definition 1: P can decide v from C.
   bool can_decide(const Config& c, ProcSet p, Value v);
@@ -57,37 +71,51 @@ class ValencyOracle {
   Value some_decidable(const Config& c, ProcSet p);
 
   /// A P-only schedule from C in which v is decided (witness for
-  /// can_decide). Not memoized; used to extract executions for the lemmas.
+  /// can_decide): the BFS-first deciding configuration's discovery path,
+  /// cached from the same shared exploration that answered can_decide.
   std::optional<Schedule> deciding_schedule(const Config& c, ProcSet p,
                                             Value v);
 
-  /// True if any reachability query ever hit the configuration cap, which
-  /// would make answers unsound. The adversary asserts this stays false.
+  /// True if any reachability query ever hit the configuration cap with an
+  /// undetermined value, which would make a negative answer unsound. The
+  /// adversary asserts this stays false.
   bool ever_truncated() const { return ever_truncated_; }
 
   std::size_t queries() const { return queries_; }
   std::size_t cache_hits() const { return cache_hits_; }
+  /// Underlying BFS passes actually run (each covers both values of one
+  /// (C, P) pair); queries() - cache_hits() public misses map 1:1 onto
+  /// pair lookups, of which this many missed the memo.
+  std::size_t explorations() const { return explorations_; }
 
  private:
-  struct Key {
-    Config config;
-    std::uint64_t pbits;
-    Value v;
-    bool operator==(const Key&) const = default;
+  struct PairAnswer {
+    bool can[2] = {false, false};
+    Schedule witness[2];  ///< meaningful iff can[v]
   };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const;
+  struct PairKey {
+    sim::ConfigId root;
+    std::uint64_t pbits;
+    bool operator==(const PairKey&) const = default;
+  };
+  struct PairKeyHash {
+    std::size_t operator()(const PairKey& k) const;
   };
 
-  bool compute(const Config& c, ProcSet p, Value v,
-               Schedule* witness_out);
+  /// Memoized shared-exploration answer for (c, p).
+  const PairAnswer& lookup(const Config& c, ProcSet p);
+  PairAnswer compute_pair(const Config& c, ProcSet p);
 
   const Protocol& proto_;
   Options opts_;
-  std::unordered_map<Key, bool, KeyHash> memo_;
+  sim::ConfigArena roots_;  ///< interns query roots for 32-bit memo keys
+  std::unordered_map<PairKey, PairAnswer, PairKeyHash> memo_;
+  std::optional<sim::Explorer> seq_;          ///< reused across queries
+  std::optional<sim::ParallelExplorer> par_;  ///< reused across queries
   bool ever_truncated_ = false;
   std::size_t queries_ = 0;
   std::size_t cache_hits_ = 0;
+  std::size_t explorations_ = 0;
 };
 
 }  // namespace tsb::bound

@@ -1,0 +1,106 @@
+#include "sim/config_arena.hpp"
+
+#include <cassert>
+
+namespace tsb::sim {
+
+namespace {
+constexpr std::size_t kInitialSlots = 1u << 10;
+
+// splitmix64 finalizer: full-avalanche mix of one word into the running
+// hash. Cheaper and better distributed than repeated hash_combine for the
+// fixed-width word sequences the arena stores.
+inline std::uint64_t mix(std::uint64_t h, std::uint64_t w) {
+  h += 0x9e3779b97f4a7c15ull + w;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+}  // namespace
+
+ConfigArena::ConfigArena(int num_states, int num_regs)
+    : n_(num_states),
+      m_(num_regs),
+      words_(static_cast<std::size_t>(num_states) +
+             static_cast<std::size_t>(num_regs)),
+      scratch_(words_, 0),
+      table_(kInitialSlots),
+      mask_(kInitialSlots - 1) {
+  assert(num_states > 0 && num_regs >= 0);
+}
+
+void ConfigArena::clear() {
+  count_ = 0;
+  data_.clear();
+  for (Slot& s : table_) s = Slot{};
+}
+
+void ConfigArena::pack(const Config& c, Value* dst) const {
+  assert(static_cast<int>(c.states.size()) == n_);
+  assert(static_cast<int>(c.regs.size()) == m_);
+  std::memcpy(dst, c.states.data(),
+              static_cast<std::size_t>(n_) * sizeof(Value));
+  std::memcpy(dst + n_, c.regs.data(),
+              static_cast<std::size_t>(m_) * sizeof(Value));
+}
+
+std::uint64_t ConfigArena::hash_words(const Value* w) const {
+  std::uint64_t h = 0x5bd1e995u;
+  for (std::size_t i = 0; i < words_; ++i) {
+    h = mix(h, static_cast<std::uint64_t>(w[i]));
+  }
+  return h;
+}
+
+void ConfigArena::grow_table() {
+  std::vector<Slot> bigger(table_.size() * 2);
+  const std::size_t mask = bigger.size() - 1;
+  for (const Slot& s : table_) {
+    if (s.id == kNoConfig) continue;
+    std::size_t i = s.hash & mask;
+    while (bigger[i].id != kNoConfig) i = (i + 1) & mask;
+    bigger[i] = s;
+  }
+  table_ = std::move(bigger);
+  mask_ = mask;
+}
+
+ConfigId ConfigArena::append_words(const Value* w) {
+  assert(count_ < kNoConfig);
+  const ConfigId id = static_cast<ConfigId>(count_++);
+  data_.insert(data_.end(), w, w + words_);
+  return id;
+}
+
+ConfigArena::Interned ConfigArena::intern_scratch() {
+  // Keep the load factor below 0.7 (growth check before the probe so slot
+  // references stay valid through the insertion).
+  if ((count_ + 1) * 10 >= table_.size() * 7) grow_table();
+  const Value* w = scratch_.data();
+  const std::uint64_t h = hash_words(w);
+  std::size_t i = h & mask_;
+  while (true) {
+    Slot& s = table_[i];
+    if (s.id == kNoConfig) {
+      const ConfigId id = append_words(w);
+      s.hash = h;
+      s.id = id;
+      return {id, true};
+    }
+    if (s.hash == h && words_equal(words(s.id), w)) return {s.id, false};
+    i = (i + 1) & mask_;
+  }
+}
+
+ConfigId ConfigArena::find(const Value* w) const {
+  const std::uint64_t h = hash_words(w);
+  std::size_t i = h & mask_;
+  while (true) {
+    const Slot& s = table_[i];
+    if (s.id == kNoConfig) return kNoConfig;
+    if (s.hash == h && words_equal(words(s.id), w)) return s.id;
+    i = (i + 1) & mask_;
+  }
+}
+
+}  // namespace tsb::sim

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace tsb::sim {
+
+/// Dense identifier of a configuration interned in a ConfigArena. Ids are
+/// assigned consecutively from 0 in insertion order, so the BFS explorers
+/// use the id sequence itself as the frontier: level k is a contiguous id
+/// range and no separate queue is needed.
+using ConfigId = std::uint32_t;
+inline constexpr ConfigId kNoConfig = 0xFFFFFFFFu;
+
+/// Zero-copy read access to one interned configuration: `states` and `regs`
+/// point directly into the arena. Valid until the arena's next insertion
+/// (insertions may reallocate); visitors that need to retain a
+/// configuration call materialize().
+struct ConfigView {
+  ConfigId id = kNoConfig;
+  const Value* states = nullptr;
+  const Value* regs = nullptr;
+  int num_states = 0;
+  int num_regs = 0;
+
+  Config materialize() const {
+    Config c;
+    c.states.assign(states, states + num_states);
+    c.regs.assign(regs, regs + num_regs);
+    return c;
+  }
+};
+
+/// decision_of over a view, without materializing a Config.
+inline std::optional<Value> decision_of(const Protocol& proto,
+                                        const ConfigView& c, ProcId p) {
+  const PendingOp op = proto.poised(p, c.states[p]);
+  if (op.is_decide()) return op.value;
+  return std::nullopt;
+}
+
+/// Packed, interned configuration storage.
+///
+/// A configuration of an (n, m) protocol is exactly n state words followed
+/// by m register words; the arena stores them back to back in one
+/// contiguous allocation and deduplicates through an open-addressing hash
+/// table whose slots carry the full 64-bit hash, so a probe rehashes
+/// nothing and touches the word data only on a hash match. Compared with
+/// `std::unordered_map<Config, ...>` (two heap vectors plus a node per
+/// entry) this is ~3x smaller and removes every per-configuration
+/// allocation from the explorer's hot loop.
+///
+/// Usage: build the next configuration's words in scratch(), then
+/// intern_scratch(). The id space is dense and insertion-ordered.
+class ConfigArena {
+ public:
+  ConfigArena(int num_states, int num_regs);
+
+  int num_states() const { return n_; }
+  int num_regs() const { return m_; }
+  std::size_t words_per_config() const { return words_; }
+  std::size_t size() const { return count_; }
+
+  /// Drop all configurations but keep the allocations for reuse.
+  void clear();
+
+  /// Staging buffer for the configuration about to be interned
+  /// (words_per_config() words: states then regs).
+  Value* scratch() { return scratch_.data(); }
+
+  /// Pack a Config's words into dst (words_per_config() words).
+  void pack(const Config& c, Value* dst) const;
+
+  /// Hash of a packed word sequence; the same function the dedup table
+  /// stores, exposed so sharded tables (parallel explorer) agree with it.
+  std::uint64_t hash_words(const Value* w) const;
+
+  struct Interned {
+    ConfigId id;
+    bool inserted;  ///< false: already present, id is the prior copy's
+  };
+  /// Intern the scratch buffer's configuration.
+  Interned intern_scratch();
+
+  /// Lookup without insertion; kNoConfig if absent.
+  ConfigId find(const Value* w) const;
+
+  /// Append words as a new configuration WITHOUT consulting the dedup
+  /// table. For callers that own deduplication themselves (the parallel
+  /// explorer's sharded visited sets).
+  ConfigId append_words(const Value* w);
+
+  const Value* words(ConfigId id) const {
+    return data_.data() + words_ * static_cast<std::size_t>(id);
+  }
+  ConfigView view(ConfigId id) const {
+    const Value* w = words(id);
+    return ConfigView{id, w, w + n_, n_, m_};
+  }
+  Config materialize(ConfigId id) const { return view(id).materialize(); }
+
+  bool words_equal(const Value* a, const Value* b) const {
+    return std::memcmp(a, b, words_ * sizeof(Value)) == 0;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;
+    ConfigId id = kNoConfig;
+  };
+
+  void grow_table();
+
+  int n_;
+  int m_;
+  std::size_t words_;
+  std::size_t count_ = 0;
+  std::vector<Value> data_;     ///< count_ * words_ packed words
+  std::vector<Value> scratch_;  ///< words_ staging words
+  std::vector<Slot> table_;     ///< open addressing, power-of-two size
+  std::size_t mask_ = 0;
+};
+
+}  // namespace tsb::sim

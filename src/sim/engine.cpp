@@ -46,6 +46,30 @@ std::string StepRecord::to_string() const {
   return out;
 }
 
+Value apply_op(const Protocol& proto, const PendingOp& op, ProcId p,
+               Value* states, Value* regs) {
+  assert(!op.is_decide());
+  assert(op.reg >= 0 && op.reg < proto.num_registers());
+  const State s = states[p];
+  if (op.is_read()) {
+    step_counters().read.add();
+    const Value observed = regs[op.reg];
+    states[p] = proto.after_read(p, s, observed);
+    return observed;
+  }
+  if (op.is_swap()) {
+    step_counters().swap.add();
+    const Value overwritten = regs[op.reg];
+    regs[op.reg] = op.value;
+    states[p] = proto.after_swap(p, s, overwritten);
+    return overwritten;
+  }
+  step_counters().write.add();
+  regs[op.reg] = op.value;
+  states[p] = proto.after_write(p, s);
+  return 0;
+}
+
 Config step(const Protocol& proto, const Config& c, ProcId p, Trace* trace) {
   assert(p >= 0 && p < proto.num_processes());
   const State s = c.states[static_cast<std::size_t>(p)];
@@ -59,24 +83,7 @@ Config step(const Protocol& proto, const Config& c, ProcId p, Trace* trace) {
 
   Config next = c;
   StepRecord rec{p, op, 0};
-  assert(op.reg >= 0 && op.reg < proto.num_registers());
-  if (op.is_read()) {
-    step_counters().read.add();
-    const Value observed = c.regs[static_cast<std::size_t>(op.reg)];
-    rec.read_result = observed;
-    next.states[static_cast<std::size_t>(p)] = proto.after_read(p, s, observed);
-  } else if (op.is_swap()) {
-    step_counters().swap.add();
-    const Value overwritten = c.regs[static_cast<std::size_t>(op.reg)];
-    rec.read_result = overwritten;
-    next.regs[static_cast<std::size_t>(op.reg)] = op.value;
-    next.states[static_cast<std::size_t>(p)] =
-        proto.after_swap(p, s, overwritten);
-  } else {
-    step_counters().write.add();
-    next.regs[static_cast<std::size_t>(op.reg)] = op.value;
-    next.states[static_cast<std::size_t>(p)] = proto.after_write(p, s);
-  }
+  rec.read_result = apply_op(proto, op, p, next.states.data(), next.regs.data());
   if (trace != nullptr) trace->records.push_back(rec);
   return next;
 }

@@ -21,6 +21,17 @@ namespace tsb::sim {
 Config step(const Protocol& proto, const Config& c, ProcId p,
             Trace* trace = nullptr);
 
+/// Apply an already-fetched pending operation (must not be kDecide) of
+/// process p directly to a configuration's words in place: `states` is the
+/// n state words, `regs` the m register words. Returns the value the
+/// operation observed (register contents for a read, overwritten value for
+/// a swap, 0 for a write). This is step()'s mutation core, exposed so the
+/// packed-arena explorers can expand configurations without materializing
+/// Config objects; there is still exactly one definition of "what a step
+/// does".
+Value apply_op(const Protocol& proto, const PendingOp& op, ProcId p,
+               Value* states, Value* regs);
+
 /// Apply a schedule (left to right). C-alpha in the paper's notation.
 Config run(const Protocol& proto, const Config& c, const Schedule& alpha,
            Trace* trace = nullptr);

@@ -1,96 +1,35 @@
 #include "sim/explorer.hpp"
 
 #include <algorithm>
-#include <deque>
-
-#include "obs/metrics.hpp"
-#include "obs/progress.hpp"
 
 namespace tsb::sim {
 
-namespace {
-struct ExploreMetrics {
-  obs::Counter& visited =
-      obs::Registry::global().counter("sim.explore.visited");
-  obs::Counter& dedup_hits =
-      obs::Registry::global().counter("sim.explore.dedup_hits");
-  obs::Gauge& frontier =
-      obs::Registry::global().gauge("sim.explore.frontier");
-};
+namespace detail {
 ExploreMetrics& explore_metrics() {
-  static ExploreMetrics m;
+  static ExploreMetrics m{
+      obs::Registry::global().counter("sim.explore.visited"),
+      obs::Registry::global().counter("sim.explore.dedup_hits"),
+      obs::Registry::global().gauge("sim.explore.frontier"),
+  };
   return m;
 }
-}  // namespace
-
-Explorer::Result Explorer::explore(
-    const Config& root, ProcSet p,
-    const std::function<bool(const Config&)>& visit) {
-  index_.clear();
-  parent_.clear();
-
-  Result res;
-  std::deque<Config> frontier;
-  ExploreMetrics& metrics = explore_metrics();
-  obs::Heartbeat hb("explore");
-
-  auto discover = [&](const Config& c, int parent, ProcId via) -> bool {
-    auto [it, inserted] = index_.try_emplace(c, static_cast<int>(parent_.size()));
-    if (!inserted) {
-      metrics.dedup_hits.add();
-      return true;  // already seen
-    }
-    parent_.emplace_back(parent, via);
-    ++res.visited;
-    metrics.visited.add();
-    if (!visit(c)) {
-      res.aborted = true;
-      res.abort_config = c;
-      return false;
-    }
-    frontier.push_back(c);
-    return true;
-  };
-
-  if (!discover(root, -1, -1)) return res;
-
-  std::size_t expanded = 0;
-  while (!frontier.empty()) {
-    if (index_.size() >= opts_.max_configs) {
-      res.truncated = true;
-      break;
-    }
-    if ((++expanded & 0xFFF) == 0) {
-      metrics.frontier.set(static_cast<std::int64_t>(frontier.size()));
-      hb.beat([&] {
-        return "configs=" + std::to_string(res.visited) +
-               " frontier=" + std::to_string(frontier.size());
-      });
-    }
-    Config cur = std::move(frontier.front());
-    frontier.pop_front();
-    const int cur_idx = index_.at(cur);
-
-    bool keep_going = true;
-    p.for_each([&](int q) {
-      if (!keep_going) return;
-      if (decision_of(proto_, cur, q)) return;  // terminated: no edge
-      Config next = step(proto_, cur, q);
-      keep_going = discover(next, cur_idx, q);
-    });
-    if (!keep_going) break;
-  }
-  return res;
-}
+}  // namespace detail
 
 std::optional<Schedule> Explorer::witness(const Config& target) const {
-  auto it = index_.find(target);
-  if (it == index_.end()) return std::nullopt;
+  std::vector<Value> packed(arena_.words_per_config());
+  arena_.pack(target, packed.data());
+  const ConfigId id = arena_.find(packed.data());
+  if (id == kNoConfig) return std::nullopt;
+  return witness_by_id(id);
+}
+
+std::optional<Schedule> Explorer::witness_by_id(ConfigId id) const {
+  if (id >= parent_.size()) return std::nullopt;
   std::vector<ProcId> rev;
-  int idx = it->second;
-  while (idx >= 0) {
-    auto [par, via] = parent_[static_cast<std::size_t>(idx)];
-    if (par >= 0) rev.push_back(via);
+  ConfigId idx = id;
+  while (idx != kNoConfig) {
+    const auto [par, via] = parent_[idx];
+    if (par != kNoConfig) rev.push_back(via);
     idx = par;
   }
   std::reverse(rev.begin(), rev.end());

@@ -1,13 +1,36 @@
 #pragma once
 
-#include <functional>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "sim/config_arena.hpp"
 #include "sim/engine.hpp"
 
 namespace tsb::sim {
+
+namespace detail {
+// Shared explorer metrics (sequential and parallel explorers count into the
+// same registry entries). Looked up once, then relaxed sharded adds.
+struct ExploreMetrics {
+  obs::Counter& visited;
+  obs::Counter& dedup_hits;
+  obs::Gauge& frontier;
+};
+ExploreMetrics& explore_metrics();
+}  // namespace detail
+
+/// Outcome of a reachability enumeration (shared by Explorer and
+/// ParallelExplorer; the two are bit-identical on every field for the same
+/// root, process set, and visitor).
+struct ExploreResult {
+  bool truncated = false;       ///< hit max_configs before exhausting
+  bool aborted = false;         ///< visitor returned false
+  std::size_t visited = 0;      ///< configurations enumerated
+  std::optional<Config> abort_config;  ///< config the visitor stopped on
+};
 
 /// Breadth-first enumeration of the configurations reachable from a root by
 /// P-only executions.
@@ -18,6 +41,17 @@ namespace tsb::sim {
 /// state protocols the experiments target — and otherwise reports
 /// truncation at a configurable cap rather than diverging.
 ///
+/// Storage is a packed ConfigArena: configurations are interned as
+/// fixed-width word sequences with dense 32-bit ids assigned in discovery
+/// order, so the BFS frontier is simply the id sequence itself (level k is
+/// a contiguous id range) and the visited set is the arena's open-addressing
+/// table — no per-configuration allocation, no rehash on lookup.
+///
+/// The visitor is a template parameter, not a std::function: per-visit
+/// checks (e.g. the valency oracle's some_decided scan) inline into the
+/// BFS loop. Visitors receive a ConfigView valid only for the duration of
+/// the call; call materialize() to retain one.
+///
 /// Steps by already-decided processes are no-ops in the model and are not
 /// generated as edges (they would only add self-loops).
 class Explorer {
@@ -26,26 +60,105 @@ class Explorer {
     std::size_t max_configs = 2'000'000;
   };
 
-  explicit Explorer(const Protocol& proto) : Explorer(proto, Options{}) {}
-  Explorer(const Protocol& proto, Options opts) : proto_(proto), opts_(opts) {}
+  using Result = ExploreResult;
 
-  struct Result {
-    bool truncated = false;       ///< hit max_configs before exhausting
-    bool aborted = false;         ///< visitor returned false
-    std::size_t visited = 0;      ///< configurations enumerated
-    std::optional<Config> abort_config;  ///< config the visitor stopped on
-  };
+  explicit Explorer(const Protocol& proto) : Explorer(proto, Options{}) {}
+  Explorer(const Protocol& proto, Options opts)
+      : proto_(proto),
+        opts_(opts),
+        arena_(proto.num_processes(), proto.num_registers()),
+        cur_(arena_.words_per_config()) {}
 
   /// Enumerate configurations reachable from `root` by P-only steps,
   /// calling `visit` on each (including the root). `visit` returning false
   /// aborts the search; the aborting configuration is reported in the
   /// result, and `witness()` can reconstruct the schedule that reached it.
-  Result explore(const Config& root, ProcSet p,
-                 const std::function<bool(const Config&)>& visit);
+  ///
+  /// Discovery order (the determinism contract shared with
+  /// ParallelExplorer): configurations are expanded in id order; each
+  /// expansion generates successors in ascending process id; a
+  /// configuration reachable along several edges is owned by the earliest
+  /// discovery in that order.
+  template <typename Visit>
+  Result explore(const Config& root, ProcSet p, Visit&& visit) {
+    arena_.clear();
+    parent_.clear();
+
+    Result res;
+    detail::ExploreMetrics& metrics = detail::explore_metrics();
+    obs::Heartbeat hb("explore");
+    const int n = arena_.num_states();
+
+    arena_.pack(root, arena_.scratch());
+    arena_.intern_scratch();
+    parent_.emplace_back(kNoConfig, -1);
+    ++res.visited;
+    metrics.visited.add();
+    if (!visit(arena_.view(0))) {
+      res.aborted = true;
+      res.abort_config = arena_.materialize(0);
+      return res;
+    }
+
+    ConfigId head = 0;
+    std::size_t expanded = 0;
+    while (head < arena_.size()) {
+      if (arena_.size() >= opts_.max_configs) {
+        res.truncated = true;
+        break;
+      }
+      if ((++expanded & 0xFFF) == 0) {
+        metrics.frontier.set(static_cast<std::int64_t>(arena_.size() - head));
+        hb.beat([&] {
+          return "configs=" + std::to_string(res.visited) +
+                 " frontier=" + std::to_string(arena_.size() - head);
+        });
+      }
+      const ConfigId cur = head++;
+      // Arena insertions may reallocate the word store; expand from a copy.
+      std::memcpy(cur_.data(), arena_.words(cur),
+                  arena_.words_per_config() * sizeof(Value));
+
+      bool keep_going = true;
+      p.for_each([&](int q) {
+        if (!keep_going) return;
+        const PendingOp op = proto_.poised(q, cur_[static_cast<std::size_t>(q)]);
+        if (op.is_decide()) return;  // terminated: no edge
+        Value* scratch = arena_.scratch();
+        std::memcpy(scratch, cur_.data(),
+                    arena_.words_per_config() * sizeof(Value));
+        apply_op(proto_, op, q, scratch, scratch + n);
+        const auto [id, inserted] = arena_.intern_scratch();
+        if (!inserted) {
+          metrics.dedup_hits.add();
+          return;
+        }
+        parent_.emplace_back(cur, q);
+        ++res.visited;
+        metrics.visited.add();
+        if (!visit(arena_.view(id))) {
+          res.aborted = true;
+          res.abort_config = arena_.materialize(id);
+          keep_going = false;
+        }
+      });
+      if (!keep_going) break;
+    }
+    return res;
+  }
 
   /// Schedule from the last explore()'s root to `target`; target must have
   /// been visited. Empty optional if it was not.
   std::optional<Schedule> witness(const Config& target) const;
+
+  /// Same, by the id a visitor saw. id must be a valid id from the last
+  /// explore().
+  std::optional<Schedule> witness_by_id(ConfigId id) const;
+
+  /// Number of configurations interned by the last explore().
+  std::size_t size() const { return arena_.size(); }
+
+  ConfigView view(ConfigId id) const { return arena_.view(id); }
 
  private:
   const Protocol& proto_;
@@ -53,8 +166,9 @@ class Explorer {
 
   // BFS bookkeeping from the most recent explore() call, kept for witness
   // reconstruction.
-  std::unordered_map<Config, int, ConfigHash> index_;
-  std::vector<std::pair<int, ProcId>> parent_;  // (parent index, step proc)
+  ConfigArena arena_;
+  std::vector<Value> cur_;  ///< copy of the configuration being expanded
+  std::vector<std::pair<ConfigId, ProcId>> parent_;  // (parent id, step proc)
 };
 
 }  // namespace tsb::sim

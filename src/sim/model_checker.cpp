@@ -5,6 +5,7 @@
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/span.hpp"
+#include "sim/parallel_explorer.hpp"
 
 namespace tsb::sim {
 
@@ -52,6 +53,18 @@ std::string ModelChecker::Report::summary() const {
 
 ModelChecker::Report ModelChecker::check(
     const std::vector<std::vector<Value>>& input_vectors) {
+  if (opts_.threads > 1) {
+    ParallelExplorer explorer(
+        proto_, {.max_configs = opts_.max_configs, .threads = opts_.threads});
+    return check_impl(explorer, input_vectors);
+  }
+  Explorer explorer(proto_, {.max_configs = opts_.max_configs});
+  return check_impl(explorer, input_vectors);
+}
+
+template <typename ExplorerT>
+ModelChecker::Report ModelChecker::check_impl(
+    ExplorerT& explorer, const std::vector<std::vector<Value>>& input_vectors) {
   Report rep;
   const int n = proto_.num_processes();
   const ProcSet everyone = ProcSet::first_n(n);
@@ -71,16 +84,15 @@ ModelChecker::Report ModelChecker::check(
     const Config init = initial_config(proto_, inputs);
     const std::set<Value> legal(inputs.begin(), inputs.end());
 
-    Explorer explorer(proto_, {.max_configs = opts_.max_configs});
-    auto fail = [&](const Config& c, std::string what) {
+    auto fail = [&](const ConfigView& c, std::string what) {
       rep.ok = false;
       rep.violation = std::move(what);
-      rep.bad_config = c;
+      rep.bad_config = c.materialize();
       rep.bad_inputs = inputs;
       return false;  // abort exploration
     };
 
-    auto result = explorer.explore(init, everyone, [&](const Config& c) {
+    auto result = explorer.explore(init, everyone, [&](const ConfigView& c) {
       // Agreement (k-set) + validity over decided values in c.
       std::set<Value> decided;
       for (ProcId p = 0; p < n; ++p) {
@@ -102,7 +114,11 @@ ModelChecker::Report ModelChecker::check(
       if (opts_.check_solo_termination && opts_.solo_from_every_config) {
         for (ProcId p = 0; p < n; ++p) {
           if (decision_of(proto_, c, p)) continue;
-          SoloRun solo = run_solo(proto_, c, p, opts_.solo_step_cap);
+          // run_solo materializes: it steps through Config objects. The
+          // copy is per solo run, not per probe, so it is off the BFS
+          // hot path.
+          SoloRun solo = run_solo(proto_, c.materialize(), p,
+                                  opts_.solo_step_cap);
           ++rep.solo_runs_checked;
           metrics.solo_runs.add();
           metrics.max_solo.set(static_cast<std::int64_t>(solo.schedule.size()));
@@ -116,7 +132,8 @@ ModelChecker::Report ModelChecker::check(
                                  " steps without deciding");
             }
             ++rep.solo_failures;
-            if (!rep.sample_solo_failure) rep.sample_solo_failure = c;
+            if (!rep.sample_solo_failure) rep.sample_solo_failure =
+                c.materialize();
             break;  // count each configuration at most once
           }
         }

@@ -1,0 +1,160 @@
+#include "sim/parallel_explorer.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace tsb::sim {
+
+namespace {
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+}  // namespace
+
+ParallelExplorer::ParallelExplorer(const Protocol& proto, Options opts)
+    : proto_(proto),
+      opts_(opts),
+      arena_(proto.num_processes(), proto.num_registers()),
+      workers_(static_cast<std::size_t>(resolve_threads(opts.threads))),
+      pool_(resolve_threads(opts.threads)) {
+  // Ids must stay clear of the pending tag bit.
+  opts_.max_configs = std::min<std::size_t>(opts_.max_configs, kPendingBit - 2);
+}
+
+void ParallelExplorer::Shard::reset() {
+  slots.assign(1u << 10, Slot{});
+  mask = slots.size() - 1;
+  used = 0;
+  pending.clear();
+}
+
+void ParallelExplorer::Shard::reserve_for(std::size_t incoming) {
+  // Keep the load factor below 0.7 for the worst case where every incoming
+  // candidate is new; grown before any insertion of the level, so slot
+  // indices handed to candidates stay valid until the level commits.
+  std::size_t needed = slots.size();
+  while ((used + incoming) * 10 >= needed * 7) needed *= 2;
+  if (needed == slots.size()) return;
+  std::vector<Slot> bigger(needed);
+  const std::size_t bigger_mask = needed - 1;
+  for (const Slot& s : slots) {
+    if (s.ref == kEmptyRef) continue;
+    std::size_t i = s.hash & bigger_mask;
+    while (bigger[i].ref != kEmptyRef) i = (i + 1) & bigger_mask;
+    bigger[i] = s;
+  }
+  slots = std::move(bigger);
+  mask = bigger_mask;
+}
+
+void ParallelExplorer::Shard::insert_committed(std::uint64_t h, ConfigId id) {
+  reserve_for(1);
+  std::size_t i = h & mask;
+  while (slots[i].ref != kEmptyRef) i = (i + 1) & mask;
+  slots[i] = Slot{h, id};
+  ++used;
+}
+
+void ParallelExplorer::expand_slice(Worker& w, ProcSet p) {
+  w.cands.clear();
+  w.words.clear();
+  w.commit_cursor = 0;
+  for (auto& list : w.by_shard) list.clear();
+
+  const std::size_t W = arena_.words_per_config();
+  const int n = arena_.num_states();
+  for (ConfigId cur = w.begin; cur < w.end; ++cur) {
+    // No arena insertions happen during phase A, so this pointer is stable.
+    const Value* src = arena_.words(cur);
+    p.for_each([&](int q) {
+      const PendingOp op =
+          proto_.poised(q, src[static_cast<std::size_t>(q)]);
+      if (op.is_decide()) return;  // terminated: no edge
+      const std::size_t k = w.cands.size();
+      w.words.resize((k + 1) * W);
+      Value* dst = w.words.data() + k * W;
+      std::memcpy(dst, src, W * sizeof(Value));
+      apply_op(proto_, op, q, dst, dst + n);
+      const std::uint64_t h = arena_.hash_words(dst);
+      const auto shard =
+          static_cast<std::uint16_t>((h >> 60) & (kShards - 1));
+      w.cands.push_back(Candidate{h, cur, q, 0, shard, 0});
+      w.by_shard[shard].push_back(static_cast<std::uint32_t>(k));
+    });
+  }
+}
+
+void ParallelExplorer::dedup_shard(int s) {
+  Shard& sh = shards_[static_cast<std::size_t>(s)];
+  std::size_t incoming = 0;
+  for (const Worker& w : workers_) incoming += w.by_shard[s].size();
+  sh.reserve_for(incoming);
+  sh.pending.clear();
+
+  const std::size_t W = arena_.words_per_config();
+  // Workers in index order, candidates in buffer order: exactly the global
+  // discovery order, so the earliest occurrence of a configuration wins.
+  for (Worker& w : workers_) {
+    for (std::uint32_t idx : w.by_shard[s]) {
+      Candidate& c = w.cands[idx];
+      const Value* cw = w.words.data() + idx * W;
+      std::size_t i = c.hash & sh.mask;
+      while (true) {
+        Shard::Slot& slot = sh.slots[i];
+        if (slot.ref == kEmptyRef) {
+          slot.hash = c.hash;
+          slot.ref =
+              kPendingBit | static_cast<std::uint32_t>(sh.pending.size());
+          sh.pending.push_back(cw);
+          ++sh.used;
+          c.winner = 1;
+          c.slot = static_cast<std::uint32_t>(i);
+          break;
+        }
+        if (slot.hash == c.hash) {
+          const Value* other = (slot.ref & kPendingBit) != 0
+                                   ? sh.pending[slot.ref & ~kPendingBit]
+                                   : arena_.words(slot.ref);
+          if (arena_.words_equal(other, cw)) break;  // duplicate
+        }
+        i = (i + 1) & sh.mask;
+      }
+    }
+  }
+}
+
+std::optional<Schedule> ParallelExplorer::witness(const Config& target) const {
+  std::vector<Value> packed(arena_.words_per_config());
+  arena_.pack(target, packed.data());
+  const std::uint64_t h = arena_.hash_words(packed.data());
+  const Shard& sh = shard_of(h);
+  std::size_t i = h & sh.mask;
+  while (true) {
+    const Shard::Slot& slot = sh.slots[i];
+    if (slot.ref == kEmptyRef) return std::nullopt;
+    // Uncommitted leftovers from an aborted level are not visited configs;
+    // skip them without dereferencing (their words are gone).
+    if (slot.hash == h && (slot.ref & kPendingBit) == 0 &&
+        arena_.words_equal(arena_.words(slot.ref), packed.data())) {
+      return witness_by_id(slot.ref);
+    }
+    i = (i + 1) & sh.mask;
+  }
+}
+
+std::optional<Schedule> ParallelExplorer::witness_by_id(ConfigId id) const {
+  if (id >= parent_.size()) return std::nullopt;
+  std::vector<ProcId> rev;
+  ConfigId idx = id;
+  while (idx != kNoConfig) {
+    const auto [par, via] = parent_[idx];
+    if (par != kNoConfig) rev.push_back(via);
+    idx = par;
+  }
+  std::reverse(rev.begin(), rev.end());
+  return Schedule(std::move(rev));
+}
+
+}  // namespace tsb::sim

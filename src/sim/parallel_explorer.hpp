@@ -1,0 +1,220 @@
+#pragma once
+
+#include <array>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/explorer.hpp"
+#include "util/worker_pool.hpp"
+
+namespace tsb::sim {
+
+/// Parallel breadth-first enumeration, bit-identical to Explorer.
+///
+/// The BFS is level-synchronous; each level runs three phases:
+///
+///   A (parallel)  — the frontier (a contiguous ConfigId range, since ids
+///       are assigned in discovery order) is split into one contiguous
+///       slice per worker; each worker expands its slice into a private
+///       candidate buffer: packed successor words, parent id, stepping
+///       process, and hash.
+///   B (parallel)  — the visited set is sharded 16 ways by the top hash
+///       bits; each shard's owner scans the level's candidates destined to
+///       it *in global discovery order* and probes its open-addressing
+///       table: a match (against a committed configuration or an earlier
+///       candidate of this level) marks the candidate a duplicate,
+///       otherwise the candidate is marked the winner and holds the slot.
+///   C (sequential) — candidates are walked in global discovery order
+///       (frontier order, then ascending process id — exactly the order
+///       the sequential explorer discovers them); winners are appended to
+///       the arena, their slot is patched with the final id, and the
+///       visitor runs. The configuration cap is re-checked before each
+///       frontier entry's candidates, which reproduces the sequential
+///       explorer's truncation point exactly.
+///
+/// Determinism rule (tested in test_explorer_parallel): because phase C
+/// assigns ids in the sequential discovery order and duplicate resolution
+/// in phase B prefers the earliest occurrence in that same order, the
+/// visited set, the id of every configuration, every parent edge (hence
+/// every witness schedule), the visit order, and the truncated/aborted
+/// verdicts are all identical to Explorer's, for any thread count.
+///
+/// Only phases A and B run concurrently, and they touch disjoint data
+/// (worker-private buffers; shard-private tables) with a barrier between
+/// phases — the visitor itself always runs on the calling thread.
+class ParallelExplorer {
+ public:
+  struct Options {
+    std::size_t max_configs = 2'000'000;
+    int threads = 0;  ///< worker threads; 0 = hardware concurrency
+  };
+
+  using Result = ExploreResult;
+
+  explicit ParallelExplorer(const Protocol& proto)
+      : ParallelExplorer(proto, Options{}) {}
+  ParallelExplorer(const Protocol& proto, Options opts);
+
+  int threads() const { return pool_.size(); }
+
+  template <typename Visit>
+  Result explore(const Config& root, ProcSet p, Visit&& visit) {
+    arena_.clear();
+    parent_.clear();
+    for (Shard& sh : shards_) sh.reset();
+
+    Result res;
+    detail::ExploreMetrics& metrics = detail::explore_metrics();
+    obs::Heartbeat hb("explore-par");
+    const std::size_t W = arena_.words_per_config();
+
+    // Root.
+    arena_.pack(root, arena_.scratch());
+    const std::uint64_t root_hash = arena_.hash_words(arena_.scratch());
+    const ConfigId root_id = arena_.append_words(arena_.scratch());
+    shard_of(root_hash).insert_committed(root_hash, root_id);
+    parent_.emplace_back(kNoConfig, -1);
+    ++res.visited;
+    metrics.visited.add();
+    if (!visit(arena_.view(root_id))) {
+      res.aborted = true;
+      res.abort_config = arena_.materialize(root_id);
+      return res;
+    }
+
+    const int T = pool_.size();
+    ConfigId lo = 0;
+    while (lo < arena_.size() && !res.aborted && !res.truncated) {
+      const ConfigId hi = static_cast<ConfigId>(arena_.size());
+      const ConfigId chunk = (hi - lo + static_cast<ConfigId>(T) - 1) /
+                             static_cast<ConfigId>(T);
+      for (int t = 0; t < T; ++t) {
+        const ConfigId b = lo + static_cast<ConfigId>(t) * chunk;
+        workers_[static_cast<std::size_t>(t)].begin = b > hi ? hi : b;
+        workers_[static_cast<std::size_t>(t)].end =
+            b + chunk > hi ? hi : b + chunk;
+      }
+      metrics.frontier.set(static_cast<std::int64_t>(hi - lo));
+      hb.beat([&] {
+        return "configs=" + std::to_string(res.visited) +
+               " frontier=" + std::to_string(hi - lo) +
+               " threads=" + std::to_string(T);
+      });
+
+      pool_.run([&](int t) {  // phase A
+        expand_slice(workers_[static_cast<std::size_t>(t)], p);
+      });
+      pool_.run([&](int t) {  // phase B
+        for (int s = t; s < kShards; s += T) dedup_shard(s);
+      });
+
+      // Phase C: commit in global discovery order.
+      for (ConfigId pos = lo; pos < hi && !res.aborted; ++pos) {
+        if (arena_.size() >= opts_.max_configs) {
+          res.truncated = true;
+          break;
+        }
+        Worker& w = workers_[(pos - lo) / chunk];
+        while (w.commit_cursor < w.cands.size() &&
+               w.cands[w.commit_cursor].parent == pos) {
+          const Candidate& c = w.cands[w.commit_cursor];
+          if (!c.winner) {
+            metrics.dedup_hits.add();
+            ++w.commit_cursor;
+            continue;
+          }
+          const ConfigId id =
+              arena_.append_words(w.words.data() + w.commit_cursor * W);
+          shards_[c.shard].commit(c.slot, id);
+          parent_.emplace_back(c.parent, c.via);
+          ++res.visited;
+          metrics.visited.add();
+          ++w.commit_cursor;
+          if (!visit(arena_.view(id))) {
+            res.aborted = true;
+            res.abort_config = arena_.materialize(id);
+            break;
+          }
+        }
+      }
+      for (Shard& sh : shards_) sh.pending.clear();
+      lo = hi;
+    }
+    return res;
+  }
+
+  /// Schedule from the last explore()'s root to `target`; target must have
+  /// been visited. Empty optional if it was not.
+  std::optional<Schedule> witness(const Config& target) const;
+
+  /// Same, by the id a visitor saw.
+  std::optional<Schedule> witness_by_id(ConfigId id) const;
+
+  /// Number of configurations interned by the last explore().
+  std::size_t size() const { return arena_.size(); }
+
+  ConfigView view(ConfigId id) const { return arena_.view(id); }
+
+ private:
+  static constexpr int kShards = 16;  // fixed: independent of thread count
+  static constexpr std::uint32_t kPendingBit = 0x80000000u;
+  static constexpr std::uint32_t kEmptyRef = 0xFFFFFFFFu;
+
+  struct Candidate {
+    std::uint64_t hash;
+    ConfigId parent;        ///< frontier position == parent's ConfigId
+    std::int32_t via;       ///< stepping process
+    std::uint32_t slot;     ///< shard table slot held (winners only)
+    std::uint16_t shard;
+    std::uint16_t winner;   ///< 1 = first occurrence in discovery order
+  };
+
+  struct Worker {
+    ConfigId begin = 0;  ///< frontier slice, contiguous id range
+    ConfigId end = 0;
+    std::vector<Candidate> cands;           ///< in discovery order
+    std::vector<Value> words;               ///< cands.size() * W words
+    std::vector<std::uint32_t> by_shard[kShards];  ///< candidate indices
+    std::size_t commit_cursor = 0;          ///< phase C progress
+  };
+
+  /// One shard of the visited set: an open-addressing table whose `ref` is
+  /// either a committed ConfigId or (kPendingBit | index) into `pending`,
+  /// the words of this level's not-yet-committed winners.
+  struct Shard {
+    struct Slot {
+      std::uint64_t hash = 0;
+      std::uint32_t ref = kEmptyRef;
+    };
+    std::vector<Slot> slots;
+    std::size_t mask = 0;
+    std::size_t used = 0;  ///< occupied slots (committed + pending)
+    std::vector<const Value*> pending;
+
+    void reset();
+    void reserve_for(std::size_t incoming);
+    void insert_committed(std::uint64_t h, ConfigId id);
+    void commit(std::uint32_t slot, ConfigId id) { slots[slot].ref = id; }
+  };
+
+  Shard& shard_of(std::uint64_t h) {
+    return shards_[(h >> 60) & (kShards - 1)];
+  }
+  const Shard& shard_of(std::uint64_t h) const {
+    return shards_[(h >> 60) & (kShards - 1)];
+  }
+
+  void expand_slice(Worker& w, ProcSet p);
+  void dedup_shard(int s);
+
+  const Protocol& proto_;
+  Options opts_;
+  ConfigArena arena_;
+  std::vector<std::pair<ConfigId, ProcId>> parent_;
+  std::vector<Worker> workers_;
+  std::array<Shard, kShards> shards_;
+  util::WorkerPool pool_;
+};
+
+}  // namespace tsb::sim

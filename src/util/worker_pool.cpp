@@ -1,0 +1,62 @@
+#include "util/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace tsb::util {
+
+WorkerPool::WorkerPool(int threads) {
+  const int count = std::max(1, threads);
+  threads_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::run(const std::function<void(int)>& task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  task_ = &task;
+  error_ = nullptr;
+  remaining_ = size();
+  ++generation_;
+  work_ready_.notify_all();
+  round_done_.wait(lock, [this] { return remaining_ == 0; });
+  task_ = nullptr;
+  if (error_) std::rethrow_exception(error_);
+}
+
+void WorkerPool::worker_main(int index) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::function<void(int)>* task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock,
+                       [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      task = task_;
+    }
+    std::exception_ptr err;
+    try {
+      (*task)(index);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (err && !error_) error_ = err;
+      if (--remaining_ == 0) round_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace tsb::util

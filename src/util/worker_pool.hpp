@@ -1,0 +1,48 @@
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tsb::util {
+
+/// A fixed pool of worker threads executing one task-per-worker barrier
+/// rounds: run(f) invokes f(0) ... f(size()-1) concurrently, one call per
+/// worker, and returns when all have finished. The parallel explorer runs
+/// its per-level phases through this, so thread startup cost is paid once
+/// per exploration rather than once per BFS level.
+///
+/// Synchronization is a generation counter under one mutex: workers sleep
+/// between rounds, so an idle pool burns no CPU. An exception thrown by any
+/// worker's task is captured and rethrown from run() (first one wins).
+class WorkerPool {
+ public:
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Run task(worker_index) on every worker; blocks until all complete.
+  void run(const std::function<void(int)>& task);
+
+ private:
+  void worker_main(int index);
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable round_done_;
+  const std::function<void(int)>* task_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int remaining_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr error_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace tsb::util

@@ -1,0 +1,160 @@
+// The ParallelExplorer's determinism contract: for any thread count it must
+// be bit-identical to the sequential Explorer — same visited configurations
+// in the same visit order, same ids, same truncated/aborted verdicts, and
+// witness schedules that replay to the same configurations. These tests
+// also run under TSan in CI to certify the phase-A/phase-B data sharing.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "consensus/ballot.hpp"
+#include "sim/engine.hpp"
+#include "sim/explorer.hpp"
+#include "sim/parallel_explorer.hpp"
+#include "toy_protocol.hpp"
+
+namespace tsb::sim {
+namespace {
+
+using test::ToyProtocol;
+
+struct Snapshot {
+  std::vector<Config> visit_order;  ///< materialized, in visit order
+  std::vector<ConfigId> ids;        ///< id each visit reported
+  ExploreResult result;
+};
+
+template <typename ExplorerT>
+Snapshot snapshot(ExplorerT& explorer, const Config& root, ProcSet p) {
+  Snapshot s;
+  s.result = explorer.explore(root, p, [&](const ConfigView& c) {
+    s.visit_order.push_back(c.materialize());
+    s.ids.push_back(c.id);
+    return true;
+  });
+  return s;
+}
+
+void expect_identical(const Snapshot& a, const Snapshot& b) {
+  EXPECT_EQ(a.result.visited, b.result.visited);
+  EXPECT_EQ(a.result.truncated, b.result.truncated);
+  EXPECT_EQ(a.result.aborted, b.result.aborted);
+  EXPECT_EQ(a.ids, b.ids);
+  ASSERT_EQ(a.visit_order.size(), b.visit_order.size());
+  for (std::size_t i = 0; i < a.visit_order.size(); ++i) {
+    EXPECT_EQ(a.visit_order[i], b.visit_order[i]) << "at visit " << i;
+  }
+}
+
+TEST(ParallelExplorer, MatchesSequentialOnToyProtocol) {
+  ToyProtocol proto(3);
+  const Config root = initial_config(proto, {3, 4, 5});
+  const ProcSet everyone = ProcSet::first_n(3);
+
+  Explorer seq(proto);
+  const Snapshot expected = snapshot(seq, root, everyone);
+  ASSERT_FALSE(expected.result.truncated);
+
+  for (int threads : {1, 2, 3, 8}) {
+    ParallelExplorer par(proto, {.threads = threads});
+    expect_identical(expected, snapshot(par, root, everyone));
+  }
+}
+
+TEST(ParallelExplorer, MatchesSequentialOnBallotConsensus) {
+  const int n = 3;
+  consensus::BallotConsensus proto(n, 2 * n);
+  const Config root = initial_config(proto, {0, 1, 1});
+  const ProcSet everyone = ProcSet::first_n(n);
+
+  Explorer seq(proto);
+  const Snapshot expected = snapshot(seq, root, everyone);
+  ASSERT_FALSE(expected.result.truncated);
+  ASSERT_GT(expected.result.visited, 1000u);  // a real workload, not a toy
+
+  for (int threads : {2, 8}) {
+    ParallelExplorer par(proto, {.threads = threads});
+    expect_identical(expected, snapshot(par, root, everyone));
+  }
+}
+
+TEST(ParallelExplorer, MatchesSequentialOnProcessRestriction) {
+  consensus::BallotConsensus proto(3, 6);
+  const Config root = initial_config(proto, {1, 0, 1});
+  const ProcSet sub = ProcSet::first_n(3).without(1);
+
+  Explorer seq(proto);
+  const Snapshot expected = snapshot(seq, root, sub);
+  ParallelExplorer par(proto, {.threads = 4});
+  expect_identical(expected, snapshot(par, root, sub));
+}
+
+TEST(ParallelExplorer, MatchesSequentialTruncationPoint) {
+  // The cap must cut the enumeration at exactly the same configuration.
+  consensus::BallotConsensus proto(3, 6);
+  const Config root = initial_config(proto, {0, 1, 0});
+  const ProcSet everyone = ProcSet::first_n(3);
+
+  for (std::size_t cap : {2u, 50u, 500u}) {
+    Explorer seq(proto, {.max_configs = cap});
+    const Snapshot expected = snapshot(seq, root, everyone);
+    EXPECT_TRUE(expected.result.truncated);
+    ParallelExplorer par(proto, {.max_configs = cap, .threads = 3});
+    expect_identical(expected, snapshot(par, root, everyone));
+  }
+}
+
+TEST(ParallelExplorer, WitnessSchedulesReplayToTheirConfigs) {
+  const int n = 3;
+  consensus::BallotConsensus proto(n, 2 * n);
+  const Config root = initial_config(proto, {1, 1, 0});
+  const ProcSet everyone = ProcSet::first_n(n);
+
+  // Abort at the first configuration where any process has decided; the
+  // witness must replay to exactly that configuration.
+  ParallelExplorer par(proto, {.threads = 8});
+  auto result = par.explore(root, everyone, [&](const ConfigView& c) {
+    for (ProcId p = 0; p < n; ++p) {
+      if (decision_of(proto, c, p)) return false;
+    }
+    return true;
+  });
+  ASSERT_TRUE(result.aborted);
+  ASSERT_TRUE(result.abort_config.has_value());
+
+  const auto witness = par.witness(*result.abort_config);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(witness->only(everyone));
+  EXPECT_EQ(run(proto, root, *witness), *result.abort_config);
+
+  // Sequential exploration aborts on the same configuration with an
+  // equivalent witness.
+  Explorer seq(proto);
+  auto seq_result = seq.explore(root, everyone, [&](const ConfigView& c) {
+    for (ProcId p = 0; p < n; ++p) {
+      if (decision_of(proto, c, p)) return false;
+    }
+    return true;
+  });
+  ASSERT_TRUE(seq_result.aborted);
+  EXPECT_EQ(*seq_result.abort_config, *result.abort_config);
+  EXPECT_EQ(seq.witness(*seq_result.abort_config), witness);
+}
+
+TEST(ParallelExplorer, RepeatedEightThreadRunsAreIdentical) {
+  const int n = 3;
+  consensus::BallotConsensus proto(n, 2 * n);
+  const Config root = initial_config(proto, {0, 0, 1});
+  const ProcSet everyone = ProcSet::first_n(n);
+
+  ParallelExplorer par(proto, {.threads = 8});
+  const Snapshot first = snapshot(par, root, everyone);
+  const Snapshot second = snapshot(par, root, everyone);
+  expect_identical(first, second);
+
+  ParallelExplorer fresh(proto, {.threads = 8});
+  expect_identical(first, snapshot(fresh, root, everyone));
+}
+
+}  // namespace
+}  // namespace tsb::sim

@@ -95,7 +95,7 @@ TEST_P(TasTest, ExactlyOneLeaderInEveryCompleteExecution) {
   bool ok = true;
   std::size_t complete = 0;
   auto result = explorer.explore(
-      init, sim::ProcSet::first_n(n), [&](const sim::Config& c) {
+      init, sim::ProcSet::first_n(n), [&](const sim::ConfigView& c) {
         int leaders = 0, decided = 0;
         for (int p = 0; p < n; ++p) {
           if (auto d = sim::decision_of(proto, c, p)) {

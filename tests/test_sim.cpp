@@ -140,8 +140,10 @@ TEST(Explorer, EnumeratesFullToyGraph) {
   Explorer explorer(proto);
   std::size_t decided_both = 0;
   auto result =
-      explorer.explore(root, ProcSet::first_n(2), [&](const Config& c) {
-        if (decided_set(proto, c) == ProcSet::first_n(2)) ++decided_both;
+      explorer.explore(root, ProcSet::first_n(2), [&](const ConfigView& c) {
+        if (decided_set(proto, c.materialize()) == ProcSet::first_n(2)) {
+          ++decided_both;
+        }
         return true;
       });
   EXPECT_FALSE(result.truncated);
@@ -157,9 +159,9 @@ TEST(Explorer, WitnessReplaysToTarget) {
   const Config root = initial_config(proto, {3, 4});
   Explorer explorer(proto);
   std::optional<Config> target;
-  explorer.explore(root, ProcSet::first_n(2), [&](const Config& c) {
-    if (decided_set(proto, c) == ProcSet::first_n(2)) {
-      target = c;
+  explorer.explore(root, ProcSet::first_n(2), [&](const ConfigView& c) {
+    if (decided_set(proto, c.materialize()) == ProcSet::first_n(2)) {
+      target = c.materialize();
       return false;  // abort at the first fully-decided configuration
     }
     return true;
@@ -175,7 +177,7 @@ TEST(Explorer, RespectsProcessRestriction) {
   const Config root = initial_config(proto, {3, 4});
   Explorer explorer(proto);
   auto result = explorer.explore(root, ProcSet::single(0),
-                                 [](const Config&) { return true; });
+                                 [](const ConfigView&) { return true; });
   // p0 alone: root, after write, after read (decided) = 3 configurations.
   EXPECT_EQ(result.visited, 3u);
 }
@@ -185,7 +187,7 @@ TEST(Explorer, TruncationReported) {
   const Config root = initial_config(proto, {1, 2, 3});
   Explorer explorer(proto, {.max_configs = 2});
   auto result = explorer.explore(root, ProcSet::first_n(3),
-                                 [](const Config&) { return true; });
+                                 [](const ConfigView&) { return true; });
   EXPECT_TRUE(result.truncated);
 }
 

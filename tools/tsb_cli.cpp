@@ -12,6 +12,8 @@
 //   --metrics        print the metrics registry as one JSON line at exit
 //   --progress       heartbeat lines on stderr during long computations
 //   --valency-cap=N  valency oracle configuration cap (adversary only)
+//   --threads=N      exploration worker threads (adversary and check);
+//                    results are identical at any thread count
 //
 // Exit codes (distinct so CI can tell misuse from refutation):
 //   0  success
@@ -57,7 +59,8 @@ int usage() {
          "  tsb search [modes=1] [cap=0]     1-register protocol sweep\n"
          "  tsb mutex [n=8]                  mutex cost + covering summary\n"
          "  tsb perturb [n=5]                JTT adversary on the counter\n"
-         "flags: --trace=FILE --metrics --progress --valency-cap=N\n"
+         "flags: --trace=FILE --metrics --progress --valency-cap=N "
+         "--threads=N\n"
          "exit codes: 0 ok, 1 violation/failed construction, 2 usage error\n";
   return kExitUsage;
 }
@@ -66,6 +69,7 @@ struct ObsFlags {
   std::string trace_file;
   bool metrics = false;
   std::size_t valency_cap = 0;  // 0 = pick a default that scales with n
+  int threads = 1;              // exploration workers; 0 = hw concurrency
 };
 
 // Smallest ballot cap for which BallotConsensus both solo-terminates and
@@ -104,6 +108,7 @@ int cmd_adversary(int n, int cap, const ObsFlags& obs_flags) {
   opts.valency_max_configs = obs_flags.valency_cap
                                  ? obs_flags.valency_cap
                                  : default_valency_cap(n);
+  opts.threads = obs_flags.threads;
   bound::SpaceBoundAdversary adversary(proto, opts);
   const auto result = adversary.run();
   if (!result.ok) {
@@ -117,11 +122,13 @@ int cmd_adversary(int n, int cap, const ObsFlags& obs_flags) {
   return kExitOk;
 }
 
-int cmd_check(const std::string& name, int n, int cap) {
+int cmd_check(const std::string& name, int n, int cap,
+              const ObsFlags& obs_flags) {
   auto proto = make_protocol(name, n, cap);
   if (!proto) return usage();
   sim::ModelChecker::Options opts;
   opts.fail_on_solo_violation = name != "ballot";  // caps stall by design
+  opts.threads = obs_flags.threads;
   sim::ModelChecker checker(*proto, opts);
   const auto report = checker.check_all_binary_inputs();
   std::cout << proto->name() << ": " << report.summary() << "\n";
@@ -195,6 +202,13 @@ int main(int argc, char** argv) {
       obs_flags.valency_cap = std::strtoull(
           a.c_str() + std::strlen("--valency-cap="), nullptr, 10);
       if (obs_flags.valency_cap == 0) return usage();
+    } else if (a.rfind("--threads=", 0) == 0) {
+      char* end = nullptr;
+      obs_flags.threads = static_cast<int>(
+          std::strtol(a.c_str() + std::strlen("--threads="), &end, 10));
+      if (obs_flags.threads < 1 || end == nullptr || *end != '\0') {
+        return usage();
+      }
     } else if (a.rfind("--", 0) == 0) {
       std::cerr << "unknown flag: " << a << "\n";
       return usage();
@@ -216,7 +230,7 @@ int main(int argc, char** argv) {
     rc = cmd_adversary(n, arg(2, default_ballot_cap(n)), obs_flags);
   } else if (cmd == "check" && args.size() >= 2) {
     const int n = arg(2, 2);
-    rc = cmd_check(args[1], n, arg(3, 2 * n));
+    rc = cmd_check(args[1], n, arg(3, 2 * n), obs_flags);
   } else if (cmd == "search") {
     rc = cmd_search(arg(1, 1), static_cast<std::size_t>(arg(2, 0)));
   } else if (cmd == "mutex") {
