@@ -6,19 +6,25 @@
 // measure scheduling overhead, not speedup; the determinism contract means
 // every row enumerates the exact same configuration set.
 //
-// Usage: bench_explore [--smoke] [max_n]
-//   --smoke   one small run (n = 4, 1 and 2 threads, low cap) for CI
-#include <sys/resource.h>
-
+// Usage: bench_explore [--smoke] [--overhead] [--stats=FILE] [max_n]
+//   --smoke       one small run (n = 4, 1 and 2 threads, low cap) for CI
+//   --overhead    E13: instrumentation cost — the same enumeration at three
+//                 tiers (off / stats-only / stats+trace), configs/sec each,
+//                 plus the per-level table recovered from the stats JSONL
+//                 by the same analyzer `tsb report` uses
+//   --stats=FILE  stream per-BFS-level stats to FILE during the runs
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "consensus/ballot.hpp"
-#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "report.hpp"
 #include "sim/explorer.hpp"
 #include "sim/parallel_explorer.hpp"
 #include "util/table.hpp"
@@ -26,12 +32,6 @@
 using namespace tsb;
 
 namespace {
-
-long peak_rss_kb() {
-  rusage ru{};
-  getrusage(RUSAGE_SELF, &ru);
-  return ru.ru_maxrss;  // KiB on Linux
-}
 
 // Smallest ballot cap that solo-terminates at each n (EXPERIMENTS.md, E1).
 int ballot_cap(int n) {
@@ -64,18 +64,118 @@ RunResult timed_explore(ExplorerT& explorer, const sim::Protocol& proto,
   return out;
 }
 
+double configs_per_sec(const RunResult& r) {
+  return r.secs > 0 ? static_cast<double>(r.visited) / r.secs : 0.0;
+}
+
+// E13: the same enumeration at three instrumentation tiers. The contract
+// (ISSUE: "full instrumentation within 10% of uninstrumented throughput")
+// holds because per-level stats amortize over whole BFS levels and trace
+// spans bracket phases, not configurations — nothing per-config changes.
+int run_overhead(int n, std::size_t cap, int threads,
+                 const std::string& stats_file) {
+  consensus::BallotConsensus proto(n, ballot_cap(n));
+  const std::string stats_path =
+      stats_file.empty() ? "bench_explore_overhead.jsonl" : stats_file;
+
+  struct Tier {
+    const char* name;
+    bool stats;
+    bool trace;
+  };
+  const Tier tiers[] = {{"off", false, false},
+                        {"stats", true, false},
+                        {"stats+trace", true, true}};
+
+  std::cout << "E13: instrumentation overhead, ballot n=" << n << " cap "
+            << cap << ", " << threads << " threads\n\n";
+
+  // Warm-up pass (untimed): fault in the arena pages and warm the branch
+  // predictors so the first tier doesn't pay the cold-start tax the later
+  // tiers dodge.
+  {
+    sim::Explorer warmup(proto, {.max_configs = cap});
+    timed_explore(warmup, proto, n);
+  }
+
+  util::Table table({"tier", "configs", "seconds", "configs/sec",
+                     "vs off"});
+  double base_cps = 0.0;
+  for (const Tier& tier : tiers) {
+    if (tier.stats && !obs::stats_sink().open(stats_path)) {
+      std::cerr << "could not open " << stats_path << "\n";
+      return 1;
+    }
+    if (tier.trace) obs::TraceSink::global().enable(1 << 18);
+
+    RunResult r;
+    if (threads == 1) {
+      sim::Explorer explorer(proto,
+                             {.max_configs = cap, .stats_min_visited = 0});
+      r = timed_explore(explorer, proto, n);
+    } else {
+      sim::ParallelExplorer explorer(proto, {.max_configs = cap,
+                                             .threads = threads,
+                                             .stats_min_visited = 0});
+      r = timed_explore(explorer, proto, n);
+    }
+
+    if (tier.trace) obs::TraceSink::global().disable();
+    if (tier.stats) obs::stats_sink().close();
+
+    const double cps = configs_per_sec(r);
+    if (base_cps == 0.0) base_cps = cps;
+    char rel[32];
+    std::snprintf(rel, sizeof rel, "%+.1f%%",
+                  base_cps > 0 ? (cps / base_cps - 1.0) * 100.0 : 0.0);
+    table.row(tier.name, r.visited, r.secs, cps, rel);
+  }
+  table.print(std::cout, "instrumentation tiers (same enumeration)");
+
+  // Recover the per-level story from the last tier's artifact with the
+  // same analyzer behind `tsb report` — the benches and the CLI must
+  // never disagree about what a stats file says.
+  report::RunReport rep;
+  std::ifstream in(stats_path);
+  for (std::string line; std::getline(in, line);) rep.ingest_line(line);
+  rep.finalize();
+  std::cout << "\nper-level profile of the instrumented run ("
+            << rep.levels().size() << " levels, from " << stats_path
+            << "):\n";
+  util::Table levels({"level", "frontier", "discovered", "dedup%", "ms",
+                      "configs/sec"});
+  for (const auto& row : rep.levels()) {
+    levels.row(row.level, row.frontier, row.discovered,
+               row.dedup_rate * 100.0, row.ms, row.configs_per_sec);
+  }
+  levels.print(std::cout, "");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool overhead = false;
+  std::string stats_file;
   int max_n = 6;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--overhead") == 0) {
+      overhead = true;
+    } else if (std::strncmp(argv[i], "--stats=", 8) == 0) {
+      stats_file = argv[i] + 8;
     } else {
       max_n = std::atoi(argv[i]);
     }
   }
+
+  if (overhead) {
+    const std::size_t cap = smoke ? 50'000 : 500'000;
+    return run_overhead(4, cap, smoke ? 2 : 4, stats_file);
+  }
+
   const int min_n = smoke ? 4 : 4;
   if (smoke) max_n = 4;
   // n = 6's full space dwarfs the others; cap it so a row finishes in
@@ -83,6 +183,11 @@ int main(int argc, char** argv) {
   const std::size_t cap = smoke ? 50'000 : 2'000'000;
   const std::vector<int> thread_counts =
       smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+
+  if (!stats_file.empty() && !obs::stats_sink().open(stats_file)) {
+    std::cerr << "could not open " << stats_file << "\n";
+    return 1;
+  }
 
   std::cout << "E12: state-space enumeration throughput, ballot protocol\n"
             << "(config cap " << cap << "; identical configuration sets on\n"
@@ -112,16 +217,15 @@ int main(int argc, char** argv) {
           return 1;
         }
       }
-      const double cps = r.secs > 0 ? static_cast<double>(r.visited) / r.secs
-                                    : 0.0;
+      const double cps = configs_per_sec(r);
       table.row(n, cap, threads, r.visited, r.truncated, r.secs, cps,
-                static_cast<double>(peak_rss_kb()) / 1024.0);
+                static_cast<double>(obs::peak_rss_kb()) / 1024.0);
       const std::string tag =
           "explore.n" + std::to_string(n) + ".t" + std::to_string(threads);
       reg.gauge(tag + ".configs_per_sec").set(static_cast<std::int64_t>(cps));
       reg.gauge(tag + ".configs").set(static_cast<std::int64_t>(r.visited));
     }
-    reg.gauge("explore.peak_rss_kb").set(peak_rss_kb());
+    reg.gauge("explore.peak_rss_kb").set(obs::peak_rss_kb());
   }
   table.print(std::cout, "BFS throughput (ballot)");
   std::cout << "\nReading: one packed arena word-block per configuration and\n"
@@ -129,6 +233,11 @@ int main(int argc, char** argv) {
             << "rehash on probe) carry the sequential rows; the parallel rows\n"
             << "add level-synchronous expansion with sharded dedup. Rows with\n"
             << "more threads than cores measure overhead, not speedup.\n";
+  if (!stats_file.empty()) {
+    std::cerr << "stats: " << obs::stats_sink().lines() << " records -> "
+              << stats_file << "\n";
+    obs::stats_sink().close();
+  }
   obs::emit_metrics("bench_explore");
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "bound/adversary.hpp"
 
+#include "obs/jsonl_sink.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "obs/trace_sink.hpp"
@@ -33,6 +34,15 @@ SpaceBoundAdversary::Result SpaceBoundAdversary::run_impl() {
                                 .threads = opts_.threads});
   LemmaToolkit lemmas(proto_, oracle);
   lemmas.enable_narrative(opts_.narrative);
+
+  if (obs::audit_enabled()) {
+    obs::JsonObj ev = obs::audit_event("adversary.begin");
+    ev.str("protocol", proto_.name())
+        .num("n", n)
+        .num("registers", proto_.num_registers())
+        .num("threads", opts_.threads);
+    obs::audit_sink().write(ev.render());
+  }
 
   // Proposition 2: initial bivalent configuration.
   auto init = lemmas.proposition2();
@@ -70,6 +80,19 @@ SpaceBoundAdversary::Result SpaceBoundAdversary::run_impl() {
     // solo terminating execution from C0-alpha'.
     const ProcId z = (l4.q.without(l3.q)).min();
     const auto covered = covered_registers(proto_, cq, r);
+    if (obs::audit_enabled()) {
+      // The construction's claim going into the final escape: R covers
+      // these registers at C0-alpha'; z's escape register must join them.
+      // `tsb report` checks this narrative against the certificate event
+      // (whose registers come from the independent replay).
+      std::vector<int> regs(covered.begin(), covered.end());
+      obs::JsonObj ev = obs::audit_event("covering.pre_escape");
+      ev.num("config", static_cast<std::int64_t>(oracle.intern_root(cq)))
+          .raw("procs", obs::json_int_array(r.to_vector()))
+          .raw("regs", obs::json_int_array(regs))
+          .num("z", z);
+      obs::audit_sink().write(ev.render());
+    }
     auto esc = lemmas.solo_escape(cq, z, covered);
     if (!esc.found) {
       out.error = "Lemma 2 escape not found: the protocol is not a correct "
@@ -111,6 +134,25 @@ SpaceBoundAdversary::Result SpaceBoundAdversary::run_impl() {
 
   // Independent verification through the raw engine.
   out.check = check_certificate(proto_, out.certificate);
+  if (obs::audit_enabled()) {
+    // Registers come from the replay verification, NOT from the
+    // construction: `tsb report` compares the two and fails loudly if the
+    // adversary's narrative and the checked certificate ever disagree.
+    std::vector<int> regs(out.check.registers.begin(),
+                          out.check.registers.end());
+    obs::JsonObj ev = obs::audit_event("certificate");
+    ev.str("protocol", out.certificate.protocol)
+        .boolean("verified",
+                 out.check.ok && out.check.distinct_registers >= n - 1)
+        .num("distinct_registers", out.check.distinct_registers)
+        .raw("registers", obs::json_int_array(regs))
+        .num("clones",
+             static_cast<std::int64_t>(out.lemma_stats.solo_escapes))
+        .num("schedule_len",
+             static_cast<std::int64_t>(out.certificate.schedule.size()));
+    if (!out.check.ok) ev.str("error", out.check.error);
+    obs::audit_sink().write(ev.render());
+  }
   if (!out.check.ok) {
     out.error = "certificate check failed: " + out.check.error;
     return out;

@@ -2,12 +2,19 @@
 
 #include <cassert>
 
+#include "obs/jsonl_sink.hpp"
 #include "obs/progress.hpp"
 #include "obs/span.hpp"
 #include "obs/trace_sink.hpp"
 #include "util/require.hpp"
 
 namespace tsb::bound {
+
+namespace {
+std::vector<int> regs_vec(const std::set<RegId>& regs) {
+  return std::vector<int>(regs.begin(), regs.end());
+}
+}  // namespace
 
 void LemmaToolkit::note(const std::string& line) {
   if (!narrate_) return;
@@ -32,6 +39,15 @@ LemmaToolkit::InitialBivalent LemmaToolkit::proposition2() {
               "Validity violated: {p1} not 1-univalent from I");
   note("Proposition 2: initial configuration with inputs(p0)=0, inputs(p1)=1 "
        "is bivalent for {p0,p1}");
+  if (obs::audit_enabled()) {
+    obs::JsonObj ev = obs::audit_event("prop2");
+    ev.num("config",
+           static_cast<std::int64_t>(oracle_.intern_root(out.config)))
+        .raw("inputs", obs::json_int_array(
+                           std::vector<int>(out.inputs.begin(),
+                                            out.inputs.end())));
+    obs::audit_sink().write(ev.render());
+  }
   return out;
 }
 
@@ -39,6 +55,16 @@ LemmaToolkit::Lemma1Result LemmaToolkit::lemma1(const Config& c, ProcSet p) {
   ++stats_.lemma1_calls;
   TSB_REQUIRE(p.size() >= 3, "Lemma 1 needs |P| >= 3");
   TSB_REQUIRE(oracle_.bivalent(c, p), "Lemma 1 precondition: P bivalent");
+  auto audit = [&](const char* how, const Lemma1Result& res) {
+    if (!obs::audit_enabled()) return;
+    obs::JsonObj ev = obs::audit_event("lemma1");
+    ev.num("config", static_cast<std::int64_t>(oracle_.intern_root(c)))
+        .raw("procs", obs::json_int_array(p.to_vector()))
+        .str("how", how)
+        .num("z", res.z)
+        .num("phi_len", static_cast<std::int64_t>(res.phi.size()));
+    obs::audit_sink().write(ev.render());
+  };
 
   // Pick any two processes of P (we take the two largest ids so the pair
   // that survives the recursion tends to be the low ids — purely cosmetic).
@@ -56,12 +82,16 @@ LemmaToolkit::Lemma1Result LemmaToolkit::lemma1(const Config& c, ProcSet p) {
   if (oracle_.can_decide(c, q1, vbar)) {
     note("Lemma 1: Q1 = P-{p" + std::to_string(z1) +
          "} already bivalent; phi is empty");
-    return {Schedule{}, z1};
+    Lemma1Result res{Schedule{}, z1};
+    audit("q1_bivalent", res);
+    return res;
   }
   if (oracle_.can_decide(c, q2, vbar)) {
     note("Lemma 1: Q2 = P-{p" + std::to_string(z2) +
          "} already bivalent; phi is empty");
-    return {Schedule{}, z2};
+    Lemma1Result res{Schedule{}, z2};
+    audit("q2_bivalent", res);
+    return res;
   }
 
   // Both Q1 and Q2 are v-univalent from C. P is bivalent, so take a P-only
@@ -98,7 +128,9 @@ LemmaToolkit::Lemma1Result LemmaToolkit::lemma1(const Config& c, ProcSet p) {
               "Lemma 1 postcondition failed");
   note("Lemma 1: after phi (" + std::to_string(phi.size()) +
        " steps), P-{p" + std::to_string(z) + "} is bivalent");
-  return {phi, z};
+  Lemma1Result res{phi, z};
+  audit("longest_prefix", res);
+  return res;
 }
 
 LemmaToolkit::SoloEscape LemmaToolkit::solo_escape(
@@ -106,21 +138,41 @@ LemmaToolkit::SoloEscape LemmaToolkit::solo_escape(
     std::size_t max_steps) {
   ++stats_.solo_escapes;
   SoloEscape out;
+  // The hidden insertion of Lemma 2 — the construction's "clone" step: z's
+  // solo prefix will be obliterated by the next block write, so P - {z}
+  // cannot distinguish the run with it from the run without it. One audit
+  // event per attempt; `tsb report` counts the found ones as clones.
+  auto audit = [&] {
+    if (!obs::audit_enabled()) return;
+    obs::JsonObj ev = obs::audit_event("solo_escape");
+    ev.num("config", static_cast<std::int64_t>(oracle_.intern_root(c)))
+        .num("z", z)
+        .raw("covered", obs::json_int_array(regs_vec(covered)))
+        .boolean("found", out.found)
+        .num("steps", static_cast<std::int64_t>(out.zeta_prime.size()));
+    if (out.found) ev.num("escape_reg", out.escape_reg);
+    obs::audit_sink().write(ev.render());
+  };
   Config cur = c;
   for (std::size_t i = 0; i < max_steps; ++i) {
     const sim::PendingOp op = sim::poised_in(proto_, cur, z);
-    if (op.is_decide()) return out;  // precondition violated; found = false
+    if (op.is_decide()) {
+      audit();
+      return out;  // precondition violated; found = false
+    }
     if (op.is_write() && covered.count(op.reg) == 0) {
       out.found = true;
       out.escape_reg = op.reg;
       note("Lemma 2: p" + std::to_string(z) + " poised to write R" +
            std::to_string(op.reg) + " outside the covered set after " +
            std::to_string(out.zeta_prime.size()) + " solo steps");
+      audit();
       return out;
     }
     cur = sim::step(proto_, cur, z);
     out.zeta_prime.push(z);
   }
+  audit();
   return out;  // step cap hit: protocol is not solo terminating
 }
 
@@ -132,6 +184,19 @@ LemmaToolkit::Lemma3Result LemmaToolkit::lemma3(const Config& c, ProcSet p,
   TSB_REQUIRE(is_covering_set(proto_, c, r), "R must cover registers in C");
   const ProcSet q_set = p - r;
   TSB_REQUIRE(oracle_.bivalent(c, q_set), "Lemma 3 precondition: Q bivalent");
+  auto audit = [&](const char* how, const Lemma3Result& res) {
+    if (!obs::audit_enabled()) return;
+    obs::JsonObj ev = obs::audit_event("lemma3");
+    ev.num("config", static_cast<std::int64_t>(oracle_.intern_root(c)))
+        .raw("procs", obs::json_int_array(p.to_vector()))
+        .raw("covering_procs", obs::json_int_array(r.to_vector()))
+        .raw("covered",
+             obs::json_int_array(regs_vec(covered_registers(proto_, c, r))))
+        .str("how", how)
+        .num("q", res.q)
+        .num("phi_len", static_cast<std::int64_t>(res.phi.size()));
+    obs::audit_sink().write(ev.render());
+  };
 
   const Schedule beta = block_write(r);
   const Config c_beta = sim::run(proto_, c, beta);
@@ -141,7 +206,9 @@ LemmaToolkit::Lemma3Result LemmaToolkit::lemma3(const Config& c, ProcSet p,
   if (oracle_.can_decide(c_beta, r, 1 - v)) {
     // R itself is bivalent from C-beta; any superset R u {q} is too.
     note("Lemma 3: R already bivalent after its block write; phi is empty");
-    return {Schedule{}, q_set.min()};
+    Lemma3Result res{Schedule{}, q_set.min()};
+    audit("r_bivalent", res);
+    return res;
   }
   const Value vbar = 1 - v;
 
@@ -178,7 +245,9 @@ LemmaToolkit::Lemma3Result LemmaToolkit::lemma3(const Config& c, ProcSet p,
   note("Lemma 3: after phi (" + std::to_string(phi.size()) +
        " steps) and the block write by " + r.to_string() + ", R u {p" +
        std::to_string(q) + "} is bivalent");
-  return {phi, q};
+  Lemma3Result res{phi, q};
+  audit("longest_prefix", res);
+  return res;
 }
 
 LemmaToolkit::Lemma4Result LemmaToolkit::lemma4(const Config& c, ProcSet p) {
@@ -187,9 +256,24 @@ LemmaToolkit::Lemma4Result LemmaToolkit::lemma4(const Config& c, ProcSet p) {
   ++stats_.lemma4_calls;
   TSB_REQUIRE(p.size() >= 2, "Lemma 4 needs |P| >= 2");
   TSB_REQUIRE(oracle_.bivalent(c, p), "Lemma 4 precondition: P bivalent");
+  if (obs::audit_enabled()) {
+    obs::JsonObj ev = obs::audit_event("lemma4.enter");
+    ev.num("config", static_cast<std::int64_t>(oracle_.intern_root(c)))
+        .raw("procs", obs::json_int_array(p.to_vector()))
+        .num("depth", depth_);
+    obs::audit_sink().write(ev.render());
+  }
 
   if (p.size() == 2) {
     note("Lemma 4 base: |P| = 2, alpha empty, Q = " + p.to_string());
+    if (obs::audit_enabled()) {
+      obs::JsonObj ev = obs::audit_event("lemma4.done");
+      ev.raw("procs", obs::json_int_array(p.to_vector()))
+          .raw("bivalent_pair", obs::json_int_array(p.to_vector()))
+          .num("alpha_len", 0)
+          .num("depth", depth_);
+      obs::audit_sink().write(ev.render());
+    }
     return {Schedule{}, p};
   }
 
@@ -234,6 +318,16 @@ LemmaToolkit::Lemma4Result LemmaToolkit::lemma4(const Config& c, ProcSet p) {
              std::to_string(stages.size()) + " covered=" +
              std::to_string(stages.empty() ? 0 : stages.back().covered.size());
     });
+    if (obs::audit_enabled()) {
+      obs::JsonObj ev = obs::audit_event("lemma4.stage");
+      ev.num("config", static_cast<std::int64_t>(oracle_.intern_root(s.d_i)))
+          .num("stage", static_cast<std::int64_t>(stages.size()))
+          .num("depth", depth_)
+          .raw("bivalent_pair", obs::json_int_array(s.q_i.to_vector()))
+          .raw("covering_procs", obs::json_int_array(s.r_i.to_vector()))
+          .raw("covered", obs::json_int_array(regs_vec(s.covered)));
+      obs::audit_sink().write(ev.render());
+    }
     stages.push_back(std::move(s));
     ++stats_.total_di_stages;
   };
@@ -264,6 +358,19 @@ LemmaToolkit::Lemma4Result LemmaToolkit::lemma4(const Config& c, ProcSet p) {
       prev.beta_i = block_write(prev.r_i);
       const Config after_block =
           sim::run(proto_, prev.d_i, prev.phi_i + prev.beta_i);
+      if (obs::audit_enabled()) {
+        // This block write joins the constructed execution (the probes
+        // inside lemma3 do not): it obliterates R_{j-1}'s covered
+        // registers, which is what hides z's insertions later.
+        obs::JsonObj ev = obs::audit_event("block_write");
+        ev.num("config",
+               static_cast<std::int64_t>(oracle_.intern_root(after_block)))
+            .num("stage", static_cast<std::int64_t>(j - 1))
+            .num("depth", depth_)
+            .raw("procs", obs::json_int_array(prev.r_i.to_vector()))
+            .raw("regs", obs::json_int_array(regs_vec(prev.covered)));
+        obs::audit_sink().write(ev.render());
+      }
       // R_i u {q} bivalent => superset P - {z} bivalent: hypothesis applies.
       auto sub = lemma4(after_block, pz);
       prev.psi_i = sub.alpha;
@@ -285,6 +392,14 @@ LemmaToolkit::Lemma4Result LemmaToolkit::lemma4(const Config& c, ProcSet p) {
   stats_.max_di_stages = std::max(stats_.max_di_stages, stages.size());
   note("pigeonhole: stages " + std::to_string(rep_i) + " and " +
        std::to_string(rep_j) + " cover the same registers");
+  if (obs::audit_enabled()) {
+    obs::JsonObj ev = obs::audit_event("lemma4.pigeonhole");
+    ev.num("depth", depth_)
+        .num("stage_i", static_cast<std::int64_t>(rep_i))
+        .num("stage_j", static_cast<std::int64_t>(rep_j))
+        .raw("covered", obs::json_int_array(regs_vec(stages[rep_i].covered)));
+    obs::audit_sink().write(ev.render());
+  }
 
   // Insert z's hidden steps: run z solo from D_i-phi_i until it is poised
   // to write outside V (Lemma 2 guarantees this); its covered writes are
@@ -336,6 +451,19 @@ LemmaToolkit::Lemma4Result LemmaToolkit::lemma4(const Config& c, ProcSet p) {
   note("Lemma 4 done: |alpha| = " + std::to_string(alpha.size()) +
        ", bivalent pair " + q_j.to_string() + ", covering " +
        describe_covering(proto_, c_alpha, p - q_j));
+  if (obs::audit_enabled()) {
+    obs::JsonObj ev = obs::audit_event("lemma4.done");
+    ev.num("config",
+           static_cast<std::int64_t>(oracle_.intern_root(c_alpha)))
+        .raw("procs", obs::json_int_array(p.to_vector()))
+        .raw("bivalent_pair", obs::json_int_array(q_j.to_vector()))
+        .raw("covered", obs::json_int_array(
+                            regs_vec(covered_registers(proto_, c_alpha,
+                                                       p - q_j))))
+        .num("alpha_len", static_cast<std::int64_t>(alpha.size()))
+        .num("depth", depth_);
+    obs::audit_sink().write(ev.render());
+  }
   return {alpha, q_j};
 }
 

@@ -2,10 +2,33 @@
 
 #include <cassert>
 
+#include "obs/jsonl_sink.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
 
 namespace tsb::bound {
+
+namespace {
+// One audit record per public valency query: which configuration (root id
+// in the oracle's arena), which processes, which value, the verdict,
+// whether the memo answered, and the witness configuration the verdict
+// rests on. `tsb report` aggregates these into the cache-stats table and
+// cross-links them to lemma events through the config field.
+void audit_query(const char* op, sim::ConfigId root, ProcSet p, Value v,
+                 bool answer, bool memo_hit, sim::ConfigId witness) {
+  obs::JsonObj ev = obs::audit_event("valency");
+  ev.str("op", op)
+      .num("config", static_cast<std::int64_t>(root))
+      .raw("procs", obs::json_int_array(p.to_vector()))
+      .num("v", static_cast<std::int64_t>(v))
+      .boolean("answer", answer)
+      .boolean("memo_hit", memo_hit);
+  if (witness != sim::kNoConfig) {
+    ev.num("witness", static_cast<std::int64_t>(witness));
+  }
+  obs::audit_sink().write(ev.render());
+}
+}  // namespace
 
 std::size_t ValencyOracle::PairKeyHash::operator()(const PairKey& k) const {
   std::uint64_t h = static_cast<std::uint64_t>(k.root);
@@ -16,7 +39,12 @@ std::size_t ValencyOracle::PairKeyHash::operator()(const PairKey& k) const {
 bool ValencyOracle::can_decide(const Config& c, ProcSet p, Value v) {
   TSB_REQUIRE(v == 0 || v == 1, "valency queries are binary");
   ++queries_;
-  return lookup(c, p).can[v];
+  const PairAnswer& a = lookup(c, p);
+  if (obs::audit_enabled()) {
+    audit_query("can_decide", last_root_id_, p, v, a.can[v], last_lookup_hit_,
+                a.witness_id[v]);
+  }
+  return a.can[v];
 }
 
 Value ValencyOracle::some_decidable(const Config& c, ProcSet p) {
@@ -33,6 +61,10 @@ std::optional<Schedule> ValencyOracle::deciding_schedule(const Config& c,
   TSB_REQUIRE(v == 0 || v == 1, "valency queries are binary");
   ++queries_;
   const PairAnswer& a = lookup(c, p);
+  if (obs::audit_enabled()) {
+    audit_query("deciding_schedule", last_root_id_, p, v, a.can[v],
+                last_lookup_hit_, a.witness_id[v]);
+  }
   if (!a.can[v]) return std::nullopt;
   return a.witness[v];
 }
@@ -41,11 +73,22 @@ const ValencyOracle::PairAnswer& ValencyOracle::lookup(const Config& c,
                                                        ProcSet p) {
   roots_.pack(c, roots_.scratch());
   const PairKey key{roots_.intern_scratch().id, p.bits()};
+  last_root_id_ = key.root;
   if (auto it = memo_.find(key); it != memo_.end()) {
     ++cache_hits_;
+    last_lookup_hit_ = true;
     return it->second;
   }
+  last_lookup_hit_ = false;
   PairAnswer answer = compute_pair(c, p);
+  if (obs::audit_enabled()) {
+    obs::JsonObj ev = obs::audit_event("valency.explore");
+    ev.num("config", static_cast<std::int64_t>(key.root))
+        .raw("procs", obs::json_int_array(p.to_vector()))
+        .boolean("can0", answer.can[0])
+        .boolean("can1", answer.can[1]);
+    obs::audit_sink().write(ev.render());
+  }
   return memo_.emplace(key, std::move(answer)).first->second;
 }
 
@@ -76,6 +119,7 @@ ValencyOracle::PairAnswer ValencyOracle::compute_pair(const Config& c,
     for (int v = 0; v < 2; ++v) {
       if (found[v] == sim::kNoConfig) continue;
       answer.can[v] = true;
+      answer.witness_id[v] = found[v];
       auto w = explorer.witness_by_id(found[v]);
       assert(w.has_value());
       answer.witness[v] = std::move(*w);

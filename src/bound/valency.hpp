@@ -88,10 +88,23 @@ class ValencyOracle {
   /// pair lookups, of which this many missed the memo.
   std::size_t explorations() const { return explorations_; }
 
+  /// Intern `c` in the oracle's root arena and return its stable 32-bit id
+  /// — the id space the audit trail's valency events use as "config", so
+  /// lemma/adversary emitters can cross-link configurations to the queries
+  /// asked about them without copying configurations into the log.
+  sim::ConfigId intern_root(const Config& c) {
+    roots_.pack(c, roots_.scratch());
+    return roots_.intern_scratch().id;
+  }
+
  private:
   struct PairAnswer {
     bool can[2] = {false, false};
     Schedule witness[2];  ///< meaningful iff can[v]
+    /// BFS-discovery id of the deciding configuration inside the pass that
+    /// answered this pair (kNoConfig when !can[v]); recorded in the audit
+    /// trail so a query's verdict points at its witness.
+    sim::ConfigId witness_id[2] = {sim::kNoConfig, sim::kNoConfig};
   };
   struct PairKey {
     sim::ConfigId root;
@@ -116,6 +129,9 @@ class ValencyOracle {
   std::size_t queries_ = 0;
   std::size_t cache_hits_ = 0;
   std::size_t explorations_ = 0;
+  // Set by lookup() for the audit events the public queries emit.
+  bool last_lookup_hit_ = false;
+  sim::ConfigId last_root_id_ = sim::kNoConfig;
 };
 
 }  // namespace tsb::bound

@@ -1,5 +1,9 @@
 #include "obs/metrics.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -136,6 +140,16 @@ std::string Registry::json() const {
   }
   out << "}}";
   return out.str();
+}
+
+std::int64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::int64_t>(ru.ru_maxrss);  // KiB on Linux
+#else
+  return 0;
+#endif
 }
 
 void emit_metrics(const std::string& who) {

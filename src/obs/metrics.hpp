@@ -163,6 +163,12 @@ class Registry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
+/// Process-wide peak resident set size in KiB (getrusage), 0 where
+/// unavailable. The explorers publish it per BFS level as the
+/// "process.peak_rss_kb" gauge so memory blowups are visible in-flight,
+/// not only post-mortem.
+std::int64_t peak_rss_kb();
+
 /// Print the process's metrics as a single JSON line on stdout, tagged with
 /// `who` — every bench binary calls this last, giving perf-tracking scripts
 /// one greppable machine-readable record per run. When the TSB_METRICS_OUT

@@ -11,6 +11,7 @@
 ///    sharded relaxed load+store (metrics) — never a locked instruction,
 ///    never a shared contended cache line;
 ///  * enabling tracing/metrics changes no observable behavior, only emits.
+#include "obs/jsonl_sink.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/span.hpp"

@@ -23,12 +23,24 @@ void TraceSink::enable(std::size_t capacity) {
   buf_.assign(capacity, TraceEvent{});
   head_.store(0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);
+  for (auto& d : dropped_by_) d.store(0, std::memory_order_relaxed);
   epoch_ = std::chrono::steady_clock::now();
   detail::g_trace_enabled.store(true, std::memory_order_release);
 }
 
 void TraceSink::disable() {
   detail::g_trace_enabled.store(false, std::memory_order_release);
+  // Surface the recording's fate where machines look for it: the metrics
+  // JSON line (zero-valued gauges are elided by Registry::json, so a clean
+  // run adds only the event count).
+  Registry& reg = Registry::global();
+  reg.gauge("obs.trace.events").set(static_cast<std::int64_t>(size()));
+  reg.gauge("obs.trace.dropped.span")
+      .set(static_cast<std::int64_t>(dropped(Ph::kComplete)));
+  reg.gauge("obs.trace.dropped.instant")
+      .set(static_cast<std::int64_t>(dropped(Ph::kInstant)));
+  reg.gauge("obs.trace.dropped.counter")
+      .set(static_cast<std::int64_t>(dropped(Ph::kCounter)));
 }
 
 std::uint64_t TraceSink::now_ns() const {
@@ -43,6 +55,7 @@ void TraceSink::record(const TraceEvent& ev) {
   const std::size_t idx = head_.fetch_add(1, std::memory_order_relaxed);
   if (idx >= buf_.size()) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    dropped_by_[ph_index(ev.ph)].fetch_add(1, std::memory_order_relaxed);
     return;
   }
   buf_[idx] = ev;

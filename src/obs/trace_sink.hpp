@@ -90,6 +90,13 @@ class TraceSink {
   std::uint64_t dropped() const {
     return dropped_.load(std::memory_order_relaxed);
   }
+  /// Drops broken out by event category, so a full buffer's victims are
+  /// attributable: losing counter samples thins a track, losing spans
+  /// removes whole phases from the timeline. Exported as registry gauges
+  /// by disable(), which puts them on the --metrics JSON line.
+  std::uint64_t dropped(Ph ph) const {
+    return dropped_by_[ph_index(ph)].load(std::memory_order_relaxed);
+  }
 
   /// Chrome trace_event JSON ({"traceEvents":[...]}), loadable in
   /// chrome://tracing and Perfetto. ts/dur are microseconds per the spec.
@@ -104,10 +111,15 @@ class TraceSink {
   std::vector<TraceEvent> snapshot() const;
 
  private:
+  static int ph_index(Ph ph) {
+    return ph == Ph::kComplete ? 0 : ph == Ph::kInstant ? 1 : 2;
+  }
+
   void record(const TraceEvent& ev);
 
   std::atomic<std::size_t> head_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> dropped_by_[3] = {};  // span, instant, counter
   std::vector<TraceEvent> buf_;
   std::chrono::steady_clock::time_point epoch_{};
 };

@@ -107,6 +107,19 @@ class ConfigArena {
     return std::memcmp(a, b, words_ * sizeof(Value)) == 0;
   }
 
+  /// Capacity of the dedup table (power of two; 0 before first insertion).
+  /// Every interned configuration owns exactly one slot, so occupancy is
+  /// size() / table_slots() — the load factor the stats records report.
+  std::size_t table_slots() const { return table_.size(); }
+
+  /// Heap bytes held by the arena (word store + dedup table + scratch).
+  /// Capacities, not sizes: this is what the process actually pays.
+  std::size_t memory_bytes() const {
+    return data_.capacity() * sizeof(Value) +
+           scratch_.capacity() * sizeof(Value) +
+           table_.capacity() * sizeof(Slot);
+  }
+
  private:
   struct Slot {
     std::uint64_t hash = 0;

@@ -1,9 +1,12 @@
 #pragma once
 
+#include <chrono>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/jsonl_sink.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "sim/config_arena.hpp"
@@ -32,6 +35,52 @@ struct ExploreResult {
   std::optional<Config> abort_config;  ///< config the visitor stopped on
 };
 
+namespace detail {
+
+/// Per-BFS-level forensics for one explore() call, shared by Explorer and
+/// ParallelExplorer. Entirely observational: enabling it changes nothing
+/// about discovery order, ids, or verdicts (the determinism tests run with
+/// it on).
+///
+/// Level records are *buffered*, and flushed only if the exploration ends
+/// up visiting at least Options::stats_min_visited configurations: the
+/// valency oracle runs thousands of small reachability passes per
+/// adversary run, and per-level rows for a 40-config pass are noise that
+/// would swamp the stats file. Every exploration still contributes one
+/// "explore.done" summary record, so nothing is invisible — just folded.
+///
+/// When stats are disabled the constructor is one relaxed load and every
+/// other method is behind active().
+class LevelStatsTracker {
+ public:
+  LevelStatsTracker(const char* who, std::size_t min_visited);
+
+  bool active() const { return active_; }
+
+  /// Start the record for a completed level, preloaded with the fields
+  /// both explorers share (timing, rates, arena geometry, peak RSS).
+  /// Callers append their own fields and hand it to commit_level().
+  obs::JsonObj level_record(const ConfigArena& arena, std::uint64_t frontier,
+                            std::uint64_t discovered, std::uint64_t dedup);
+  void commit_level(obs::JsonObj&& record);
+
+  /// Emit the always-written summary record and, if the run crossed the
+  /// size threshold, the buffered level records before it.
+  void done(const ConfigArena& arena, const ExploreResult& res,
+            std::uint64_t dedup_total);
+
+ private:
+  const char* who_;
+  bool active_;
+  std::size_t min_visited_;
+  std::size_t levels_ = 0;
+  std::vector<std::string> buffered_;
+  std::chrono::steady_clock::time_point t_start_{};
+  std::chrono::steady_clock::time_point t_level_{};
+};
+
+}  // namespace detail
+
 /// Breadth-first enumeration of the configurations reachable from a root by
 /// P-only executions.
 ///
@@ -58,6 +107,10 @@ class Explorer {
  public:
   struct Options {
     std::size_t max_configs = 2'000'000;
+    /// Runs visiting fewer configurations than this keep only their
+    /// "explore.done" summary in the stats JSONL; per-level records are
+    /// dropped (see detail::LevelStatsTracker).
+    std::size_t stats_min_visited = 10'000;
   };
 
   using Result = ExploreResult;
@@ -86,6 +139,7 @@ class Explorer {
 
     Result res;
     detail::ExploreMetrics& metrics = detail::explore_metrics();
+    detail::LevelStatsTracker stats("explore", opts_.stats_min_visited);
     obs::Heartbeat hb("explore");
     const int n = arena_.num_states();
 
@@ -97,12 +151,30 @@ class Explorer {
     if (!visit(arena_.view(0))) {
       res.aborted = true;
       res.abort_config = arena_.materialize(0);
+      if (stats.active()) stats.done(arena_, res, 0);
       return res;
     }
 
     ConfigId head = 0;
     std::size_t expanded = 0;
+    // Ids are assigned in discovery order, so BFS level k is the contiguous
+    // id range [level_start, level_end); the boundary bookkeeping below is
+    // two compares per expansion and feeds the per-level stats records.
+    ConfigId level_start = 0;
+    ConfigId level_end = 1;
+    std::uint64_t level_dedup = 0;
+    std::uint64_t dedup_total = 0;
     while (head < arena_.size()) {
+      if (head == level_end) {
+        if (stats.active()) {
+          stats.commit_level(stats.level_record(
+              arena_, level_end - level_start,
+              static_cast<ConfigId>(arena_.size()) - level_end, level_dedup));
+        }
+        level_start = level_end;
+        level_end = static_cast<ConfigId>(arena_.size());
+        level_dedup = 0;
+      }
       if (arena_.size() >= opts_.max_configs) {
         res.truncated = true;
         break;
@@ -131,6 +203,8 @@ class Explorer {
         const auto [id, inserted] = arena_.intern_scratch();
         if (!inserted) {
           metrics.dedup_hits.add();
+          ++level_dedup;
+          ++dedup_total;
           return;
         }
         parent_.emplace_back(cur, q);
@@ -143,6 +217,14 @@ class Explorer {
         }
       });
       if (!keep_going) break;
+    }
+    if (stats.active()) {
+      // The level in progress when the loop ended (complete if the frontier
+      // drained, partial on truncation/abort).
+      stats.commit_level(stats.level_record(
+          arena_, level_end - level_start,
+          static_cast<ConfigId>(arena_.size()) - level_end, level_dedup));
+      stats.done(arena_, res, dedup_total);
     }
     return res;
   }

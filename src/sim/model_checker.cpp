@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "obs/jsonl_sink.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/span.hpp"
@@ -145,6 +146,25 @@ ModelChecker::Report ModelChecker::check_impl(
     metrics.configs.add(result.visited);
     span.set_value(static_cast<std::int64_t>(result.visited));
     rep.truncated = rep.truncated || result.truncated;
+
+    if (obs::stats_enabled()) {
+      std::vector<int> in;
+      in.reserve(inputs.size());
+      for (Value v : inputs) in.push_back(static_cast<int>(v));
+      obs::stats_sink().write(
+          obs::JsonObj()
+              .str("type", "mc.input")
+              .num("index", static_cast<std::int64_t>(rep.initial_configs - 1))
+              .raw("inputs", obs::json_int_array(in))
+              .num("visited", static_cast<std::int64_t>(result.visited))
+              .boolean("truncated", result.truncated)
+              .num("solo_runs_total",
+                   static_cast<std::int64_t>(rep.solo_runs_checked))
+              .num("solo_failures_total",
+                   static_cast<std::int64_t>(rep.solo_failures))
+              .boolean("ok", rep.ok)
+              .render());
+    }
 
     if (opts_.check_solo_termination && !opts_.solo_from_every_config) {
       for (ProcId p = 0; p < n; ++p) {

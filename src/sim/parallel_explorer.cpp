@@ -125,6 +125,55 @@ void ParallelExplorer::dedup_shard(int s) {
   }
 }
 
+void ParallelExplorer::commit_level_stats(
+    detail::LevelStatsTracker& stats, std::uint64_t frontier,
+    std::uint64_t discovered, std::uint64_t dedup,
+    std::chrono::steady_clock::time_point t_expand,
+    std::chrono::steady_clock::time_point t_dedup,
+    std::chrono::steady_clock::time_point t_commit) {
+  const auto t_end = std::chrono::steady_clock::now();
+  const auto ms = [](std::chrono::steady_clock::time_point a,
+                     std::chrono::steady_clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  };
+
+  std::uint64_t candidates = 0;
+  for (const Worker& w : workers_) candidates += w.cands.size();
+
+  std::vector<std::uint64_t> shard_used;
+  shard_used.reserve(kShards);
+  std::uint64_t used_max = 0;
+  std::uint64_t used_sum = 0;
+  std::uint64_t slots_sum = 0;
+  for (const Shard& sh : shards_) {
+    const auto used = static_cast<std::uint64_t>(sh.used);
+    shard_used.push_back(used);
+    used_max = std::max(used_max, used);
+    used_sum += used;
+    slots_sum += static_cast<std::uint64_t>(sh.slots.size());
+  }
+  // max/mean occupancy across shards: 1.0 is a perfect hash spread; the
+  // stats consumer flags levels where one shard serializes phase B.
+  const double imbalance =
+      used_sum ? static_cast<double>(used_max) * kShards /
+                     static_cast<double>(used_sum)
+               : 0.0;
+
+  obs::JsonObj rec = stats.level_record(arena_, frontier, discovered, dedup);
+  rec.num("threads", static_cast<std::int64_t>(pool_.size()))
+      .num("candidates", static_cast<std::int64_t>(candidates))
+      .numf("expand_ms", ms(t_expand, t_dedup))
+      .numf("dedup_ms", ms(t_dedup, t_commit))
+      .numf("commit_ms", ms(t_commit, t_end))
+      .num("shard_slots", static_cast<std::int64_t>(slots_sum))
+      .numf("shard_load", slots_sum ? static_cast<double>(used_sum) /
+                                          static_cast<double>(slots_sum)
+                                    : 0.0)
+      .numf("shard_imbalance", imbalance)
+      .raw("shard_used", obs::json_u64_array(shard_used));
+  stats.commit_level(std::move(rec));
+}
+
 std::optional<Schedule> ParallelExplorer::witness(const Config& target) const {
   std::vector<Value> packed(arena_.words_per_config());
   arena_.pack(target, packed.data());

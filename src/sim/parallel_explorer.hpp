@@ -1,10 +1,12 @@
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "sim/explorer.hpp"
 #include "util/worker_pool.hpp"
 
@@ -48,6 +50,8 @@ class ParallelExplorer {
   struct Options {
     std::size_t max_configs = 2'000'000;
     int threads = 0;  ///< worker threads; 0 = hardware concurrency
+    /// Same meaning as Explorer::Options::stats_min_visited.
+    std::size_t stats_min_visited = 10'000;
   };
 
   using Result = ExploreResult;
@@ -66,6 +70,7 @@ class ParallelExplorer {
 
     Result res;
     detail::ExploreMetrics& metrics = detail::explore_metrics();
+    detail::LevelStatsTracker stats("explore-par", opts_.stats_min_visited);
     obs::Heartbeat hb("explore-par");
     const std::size_t W = arena_.words_per_config();
 
@@ -80,10 +85,12 @@ class ParallelExplorer {
     if (!visit(arena_.view(root_id))) {
       res.aborted = true;
       res.abort_config = arena_.materialize(root_id);
+      if (stats.active()) stats.done(arena_, res, 0);
       return res;
     }
 
     const int T = pool_.size();
+    std::uint64_t dedup_total = 0;
     ConfigId lo = 0;
     while (lo < arena_.size() && !res.aborted && !res.truncated) {
       const ConfigId hi = static_cast<ConfigId>(arena_.size());
@@ -102,45 +109,68 @@ class ParallelExplorer {
                " threads=" + std::to_string(T);
       });
 
-      pool_.run([&](int t) {  // phase A
-        expand_slice(workers_[static_cast<std::size_t>(t)], p);
-      });
-      pool_.run([&](int t) {  // phase B
-        for (int s = t; s < kShards; s += T) dedup_shard(s);
-      });
+      const auto t_expand = std::chrono::steady_clock::now();
+      {
+        obs::Span span("par.expand");
+        span.set_value(static_cast<std::int64_t>(hi - lo));
+        pool_.run([&](int t) {  // phase A
+          expand_slice(workers_[static_cast<std::size_t>(t)], p);
+        });
+      }
+      const auto t_dedup = std::chrono::steady_clock::now();
+      {
+        obs::Span span("par.dedup");
+        pool_.run([&](int t) {  // phase B
+          for (int s = t; s < kShards; s += T) dedup_shard(s);
+        });
+      }
+      const auto t_commit = std::chrono::steady_clock::now();
 
       // Phase C: commit in global discovery order.
-      for (ConfigId pos = lo; pos < hi && !res.aborted; ++pos) {
-        if (arena_.size() >= opts_.max_configs) {
-          res.truncated = true;
-          break;
-        }
-        Worker& w = workers_[(pos - lo) / chunk];
-        while (w.commit_cursor < w.cands.size() &&
-               w.cands[w.commit_cursor].parent == pos) {
-          const Candidate& c = w.cands[w.commit_cursor];
-          if (!c.winner) {
-            metrics.dedup_hits.add();
-            ++w.commit_cursor;
-            continue;
-          }
-          const ConfigId id =
-              arena_.append_words(w.words.data() + w.commit_cursor * W);
-          shards_[c.shard].commit(c.slot, id);
-          parent_.emplace_back(c.parent, c.via);
-          ++res.visited;
-          metrics.visited.add();
-          ++w.commit_cursor;
-          if (!visit(arena_.view(id))) {
-            res.aborted = true;
-            res.abort_config = arena_.materialize(id);
+      std::uint64_t level_dedup = 0;
+      {
+        obs::Span span("par.commit");
+        for (ConfigId pos = lo; pos < hi && !res.aborted; ++pos) {
+          if (arena_.size() >= opts_.max_configs) {
+            res.truncated = true;
             break;
           }
+          Worker& w = workers_[(pos - lo) / chunk];
+          while (w.commit_cursor < w.cands.size() &&
+                 w.cands[w.commit_cursor].parent == pos) {
+            const Candidate& c = w.cands[w.commit_cursor];
+            if (!c.winner) {
+              metrics.dedup_hits.add();
+              ++level_dedup;
+              ++w.commit_cursor;
+              continue;
+            }
+            const ConfigId id =
+                arena_.append_words(w.words.data() + w.commit_cursor * W);
+            shards_[c.shard].commit(c.slot, id);
+            parent_.emplace_back(c.parent, c.via);
+            ++res.visited;
+            metrics.visited.add();
+            ++w.commit_cursor;
+            if (!visit(arena_.view(id))) {
+              res.aborted = true;
+              res.abort_config = arena_.materialize(id);
+              break;
+            }
+          }
         }
+        span.set_value(static_cast<std::int64_t>(arena_.size()) - hi);
+      }
+      dedup_total += level_dedup;
+      if (stats.active()) {
+        commit_level_stats(stats, hi - lo,
+                           static_cast<ConfigId>(arena_.size()) - hi,
+                           level_dedup, t_expand, t_dedup, t_commit);
       }
       for (Shard& sh : shards_) sh.pending.clear();
       lo = hi;
     }
+    if (stats.active()) stats.done(arena_, res, dedup_total);
     return res;
   }
 
@@ -207,6 +237,16 @@ class ParallelExplorer {
 
   void expand_slice(Worker& w, ProcSet p);
   void dedup_shard(int s);
+
+  /// Extend the shared per-level stats record with the parallel-only fields
+  /// (phase wall times, candidate volume, per-shard occupancy + imbalance)
+  /// and buffer it. `t_*` bracket the three phases; "now" closes phase C.
+  void commit_level_stats(detail::LevelStatsTracker& stats,
+                          std::uint64_t frontier, std::uint64_t discovered,
+                          std::uint64_t dedup,
+                          std::chrono::steady_clock::time_point t_expand,
+                          std::chrono::steady_clock::time_point t_dedup,
+                          std::chrono::steady_clock::time_point t_commit);
 
   const Protocol& proto_;
   Options opts_;

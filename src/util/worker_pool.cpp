@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace tsb::util {
 
 WorkerPool::WorkerPool(int threads) {
@@ -34,10 +37,19 @@ void WorkerPool::run(const std::function<void(int)>& task) {
 }
 
 void WorkerPool::worker_main(int index) {
+  // Stable trace track per worker: the caller keeps id 0, workers take
+  // 1..size(). Worker timelines in Perfetto then line up run to run
+  // instead of depending on first-touch assignment order.
+  obs::set_thread_id(index + 1);
   std::uint64_t seen = 0;
   while (true) {
     const std::function<void(int)>* task;
     {
+      // Queue wait vs. work time is the per-worker utilization picture:
+      // "pool.wait" covers sleeping for the next round, "pool.task" the
+      // round itself. Both are one relaxed load when tracing is off.
+      obs::Span wait_span("pool.wait");
+      wait_span.set_value(index);
       std::unique_lock<std::mutex> lock(mu_);
       work_ready_.wait(lock,
                        [&] { return stopping_ || generation_ != seen; });
@@ -46,10 +58,14 @@ void WorkerPool::worker_main(int index) {
       task = task_;
     }
     std::exception_ptr err;
-    try {
-      (*task)(index);
-    } catch (...) {
-      err = std::current_exception();
+    {
+      obs::Span task_span("pool.task");
+      task_span.set_value(index);
+      try {
+        (*task)(index);
+      } catch (...) {
+        err = std::current_exception();
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -1,0 +1,101 @@
+// The CLI's flag parsing is pure (tools/tsb_flags.hpp): it classifies argv
+// without opening sinks or toggling globals, which is what lets these tests
+// exercise every parse path — notably --threads=0, which historically fell
+// through to "bad flag" — without side effects.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tsb_flags.hpp"
+
+namespace tsb::cli {
+namespace {
+
+TEST(ParseArgs, ThreadsZeroMeansAllHardwareThreads) {
+  const auto r = parse_args({"adversary", "--threads=0", "4"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.flags.threads, 0);
+  EXPECT_EQ(r.args, (std::vector<std::string>{"adversary", "4"}));
+
+  const int resolved = resolve_threads(r.flags.threads);
+  EXPECT_GE(resolved, 1);
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) EXPECT_EQ(resolved, static_cast<int>(hw));
+}
+
+TEST(ParseArgs, PositiveThreadsResolveToThemselves) {
+  const auto r = parse_args({"--threads=3"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.flags.threads, 3);
+  EXPECT_EQ(resolve_threads(3), 3);
+  EXPECT_EQ(resolve_threads(1), 1);
+}
+
+TEST(ParseArgs, RejectsNegativeAndMalformedThreads) {
+  for (const char* bad :
+       {"--threads=-1", "--threads=", "--threads=two", "--threads=2x"}) {
+    const auto r = parse_args({bad});
+    EXPECT_FALSE(r.ok) << bad;
+    EXPECT_NE(r.error.find("--threads"), std::string::npos) << r.error;
+  }
+}
+
+TEST(ParseArgs, FileFlagsLandInTheirFields) {
+  const auto r = parse_args({"--trace=t.jsonl", "--stats=s.jsonl",
+                             "--audit=a.jsonl", "--baseline=b.json",
+                             "--metrics", "--progress"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.flags.trace_file, "t.jsonl");
+  EXPECT_EQ(r.flags.stats_file, "s.jsonl");
+  EXPECT_EQ(r.flags.audit_file, "a.jsonl");
+  EXPECT_EQ(r.flags.baseline_file, "b.json");
+  EXPECT_TRUE(r.flags.metrics);
+  EXPECT_TRUE(r.flags.progress);
+  EXPECT_TRUE(r.args.empty());
+}
+
+TEST(ParseArgs, EmptyFileArgumentsAreErrors) {
+  for (const char* bad : {"--trace=", "--stats=", "--audit=", "--baseline="}) {
+    EXPECT_FALSE(parse_args({bad}).ok) << bad;
+  }
+}
+
+TEST(ParseArgs, FlagsMayAppearAnywhereAmongPositionals) {
+  const auto r =
+      parse_args({"report", "run.jsonl", "--top=7", "audit.jsonl"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.flags.top, 7);
+  EXPECT_EQ(r.args,
+            (std::vector<std::string>{"report", "run.jsonl", "audit.jsonl"}));
+}
+
+TEST(ParseArgs, ValencyCapAndTopValidation) {
+  const auto ok = parse_args({"--valency-cap=5000", "--top=1"});
+  ASSERT_TRUE(ok.ok) << ok.error;
+  EXPECT_EQ(ok.flags.valency_cap, 5000u);
+  EXPECT_EQ(ok.flags.top, 1);
+  EXPECT_FALSE(parse_args({"--valency-cap=0"}).ok);
+  EXPECT_FALSE(parse_args({"--top=0"}).ok);
+  EXPECT_FALSE(parse_args({"--top=-2"}).ok);
+}
+
+TEST(ParseArgs, UnknownFlagIsAnError) {
+  const auto r = parse_args({"adversary", "--frobnicate"});
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--frobnicate"), std::string::npos) << r.error;
+}
+
+TEST(ParseArgs, DefaultsMatchTheDocumentedOnes) {
+  const auto r = parse_args({});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.flags.threads, 1);
+  EXPECT_EQ(r.flags.top, 5);
+  EXPECT_EQ(r.flags.valency_cap, 0u);
+  EXPECT_FALSE(r.flags.metrics);
+  EXPECT_FALSE(r.flags.progress);
+}
+
+}  // namespace
+}  // namespace tsb::cli

@@ -5,9 +5,12 @@
 // also run under TSan in CI to certify the phase-A/phase-B data sharing.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "consensus/ballot.hpp"
+#include "obs/obs.hpp"
 #include "sim/engine.hpp"
 #include "sim/explorer.hpp"
 #include "sim/parallel_explorer.hpp"
@@ -139,6 +142,40 @@ TEST(ParallelExplorer, WitnessSchedulesReplayToTheirConfigs) {
   ASSERT_TRUE(seq_result.aborted);
   EXPECT_EQ(*seq_result.abort_config, *result.abort_config);
   EXPECT_EQ(seq.witness(*seq_result.abort_config), witness);
+}
+
+TEST(ParallelExplorer, StatsAndTraceInstrumentationIsPurelyObservational) {
+  // With per-level stats streaming and tracing both live, the enumeration
+  // must still be bit-identical to the uninstrumented sequential explorer —
+  // the forensics layer observes, it never steers. Runs under TSan in CI,
+  // which also certifies the stats paths' data sharing.
+  const int n = 3;
+  consensus::BallotConsensus proto(n, 2 * n);
+  const Config root = initial_config(proto, {0, 1, 1});
+  const ProcSet everyone = ProcSet::first_n(n);
+
+  Explorer plain(proto);
+  const Snapshot expected = snapshot(plain, root, everyone);
+
+  obs::TraceSink::global().enable(1 << 14);
+  const std::string stats_path =
+      ::testing::TempDir() + "explorer_stats_determinism.jsonl";
+  ASSERT_TRUE(obs::stats_sink().open(stats_path));
+
+  Explorer seq(proto, {.stats_min_visited = 0});
+  expect_identical(expected, snapshot(seq, root, everyone));
+  for (int threads : {2, 8}) {
+    ParallelExplorer par(proto,
+                         {.threads = threads, .stats_min_visited = 0});
+    expect_identical(expected, snapshot(par, root, everyone));
+  }
+
+  const std::uint64_t records = obs::stats_sink().lines();
+  obs::stats_sink().close();
+  obs::TraceSink::global().disable();
+  // One "explore.done" per run plus per-level records (min_visited = 0
+  // keeps them all): three instrumented runs must have left a trail.
+  EXPECT_GE(records, 3u);
 }
 
 TEST(ParallelExplorer, RepeatedEightThreadRunsAreIdentical) {

@@ -1,0 +1,195 @@
+// Run forensics: the `tsb report` analyzer (tools/report.*) against both
+// hand-built JSONL lines and a real adversary run's audit trail. The
+// end-to-end test is the repo's contract that the audit emitters and the
+// analyzer agree on the format — and that the analyzer's covering
+// narrative reconstruction matches the independently verified certificate.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bound/adversary.hpp"
+#include "consensus/ballot.hpp"
+#include "obs/obs.hpp"
+#include "report.hpp"
+
+namespace tsb::report {
+namespace {
+
+TEST(ParseJson, ObjectsArraysAndScalars) {
+  JsonValue v;
+  ASSERT_TRUE(parse_json(
+      R"({"a":1,"b":-2.5,"c":"x\"y\\z","d":[1,2,3],"e":{"f":true},)"
+      R"("g":null,"h":false})",
+      v));
+  EXPECT_EQ(v.int_or("a", 0), 1);
+  EXPECT_DOUBLE_EQ(v.num_or("b", 0.0), -2.5);
+  EXPECT_EQ(v.str_or("c", ""), "x\"y\\z");
+  EXPECT_EQ(v.int_array("d"), (std::vector<int>{1, 2, 3}));
+  const JsonValue* e = v.find("e");
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->bool_or("f", false));
+  EXPECT_FALSE(v.bool_or("h", true));
+  ASSERT_NE(v.find("g"), nullptr);
+  EXPECT_EQ(v.find("g")->type, JsonValue::Type::kNull);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_EQ(v.int_or("missing", 7), 7);
+}
+
+TEST(ParseJson, RejectsMalformedInputAndTrailingGarbage) {
+  JsonValue v;
+  EXPECT_FALSE(parse_json("", v));
+  EXPECT_FALSE(parse_json("{\"a\":}", v));
+  EXPECT_FALSE(parse_json("{\"a\" 1}", v));
+  EXPECT_FALSE(parse_json("[1,2", v));
+  EXPECT_FALSE(parse_json("{\"a\":1} extra", v));
+  EXPECT_FALSE(parse_json("truely", v));
+  EXPECT_TRUE(parse_json("  {\"a\":1}  ", v));
+}
+
+// --- narrative-vs-certificate consistency on hand-built trails -----------
+
+void ingest(RunReport& rep, std::initializer_list<const char*> lines) {
+  for (const char* line : lines) rep.ingest_line(line);
+  rep.finalize();
+}
+
+TEST(RunReport, MatchingNarrativeAndCertificateIsConsistent) {
+  RunReport rep;
+  ingest(rep, {
+    R"({"type":"covering.pre_escape","config":9,"procs":[0,1],"regs":[1,2],"z":2})",
+    R"({"type":"solo_escape","config":9,"z":2,"covered":[1,2],"found":true,"steps":3,"escape_reg":0})",
+    R"({"type":"certificate","protocol":"ballot","verified":true,"distinct_registers":3,"registers":[0,1,2],"clones":1,"schedule_len":9})",
+  });
+  ASSERT_TRUE(rep.has_certificate());
+  EXPECT_TRUE(rep.consistent());
+  EXPECT_EQ(rep.lines_malformed(), 0u);
+}
+
+TEST(RunReport, CloneCountMismatchIsFlagged) {
+  RunReport rep;
+  ingest(rep, {
+    R"({"type":"covering.pre_escape","config":9,"procs":[0,1],"regs":[1,2],"z":2})",
+    R"({"type":"solo_escape","config":9,"z":2,"covered":[1,2],"found":true,"steps":3,"escape_reg":0})",
+    R"({"type":"certificate","verified":true,"distinct_registers":3,"registers":[0,1,2],"clones":5,"schedule_len":9})",
+  });
+  ASSERT_TRUE(rep.has_certificate());
+  EXPECT_FALSE(rep.consistent())
+      << "certificate claims 5 clones, trail recorded 1 solo escape";
+}
+
+TEST(RunReport, RegisterSetMismatchIsFlagged) {
+  RunReport rep;
+  ingest(rep, {
+    R"({"type":"covering.pre_escape","config":9,"procs":[0,1],"regs":[1,2],"z":2})",
+    R"({"type":"solo_escape","config":9,"z":2,"covered":[1,2],"found":true,"steps":3,"escape_reg":0})",
+    R"({"type":"certificate","verified":true,"distinct_registers":3,"registers":[0,1,3],"clones":1,"schedule_len":9})",
+  });
+  EXPECT_FALSE(rep.consistent()) << "narrative {0,1,2} vs certificate {0,1,3}";
+}
+
+TEST(RunReport, UnverifiedCertificateIsNeverConsistent) {
+  RunReport rep;
+  ingest(rep, {
+    R"({"type":"certificate","verified":false,"distinct_registers":0,"registers":[],"clones":0,"schedule_len":0,"error":"boom"})",
+  });
+  ASSERT_TRUE(rep.has_certificate());
+  EXPECT_FALSE(rep.consistent());
+}
+
+TEST(RunReport, StatsOnlyRunsHaveNoCertificateAndStayConsistent) {
+  RunReport rep;
+  ingest(rep, {
+    R"({"type":"explore.level","who":"explore","level":0,"frontier":1,"discovered":3,"dedup_hits":0,"dedup_rate":0,"total_configs":4,"ms":0.5,"configs_per_sec":8000,"table_load":0.1,"table_slots":64,"arena_bytes":512,"peak_rss_kb":100})",
+    R"({"type":"explore.done","who":"explore","visited":4,"levels":1,"dedup_hits":0,"truncated":false,"aborted":false,"ms":1.0,"configs_per_sec":4000,"arena_bytes":512})",
+  });
+  EXPECT_FALSE(rep.has_certificate());
+  EXPECT_TRUE(rep.consistent());
+  ASSERT_EQ(rep.levels().size(), 1u);
+  EXPECT_EQ(rep.levels()[0].discovered, 3);
+}
+
+TEST(RunReport, MalformedLinesAreCountedNotFatal) {
+  RunReport rep;
+  rep.ingest_line("not json at all");
+  rep.ingest_line("{\"type\":\"valency\",\"answer\":true,\"memo_hit\":true}");
+  rep.ingest_line("");  // blank lines are skipped, not malformed
+  rep.finalize();
+  EXPECT_EQ(rep.lines_malformed(), 1u);
+  EXPECT_TRUE(rep.consistent());
+}
+
+// --- end to end: a real adversary run through the analyzer ---------------
+
+void ingest_file(RunReport& rep, const std::string& path) {
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  for (std::string line; std::getline(in, line);) rep.ingest_line(line);
+}
+
+TEST(RunReport, AdversaryAuditTrailMatchesTheVerifiedCertificate) {
+  const std::string audit_path =
+      ::testing::TempDir() + "forensics_audit.jsonl";
+  const std::string stats_path =
+      ::testing::TempDir() + "forensics_stats.jsonl";
+  ASSERT_TRUE(obs::audit_sink().open(audit_path));
+  ASSERT_TRUE(obs::stats_sink().open(stats_path));
+
+  const int n = 3;
+  consensus::BallotConsensus proto(n, 2 * n);
+  bound::SpaceBoundAdversary adversary(proto);
+  const auto result = adversary.run();
+  obs::audit_sink().close();
+  obs::stats_sink().close();
+  ASSERT_TRUE(result.ok) << result.error;
+
+  RunReport rep;
+  ingest_file(rep, audit_path);
+  ingest_file(rep, stats_path);
+  rep.finalize();
+
+  EXPECT_EQ(rep.lines_malformed(), 0u)
+      << "every emitted record must parse back";
+  EXPECT_GT(rep.lines_ingested(), 0u);
+  ASSERT_TRUE(rep.has_certificate());
+  EXPECT_TRUE(rep.consistent())
+      << "audit narrative disagrees with the verified certificate";
+
+  // The baseline carries the construction's deterministic outcomes; they
+  // must match what the in-process run reported.
+  const std::string baseline = rep.baseline_json();
+  EXPECT_NE(baseline.find("\"verified\":true"), std::string::npos) << baseline;
+  EXPECT_NE(baseline.find("\"consistent\":true"), std::string::npos)
+      << baseline;
+  EXPECT_NE(baseline.find("\"clones\":" +
+                          std::to_string(result.lemma_stats.solo_escapes)),
+            std::string::npos)
+      << baseline;
+  EXPECT_NE(baseline.find("\"distinct_registers\":" +
+                          std::to_string(result.check.distinct_registers)),
+            std::string::npos)
+      << baseline;
+  const std::vector<int> regs(result.check.registers.begin(),
+                              result.check.registers.end());
+  EXPECT_NE(baseline.find("\"registers\":" + obs::json_int_array(regs)),
+            std::string::npos)
+      << baseline;
+
+  std::ostringstream text;
+  rep.render_text(text, 5);
+  EXPECT_NE(text.str().find("CONSISTENT"), std::string::npos) << text.str();
+
+  // analyze_files agrees: exit 0 over the same artifacts.
+  std::ostringstream sink;
+  EXPECT_EQ(analyze_files({audit_path, stats_path}, 5, "", sink), 0);
+  // ... and 2 for an unreadable file.
+  std::ostringstream devnull;
+  EXPECT_EQ(analyze_files({audit_path, "/nonexistent-tsb/x.jsonl"}, 5, "",
+                          devnull),
+            2);
+}
+
+}  // namespace
+}  // namespace tsb::report

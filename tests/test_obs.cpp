@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -232,6 +233,121 @@ TEST(Heartbeat, DisabledBeatNeverRendersTheLine) {
     return std::string("x");
   });
   EXPECT_FALSE(rendered) << "line lambda must not run when progress is off";
+}
+
+TEST(Heartbeat, RateLimitSkipsTheLambdaInsideTheInterval) {
+  // The interval clock starts at construction, so with a long interval no
+  // beat of a short computation ever pays for rendering the line.
+  set_progress(true);
+  Heartbeat hb("test", std::chrono::hours(1));
+  int renders = 0;
+  for (int i = 0; i < 1000; ++i) {
+    hb.beat([&] {
+      ++renders;
+      return std::string("never");
+    });
+  }
+  set_progress(false);
+  EXPECT_EQ(renders, 0);
+}
+
+TEST(Heartbeat, ZeroIntervalRendersEveryBeat) {
+  set_progress(true);
+  Heartbeat hb("test", std::chrono::milliseconds(0));
+  int renders = 0;
+  for (int i = 0; i < 3; ++i) {
+    hb.beat([&] {
+      ++renders;
+      return std::string("beat " + std::to_string(renders));
+    });
+  }
+  set_progress(false);
+  EXPECT_EQ(renders, 3);
+}
+
+TEST(TraceSink, ConcurrentDropAccountingSumsAcrossCategories) {
+  // Overfill a tiny buffer from eight threads with a mix of all three
+  // event categories; every victim must land in exactly one per-category
+  // drop counter, and survivors + drops must reconcile per category.
+  TraceSink& sink = TraceSink::global();
+  sink.enable(64);
+  const int n = 8;
+  const int per_thread = 300;
+  rt::run_threads(n, [&](int) {
+    for (int i = 0; i < per_thread; ++i) {
+      switch (i % 3) {
+        case 0: sink.instant("evt", i); break;
+        case 1: sink.counter("evt", i); break;
+        default: sink.complete("evt", 0, 1, i); break;
+      }
+    }
+  });
+  sink.disable();
+  // Per thread: 100 of each category, plus the harness's own "rt.thread"
+  // span at thread exit.
+  const std::uint64_t instants = static_cast<std::uint64_t>(n) * 100;
+  const std::uint64_t counters = static_cast<std::uint64_t>(n) * 100;
+  const std::uint64_t spans = static_cast<std::uint64_t>(n) * 100 + n;
+  EXPECT_EQ(sink.size(), 64u);
+  EXPECT_EQ(sink.dropped(), instants + counters + spans - 64);
+  EXPECT_EQ(sink.dropped(Ph::kComplete) + sink.dropped(Ph::kInstant) +
+                sink.dropped(Ph::kCounter),
+            sink.dropped())
+      << "per-category drops must partition the total";
+  std::uint64_t kept[3] = {0, 0, 0};
+  for (const TraceEvent& ev : sink.snapshot()) {
+    ++kept[ev.ph == Ph::kComplete ? 0 : ev.ph == Ph::kInstant ? 1 : 2];
+  }
+  EXPECT_EQ(kept[0] + sink.dropped(Ph::kComplete), spans);
+  EXPECT_EQ(kept[1] + sink.dropped(Ph::kInstant), instants);
+  EXPECT_EQ(kept[2] + sink.dropped(Ph::kCounter), counters);
+}
+
+TEST(JsonObj, EscapesQuotesBackslashesAndBluntsControlCharacters) {
+  const std::string line = JsonObj()
+                               .str("k", "a\"b\\c\nd")
+                               .num("n", -3)
+                               .boolean("b", true)
+                               .raw("a", "[1,2]")
+                               .render();
+  EXPECT_EQ(line, "{\"k\":\"a\\\"b\\\\c d\",\"n\":-3,\"b\":true,\"a\":[1,2]}");
+  EXPECT_EQ(json_int_array({}), "[]");
+  EXPECT_EQ(json_int_array({1, -2, 3}), "[1,-2,3]");
+}
+
+TEST(JsonlSink, GateFollowsOpenCloseAndLinesCount) {
+  JsonlSink& sink = stats_sink();
+  ASSERT_FALSE(stats_enabled());
+  const std::uint64_t before = sink.lines();
+  sink.write("{\"ignored\":true}");  // closed: a no-op, never an error
+  EXPECT_EQ(sink.lines(), before);
+
+  const std::string path = ::testing::TempDir() + "obs_jsonl_sink_test.jsonl";
+  ASSERT_TRUE(sink.open(path));
+  EXPECT_TRUE(stats_enabled()) << "open() must raise the emitters' gate";
+  sink.write(JsonObj().str("type", "t").num("x", 1).render());
+  sink.write(JsonObj().str("type", "t").num("x", 2).render());
+  EXPECT_EQ(sink.lines(), 2u) << "open() must reset the line count";
+  EXPECT_GT(sink.now_ns(), 0u);
+  sink.close();
+  EXPECT_FALSE(stats_enabled()) << "close() must lower the gate";
+  sink.write("{\"late\":true}");
+  EXPECT_EQ(sink.lines(), 2u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(int_field(lines[0], "x"), 1);
+  EXPECT_EQ(int_field(lines[1], "x"), 2);
+  EXPECT_EQ(str_field(lines[0], "type"), "t");
+}
+
+TEST(JsonlSink, FailedOpenLeavesTheGateDown) {
+  JsonlSink& sink = audit_sink();
+  EXPECT_FALSE(sink.open("/nonexistent-dir-tsb-test/audit.jsonl"));
+  EXPECT_FALSE(audit_enabled());
 }
 
 }  // namespace

@@ -1,0 +1,511 @@
+#include "report.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/jsonl_sink.hpp"
+#include "util/table.hpp"
+
+namespace tsb::report {
+
+// --- JSON ------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view s) : s_(s) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view word) {
+    if (s_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return object(out);
+      case '[':
+        return array(out);
+      case '"':
+        out.type = JsonValue::Type::kStr;
+        return string(out.str);
+      case 't':
+        out.type = JsonValue::Type::kBool;
+        out.b = true;
+        return literal("true");
+      case 'f':
+        out.type = JsonValue::Type::kBool;
+        out.b = false;
+        return literal("false");
+      case 'n':
+        out.type = JsonValue::Type::kNull;
+        return literal("null");
+      default:
+        return number(out);
+    }
+  }
+
+  bool object(JsonValue& out) {
+    out.type = JsonValue::Type::kObj;
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      JsonValue v;
+      if (!value(v)) return false;
+      out.obj.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (eat(',')) continue;
+      return eat('}');
+    }
+  }
+
+  bool array(JsonValue& out) {
+    out.type = JsonValue::Type::kArr;
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      JsonValue v;
+      if (!value(v)) return false;
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (eat(',')) continue;
+      return eat(']');
+    }
+  }
+
+  bool string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case '/': out += '/'; break;
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          default: return false;  // \uXXXX not needed by our emitters
+        }
+        continue;
+      }
+      out += c;
+    }
+    return false;  // unterminated
+  }
+
+  bool number(JsonValue& out) {
+    const char* start = s_.data() + pos_;
+    char* end = nullptr;
+    out.num = std::strtod(start, &end);
+    if (end == start) return false;
+    out.type = JsonValue::Type::kNum;
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+std::string fmt(double v) { return util::Table::to_cell(v); }
+
+}  // namespace
+
+bool parse_json(std::string_view text, JsonValue& out) {
+  return Parser(text).parse(out);
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::num_or(std::string_view key, double def) const {
+  const JsonValue* v = find(key);
+  return v && v->type == Type::kNum ? v->num : def;
+}
+
+std::int64_t JsonValue::int_or(std::string_view key, std::int64_t def) const {
+  const JsonValue* v = find(key);
+  return v && v->type == Type::kNum ? static_cast<std::int64_t>(v->num) : def;
+}
+
+bool JsonValue::bool_or(std::string_view key, bool def) const {
+  const JsonValue* v = find(key);
+  return v && v->type == Type::kBool ? v->b : def;
+}
+
+std::string JsonValue::str_or(std::string_view key,
+                              std::string_view def) const {
+  const JsonValue* v = find(key);
+  return v && v->type == Type::kStr ? v->str : std::string(def);
+}
+
+std::vector<int> JsonValue::int_array(std::string_view key) const {
+  std::vector<int> out;
+  const JsonValue* v = find(key);
+  if (!v || v->type != Type::kArr) return out;
+  out.reserve(v->arr.size());
+  for (const JsonValue& e : v->arr) {
+    if (e.type == Type::kNum) out.push_back(static_cast<int>(e.num));
+  }
+  return out;
+}
+
+// --- ingestion -------------------------------------------------------------
+
+void RunReport::ingest_line(const std::string& line) {
+  if (line.empty()) return;
+  ++lines_;
+  JsonValue v;
+  if (!parse_json(line, v) || v.type != JsonValue::Type::kObj) {
+    ++malformed_;
+    return;
+  }
+  if (v.find("ph") != nullptr) {
+    ingest_trace(v);
+    return;
+  }
+  const std::string type = v.str_or("type", "");
+  if (type.empty()) {
+    ++malformed_;
+    return;
+  }
+  if (type.rfind("explore", 0) == 0 || type.rfind("mc.", 0) == 0 ||
+      type.rfind("bench", 0) == 0) {
+    ingest_stats(v, type);
+  } else {
+    ingest_audit(v, type);
+  }
+}
+
+void RunReport::ingest_trace(const JsonValue& v) {
+  ++trace_events_;
+  const std::string ph = v.str_or("ph", "");
+  if (ph != "X") return;  // only spans carry durations
+  const std::string name = v.str_or("name", "?");
+  // --trace=x.jsonl writes dur_ns; the Chrome format writes dur (us).
+  double ms = v.num_or("dur_ns", -1.0);
+  ms = ms >= 0 ? ms / 1e6 : v.num_or("dur", 0.0) / 1e3;
+  SpanAgg& agg = spans_[name];
+  ++agg.count;
+  agg.total_ms += ms;
+  const int tid = static_cast<int>(v.int_or("tid", 0));
+  if (name == "pool.task") worker_task_ms_[tid] += ms;
+  if (name == "pool.wait") worker_wait_ms_[tid] += ms;
+}
+
+void RunReport::ingest_stats(const JsonValue& v, const std::string& type) {
+  if (type == "explore.level") {
+    LevelRow row;
+    row.who = v.str_or("who", "?");
+    row.level = v.int_or("level", 0);
+    row.frontier = v.int_or("frontier", 0);
+    row.discovered = v.int_or("discovered", 0);
+    row.dedup = v.int_or("dedup_hits", 0);
+    row.dedup_rate = v.num_or("dedup_rate", 0.0);
+    row.ms = v.num_or("ms", 0.0);
+    row.configs_per_sec = v.num_or("configs_per_sec", 0.0);
+    row.arena_bytes = v.int_or("arena_bytes", 0);
+    levels_.push_back(std::move(row));
+  } else if (type == "explore.done") {
+    ++explore_runs_;
+    explore_visited_ += static_cast<std::uint64_t>(v.int_or("visited", 0));
+    explore_dedup_ += static_cast<std::uint64_t>(v.int_or("dedup_hits", 0));
+    explore_ms_ += v.num_or("ms", 0.0);
+  } else if (type == "mc.input") {
+    ++mc_inputs_;
+  }
+}
+
+void RunReport::count_regs(const std::vector<int>& regs) {
+  for (int r : regs) ++reg_cover_counts_[r];
+}
+
+void RunReport::ingest_audit(const JsonValue& v, const std::string& type) {
+  if (type == "adversary.begin") {
+    protocol_ = v.str_or("protocol", "");
+    n_ = static_cast<int>(v.int_or("n", 0));
+  } else if (type == "valency") {
+    ++valency_queries_;
+    if (v.bool_or("memo_hit", false)) ++valency_memo_hits_;
+  } else if (type == "valency.explore") {
+    ++valency_explores_;
+  } else if (type == "lemma1") {
+    ++lemma1_;
+  } else if (type == "lemma3") {
+    ++lemma3_;
+    count_regs(v.int_array("covered"));
+  } else if (type == "lemma4.enter") {
+    ++lemma4_;
+  } else if (type == "lemma4.stage") {
+    ++stages_;
+    count_regs(v.int_array("covered"));
+  } else if (type == "lemma4.pigeonhole") {
+    ++pigeonholes_;
+  } else if (type == "block_write") {
+    ++block_writes_;
+    count_regs(v.int_array("regs"));
+  } else if (type == "solo_escape") {
+    if (v.bool_or("found", false)) {
+      ++clones_;
+      have_escape_ = true;
+      last_escape_reg_ = static_cast<int>(v.int_or("escape_reg", -1));
+      ++reg_cover_counts_[last_escape_reg_];
+    }
+  } else if (type == "covering.pre_escape") {
+    have_pre_escape_ = true;
+    pre_escape_regs_ = v.int_array("regs");
+    count_regs(pre_escape_regs_);
+  } else if (type == "certificate") {
+    have_cert_ = true;
+    cert_verified_ = v.bool_or("verified", false);
+    cert_distinct_ = v.int_or("distinct_registers", 0);
+    cert_regs_ = v.int_array("registers");
+    cert_clones_ = v.int_or("clones", -1);
+    cert_schedule_len_ = v.int_or("schedule_len", 0);
+    cert_error_ = v.str_or("error", "");
+    if (protocol_.empty()) protocol_ = v.str_or("protocol", "");
+  }
+}
+
+void RunReport::finalize() {
+  // The construction's own account of the final covering: the registers R
+  // covered going into the last escape, plus z's escape register. For
+  // n = 2 there is no pre-escape event and the escape register is the
+  // whole story.
+  narrative_regs_ = pre_escape_regs_;
+  if (have_escape_) narrative_regs_.push_back(last_escape_reg_);
+  std::sort(narrative_regs_.begin(), narrative_regs_.end());
+  narrative_regs_.erase(
+      std::unique(narrative_regs_.begin(), narrative_regs_.end()),
+      narrative_regs_.end());
+
+  consistent_ = true;
+  if (have_cert_) {
+    if (!cert_verified_) consistent_ = false;
+    // Only compare against the narrative when the audit trail actually
+    // recorded one (report over a stats-only run has no escape events).
+    if (have_escape_ && narrative_regs_ != cert_regs_) consistent_ = false;
+    if (have_escape_ && cert_clones_ >= 0 &&
+        cert_clones_ != static_cast<std::int64_t>(clones_)) {
+      consistent_ = false;
+    }
+  }
+}
+
+// --- rendering -------------------------------------------------------------
+
+void RunReport::render_text(std::ostream& out, int top_k) const {
+  out << "== tsb report ==\n";
+  out << "lines: " << lines_ << " (malformed: " << malformed_ << ")";
+  if (!protocol_.empty()) out << "  protocol: " << protocol_;
+  if (n_ > 0) out << "  n: " << n_;
+  out << "\n";
+
+  if (!spans_.empty()) {
+    // Phase breakdown, widest phases first.
+    std::vector<std::pair<std::string, SpanAgg>> rows(spans_.begin(),
+                                                      spans_.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.second.total_ms > b.second.total_ms;
+    });
+    util::Table t({"phase", "count", "total_ms"});
+    for (const auto& [name, agg] : rows) {
+      t.row(name, agg.count, agg.total_ms);
+    }
+    t.print(out, "phase time breakdown (" + std::to_string(trace_events_) +
+                     " trace events)");
+    if (!worker_task_ms_.empty()) {
+      util::Table w({"worker_tid", "task_ms", "wait_ms", "utilization"});
+      for (const auto& [tid, task_ms] : worker_task_ms_) {
+        const double wait_ms =
+            worker_wait_ms_.count(tid) ? worker_wait_ms_.at(tid) : 0.0;
+        const double total = task_ms + wait_ms;
+        w.row(tid, task_ms, wait_ms, total > 0 ? task_ms / total : 0.0);
+      }
+      w.print(out, "worker timelines");
+    }
+  }
+
+  if (!levels_.empty()) {
+    util::Table t({"who", "level", "frontier", "discovered", "dedup%", "ms",
+                   "configs/s", "arena_MB"});
+    for (const LevelRow& r : levels_) {
+      t.row(r.who, r.level, r.frontier, r.discovered, 100.0 * r.dedup_rate,
+            r.ms, r.configs_per_sec,
+            static_cast<double>(r.arena_bytes) / (1024.0 * 1024.0));
+    }
+    t.print(out, "per-level exploration");
+  }
+
+  if (explore_runs_ > 0) {
+    out << "\nexplorations: " << explore_runs_ << " runs, "
+        << explore_visited_ << " configs visited, " << explore_dedup_
+        << " dedup hits, " << fmt(explore_ms_) << " ms total";
+    if (explore_ms_ > 0) {
+      out << " ("
+          << fmt(static_cast<double>(explore_visited_) * 1000.0 / explore_ms_)
+          << " configs/s)";
+    }
+    out << "\n";
+  }
+  if (mc_inputs_ > 0) out << "model-checker inputs: " << mc_inputs_ << "\n";
+
+  if (valency_queries_ > 0 || valency_explores_ > 0) {
+    out << "valency cache: " << valency_queries_ << " queries, "
+        << valency_memo_hits_ << " memo hits ("
+        << fmt(valency_queries_
+                   ? 100.0 * static_cast<double>(valency_memo_hits_) /
+                         static_cast<double>(valency_queries_)
+                   : 0.0)
+        << "%), " << valency_explores_ << " shared explorations\n";
+  }
+  if (lemma4_ + lemma3_ + lemma1_ > 0) {
+    out << "lemma calls: lemma4 x" << lemma4_ << " (stages " << stages_
+        << ", pigeonholes " << pigeonholes_ << "), lemma3 x" << lemma3_
+        << ", lemma1 x" << lemma1_ << ", block writes " << block_writes_
+        << ", clones (hidden solo insertions) " << clones_ << "\n";
+  }
+
+  if (!reg_cover_counts_.empty()) {
+    std::vector<std::pair<int, std::uint64_t>> hot(reg_cover_counts_.begin(),
+                                                   reg_cover_counts_.end());
+    std::sort(hot.begin(), hot.end(), [](const auto& a, const auto& b) {
+      return a.second != b.second ? a.second > b.second : a.first < b.first;
+    });
+    if (static_cast<int>(hot.size()) > top_k) {
+      hot.resize(static_cast<std::size_t>(top_k));
+    }
+    util::Table t({"register", "cover_count"});
+    for (const auto& [reg, cnt] : hot) {
+      t.row("R" + std::to_string(reg), cnt);
+    }
+    t.print(out, "hottest registers (top " + std::to_string(top_k) + ")");
+  }
+
+  if (have_cert_) {
+    auto regs_str = [](const std::vector<int>& regs) {
+      std::string s = "{";
+      for (std::size_t i = 0; i < regs.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += "R" + std::to_string(regs[i]);
+      }
+      return s + "}";
+    };
+    out << "\ncovering narrative vs certificate:\n";
+    if (have_escape_) {
+      out << "  narrative: " << regs_str(narrative_regs_) << " ("
+          << pre_escape_regs_.size() << " covered pre-escape + escape R"
+          << last_escape_reg_ << "), clones " << clones_ << "\n";
+    } else {
+      out << "  narrative: (no audit trail ingested)\n";
+    }
+    out << "  certificate: " << regs_str(cert_regs_) << " = "
+        << cert_distinct_ << " distinct registers, clones " << cert_clones_
+        << ", schedule " << cert_schedule_len_ << " steps, "
+        << (cert_verified_ ? "VERIFIED" : "NOT VERIFIED") << "\n";
+    if (!cert_error_.empty()) out << "  error: " << cert_error_ << "\n";
+    out << "  " << (consistent_ ? "CONSISTENT" : "MISMATCH") << "\n";
+  }
+}
+
+std::string RunReport::baseline_json() const {
+  obs::JsonObj o;
+  o.str("type", "baseline");
+  if (!protocol_.empty()) o.str("protocol", protocol_);
+  if (n_ > 0) o.num("n", n_);
+  o.num("valency_queries", static_cast<std::int64_t>(valency_queries_))
+      .num("valency_memo_hits", static_cast<std::int64_t>(valency_memo_hits_))
+      .num("valency_explorations",
+           static_cast<std::int64_t>(valency_explores_))
+      .num("lemma4_calls", static_cast<std::int64_t>(lemma4_))
+      .num("di_stages", static_cast<std::int64_t>(stages_))
+      .num("clones", static_cast<std::int64_t>(clones_))
+      .num("explore_runs", static_cast<std::int64_t>(explore_runs_))
+      .num("explore_visited", static_cast<std::int64_t>(explore_visited_));
+  if (have_cert_) {
+    o.boolean("verified", cert_verified_)
+        .num("distinct_registers", cert_distinct_)
+        .raw("registers", obs::json_int_array(cert_regs_))
+        .num("schedule_len", cert_schedule_len_)
+        .boolean("consistent", consistent_);
+  }
+  return o.render();
+}
+
+int analyze_files(const std::vector<std::string>& files, int top_k,
+                  const std::string& baseline_file, std::ostream& out) {
+  RunReport rep;
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      out << "tsb report: cannot read " << path << "\n";
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) rep.ingest_line(line);
+  }
+  rep.finalize();
+  rep.render_text(out, top_k);
+  if (!baseline_file.empty()) {
+    std::ofstream bf(baseline_file);
+    if (!bf) {
+      out << "tsb report: cannot write " << baseline_file << "\n";
+      return 2;
+    }
+    bf << rep.baseline_json() << "\n";
+    out << "baseline -> " << baseline_file << "\n";
+  } else {
+    out << "baseline: " << rep.baseline_json() << "\n";
+  }
+  if (rep.has_certificate() && !rep.consistent()) return 1;
+  return 0;
+}
+
+}  // namespace tsb::report

@@ -1,0 +1,157 @@
+#pragma once
+
+// Run-forensics analyzer behind `tsb report` (and the benches' per-level
+// tables): ingests the JSONL artifacts a run leaves behind — trace events
+// (--trace=*.jsonl), exploration stats (--stats), adversary audit trail
+// (--audit) — and renders a human report plus a machine-diffable one-line
+// baseline JSON.
+//
+// The analyzer is deliberately file-format driven, not in-process: it reads
+// only what the sinks wrote, so `tsb report` works on artifacts from any
+// run (CI uploads, a colleague's machine) and doubles as a check that the
+// emitters produce well-formed, complete records.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsb::report {
+
+/// Minimal recursive-descent JSON reader — just enough for the sinks'
+/// output (objects, arrays, strings, numbers, booleans, null). Exists so
+/// the analyzer has zero dependencies; not a general-purpose parser (no
+/// \uXXXX escapes, numbers via strtod).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNum, kStr, kArr, kObj };
+  Type type = Type::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* find(std::string_view key) const;
+  double num_or(std::string_view key, double def) const;
+  std::int64_t int_or(std::string_view key, std::int64_t def) const;
+  bool bool_or(std::string_view key, bool def) const;
+  std::string str_or(std::string_view key, std::string_view def) const;
+  std::vector<int> int_array(std::string_view key) const;
+};
+
+/// Parse one complete JSON value from `text`; false on malformed input or
+/// trailing garbage.
+bool parse_json(std::string_view text, JsonValue& out);
+
+/// Aggregated view of one run's artifacts. Feed every line of every file
+/// through ingest_line (order within a file matters for "last event wins"
+/// fields; file order does not), then finalize() once.
+class RunReport {
+ public:
+  void ingest_line(const std::string& line);
+  void finalize();
+
+  /// The full human-readable report: phase breakdown, per-level table,
+  /// valency cache stats, hottest registers, covering narrative vs
+  /// certificate.
+  void render_text(std::ostream& out, int top_k) const;
+
+  /// One-line JSON of the run's deterministic outcomes (no timings), for
+  /// BENCH_*.json trajectory files: diffing two baselines answers "did the
+  /// construction change?" without eyeballing reports.
+  std::string baseline_json() const;
+
+  /// False iff a certificate event is present and its replay-verified
+  /// registers/clone count disagree with the construction's own narrative
+  /// (covering.pre_escape + final solo_escape), or it failed verification.
+  bool consistent() const { return consistent_; }
+  bool has_certificate() const { return have_cert_; }
+
+  std::uint64_t lines_ingested() const { return lines_; }
+  std::uint64_t lines_malformed() const { return malformed_; }
+
+  // --- aggregates (public: the benches read them directly) ---------------
+  struct SpanAgg {
+    std::uint64_t count = 0;
+    double total_ms = 0.0;
+  };
+  struct LevelRow {
+    std::string who;
+    std::int64_t level = 0;
+    std::int64_t frontier = 0;
+    std::int64_t discovered = 0;
+    std::int64_t dedup = 0;
+    double dedup_rate = 0.0;
+    double ms = 0.0;
+    double configs_per_sec = 0.0;
+    std::int64_t arena_bytes = 0;
+  };
+  const std::map<std::string, SpanAgg>& spans() const { return spans_; }
+  const std::vector<LevelRow>& levels() const { return levels_; }
+
+ private:
+  void ingest_trace(const JsonValue& v);
+  void ingest_stats(const JsonValue& v, const std::string& type);
+  void ingest_audit(const JsonValue& v, const std::string& type);
+  void count_regs(const std::vector<int>& regs);
+
+  std::uint64_t lines_ = 0;
+  std::uint64_t malformed_ = 0;
+
+  // Trace.
+  std::uint64_t trace_events_ = 0;
+  std::map<std::string, SpanAgg> spans_;
+  std::map<int, double> worker_task_ms_;  ///< tid -> total "pool.task"
+  std::map<int, double> worker_wait_ms_;  ///< tid -> total "pool.wait"
+
+  // Stats.
+  std::vector<LevelRow> levels_;
+  std::uint64_t explore_runs_ = 0;
+  std::uint64_t explore_visited_ = 0;
+  std::uint64_t explore_dedup_ = 0;
+  double explore_ms_ = 0.0;
+  std::uint64_t mc_inputs_ = 0;
+
+  // Audit.
+  std::string protocol_;
+  int n_ = 0;
+  std::uint64_t valency_queries_ = 0;
+  std::uint64_t valency_memo_hits_ = 0;
+  std::uint64_t valency_explores_ = 0;
+  std::uint64_t lemma1_ = 0;
+  std::uint64_t lemma3_ = 0;
+  std::uint64_t lemma4_ = 0;
+  std::uint64_t stages_ = 0;
+  std::uint64_t pigeonholes_ = 0;
+  std::uint64_t block_writes_ = 0;
+  std::uint64_t clones_ = 0;  ///< solo_escape events with found=true
+  std::map<int, std::uint64_t> reg_cover_counts_;
+  bool have_pre_escape_ = false;
+  std::vector<int> pre_escape_regs_;
+  bool have_escape_ = false;
+  int last_escape_reg_ = -1;
+
+  // Certificate (last one wins).
+  bool have_cert_ = false;
+  bool cert_verified_ = false;
+  std::int64_t cert_distinct_ = 0;
+  std::vector<int> cert_regs_;
+  std::int64_t cert_clones_ = -1;
+  std::int64_t cert_schedule_len_ = 0;
+  std::string cert_error_;
+
+  // finalize() results.
+  bool consistent_ = true;
+  std::vector<int> narrative_regs_;
+};
+
+/// Ingest `files`, render the report to `out`, and (when baseline_file is
+/// non-empty) write the baseline JSON line there. Returns a process exit
+/// code: 0 ok, 1 certificate missing verification or inconsistent with the
+/// narrative, 2 a file could not be read.
+int analyze_files(const std::vector<std::string>& files, int top_k,
+                  const std::string& baseline_file, std::ostream& out);
+
+}  // namespace tsb::report

@@ -5,24 +5,29 @@
 //   tsb search [modes] [cap]       sweep the 1-register protocol family
 //   tsb mutex [n]                  canonical-cost + Burns-Lynch summary
 //   tsb perturb [n]                JTT perturbation adversary on a counter
+//   tsb report FILE...             analyze trace/stats/audit JSONL artifacts
 //
 // Observability flags (any position, any subcommand):
 //   --trace=FILE     record a trace; .jsonl gets JSONL, else Chrome
 //                    trace_event JSON (chrome://tracing, Perfetto)
+//   --stats=FILE     stream per-BFS-level exploration stats as JSONL
+//   --audit=FILE     stream the adversary's decision trail as JSONL
 //   --metrics        print the metrics registry as one JSON line at exit
 //   --progress       heartbeat lines on stderr during long computations
 //   --valency-cap=N  valency oracle configuration cap (adversary only)
 //   --threads=N      exploration worker threads (adversary and check);
-//                    results are identical at any thread count
+//                    0 = all hardware threads; results are identical at
+//                    any thread count
+//   --top=K          report: how many hottest registers to show (default 5)
+//   --baseline=FILE  report: write the one-line baseline JSON to FILE
 //
 // Exit codes (distinct so CI can tell misuse from refutation):
 //   0  success
-//   1  violation / failed construction (a result, not a usage problem)
+//   1  violation / failed construction / report inconsistency
 //   2  usage error: unknown subcommand, unknown protocol, bad flag
 //
 // Protocols for `check`: ballot | racing-strict | racing-atleast | swap
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -39,10 +44,13 @@
 #include "obs/obs.hpp"
 #include "perturb/counter.hpp"
 #include "perturb/perturbation.hpp"
+#include "report.hpp"
 #include "sim/model_checker.hpp"
 #include "sim/protocol_search.hpp"
+#include "tsb_flags.hpp"
 
 using namespace tsb;
+using cli::ObsFlags;
 
 namespace {
 
@@ -59,18 +67,14 @@ int usage() {
          "  tsb search [modes=1] [cap=0]     1-register protocol sweep\n"
          "  tsb mutex [n=8]                  mutex cost + covering summary\n"
          "  tsb perturb [n=5]                JTT adversary on the counter\n"
-         "flags: --trace=FILE --metrics --progress --valency-cap=N "
-         "--threads=N\n"
+         "  tsb report FILE...               analyze run artifacts (JSONL)\n"
+         "flags: --trace=FILE --stats=FILE --audit=FILE --metrics "
+         "--progress\n"
+         "       --valency-cap=N --threads=N (0 = all cores) --top=K "
+         "--baseline=FILE\n"
          "exit codes: 0 ok, 1 violation/failed construction, 2 usage error\n";
   return kExitUsage;
 }
-
-struct ObsFlags {
-  std::string trace_file;
-  bool metrics = false;
-  std::size_t valency_cap = 0;  // 0 = pick a default that scales with n
-  int threads = 1;              // exploration workers; 0 = hw concurrency
-};
 
 // Smallest ballot cap for which BallotConsensus both solo-terminates and
 // satisfies the adversary's valency demands, found by sweeping (EXPERIMENTS.md).
@@ -108,7 +112,7 @@ int cmd_adversary(int n, int cap, const ObsFlags& obs_flags) {
   opts.valency_max_configs = obs_flags.valency_cap
                                  ? obs_flags.valency_cap
                                  : default_valency_cap(n);
-  opts.threads = obs_flags.threads;
+  opts.threads = cli::resolve_threads(obs_flags.threads);
   bound::SpaceBoundAdversary adversary(proto, opts);
   const auto result = adversary.run();
   if (!result.ok) {
@@ -128,7 +132,7 @@ int cmd_check(const std::string& name, int n, int cap,
   if (!proto) return usage();
   sim::ModelChecker::Options opts;
   opts.fail_on_solo_violation = name != "ballot";  // caps stall by design
-  opts.threads = obs_flags.threads;
+  opts.threads = cli::resolve_threads(obs_flags.threads);
   sim::ModelChecker checker(*proto, opts);
   const auto report = checker.check_all_binary_inputs();
   std::cout << proto->name() << ": " << report.summary() << "\n";
@@ -185,39 +189,28 @@ int cmd_perturb(int n) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Peel observability flags off argv (they may appear anywhere) so the
-  // positional parsing below stays unchanged.
-  ObsFlags obs_flags;
-  std::vector<std::string> args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a.rfind("--trace=", 0) == 0) {
-      obs_flags.trace_file = a.substr(std::strlen("--trace="));
-      if (obs_flags.trace_file.empty()) return usage();
-    } else if (a == "--metrics") {
-      obs_flags.metrics = true;
-    } else if (a == "--progress") {
-      obs::set_progress(true);
-    } else if (a.rfind("--valency-cap=", 0) == 0) {
-      obs_flags.valency_cap = std::strtoull(
-          a.c_str() + std::strlen("--valency-cap="), nullptr, 10);
-      if (obs_flags.valency_cap == 0) return usage();
-    } else if (a.rfind("--threads=", 0) == 0) {
-      char* end = nullptr;
-      obs_flags.threads = static_cast<int>(
-          std::strtol(a.c_str() + std::strlen("--threads="), &end, 10));
-      if (obs_flags.threads < 1 || end == nullptr || *end != '\0') {
-        return usage();
-      }
-    } else if (a.rfind("--", 0) == 0) {
-      std::cerr << "unknown flag: " << a << "\n";
-      return usage();
-    } else {
-      args.push_back(a);
-    }
+  const auto parsed =
+      cli::parse_args(std::vector<std::string>(argv + 1, argv + argc));
+  if (!parsed.ok) {
+    std::cerr << parsed.error << "\n";
+    return usage();
   }
+  const ObsFlags& obs_flags = parsed.flags;
+  const std::vector<std::string>& args = parsed.args;
   if (args.empty()) return usage();
+
+  if (obs_flags.progress) obs::set_progress(true);
   if (!obs_flags.trace_file.empty()) obs::TraceSink::global().enable();
+  if (!obs_flags.stats_file.empty() &&
+      !obs::stats_sink().open(obs_flags.stats_file)) {
+    std::cerr << "could not open stats file " << obs_flags.stats_file << "\n";
+    return kExitUsage;
+  }
+  if (!obs_flags.audit_file.empty() &&
+      !obs::audit_sink().open(obs_flags.audit_file)) {
+    std::cerr << "could not open audit file " << obs_flags.audit_file << "\n";
+    return kExitUsage;
+  }
 
   const std::string cmd = args[0];
   auto arg = [&](std::size_t i, int def) {
@@ -237,10 +230,25 @@ int main(int argc, char** argv) {
     rc = cmd_mutex(arg(1, 8));
   } else if (cmd == "perturb") {
     rc = cmd_perturb(arg(1, 5));
+  } else if (cmd == "report") {
+    if (args.size() < 2) return usage();
+    rc = report::analyze_files(
+        std::vector<std::string>(args.begin() + 1, args.end()),
+        obs_flags.top, obs_flags.baseline_file, std::cout);
   } else {
     return usage();
   }
 
+  if (!obs_flags.stats_file.empty()) {
+    std::cerr << "stats: " << obs::stats_sink().lines() << " records -> "
+              << obs_flags.stats_file << "\n";
+    obs::stats_sink().close();
+  }
+  if (!obs_flags.audit_file.empty()) {
+    std::cerr << "audit: " << obs::audit_sink().lines() << " events -> "
+              << obs_flags.audit_file << "\n";
+    obs::audit_sink().close();
+  }
   if (!obs_flags.trace_file.empty()) {
     obs::TraceSink& sink = obs::TraceSink::global();
     sink.disable();
@@ -248,9 +256,11 @@ int main(int argc, char** argv) {
       std::cerr << "could not write trace to " << obs_flags.trace_file << "\n";
       if (rc == kExitOk) rc = kExitViolation;
     } else {
-      std::cerr << "trace: " << sink.size() << " events ("
-                << sink.dropped() << " dropped) -> " << obs_flags.trace_file
-                << "\n";
+      std::cerr << "trace: " << sink.size() << " events (dropped: "
+                << sink.dropped(obs::Ph::kComplete) << " span, "
+                << sink.dropped(obs::Ph::kInstant) << " instant, "
+                << sink.dropped(obs::Ph::kCounter) << " counter) -> "
+                << obs_flags.trace_file << "\n";
     }
   }
   if (obs_flags.metrics) obs::emit_metrics("tsb " + cmd);

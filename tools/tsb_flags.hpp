@@ -1,0 +1,102 @@
+#pragma once
+
+// Flag parsing shared by the tsb CLI and its tests.
+//
+// parse_args is PURE: it classifies argv into flags + positional arguments
+// and reports errors, but applies nothing (no sink is opened, no progress
+// toggled) — main() applies the parsed flags, and the tests exercise the
+// parse paths (notably --threads=0) without side effects.
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tsb::cli {
+
+struct ObsFlags {
+  std::string trace_file;     ///< --trace=FILE (in-memory sink, Chrome/JSONL)
+  std::string stats_file;     ///< --stats=FILE (per-level exploration JSONL)
+  std::string audit_file;     ///< --audit=FILE (adversary decision JSONL)
+  std::string baseline_file;  ///< --baseline=FILE (report: one-line JSON)
+  bool metrics = false;       ///< --metrics
+  bool progress = false;      ///< --progress
+  std::size_t valency_cap = 0;  ///< --valency-cap=N; 0 = scale with n
+  int threads = 1;            ///< --threads=N; 0 = hardware concurrency
+  int top = 5;                ///< --top=K (report: hottest registers shown)
+};
+
+struct ParseResult {
+  bool ok = true;
+  std::string error;                ///< set when !ok
+  ObsFlags flags;
+  std::vector<std::string> args;    ///< positional arguments, in order
+};
+
+/// Map the user-facing thread count to a concrete worker count: 0 means
+/// "use every hardware thread". Callers must resolve before handing the
+/// value to ValencyOracle / ModelChecker (which treat > 1 as "parallel").
+inline int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+inline ParseResult parse_args(const std::vector<std::string>& argv) {
+  ParseResult out;
+  auto fail = [&](std::string msg) {
+    out.ok = false;
+    out.error = std::move(msg);
+    return out;
+  };
+  auto file_flag = [](const std::string& a, const char* prefix,
+                      std::string& dst) {
+    if (a.rfind(prefix, 0) != 0) return false;
+    dst = a.substr(std::strlen(prefix));
+    return true;
+  };
+  for (const std::string& a : argv) {
+    if (file_flag(a, "--trace=", out.flags.trace_file)) {
+      if (out.flags.trace_file.empty()) return fail("--trace needs a file");
+    } else if (file_flag(a, "--stats=", out.flags.stats_file)) {
+      if (out.flags.stats_file.empty()) return fail("--stats needs a file");
+    } else if (file_flag(a, "--audit=", out.flags.audit_file)) {
+      if (out.flags.audit_file.empty()) return fail("--audit needs a file");
+    } else if (file_flag(a, "--baseline=", out.flags.baseline_file)) {
+      if (out.flags.baseline_file.empty()) {
+        return fail("--baseline needs a file");
+      }
+    } else if (a == "--metrics") {
+      out.flags.metrics = true;
+    } else if (a == "--progress") {
+      out.flags.progress = true;
+    } else if (a.rfind("--valency-cap=", 0) == 0) {
+      out.flags.valency_cap = std::strtoull(
+          a.c_str() + std::strlen("--valency-cap="), nullptr, 10);
+      if (out.flags.valency_cap == 0) return fail("bad --valency-cap");
+    } else if (a.rfind("--threads=", 0) == 0) {
+      char* end = nullptr;
+      const char* s = a.c_str() + std::strlen("--threads=");
+      const long v = std::strtol(s, &end, 10);
+      // 0 is documented and valid: hardware concurrency.
+      if (v < 0 || end == s || end == nullptr || *end != '\0') {
+        return fail("bad --threads (want an integer >= 0; 0 = all cores)");
+      }
+      out.flags.threads = static_cast<int>(v);
+    } else if (a.rfind("--top=", 0) == 0) {
+      char* end = nullptr;
+      const char* s = a.c_str() + std::strlen("--top=");
+      const long v = std::strtol(s, &end, 10);
+      if (v < 1 || end == s || *end != '\0') return fail("bad --top");
+      out.flags.top = static_cast<int>(v);
+    } else if (a.rfind("--", 0) == 0) {
+      return fail("unknown flag: " + a);
+    } else {
+      out.args.push_back(a);
+    }
+  }
+  return out;
+}
+
+}  // namespace tsb::cli
