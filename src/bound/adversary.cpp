@@ -18,6 +18,19 @@ SpaceBoundAdversary::Result SpaceBoundAdversary::run() {
     Result out;
     out.error = e.what();
     return out;
+  } catch (const util::BudgetExhausted& e) {
+    // A configured memory/time budget tripped mid-construction. Nothing is
+    // wrong with the protocol — the run is truncated cleanly, reported
+    // with its own status (and exit code at the CLI), never an OOM/hang.
+    Result out;
+    out.budget_exhausted = true;
+    out.error = e.what();
+    if (obs::audit_enabled()) {
+      obs::JsonObj ev = obs::audit_event("adversary.budget_exhausted");
+      ev.str("protocol", proto_.name()).str("detail", e.what());
+      obs::audit_sink().write(ev.render());
+    }
+    return out;
   }
 }
 
@@ -30,8 +43,11 @@ SpaceBoundAdversary::Result SpaceBoundAdversary::run_impl() {
     return out;
   }
 
-  ValencyOracle oracle(proto_, {.max_configs = opts_.valency_max_configs,
-                                .threads = opts_.threads});
+  ValencyOracle oracle(proto_,
+                       {.max_configs = opts_.valency_max_configs,
+                        .threads = opts_.threads,
+                        .max_arena_bytes = opts_.valency_max_arena_bytes,
+                        .time_budget_ms = opts_.valency_time_budget_ms});
   LemmaToolkit lemmas(proto_, oracle);
   lemmas.enable_narrative(opts_.narrative);
 

@@ -21,10 +21,18 @@ class SpaceBoundAdversary {
     /// parallel explorer; results are identical at any thread count).
     int threads = 1;
     bool narrative = false;  ///< record a human-readable walkthrough
+    /// Graceful-degradation budgets passed through to the valency oracle
+    /// (see ValencyOracle::Options): arena heap cap in bytes and total
+    /// wall-clock budget in ms; 0 disables each. Exhaustion yields a
+    /// Result with budget_exhausted set — a distinct clean outcome, never
+    /// an OOM or a hang.
+    std::size_t valency_max_arena_bytes = 0;
+    std::uint64_t valency_time_budget_ms = 0;
   };
 
   struct Result {
     bool ok = false;
+    bool budget_exhausted = false;  ///< stopped by a configured budget
     std::string error;
     CoveringCertificate certificate;  ///< n-1 covered registers
     CertificateCheck check;           ///< independent verification

@@ -95,6 +95,15 @@ const ValencyOracle::PairAnswer& ValencyOracle::lookup(const Config& c,
 ValencyOracle::PairAnswer ValencyOracle::compute_pair(const Config& c,
                                                       ProcSet p) {
   ++explorations_;
+  // Wall-clock watchdog: don't even start a pass past the deadline. The
+  // explorers re-check it mid-pass, so a single long pass cannot hang
+  // either.
+  if (deadline_ != std::chrono::steady_clock::time_point::max() &&
+      std::chrono::steady_clock::now() >= deadline_) {
+    throw util::BudgetExhausted(
+        "valency oracle wall-clock budget exhausted (" +
+        std::to_string(opts_.time_budget_ms) + " ms)");
+  }
   const int n = proto_.num_processes();
   sim::ConfigId found[2] = {sim::kNoConfig, sim::kNoConfig};
   // One pass answers both values: scan each visited configuration for
@@ -114,7 +123,15 @@ ValencyOracle::PairAnswer ValencyOracle::compute_pair(const Config& c,
   PairAnswer answer;
   auto finish = [&](auto& explorer, const sim::ExploreResult& res) {
     // A truncated pass can only under-report; positive answers found
-    // before the cap are still sound.
+    // before the cap are still sound. A *budget* truncation with a value
+    // still unresolved must not produce a negative answer at all — the
+    // graceful-degradation contract is a distinct failure, not a verdict.
+    if (res.budget_exhausted &&
+        (found[0] == sim::kNoConfig || found[1] == sim::kNoConfig)) {
+      throw util::BudgetExhausted(
+          "valency query exceeded its memory/time budget with a value "
+          "undetermined; negative answers would be unsound");
+    }
     if (res.truncated) ever_truncated_ = true;
     for (int v = 0; v < 2; ++v) {
       if (found[v] == sim::kNoConfig) continue;
@@ -130,11 +147,13 @@ ValencyOracle::PairAnswer ValencyOracle::compute_pair(const Config& c,
     if (!par_) {
       par_.emplace(proto_, sim::ParallelExplorer::Options{opts_.max_configs,
                                                           opts_.threads});
+      par_->set_budget(opts_.max_arena_bytes, deadline_);
     }
     finish(*par_, par_->explore(c, p, visit));
   } else {
     if (!seq_) {
       seq_.emplace(proto_, sim::Explorer::Options{opts_.max_configs});
+      seq_->set_budget(opts_.max_arena_bytes, deadline_);
     }
     finish(*seq_, seq_->explore(c, p, visit));
   }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -44,6 +45,14 @@ class ValencyOracle {
     /// Worker threads for each reachability pass; > 1 switches to the
     /// ParallelExplorer (identical results, see its determinism rule).
     int threads = 1;
+    /// Graceful-degradation budgets. When a reachability pass would push
+    /// the arena past `max_arena_bytes` (0 = uncapped), or any pass runs
+    /// past `time_budget_ms` of wall clock measured from the oracle's
+    /// construction (0 = no watchdog), the query throws
+    /// util::BudgetExhausted rather than returning an unsound negative
+    /// answer or OOMing/hanging.
+    std::size_t max_arena_bytes = 0;
+    std::uint64_t time_budget_ms = 0;
   };
 
   explicit ValencyOracle(const Protocol& proto)
@@ -51,7 +60,12 @@ class ValencyOracle {
   ValencyOracle(const Protocol& proto, Options opts)
       : proto_(proto),
         opts_(opts),
-        roots_(proto.num_processes(), proto.num_registers()) {}
+        roots_(proto.num_processes(), proto.num_registers()) {
+    if (opts_.time_budget_ms > 0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(opts_.time_budget_ms);
+    }
+  }
 
   /// Definition 1: P can decide v from C.
   bool can_decide(const Config& c, ProcSet p, Value v);
@@ -125,6 +139,8 @@ class ValencyOracle {
   std::unordered_map<PairKey, PairAnswer, PairKeyHash> memo_;
   std::optional<sim::Explorer> seq_;          ///< reused across queries
   std::optional<sim::ParallelExplorer> par_;  ///< reused across queries
+  std::chrono::steady_clock::time_point deadline_ =
+      std::chrono::steady_clock::time_point::max();
   bool ever_truncated_ = false;
   std::size_t queries_ = 0;
   std::size_t cache_hits_ = 0;

@@ -5,6 +5,7 @@ namespace tsb::obs {
 namespace detail {
 std::atomic<bool> g_stats_enabled{false};
 std::atomic<bool> g_audit_enabled{false};
+std::atomic<bool> g_chaos_enabled{false};
 }  // namespace detail
 
 void JsonObj::key(std::string_view k) {
@@ -127,6 +128,11 @@ JsonlSink& stats_sink() {
 
 JsonlSink& audit_sink() {
   static JsonlSink* sink = new JsonlSink(detail::g_audit_enabled);
+  return *sink;
+}
+
+JsonlSink& chaos_sink() {
+  static JsonlSink* sink = new JsonlSink(detail::g_chaos_enabled);
   return *sink;
 }
 

@@ -51,6 +51,7 @@ namespace detail {
 // at an instrumentation site must be one relaxed load, nothing more.
 extern std::atomic<bool> g_stats_enabled;
 extern std::atomic<bool> g_audit_enabled;
+extern std::atomic<bool> g_chaos_enabled;
 }  // namespace detail
 
 /// True while per-level exploration stats are being recorded.
@@ -60,6 +61,10 @@ inline bool stats_enabled() {
 /// True while the adversary audit trail is being recorded.
 inline bool audit_enabled() {
   return detail::g_audit_enabled.load(std::memory_order_relaxed);
+}
+/// True while chaos-campaign per-run records are being recorded.
+inline bool chaos_enabled() {
+  return detail::g_chaos_enabled.load(std::memory_order_relaxed);
 }
 
 /// A line-oriented JSON sink streaming to a file.
@@ -104,9 +109,12 @@ class JsonlSink {
 
 /// Process-wide sinks. stats_sink() carries machine-shaped run telemetry
 /// (per-BFS-level exploration records, bench phase summaries); audit_sink()
-/// carries the adversary's decision trail. Both feed `tsb report`.
+/// carries the adversary's decision trail; chaos_sink() carries the chaos
+/// campaign's per-run records. All feed `tsb report`. Chaos records must
+/// carry NO timestamps — the determinism tests byte-compare whole files.
 JsonlSink& stats_sink();
 JsonlSink& audit_sink();
+JsonlSink& chaos_sink();
 
 /// Start an audit record: {"type":..., "ts_ns":...}. Callers append their
 /// event's fields and write() the result to audit_sink(). Only call when

@@ -1,8 +1,8 @@
 #include "rt/atomic_registers.hpp"
 
-#include <cassert>
-
 #include "obs/trace_sink.hpp"
+#include "rt/fault.hpp"
+#include "util/require.hpp"
 
 namespace tsb::rt {
 
@@ -32,14 +32,19 @@ AtomicRegisterArray::~AtomicRegisterArray() {
 }
 
 std::uint64_t AtomicRegisterArray::read(std::size_t r) const {
-  assert(r < size_);
+  // Out-of-range would be silent UB into the Cell array; chaos campaigns
+  // (and everyone else) need it to fail loudly, in release builds too.
+  TSB_REQUIRE(r < size_, "register read out of range");
+  // Chaos injection point: one relaxed load when no campaign is active.
+  fault::on_access(r, /*is_write=*/false);
   reads_.add();
   obs::trace_instant("reg.read", static_cast<std::int64_t>(r));
   return cells_[r].value.load(std::memory_order_seq_cst);
 }
 
 void AtomicRegisterArray::write(std::size_t r, std::uint64_t v) {
-  assert(r < size_);
+  TSB_REQUIRE(r < size_, "register write out of range");
+  fault::on_access(r, /*is_write=*/true);
   writes_.add();
   obs::trace_instant("reg.write", static_cast<std::int64_t>(r));
   if (cells_[r].written.load(std::memory_order_relaxed) == 0 &&

@@ -1,0 +1,514 @@
+#include "rt/chaos.hpp"
+
+#include <atomic>
+#include <functional>
+#include <memory>
+
+#include "obs/jsonl_sink.hpp"
+#include "obs/metrics.hpp"
+#include "rt/chaos_scheduler.hpp"
+#include "rt/commit_adopt.hpp"
+#include "rt/leader_election.hpp"
+#include "rt/rt_consensus.hpp"
+#include "rt/rt_mutex.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace tsb::rt::chaos {
+
+const char* target_name(Target t) {
+  switch (t) {
+    case Target::kBallot: return "ballot";
+    case Target::kRounds: return "rounds";
+    case Target::kRandomized: return "randomized";
+    case Target::kCommitAdopt: return "commit-adopt";
+    case Target::kLeader: return "leader";
+    case Target::kPeterson: return "peterson";
+    case Target::kTournament: return "tournament";
+    case Target::kBakery: return "bakery";
+  }
+  return "?";
+}
+
+std::vector<Target> all_targets() {
+  return {Target::kBallot,     Target::kRounds,   Target::kRandomized,
+          Target::kCommitAdopt, Target::kLeader,  Target::kPeterson,
+          Target::kTournament, Target::kBakery};
+}
+
+bool parse_targets(const std::string& csv, std::vector<Target>* out) {
+  out->clear();
+  if (csv.empty() || csv == "all") {
+    *out = all_targets();
+    return true;
+  }
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string name = csv.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    bool found = false;
+    for (Target t : all_targets()) {
+      if (name == target_name(t)) {
+        out->push_back(t);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
+namespace {
+
+/// Crash injection is sound only where the algorithm's liveness survives a
+/// crashed participant (the NST setting the paper is about). The mutexes
+/// and leader election are deadlock-free only crash-free — a crashed lock
+/// holder *legitimately* strands its peers — so they get stalls/yields only.
+bool crash_safe(Target t) {
+  switch (t) {
+    case Target::kBallot:
+    case Target::kRounds:
+    case Target::kRandomized:
+    case Target::kCommitAdopt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool liveness_expected(Target t) {
+  // Under stall/yield-only faults these must terminate within the step
+  // budget; an abort there is reported as a violation (deadlock), not a
+  // tolerated timeout.
+  return !crash_safe(t);
+}
+
+char status_code(ChaosScheduler::ThreadStatus s) {
+  switch (s) {
+    case ChaosScheduler::ThreadStatus::kRunning: return 'R';
+    case ChaosScheduler::ThreadStatus::kDone: return 'D';
+    case ChaosScheduler::ThreadStatus::kCrashed: return 'C';
+    case ChaosScheduler::ThreadStatus::kBudget: return 'B';
+    case ChaosScheduler::ThreadStatus::kAborted: return 'A';
+    case ChaosScheduler::ThreadStatus::kFailed: return 'F';
+  }
+  return '?';
+}
+
+struct RunRecord {
+  Target target = Target::kBallot;
+  std::string scenario;  // "solo" | "crash" | "perturb" | "clean"
+  std::string plan_str;
+  std::string status;    // "ok" | "timeout" | "violation" | "solo_fail"
+  std::string detail;
+  std::string statuses;  // one code per thread, e.g. "DCCD"
+  std::vector<std::int64_t> decided;  // -1 = did not decide
+  std::uint64_t steps = 0;
+  std::size_t distinct = 0;
+  int winners = -1;   // leader only
+  int commits = -1;   // commit-adopt only
+  bool solo = false;
+  int planned_crashes = 0, planned_stalls = 0, planned_yields = 0;
+};
+
+std::string exception_detail(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+/// Execute run `run_seed` deterministically. Everything — target choice,
+/// fault plan, inputs, schedule — is a pure function of the seed.
+RunRecord run_one(std::uint64_t run_seed, const std::vector<Target>& targets,
+                  const Options& opts) {
+  util::Rng rng(util::mix64(run_seed) ^ 0x0C4A05C4A05ull);
+  RunRecord rec;
+  rec.target = targets[rng.below(targets.size())];
+  const int n = opts.n;
+  const bool crashable = crash_safe(rec.target) && opts.allow_crash;
+
+  // ----- fault plan -------------------------------------------------------
+  fault::FaultPlan plan(n);
+  int survivor = -1;
+  const std::uint64_t roll = rng.below(100);
+  if (crashable && roll < 30) {
+    // The paper's NST scenario: crash all but one early; the survivor must
+    // decide on its own within its access budget.
+    rec.solo = true;
+    survivor = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    for (int t = 0; t < n; ++t) {
+      if (t != survivor) plan.crash(t, rng.below(30) + 1);
+    }
+    rec.scenario = "solo";
+  } else if (crashable && roll < 55) {
+    // Crash a random non-empty strict subset at random points.
+    const int ncrash =
+        1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(n - 1)));
+    std::vector<int> order(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t) order[static_cast<std::size_t>(t)] = t;
+    rng.shuffle(order);
+    for (int j = 0; j < ncrash; ++j) {
+      plan.crash(order[static_cast<std::size_t>(j)], rng.below(100) + 1);
+    }
+    rec.scenario = "crash";
+  }
+  if (opts.allow_stall) {
+    const int k = static_cast<int>(rng.below(3));
+    for (int j = 0; j < k; ++j) {
+      plan.stall(static_cast<int>(rng.below(static_cast<std::uint64_t>(n))),
+                 rng.below(200) + 1, rng.below(2000) + 1);
+    }
+  }
+  if (opts.allow_yield) {
+    const int k = static_cast<int>(rng.below(3));
+    for (int j = 0; j < k; ++j) {
+      plan.yield(static_cast<int>(rng.below(static_cast<std::uint64_t>(n))),
+                 rng.below(200) + 1);
+    }
+  }
+  plan.sort();
+  if (rec.scenario.empty()) {
+    rec.scenario = (plan.stalls() + plan.yields()) > 0 ? "perturb" : "clean";
+  }
+  rec.plan_str = plan.to_string();
+  rec.planned_crashes = plan.crashes();
+  rec.planned_stalls = plan.stalls();
+  rec.planned_yields = plan.yields();
+
+  ChaosScheduler::Options sopts;
+  sopts.seed = run_seed;
+  sopts.change_points = opts.change_points;
+  sopts.step_budget = opts.step_budget;
+  sopts.per_thread_budget = rec.solo ? opts.solo_budget : 0;
+  sopts.wall_timeout_ms = opts.run_timeout_ms;
+
+  // ----- inputs & body ----------------------------------------------------
+  std::vector<std::uint64_t> inputs(static_cast<std::size_t>(n));
+  for (auto& v : inputs) v = rng.below(2);
+  std::vector<std::int64_t> decided(static_cast<std::size_t>(n), -1);
+  std::vector<CommitAdopt::Result> ca_results(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> won(static_cast<std::size_t>(n), 0);
+  std::atomic<int> owner{-1};
+
+  std::unique_ptr<RtConsensus> consensus;
+  std::unique_ptr<RtMutex> mutex;
+  std::unique_ptr<RtLeaderElection> leader;
+  std::unique_ptr<AtomicRegisterArray> ca_regs;
+  std::unique_ptr<CommitAdopt> ca;
+  const AtomicRegisterArray* regs = nullptr;
+
+  std::function<void(int)> body;
+  switch (rec.target) {
+    case Target::kBallot:
+    case Target::kRounds:
+    case Target::kRandomized: {
+      if (rec.target == Target::kBallot) {
+        consensus = std::make_unique<RtBallotConsensus>(n);
+      } else if (rec.target == Target::kRounds) {
+        consensus = std::make_unique<RtRoundsConsensus>(n);
+      } else {
+        consensus = std::make_unique<RtRandomizedConsensus>(
+            n, RtRandomizedConsensus::Coin::kLocal, run_seed);
+      }
+      regs = &consensus->registers();
+      body = [&](int p) {
+        decided[static_cast<std::size_t>(p)] = static_cast<std::int64_t>(
+            consensus->propose(p, inputs[static_cast<std::size_t>(p)]));
+      };
+      break;
+    }
+    case Target::kCommitAdopt: {
+      ca_regs = std::make_unique<AtomicRegisterArray>(
+          CommitAdopt::registers_needed(n));
+      ca = std::make_unique<CommitAdopt>(*ca_regs, 0, n);
+      regs = ca_regs.get();
+      body = [&](int p) {
+        const CommitAdopt::Result r =
+            ca->propose(p, inputs[static_cast<std::size_t>(p)] + 1);
+        ca_results[static_cast<std::size_t>(p)] = r;
+        decided[static_cast<std::size_t>(p)] =
+            static_cast<std::int64_t>(r.value);
+      };
+      break;
+    }
+    case Target::kLeader: {
+      leader = std::make_unique<RtLeaderElection>(n);
+      regs = &leader->registers();
+      body = [&](int p) {
+        won[static_cast<std::size_t>(p)] = leader->participate(p) ? 1 : 0;
+        decided[static_cast<std::size_t>(p)] =
+            won[static_cast<std::size_t>(p)];
+      };
+      break;
+    }
+    case Target::kPeterson:
+    case Target::kTournament:
+    case Target::kBakery: {
+      if (rec.target == Target::kPeterson) {
+        mutex = std::make_unique<RtPetersonMutex>(n);
+      } else if (rec.target == Target::kTournament) {
+        mutex = std::make_unique<RtTournamentMutex>(n);
+      } else {
+        mutex = std::make_unique<RtBakeryMutex>(n);
+      }
+      regs = &mutex->registers();
+      body = [&](int p) {
+        for (int it = 0; it < 3; ++it) {
+          mutex->lock(p);
+          TSB_REQUIRE(owner.exchange(p, std::memory_order_relaxed) == -1,
+                      "mutual exclusion violated: overlapping critical "
+                      "sections");
+          // Explicit scheduling point inside the critical section: the
+          // adversary gets a chance to run a rival while we hold the lock.
+          fault::interleave();
+          TSB_REQUIRE(owner.exchange(-1, std::memory_order_relaxed) == p,
+                      "mutual exclusion violated: owner changed under us");
+          mutex->unlock(p);
+          decided[static_cast<std::size_t>(p)] = it + 1;
+        }
+      };
+      break;
+    }
+  }
+
+  // ----- execute ----------------------------------------------------------
+  const ChaosScheduler::Outcome out = chaos_run(n, plan, sopts, body);
+  rec.steps = out.total_steps;
+  rec.decided = decided;
+  rec.distinct = regs->distinct_registers_written();
+  for (auto s : out.status) rec.statuses += status_code(s);
+
+  // ----- verdict ----------------------------------------------------------
+  const bool aborted = out.timed_out || out.step_budget_hit;
+  if (out.error) {
+    rec.status = "violation";
+    rec.detail = exception_detail(out.error);
+    return rec;
+  }
+  if (aborted) {
+    if (liveness_expected(rec.target)) {
+      rec.status = "violation";
+      rec.detail = "budget exhausted on a deadlock-free algorithm under "
+                   "stall/yield faults (possible deadlock)";
+    } else {
+      rec.status = "timeout";
+    }
+    return rec;
+  }
+  const auto done = [&](int p) {
+    return out.status[static_cast<std::size_t>(p)] ==
+           ChaosScheduler::ThreadStatus::kDone;
+  };
+  if (rec.solo) {
+    if (!done(survivor)) {
+      rec.status = "solo_fail";
+      rec.detail = "crash-all-but-one survivor did not decide within its "
+                   "access budget (NST violated)";
+      return rec;
+    }
+  }
+  switch (rec.target) {
+    case Target::kBallot:
+    case Target::kRounds:
+    case Target::kRandomized: {
+      std::int64_t agreed = -1;
+      for (int p = 0; p < n; ++p) {
+        if (!done(p)) continue;
+        const std::int64_t v = decided[static_cast<std::size_t>(p)];
+        bool valid = false;
+        for (auto in : inputs) valid |= (static_cast<std::int64_t>(in) == v);
+        if (!valid) {
+          rec.status = "violation";
+          rec.detail = "validity violated: decided value was never proposed";
+          return rec;
+        }
+        if (agreed == -1) agreed = v;
+        if (v != agreed) {
+          rec.status = "violation";
+          rec.detail = "agreement violated: two processes decided "
+                       "different values";
+          return rec;
+        }
+      }
+      // The paper's quantity: a run where all n processes decide must have
+      // touched at least n-1 distinct registers.
+      if (plan.crashes() == 0 &&
+          rec.statuses == std::string(static_cast<std::size_t>(n), 'D') &&
+          rec.distinct + 1 < static_cast<std::size_t>(n)) {
+        rec.status = "violation";
+        rec.detail = "space bound violated: fewer than n-1 distinct "
+                     "registers written on a full run";
+        return rec;
+      }
+      break;
+    }
+    case Target::kCommitAdopt: {
+      bool all_same = true;
+      for (auto v : inputs) all_same &= (v == inputs[0]);
+      std::int64_t committed = -1;
+      rec.commits = 0;
+      for (int p = 0; p < n; ++p) {
+        if (!done(p)) continue;
+        const CommitAdopt::Result& r = ca_results[static_cast<std::size_t>(p)];
+        bool valid = false;
+        for (auto in : inputs) valid |= (in + 1 == r.value);
+        if (!valid) {
+          rec.status = "violation";
+          rec.detail = "commit-adopt validity violated";
+          return rec;
+        }
+        if (all_same && !r.commit) {
+          rec.status = "violation";
+          rec.detail = "commit-adopt agreement-on-uniform violated: "
+                       "uniform proposals must all commit";
+          return rec;
+        }
+        if (r.commit) {
+          ++rec.commits;
+          if (committed == -1) committed = static_cast<std::int64_t>(r.value);
+        }
+      }
+      if (committed != -1) {
+        for (int p = 0; p < n; ++p) {
+          if (!done(p)) continue;
+          if (static_cast<std::int64_t>(
+                  ca_results[static_cast<std::size_t>(p)].value) !=
+              committed) {
+            rec.status = "violation";
+            rec.detail = "commit-adopt safety violated: a committed value "
+                         "was not universally returned";
+            return rec;
+          }
+        }
+      }
+      break;
+    }
+    case Target::kLeader: {
+      rec.winners = 0;
+      for (int p = 0; p < n; ++p) {
+        if (won[static_cast<std::size_t>(p)]) ++rec.winners;
+      }
+      if (rec.winners != 1) {
+        rec.status = "violation";
+        rec.detail = "leader election violated: " +
+                     std::to_string(rec.winners) + " winners";
+        return rec;
+      }
+      break;
+    }
+    case Target::kPeterson:
+    case Target::kTournament:
+    case Target::kBakery:
+      // Exclusion is checked inline by TSB_REQUIRE; reaching here crash-
+      // free with no abort means every process completed its sections.
+      break;
+  }
+  rec.status = "ok";
+  return rec;
+}
+
+std::string decided_json(const std::vector<std::int64_t>& xs) {
+  std::string s = "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) s += ',';
+    s += std::to_string(xs[i]);
+  }
+  return s + "]";
+}
+
+void emit_run_record(std::uint64_t run, std::uint64_t run_seed,
+                     const Options& opts, const RunRecord& rec) {
+  if (!obs::chaos_enabled()) return;
+  obs::JsonObj o;
+  o.str("type", "chaos.run")
+      .num("run", static_cast<std::int64_t>(run))
+      .num("seed", static_cast<std::int64_t>(run_seed))
+      .str("target", target_name(rec.target))
+      .num("n", opts.n)
+      .str("scenario", rec.scenario)
+      .str("plan", rec.plan_str)
+      .str("status", rec.status)
+      .str("threads", rec.statuses)
+      .num("steps", static_cast<std::int64_t>(rec.steps))
+      .raw("decided", decided_json(rec.decided))
+      .num("distinct", static_cast<std::int64_t>(rec.distinct));
+  if (rec.winners >= 0) o.num("winners", rec.winners);
+  if (rec.commits >= 0) o.num("commits", rec.commits);
+  if (!rec.detail.empty()) o.str("detail", rec.detail);
+  obs::chaos_sink().write(o.render());
+}
+
+}  // namespace
+
+std::string Result::summary_json(const Options& opts) const {
+  obs::JsonObj o;
+  return o.str("type", "chaos.campaign")
+      .num("runs", runs)
+      .num("seed", static_cast<std::int64_t>(opts.seed))
+      .num("n", opts.n)
+      .num("violations", violations)
+      .num("solo_runs", solo_runs)
+      .num("solo_failures", solo_failures)
+      .num("timeouts", timeouts)
+      .num("crashes", crashes)
+      .num("stalls", stalls)
+      .num("yields", yields)
+      .num("total_steps", static_cast<std::int64_t>(total_steps))
+      .str("first_violation", first_violation)
+      .boolean("ok", ok())
+      .render();
+}
+
+Result run_campaign(const Options& opts) {
+  Result res;
+  const std::vector<Target> targets =
+      opts.targets.empty() ? all_targets() : opts.targets;
+  for (int i = 0; i < opts.runs; ++i) {
+    const std::uint64_t run_seed =
+        opts.seed + static_cast<std::uint64_t>(i);
+    const RunRecord rec =
+        run_one(run_seed, targets, opts);
+    ++res.runs;
+    res.crashes += rec.planned_crashes;
+    res.stalls += rec.planned_stalls;
+    res.yields += rec.planned_yields;
+    res.total_steps += rec.steps;
+    if (rec.solo) ++res.solo_runs;
+    if (rec.status == "violation") {
+      ++res.violations;
+      if (res.first_violation.empty()) {
+        res.first_violation = "seed " + std::to_string(run_seed) + " (" +
+                              target_name(rec.target) + "): " + rec.detail;
+      }
+    } else if (rec.status == "solo_fail") {
+      ++res.solo_failures;
+      if (res.first_violation.empty()) {
+        res.first_violation = "seed " + std::to_string(run_seed) + " (" +
+                              target_name(rec.target) + "): " + rec.detail;
+      }
+    } else if (rec.status == "timeout") {
+      ++res.timeouts;
+    }
+    emit_run_record(static_cast<std::uint64_t>(i), run_seed, opts, rec);
+  }
+  obs::Registry::global().counter("chaos.runs").add(
+      static_cast<std::uint64_t>(res.runs));
+  if (res.violations > 0 || res.solo_failures > 0) {
+    obs::Registry::global().counter("chaos.violations").add(
+        static_cast<std::uint64_t>(res.violations + res.solo_failures));
+  }
+  if (obs::chaos_enabled()) {
+    obs::chaos_sink().write(res.summary_json(opts));
+  }
+  return res;
+}
+
+}  // namespace tsb::rt::chaos

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsb::rt::chaos {
+
+/// The rt algorithms a chaos campaign can target. Crash injections make
+/// sense only for the wait-free / obstruction-free targets (consensus,
+/// commit-adopt): the mutexes and leader election are deadlock-free only
+/// when no participant crashes (a crashed lock holder legitimately strands
+/// its peers), so those targets receive stall/yield faults only.
+enum class Target : std::uint8_t {
+  kBallot,       ///< RtBallotConsensus
+  kRounds,       ///< RtRoundsConsensus
+  kRandomized,   ///< RtRandomizedConsensus (local coin)
+  kCommitAdopt,  ///< CommitAdopt, single instance
+  kLeader,       ///< RtLeaderElection
+  kPeterson,     ///< RtPetersonMutex
+  kTournament,   ///< RtTournamentMutex
+  kBakery,       ///< RtBakeryMutex
+};
+
+const char* target_name(Target t);
+
+/// Every target, in declaration order — the default campaign rotation.
+std::vector<Target> all_targets();
+
+/// Parse a comma-separated target list ("ballot,bakery,commit-adopt");
+/// "all" (or empty) yields all_targets(). Returns false on an unknown name.
+bool parse_targets(const std::string& csv, std::vector<Target>* out);
+
+struct Options {
+  int runs = 100;            ///< total runs, split across targets by seed
+  std::uint64_t seed = 1;    ///< campaign seed; run i uses seed + i
+  int n = 4;                 ///< processes per run
+  std::vector<Target> targets;  ///< empty = all targets
+
+  // Fault mix: which injection kinds the plan generator may draw.
+  bool allow_crash = true;
+  bool allow_stall = true;
+  bool allow_yield = true;
+
+  std::uint64_t step_budget = 500'000;  ///< global scheduler steps per run
+  std::uint64_t solo_budget = 50'000;   ///< survivor's own access budget in
+                                        ///< solo (NST) runs
+  std::uint64_t run_timeout_ms = 5'000; ///< wall-clock backstop per run
+  int change_points = 16;               ///< PCT priority-change points
+};
+
+/// Campaign aggregate. ok() is the acceptance question: no safety
+/// violation and every crash-all-but-one run solo-terminated. Timeouts are
+/// tracked separately — on the obstruction-free targets an adversarial
+/// schedule may legitimately exhaust the step budget without anything
+/// being *wrong*, and the CLI maps that to its own exit code.
+struct Result {
+  int runs = 0;
+  int violations = 0;
+  int solo_runs = 0;
+  int solo_failures = 0;
+  int timeouts = 0;
+  int crashes = 0;  ///< injections planned, summed over runs
+  int stalls = 0;
+  int yields = 0;
+  std::uint64_t total_steps = 0;
+  std::string first_violation;  ///< first failing run's detail + seed
+
+  bool ok() const { return violations == 0 && solo_failures == 0; }
+
+  /// The one-line JSON summary `tsb chaos` prints (and appends to the
+  /// chaos sink). Deterministic: no timestamps.
+  std::string summary_json(const Options& opts) const;
+};
+
+/// Run a seeded chaos campaign. Run i is a pure function of (seed + i,
+/// targets, n, fault-mix flags): the same options replay bit-identically,
+/// and any single run replays standalone via {seed = campaign_seed + i,
+/// runs = 1}. Per-run records are appended to obs::chaos_sink() when it is
+/// open; records carry no timestamps so whole files byte-compare.
+Result run_campaign(const Options& opts);
+
+}  // namespace tsb::rt::chaos

@@ -1,0 +1,237 @@
+#include "rt/chaos_scheduler.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace tsb::rt {
+
+ChaosScheduler::ChaosScheduler(int n, const fault::FaultPlan& plan,
+                               const Options& opts)
+    : n_(n), plan_(plan), opts_(opts), threads_(static_cast<std::size_t>(n)) {
+  util::Rng rng(util::mix64(opts.seed) ^ 0xC4A05C4A05ull);
+  // Distinct initial priorities: a seeded shuffle of 1..n (higher wins).
+  std::vector<int> prio(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) prio[static_cast<std::size_t>(i)] = i + 1;
+  rng.shuffle(prio);
+  for (int i = 0; i < n; ++i) {
+    threads_[static_cast<std::size_t>(i)].priority =
+        prio[static_cast<std::size_t>(i)];
+  }
+  // PCT change points: global access indices sampled below the horizon.
+  change_points_.reserve(static_cast<std::size_t>(opts.change_points));
+  for (int i = 0; i < opts.change_points; ++i) {
+    change_points_.push_back(rng.below(std::max<std::uint64_t>(opts.horizon, 1)) + 1);
+  }
+  std::sort(change_points_.begin(), change_points_.end());
+}
+
+void ChaosScheduler::demote(int tid) {
+  threads_[static_cast<std::size_t>(tid)].priority = --lowest_priority_;
+}
+
+int ChaosScheduler::pick_next() {
+  for (;;) {
+    int best = -1;
+    std::uint64_t min_stall = 0;
+    bool have_stalled = false;
+    for (int t = 0; t < n_; ++t) {
+      const ThreadState& ts = threads_[static_cast<std::size_t>(t)];
+      if (ts.run != ThreadState::Run::kWaiting) continue;
+      if (ts.stall_until > step_) {
+        if (!have_stalled || ts.stall_until < min_stall) {
+          min_stall = ts.stall_until;
+          have_stalled = true;
+        }
+        continue;
+      }
+      if (best == -1 ||
+          ts.priority > threads_[static_cast<std::size_t>(best)].priority) {
+        best = t;
+      }
+    }
+    if (best != -1) return best;
+    if (!have_stalled) return -1;  // everyone is done
+    // Every live thread is stalled: fast-forward the step clock to the
+    // earliest release (deterministic — no wall time involved).
+    step_ = min_stall;
+  }
+}
+
+void ChaosScheduler::abort_all_locked(bool timed_out) {
+  aborting_ = true;
+  if (timed_out) {
+    timed_out_ = true;
+  } else {
+    step_budget_hit_ = true;
+  }
+  cv_.notify_all();
+}
+
+void ChaosScheduler::throw_abort() {
+  throw fault::ThreadCrashed{fault::ThreadCrashed::Why::kAborted};
+}
+
+void ChaosScheduler::thread_begin(int tid) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ThreadState& ts = threads_[static_cast<std::size_t>(tid)];
+  ts.run = ThreadState::Run::kWaiting;
+  ++registered_;
+  ++live_;
+  if (registered_ == n_) {
+    // Everyone is at the gate: the run (and its wall clock) starts now.
+    if (opts_.wall_timeout_ms > 0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(opts_.wall_timeout_ms);
+    }
+    granted_ = pick_next();
+    burst_ = 0;
+    cv_.notify_all();
+  }
+  cv_.wait(lock, [&] { return aborting_ || granted_ == tid; });
+  if (aborting_) throw_abort();
+}
+
+void ChaosScheduler::on_access(int tid, std::uint64_t access, std::size_t reg,
+                               bool is_write) {
+  (void)reg;
+  (void)is_write;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (aborting_) throw_abort();
+  ThreadState& ts = threads_[static_cast<std::size_t>(tid)];
+  ++step_;
+  ts.accesses = access;
+
+  // Run-wide watchdogs: graceful abort, every thread unwinds as kAborted.
+  if (opts_.step_budget > 0 && step_ > opts_.step_budget) {
+    abort_all_locked(/*timed_out=*/false);
+    throw_abort();
+  }
+  if (opts_.wall_timeout_ms > 0 && (step_ & 0x1FF) == 0 &&
+      std::chrono::steady_clock::now() > deadline_) {
+    abort_all_locked(/*timed_out=*/true);
+    throw_abort();
+  }
+  // Per-thread watchdog: only this thread is over budget; unwind it alone.
+  if (opts_.per_thread_budget > 0 && access > opts_.per_thread_budget) {
+    throw fault::ThreadCrashed{fault::ThreadCrashed::Why::kBudget};
+  }
+
+  // Scripted faults at this thread's own access index.
+  if (static_cast<std::size_t>(tid) < plan_.per_thread.size()) {
+    const auto& script = plan_.per_thread[static_cast<std::size_t>(tid)];
+    while (ts.next_injection < script.size() &&
+           script[ts.next_injection].at_access <= access) {
+      const fault::Injection& inj = script[ts.next_injection++];
+      switch (inj.action) {
+        case fault::Injection::Action::kCrash:
+          // thread_end (called by the unwinding harness) hands the grant on.
+          throw fault::ThreadCrashed{fault::ThreadCrashed::Why::kPlanned};
+        case fault::Injection::Action::kStall:
+          ts.stall_until = step_ + inj.arg;
+          break;
+        case fault::Injection::Action::kYield:
+          demote(tid);
+          break;
+      }
+    }
+  }
+
+  // PCT change points demote whoever is running when the step clock
+  // crosses them.
+  while (next_change_ < change_points_.size() &&
+         change_points_[next_change_] <= step_) {
+    ++next_change_;
+    demote(tid);
+  }
+  // Fairness backstop: a spin loop cannot keep the grant forever.
+  if (++burst_ > opts_.burst_limit) {
+    demote(tid);
+  }
+
+  // Highest-priority runnable thread wins; the stall/priority state set
+  // above already encodes whether the grant moves.
+  const int next = pick_next();
+  if (next != tid) {
+    granted_ = next;
+    burst_ = 0;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return aborting_ || granted_ == tid; });
+    if (aborting_) throw_abort();
+  }
+}
+
+void ChaosScheduler::thread_end(int tid, ThreadStatus status) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ThreadState& ts = threads_[static_cast<std::size_t>(tid)];
+  ts.run = ThreadState::Run::kDone;
+  ts.status = status;
+  --live_;
+  if (granted_ == tid) {
+    granted_ = pick_next();
+    burst_ = 0;
+  }
+  cv_.notify_all();
+}
+
+ChaosScheduler::Outcome ChaosScheduler::outcome() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  Outcome out;
+  out.status.reserve(threads_.size());
+  out.accesses.reserve(threads_.size());
+  for (const ThreadState& ts : threads_) {
+    out.status.push_back(ts.status);
+    out.accesses.push_back(ts.accesses);
+  }
+  out.total_steps = step_;
+  out.timed_out = timed_out_;
+  out.step_budget_hit = step_budget_hit_;
+  return out;
+}
+
+ChaosScheduler::Outcome chaos_run(int n, const fault::FaultPlan& plan,
+                                  const ChaosScheduler::Options& opts,
+                                  const std::function<void(int)>& body) {
+  ChaosScheduler sched(n, plan, opts);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      obs::set_thread_id(i);
+      fault::bind_thread(&sched, i);
+      ChaosScheduler::ThreadStatus status = ChaosScheduler::ThreadStatus::kDone;
+      try {
+        sched.thread_begin(i);
+        body(i);
+      } catch (const fault::ThreadCrashed& c) {
+        switch (c.why) {
+          case fault::ThreadCrashed::Why::kPlanned:
+            status = ChaosScheduler::ThreadStatus::kCrashed;
+            break;
+          case fault::ThreadCrashed::Why::kBudget:
+            status = ChaosScheduler::ThreadStatus::kBudget;
+            break;
+          case fault::ThreadCrashed::Why::kAborted:
+            status = ChaosScheduler::ThreadStatus::kAborted;
+            break;
+        }
+      } catch (...) {
+        status = ChaosScheduler::ThreadStatus::kFailed;
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      sched.thread_end(i, status);
+      fault::unbind_thread();
+    });
+  }
+  for (auto& t : threads) t.join();
+  ChaosScheduler::Outcome out = sched.outcome();
+  out.error = first_error;
+  return out;
+}
+
+}  // namespace tsb::rt

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "rt/fault.hpp"
+
+namespace tsb::rt {
+
+/// Seeded adversarial scheduler in the PCT (probabilistic concurrency
+/// testing) style, executing real threads *cooperatively*: every
+/// instrumented register access is a scheduling point, exactly one thread
+/// holds the grant at any instant, and the scheduler decides at each point
+/// which thread runs next. Because only one thread ever runs between
+/// decisions and every decision is a pure function of (seed, FaultPlan,
+/// the threads' own deterministic code), a run replays bit-identically
+/// from its seed — the property the chaos determinism tests byte-compare.
+///
+/// Scheduling policy:
+///  * each thread gets a distinct initial priority (a seeded shuffle);
+///    the highest-priority runnable thread runs;
+///  * `change_points` global access indices are pre-sampled below
+///    `horizon`; when the step counter crosses one, the running thread is
+///    demoted below everyone — the PCT priority-change device that
+///    explores "unlucky" interleavings with provable density;
+///  * a thread that keeps the grant for `burst_limit` consecutive accesses
+///    is demoted too, so spin loops cannot starve the system after the
+///    change points are spent (the deterministic fairness backstop);
+///  * FaultPlan injections ride the same access stream: crash unwinds the
+///    victim via fault::ThreadCrashed, stall removes it from the runnable
+///    set for k global steps, yield demotes it.
+///
+/// Watchdogs, all graceful: a global step budget and a wall-clock timeout
+/// abort every thread (status kAborted, run outcome "timeout"), and a
+/// per-thread step budget unwinds just the over-budget thread (status
+/// kBudget) — the solo-termination check's "did not decide" signal.
+class ChaosScheduler final : public fault::AccessHook {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    int change_points = 16;
+    std::uint64_t horizon = 20'000;      ///< change-point sampling range
+    std::uint64_t burst_limit = 512;     ///< forced demotion interval
+    std::uint64_t step_budget = 0;       ///< global accesses; 0 = unlimited
+    std::uint64_t per_thread_budget = 0; ///< own accesses; 0 = unlimited
+    std::uint64_t wall_timeout_ms = 10'000;  ///< 0 = no wall watchdog
+  };
+
+  enum class ThreadStatus : std::uint8_t {
+    kRunning,   ///< still executing (only seen mid-run)
+    kDone,      ///< body returned normally
+    kCrashed,   ///< FaultPlan crash injection unwound it
+    kBudget,    ///< per-thread step budget exceeded
+    kAborted,   ///< run-wide abort (wall timeout or global step budget)
+    kFailed,    ///< body threw something other than ThreadCrashed
+  };
+
+  struct Outcome {
+    std::vector<ThreadStatus> status;
+    std::vector<std::uint64_t> accesses;  ///< per-thread access counts
+    std::uint64_t total_steps = 0;
+    bool timed_out = false;         ///< wall-clock watchdog tripped
+    bool step_budget_hit = false;   ///< global step budget tripped
+    /// First exception a body threw other than ThreadCrashed (a safety
+    /// violation — e.g. a failed TSB_REQUIRE). chaos_run fills this in.
+    std::exception_ptr error;
+  };
+
+  ChaosScheduler(int n, const fault::FaultPlan& plan, const Options& opts);
+
+  // fault::AccessHook — called on the bound thread's every register access.
+  void on_access(int tid, std::uint64_t access, std::size_t reg,
+                 bool is_write) override;
+
+  /// Register the calling thread and block until the scheduler grants it.
+  /// All n threads must call this before any of them runs.
+  void thread_begin(int tid);
+
+  /// The thread is finished (normally or by unwinding); hands the grant on.
+  void thread_end(int tid, ThreadStatus status);
+
+  /// Valid after every thread has called thread_end.
+  Outcome outcome() const;
+
+ private:
+  struct ThreadState {
+    enum class Run : std::uint8_t { kUnregistered, kWaiting, kDone };
+    Run run = Run::kUnregistered;
+    int priority = 0;
+    std::uint64_t stall_until = 0;   ///< global step before which unschedulable
+    std::uint64_t accesses = 0;
+    std::size_t next_injection = 0;  ///< cursor into plan_.per_thread[tid]
+    ThreadStatus status = ThreadStatus::kRunning;
+  };
+
+  // All private methods require mu_ held.
+  void demote(int tid);
+  int pick_next();
+  void abort_all_locked(bool timed_out);
+  [[noreturn]] void throw_abort();
+
+  const int n_;
+  const fault::FaultPlan plan_;
+  const Options opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<ThreadState> threads_;
+  std::vector<std::uint64_t> change_points_;  ///< sorted global step indices
+  std::size_t next_change_ = 0;
+  int registered_ = 0;
+  int live_ = 0;
+  int granted_ = -1;
+  int lowest_priority_ = 0;   ///< decreasing; demotions take the next value
+  std::uint64_t step_ = 0;
+  std::uint64_t burst_ = 0;   ///< consecutive grants to granted_
+  bool aborting_ = false;
+  bool timed_out_ = false;
+  bool step_budget_hit_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+/// Run body(0..n-1) on n real threads under a ChaosScheduler driven by
+/// `plan` and `opts`. Crash-injected and watchdogged threads unwind and
+/// exit cleanly; any *other* exception a body throws (e.g. a failed
+/// TSB_REQUIRE) is captured into Outcome::error (the thread's status
+/// becomes kFailed) after all threads joined — join() can never hang on a
+/// crashed worker, and the campaign still gets the full schedule outcome
+/// alongside the violation.
+ChaosScheduler::Outcome chaos_run(int n, const fault::FaultPlan& plan,
+                                  const ChaosScheduler::Options& opts,
+                                  const std::function<void(int)>& body);
+
+}  // namespace tsb::rt

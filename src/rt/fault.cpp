@@ -1,0 +1,108 @@
+#include "rt/fault.hpp"
+
+#include <algorithm>
+
+namespace tsb::rt::fault {
+
+namespace detail {
+
+std::atomic<int> g_bound_threads{0};
+
+namespace {
+struct Binding {
+  AccessHook* hook = nullptr;
+  int tid = -1;
+  std::uint64_t accesses = 0;
+};
+thread_local Binding t_binding;
+}  // namespace
+
+void dispatch(std::size_t reg, bool is_write) {
+  Binding& b = t_binding;
+  if (b.hook == nullptr) return;  // some other thread's chaos run
+  b.hook->on_access(b.tid, ++b.accesses, reg, is_write);
+}
+
+}  // namespace detail
+
+void bind_thread(AccessHook* hook, int tid) {
+  detail::t_binding = {hook, tid, 0};
+  detail::g_bound_threads.fetch_add(1, std::memory_order_relaxed);
+}
+
+void unbind_thread() {
+  if (detail::t_binding.hook == nullptr) return;
+  detail::t_binding = {};
+  detail::g_bound_threads.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool thread_bound() { return detail::t_binding.hook != nullptr; }
+
+FaultPlan& FaultPlan::crash(int t, std::uint64_t at_access) {
+  per_thread[static_cast<std::size_t>(t)].push_back(
+      {at_access, Injection::Action::kCrash, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::stall(int t, std::uint64_t at_access,
+                            std::uint64_t steps) {
+  per_thread[static_cast<std::size_t>(t)].push_back(
+      {at_access, Injection::Action::kStall, steps});
+  return *this;
+}
+
+FaultPlan& FaultPlan::yield(int t, std::uint64_t at_access) {
+  per_thread[static_cast<std::size_t>(t)].push_back(
+      {at_access, Injection::Action::kYield, 0});
+  return *this;
+}
+
+void FaultPlan::sort() {
+  for (auto& v : per_thread) {
+    std::stable_sort(v.begin(), v.end(),
+                     [](const Injection& a, const Injection& b) {
+                       return a.at_access < b.at_access;
+                     });
+  }
+}
+
+namespace {
+int count(const FaultPlan& plan, Injection::Action a) {
+  int c = 0;
+  for (const auto& v : plan.per_thread) {
+    for (const Injection& inj : v) {
+      if (inj.action == a) ++c;
+    }
+  }
+  return c;
+}
+}  // namespace
+
+int FaultPlan::crashes() const { return count(*this, Injection::Action::kCrash); }
+int FaultPlan::stalls() const { return count(*this, Injection::Action::kStall); }
+int FaultPlan::yields() const { return count(*this, Injection::Action::kYield); }
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (std::size_t t = 0; t < per_thread.size(); ++t) {
+    for (const Injection& inj : per_thread[t]) {
+      if (!out.empty()) out += ' ';
+      out += 't' + std::to_string(t) + ':';
+      switch (inj.action) {
+        case Injection::Action::kCrash:
+          out += "crash@" + std::to_string(inj.at_access);
+          break;
+        case Injection::Action::kStall:
+          out += "stall@" + std::to_string(inj.at_access) + 'x' +
+                 std::to_string(inj.arg);
+          break;
+        case Injection::Action::kYield:
+          out += "yield@" + std::to_string(inj.at_access);
+          break;
+      }
+    }
+  }
+  return out.empty() ? "none" : out;
+}
+
+}  // namespace tsb::rt::fault

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsb::rt::fault {
+
+/// Why a chaos-injected thread is being unwound. Thrown out of an
+/// instrumented register access; the chaos harness catches it, reports the
+/// thread's fate to the scheduler, and lets the thread exit cleanly (so
+/// join() never hangs on a "crashed" process).
+struct ThreadCrashed {
+  enum class Why : std::uint8_t {
+    kPlanned,  ///< the FaultPlan crashed this thread at this access
+    kBudget,   ///< per-thread step budget exceeded (liveness watchdog)
+    kAborted,  ///< the whole run was aborted (wall timeout / step budget)
+  };
+  Why why = Why::kPlanned;
+};
+
+/// One scripted fault, keyed by the victim thread's own access count
+/// (1-based: at_access = 1 fires on the thread's first register access).
+struct Injection {
+  enum class Action : std::uint8_t {
+    kCrash,  ///< unwind the thread permanently
+    kStall,  ///< deschedule the thread for `arg` global scheduler steps
+    kYield,  ///< demote the thread to lowest priority (forced reschedule)
+  };
+  std::uint64_t at_access = 0;
+  Action action = Action::kYield;
+  std::uint64_t arg = 0;  ///< stall length; unused otherwise
+};
+
+/// A deterministic per-thread fault script. Building one from a seed and
+/// replaying it always injects the same faults at the same access indices;
+/// under the cooperative ChaosScheduler the whole run replays bit-identically.
+struct FaultPlan {
+  explicit FaultPlan(int threads = 0)
+      : per_thread(static_cast<std::size_t>(threads)) {}
+
+  /// per_thread[t], sorted by at_access (append in order or call sort()).
+  std::vector<std::vector<Injection>> per_thread;
+
+  FaultPlan& crash(int t, std::uint64_t at_access);
+  FaultPlan& stall(int t, std::uint64_t at_access, std::uint64_t steps);
+  FaultPlan& yield(int t, std::uint64_t at_access);
+
+  /// Restore the per-thread at_access ordering after out-of-order appends.
+  void sort();
+
+  int crashes() const;
+  int stalls() const;
+  int yields() const;
+
+  /// Canonical compact encoding ("t0:crash@3 t1:stall@5x12 ..."), used by
+  /// the determinism tests and the chaos run records.
+  std::string to_string() const;
+};
+
+/// Consumer of instrumented accesses from chaos-bound threads — the
+/// ChaosScheduler. `access` is the calling thread's own 1-based access
+/// counter; `reg` is kInterleave for explicit interleave points.
+class AccessHook {
+ public:
+  virtual ~AccessHook() = default;
+  virtual void on_access(int tid, std::uint64_t access, std::size_t reg,
+                         bool is_write) = 0;
+};
+
+/// Sentinel register index for fault::interleave() scheduling points.
+inline constexpr std::size_t kInterleave = static_cast<std::size_t>(-1);
+
+namespace detail {
+// Count of threads currently bound to a hook, process-wide. The gate an
+// uninstrumented access pays is exactly one relaxed load of this word.
+extern std::atomic<int> g_bound_threads;
+void dispatch(std::size_t reg, bool is_write);
+}  // namespace detail
+
+/// Per-access hook, called by AtomicRegisterArray::read/write. When no
+/// chaos run is active anywhere in the process this is one relaxed load
+/// and an untaken branch; threads not bound to a hook (e.g. unrelated
+/// tests running concurrently) fall out of dispatch on a thread-local.
+inline void on_access(std::size_t reg, bool is_write) {
+  if (detail::g_bound_threads.load(std::memory_order_relaxed) != 0) {
+    detail::dispatch(reg, is_write);
+  }
+}
+
+/// An explicit scheduling point for code whose critical work does not
+/// touch shared registers (e.g. the chaos campaign's critical-section
+/// overlap probe). No-op when the calling thread is not chaos-bound.
+inline void interleave() { on_access(kInterleave, false); }
+
+/// Bind the calling thread to `hook` as logical thread `tid`: every
+/// instrumented access it performs is routed through hook->on_access with
+/// a fresh 1-based access counter. Unbind before the thread exits.
+void bind_thread(AccessHook* hook, int tid);
+void unbind_thread();
+
+/// True while the calling thread is bound (accesses are being injected).
+bool thread_bound();
+
+}  // namespace tsb::rt::fault

@@ -1,5 +1,7 @@
 #include "rt/harness.hpp"
 
+#include <exception>
+#include <mutex>
 #include <thread>
 
 #include "obs/metrics.hpp"
@@ -24,6 +26,8 @@ void run_threads(int n, const std::function<void(int)>& body) {
   SpinBarrier barrier(n);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
   for (int i = 0; i < n; ++i) {
     threads.emplace_back([&, i] {
       // Trace timelines are keyed by the logical process id, not the OS
@@ -32,11 +36,20 @@ void run_threads(int n, const std::function<void(int)>& body) {
       barrier.arrive_and_wait();
       obs::Span span("rt.thread");
       span.set_value(i);
-      body(i);
+      // A throwing body must not take the process down (std::terminate)
+      // or leave join() below hanging: park the exception, let the thread
+      // exit cleanly, and rethrow the first one on the calling thread.
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
     });
   }
   for (auto& t : threads) t.join();
   obs::Registry::global().counter("rt.run_threads").add();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void cpu_relax() {

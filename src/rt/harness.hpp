@@ -24,8 +24,10 @@ class SpinBarrier {
 };
 
 /// Spawn `n` threads, release them through a shared barrier, run
-/// `body(thread_id)` in each, and join. Exceptions in bodies terminate —
-/// experiment code is expected not to throw.
+/// `body(thread_id)` in each, and join. A body that throws cannot hang the
+/// join or terminate the process: the thread parks its exception and exits
+/// cleanly, all threads are still joined, and the *first* exception raised
+/// (in completion order) is rethrown to the caller afterwards.
 void run_threads(int n, const std::function<void(int)>& body);
 
 /// Wall-clock a callable, in seconds.

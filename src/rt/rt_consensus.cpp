@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "rt/harness.hpp"
+#include "util/require.hpp"
 
 namespace tsb::rt {
 
@@ -122,7 +123,11 @@ std::uint64_t RtRoundsConsensus::propose(int p, std::uint64_t v) {
     std::uint32_t round = 1000;  // contention proven: yield immediately
     spin_backoff(round);
   }
-  assert(false && "round bank exhausted: pathological contention");
+  // Loud in release builds too: under an adversarial schedule, running off
+  // the end of the bank would otherwise continue into out-of-range
+  // registers. (The array's own bounds check is the second line of
+  // defense.)
+  TSB_REQUIRE(false, "round bank exhausted: pathological contention");
   return pref;
 }
 
@@ -196,7 +201,7 @@ std::uint64_t RtRandomizedConsensus::propose(int p, std::uint64_t v) {
       pref = c;
     }
   }
-  assert(false && "randomized consensus exceeded its round bank");
+  TSB_REQUIRE(false, "randomized consensus exceeded its round bank");
   return pref;
 }
 

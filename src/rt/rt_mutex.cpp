@@ -104,4 +104,49 @@ void RtTournamentMutex::unlock(int p) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// RtBakeryMutex
+// ---------------------------------------------------------------------------
+
+RtBakeryMutex::RtBakeryMutex(int n)
+    : n_(n), regs_(static_cast<std::size_t>(2 * n)) {
+  assert(n >= 2);
+}
+
+std::string RtBakeryMutex::name() const {
+  return "rt-bakery(n=" + std::to_string(n_) + ")";
+}
+
+void RtBakeryMutex::lock(int p) {
+  // Doorway: draw a ticket one larger than everything currently visible.
+  regs_.write(reg_choosing(p), 1);
+  std::uint64_t max = 0;
+  for (int k = 0; k < n_; ++k) {
+    const std::uint64_t num = regs_.read(reg_number(k));
+    if (num > max) max = num;
+  }
+  const std::uint64_t ticket = max + 1;
+  regs_.write(reg_number(p), ticket);
+  regs_.write(reg_choosing(p), 0);
+  // Wait for every smaller (ticket, id) pair to leave.
+  for (int k = 0; k < n_; ++k) {
+    if (k == p) continue;
+    std::uint32_t round = 0;
+    while (regs_.read(reg_choosing(k)) == 1) {
+      spin_backoff(round);
+    }
+    round = 0;
+    for (;;) {
+      const std::uint64_t num = regs_.read(reg_number(k));
+      if (num == 0 || num > ticket ||
+          (num == ticket && k > p)) {
+        break;
+      }
+      spin_backoff(round);
+    }
+  }
+}
+
+void RtBakeryMutex::unlock(int p) { regs_.write(reg_number(p), 0); }
+
 }  // namespace tsb::rt

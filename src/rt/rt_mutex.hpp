@@ -65,4 +65,27 @@ class RtTournamentMutex final : public RtMutex {
   AtomicRegisterArray regs_;
 };
 
+/// Lamport's bakery lock on atomics. 2n registers: choosing[i] = i,
+/// number[i] = n + i. Unlike the Peterson variants it is first-come
+/// first-served, and its doorway/ticket structure gives the chaos
+/// campaigns a third, structurally different exclusion algorithm to stall.
+class RtBakeryMutex final : public RtMutex {
+ public:
+  explicit RtBakeryMutex(int n);
+  std::string name() const override;
+  int num_processes() const override { return n_; }
+  void lock(int p) override;
+  void unlock(int p) override;
+  const AtomicRegisterArray& registers() const override { return regs_; }
+
+ private:
+  std::size_t reg_choosing(int i) const { return static_cast<std::size_t>(i); }
+  std::size_t reg_number(int i) const {
+    return static_cast<std::size_t>(n_ + i);
+  }
+
+  int n_;
+  AtomicRegisterArray regs_;
+};
+
 }  // namespace tsb::rt

@@ -31,6 +31,11 @@ ExploreMetrics& explore_metrics();
 struct ExploreResult {
   bool truncated = false;       ///< hit max_configs before exhausting
   bool aborted = false;         ///< visitor returned false
+  /// The truncation came from a set_budget() memory or wall-clock budget
+  /// rather than the configuration cap — the graceful-degradation signal
+  /// callers surface as a distinct "budget-exhausted" status. Implies
+  /// truncated.
+  bool budget_exhausted = false;
   std::size_t visited = 0;      ///< configurations enumerated
   std::optional<Config> abort_config;  ///< config the visitor stopped on
 };
@@ -122,6 +127,18 @@ class Explorer {
         arena_(proto.num_processes(), proto.num_registers()),
         cur_(arena_.words_per_config()) {}
 
+  /// Graceful-degradation budgets: when the arena's heap footprint reaches
+  /// `max_arena_bytes` (0 = uncapped) or the wall clock passes `deadline`
+  /// (time_point::max() = none), explore() stops cleanly with truncated +
+  /// budget_exhausted set instead of growing without bound. Unlike the
+  /// configuration cap, budget truncation points are machine-dependent, so
+  /// budgeted runs waive the sequential/parallel bit-identity contract.
+  void set_budget(std::size_t max_arena_bytes,
+                  std::chrono::steady_clock::time_point deadline) {
+    budget_bytes_ = max_arena_bytes;
+    budget_deadline_ = deadline;
+  }
+
   /// Enumerate configurations reachable from `root` by P-only steps,
   /// calling `visit` on each (including the root). `visit` returning false
   /// aborts the search; the aborting configuration is reported in the
@@ -179,7 +196,23 @@ class Explorer {
         res.truncated = true;
         break;
       }
-      if ((++expanded & 0xFFF) == 0) {
+      if (budget_bytes_ != 0 && arena_.memory_bytes() >= budget_bytes_) {
+        res.truncated = true;
+        res.budget_exhausted = true;
+        break;
+      }
+      ++expanded;
+      // Checked on the first expansion and then every 256th: an
+      // already-expired deadline truncates immediately, even on graphs far
+      // smaller than the check interval.
+      if ((expanded & 0xFF) == 1 &&
+          budget_deadline_ != std::chrono::steady_clock::time_point::max() &&
+          std::chrono::steady_clock::now() >= budget_deadline_) {
+        res.truncated = true;
+        res.budget_exhausted = true;
+        break;
+      }
+      if ((expanded & 0xFFF) == 0) {
         metrics.frontier.set(static_cast<std::int64_t>(arena_.size() - head));
         hb.beat([&] {
           return "configs=" + std::to_string(res.visited) +
@@ -245,6 +278,9 @@ class Explorer {
  private:
   const Protocol& proto_;
   Options opts_;
+  std::size_t budget_bytes_ = 0;
+  std::chrono::steady_clock::time_point budget_deadline_ =
+      std::chrono::steady_clock::time_point::max();
 
   // BFS bookkeeping from the most recent explore() call, kept for witness
   // reconstruction.

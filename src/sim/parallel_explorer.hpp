@@ -62,6 +62,16 @@ class ParallelExplorer {
 
   int threads() const { return pool_.size(); }
 
+  /// Same graceful-degradation contract as Explorer::set_budget: trip the
+  /// memory or wall budget and explore() returns truncated +
+  /// budget_exhausted. Budgeted runs waive bit-identity with Explorer
+  /// (budget truncation points are machine-dependent).
+  void set_budget(std::size_t max_arena_bytes,
+                  std::chrono::steady_clock::time_point deadline) {
+    budget_bytes_ = max_arena_bytes;
+    budget_deadline_ = deadline;
+  }
+
   template <typename Visit>
   Result explore(const Config& root, ProcSet p, Visit&& visit) {
     arena_.clear();
@@ -93,6 +103,12 @@ class ParallelExplorer {
     std::uint64_t dedup_total = 0;
     ConfigId lo = 0;
     while (lo < arena_.size() && !res.aborted && !res.truncated) {
+      if (budget_deadline_ != std::chrono::steady_clock::time_point::max() &&
+          std::chrono::steady_clock::now() >= budget_deadline_) {
+        res.truncated = true;
+        res.budget_exhausted = true;
+        break;
+      }
       const ConfigId hi = static_cast<ConfigId>(arena_.size());
       const ConfigId chunk = (hi - lo + static_cast<ConfigId>(T) - 1) /
                              static_cast<ConfigId>(T);
@@ -133,6 +149,11 @@ class ParallelExplorer {
         for (ConfigId pos = lo; pos < hi && !res.aborted; ++pos) {
           if (arena_.size() >= opts_.max_configs) {
             res.truncated = true;
+            break;
+          }
+          if (budget_bytes_ != 0 && arena_.memory_bytes() >= budget_bytes_) {
+            res.truncated = true;
+            res.budget_exhausted = true;
             break;
           }
           Worker& w = workers_[(pos - lo) / chunk];
@@ -250,6 +271,9 @@ class ParallelExplorer {
 
   const Protocol& proto_;
   Options opts_;
+  std::size_t budget_bytes_ = 0;
+  std::chrono::steady_clock::time_point budget_deadline_ =
+      std::chrono::steady_clock::time_point::max();
   ConfigArena arena_;
   std::vector<std::pair<ConfigId, ProcId>> parent_;
   std::vector<Worker> workers_;

@@ -19,6 +19,18 @@ class RequirementFailed : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// Graceful-degradation signal: an exploration or valency query hit its
+/// configured memory or wall-clock budget. Distinct from RequirementFailed
+/// because nothing is *wrong* — the answer is "unknown within budget", and
+/// callers (the adversary, the CLI) must surface that as a clean truncated
+/// result with its own exit code rather than as a violation, and must never
+/// substitute an unsound partial answer.
+class BudgetExhausted : public std::runtime_error {
+ public:
+  explicit BudgetExhausted(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 [[noreturn]] inline void require_failed(const char* expr, const char* file,
                                         int line, const std::string& msg) {
   throw RequirementFailed(std::string(file) + ":" + std::to_string(line) +

@@ -95,6 +95,76 @@ TEST(ParseArgs, DefaultsMatchTheDocumentedOnes) {
   EXPECT_EQ(r.flags.valency_cap, 0u);
   EXPECT_FALSE(r.flags.metrics);
   EXPECT_FALSE(r.flags.progress);
+  EXPECT_EQ(r.flags.runs, 100);
+  EXPECT_EQ(r.flags.seed, 1u);
+  EXPECT_EQ(r.flags.mix, "all");
+  EXPECT_EQ(r.flags.targets, "all");
+  EXPECT_EQ(r.flags.chaos_n, 4);
+  EXPECT_EQ(r.flags.run_timeout_ms, 5'000u);
+  EXPECT_EQ(r.flags.mem_budget, 0u);
+  EXPECT_EQ(r.flags.time_budget_ms, 0u);
+}
+
+TEST(ParseArgs, ChaosFlagsAcceptBothForms) {
+  // The chaos/budget flags take --flag=V and --flag V; both must parse to
+  // the same result.
+  const auto eq = parse_args({"chaos", "--runs=250", "--seed=9",
+                              "--mix=crash,stall", "--targets=ballot,bakery",
+                              "--n=6", "--run-timeout-ms=750",
+                              "--out=c.jsonl"});
+  const auto sp = parse_args({"chaos", "--runs", "250", "--seed", "9",
+                              "--mix", "crash,stall", "--targets",
+                              "ballot,bakery", "--n", "6", "--run-timeout-ms",
+                              "750", "--out", "c.jsonl"});
+  for (const auto* r : {&eq, &sp}) {
+    ASSERT_TRUE(r->ok) << r->error;
+    EXPECT_EQ(r->flags.runs, 250);
+    EXPECT_EQ(r->flags.seed, 9u);
+    EXPECT_EQ(r->flags.mix, "crash,stall");
+    EXPECT_EQ(r->flags.targets, "ballot,bakery");
+    EXPECT_EQ(r->flags.chaos_n, 6);
+    EXPECT_EQ(r->flags.run_timeout_ms, 750u);
+    EXPECT_EQ(r->flags.chaos_file, "c.jsonl");
+    EXPECT_EQ(r->args, (std::vector<std::string>{"chaos"}));
+  }
+}
+
+TEST(ParseArgs, ChaosFlagValidation) {
+  EXPECT_FALSE(parse_args({"--runs=0"}).ok);
+  EXPECT_FALSE(parse_args({"--runs"}).ok);  // missing value
+  EXPECT_FALSE(parse_args({"--n=1"}).ok);
+  EXPECT_FALSE(parse_args({"--n=65"}).ok);
+  EXPECT_FALSE(parse_args({"--out="}).ok);
+  EXPECT_FALSE(parse_args({"--mix="}).ok);
+  EXPECT_FALSE(parse_args({"--seed=abc"}).ok);
+}
+
+TEST(ParseBytes, SuffixesAndRejects) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_bytes("123", &v));
+  EXPECT_EQ(v, 123u);
+  EXPECT_TRUE(parse_bytes("64k", &v));
+  EXPECT_EQ(v, 64u << 10);
+  EXPECT_TRUE(parse_bytes("256M", &v));
+  EXPECT_EQ(v, 256u << 20);
+  EXPECT_TRUE(parse_bytes("2g", &v));
+  EXPECT_EQ(v, 2ull << 30);
+  EXPECT_FALSE(parse_bytes("", &v));
+  EXPECT_FALSE(parse_bytes("k", &v));
+  EXPECT_FALSE(parse_bytes("12q", &v));
+  EXPECT_FALSE(parse_bytes("12kb", &v));
+}
+
+TEST(ParseArgs, BudgetFlags) {
+  const auto r = parse_args({"adversary", "--mem-budget=512m",
+                             "--time-budget-ms", "30000", "6"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.flags.mem_budget, 512ull << 20);
+  EXPECT_EQ(r.flags.time_budget_ms, 30'000u);
+  EXPECT_EQ(r.args, (std::vector<std::string>{"adversary", "6"}));
+  EXPECT_FALSE(parse_args({"--mem-budget=0"}).ok);
+  EXPECT_FALSE(parse_args({"--mem-budget=lots"}).ok);
+  EXPECT_FALSE(parse_args({"--time-budget-ms=0"}).ok);
 }
 
 }  // namespace

@@ -191,5 +191,50 @@ TEST(RunReport, AdversaryAuditTrailMatchesTheVerifiedCertificate) {
             2);
 }
 
+// --- chaos records ---------------------------------------------------------
+
+TEST(RunReport, ChaosRunRecordsAggregatePerTarget) {
+  RunReport rep;
+  ingest(rep, {
+    R"({"type":"chaos.run","run":0,"seed":7,"target":"ballot","n":4,"scenario":"solo","plan":"t1:crash@1","status":"ok","threads":"DCCC","steps":40,"decided":[1,-1,-1,-1],"distinct":4})",
+    R"({"type":"chaos.run","run":1,"seed":8,"target":"bakery","n":4,"scenario":"perturb","plan":"t0:stall@3x50","status":"timeout","threads":"AAAA","steps":900,"decided":[-1,-1,-1,-1],"distinct":2})",
+    R"({"type":"chaos.run","run":2,"seed":9,"target":"ballot","n":4,"scenario":"clean","plan":"none","status":"ok","threads":"DDDD","steps":55,"decided":[0,0,0,0],"distinct":4})",
+    R"({"type":"chaos.campaign","runs":3,"seed":7,"n":4,"violations":0,"solo_runs":1,"solo_failures":0,"timeouts":1,"crashes":1,"stalls":1,"yields":0,"total_steps":995,"first_violation":"","ok":true})",
+  });
+  EXPECT_EQ(rep.chaos_violations(), 0u);
+  EXPECT_EQ(rep.lines_malformed(), 0u);
+  const std::string baseline = rep.baseline_json();
+  EXPECT_NE(baseline.find("\"chaos_runs\":3"), std::string::npos) << baseline;
+  EXPECT_NE(baseline.find("\"chaos_timeouts\":1"), std::string::npos)
+      << baseline;
+}
+
+TEST(RunReport, ChaosViolationFailsTheReport) {
+  const std::string path = ::testing::TempDir() + "forensics_chaos.jsonl";
+  {
+    std::ofstream out(path);
+    out << R"({"type":"chaos.run","run":0,"seed":3,"target":"leader","n":3,"scenario":"perturb","plan":"none","status":"violation","threads":"DDD","steps":30,"decided":[-1,-1,-1],"distinct":3,"winners":2,"detail":"leader election violated: 2 winners"})"
+        << "\n";
+  }
+  std::ostringstream devnull;
+  EXPECT_EQ(analyze_files({path}, 5, "", devnull), 1)
+      << "a chaos safety violation must fail tsb report";
+}
+
+TEST(RunReport, BudgetExhaustedIsCleanNotAFailure) {
+  const std::string path = ::testing::TempDir() + "forensics_budget.jsonl";
+  {
+    std::ofstream out(path);
+    out << R"({"type":"adversary.begin","protocol":"ballot","n":6,"registers":6,"threads":1})"
+        << "\n"
+        << R"({"type":"adversary.budget_exhausted","protocol":"ballot","detail":"valency oracle wall-clock budget exhausted"})"
+        << "\n";
+  }
+  std::ostringstream report_text;
+  EXPECT_EQ(analyze_files({path}, 5, "", report_text), 0)
+      << "budget truncation is a clean outcome, not a report failure";
+  EXPECT_NE(report_text.str().find("budget exhausted"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tsb::report

@@ -229,21 +229,28 @@ TEST(RtSnapshot, QuiescentScanIsExact) {
 }
 
 struct MutexCase {
-  bool tournament;
+  enum class Kind { kPeterson, kTournament, kBakery };
+  Kind kind;
   int n;
 };
 
 class RtMutexTest : public ::testing::TestWithParam<MutexCase> {};
 
 TEST_P(RtMutexTest, ExclusionProtectsAPlainCounter) {
-  const auto [tournament, n] = GetParam();
+  const auto [kind, n] = GetParam();
   std::unique_ptr<RtMutex> mtx;
-  if (tournament) {
-    mtx = std::make_unique<RtTournamentMutex>(n);
-  } else {
-    mtx = std::make_unique<RtPetersonMutex>(n);
+  switch (kind) {
+    case MutexCase::Kind::kPeterson:
+      mtx = std::make_unique<RtPetersonMutex>(n);
+      break;
+    case MutexCase::Kind::kTournament:
+      mtx = std::make_unique<RtTournamentMutex>(n);
+      break;
+    case MutexCase::Kind::kBakery:
+      mtx = std::make_unique<RtBakeryMutex>(n);
+      break;
   }
-  const int per_thread = tournament ? 2000 : 500;
+  const int per_thread = kind == MutexCase::Kind::kPeterson ? 500 : 2000;
   long counter = 0;  // deliberately unprotected by atomics
   run_threads(n, [&](int p) {
     for (int i = 0; i < per_thread; ++i) {
@@ -258,18 +265,28 @@ TEST_P(RtMutexTest, ExclusionProtectsAPlainCounter) {
       << mtx->name() << ": lost updates imply broken mutual exclusion";
 }
 
-INSTANTIATE_TEST_SUITE_P(Locks, RtMutexTest,
-                         ::testing::Values(MutexCase{false, 2},
-                                           MutexCase{false, 4},
-                                           MutexCase{true, 2},
-                                           MutexCase{true, 4},
-                                           MutexCase{true, 8}),
-                         [](const auto& info) {
-                           return std::string(info.param.tournament
-                                                  ? "tournament"
-                                                  : "peterson") +
-                                  "_n" + std::to_string(info.param.n);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Locks, RtMutexTest,
+    ::testing::Values(MutexCase{MutexCase::Kind::kPeterson, 2},
+                      MutexCase{MutexCase::Kind::kPeterson, 4},
+                      MutexCase{MutexCase::Kind::kTournament, 2},
+                      MutexCase{MutexCase::Kind::kTournament, 4},
+                      MutexCase{MutexCase::Kind::kTournament, 8},
+                      MutexCase{MutexCase::Kind::kBakery, 2},
+                      MutexCase{MutexCase::Kind::kBakery, 4}),
+    [](const auto& info) {
+      const char* name =
+          info.param.kind == MutexCase::Kind::kPeterson     ? "peterson"
+          : info.param.kind == MutexCase::Kind::kTournament ? "tournament"
+                                                            : "bakery";
+      return std::string(name) + "_n" + std::to_string(info.param.n);
+    });
+
+TEST(RtBakery, UsesExactlyTwoNRegisters) {
+  RtBakeryMutex mtx(5);
+  EXPECT_EQ(mtx.registers().size(), 10u)
+      << "bakery: choosing[i] and number[i] per process";
+}
 
 TEST(LeaderElection, ExactlyOneLeaderEveryTrial) {
   for (int n : {2, 3, 5, 8}) {

@@ -219,6 +219,8 @@ void RunReport::ingest_line(const std::string& line) {
   if (type.rfind("explore", 0) == 0 || type.rfind("mc.", 0) == 0 ||
       type.rfind("bench", 0) == 0) {
     ingest_stats(v, type);
+  } else if (type.rfind("chaos.", 0) == 0) {
+    ingest_chaos(v, type);
   } else {
     ingest_audit(v, type);
   }
@@ -302,6 +304,9 @@ void RunReport::ingest_audit(const JsonValue& v, const std::string& type) {
     have_pre_escape_ = true;
     pre_escape_regs_ = v.int_array("regs");
     count_regs(pre_escape_regs_);
+  } else if (type == "adversary.budget_exhausted") {
+    budget_exhausted_ = true;
+    budget_detail_ = v.str_or("detail", "");
   } else if (type == "certificate") {
     have_cert_ = true;
     cert_verified_ = v.bool_or("verified", false);
@@ -311,6 +316,50 @@ void RunReport::ingest_audit(const JsonValue& v, const std::string& type) {
     cert_schedule_len_ = v.int_or("schedule_len", 0);
     cert_error_ = v.str_or("error", "");
     if (protocol_.empty()) protocol_ = v.str_or("protocol", "");
+  }
+}
+
+void RunReport::ingest_chaos(const JsonValue& v, const std::string& type) {
+  if (type == "chaos.run") {
+    ++chaos_runs_;
+    ChaosTargetAgg& agg = chaos_targets_[v.str_or("target", "?")];
+    ++agg.runs;
+    const std::uint64_t steps =
+        static_cast<std::uint64_t>(v.int_or("steps", 0));
+    agg.steps += steps;
+    chaos_steps_ += steps;
+    const std::string status = v.str_or("status", "");
+    if (status == "violation") {
+      ++chaos_violations_;
+      ++agg.violations;
+    } else if (status == "solo_fail") {
+      ++chaos_solo_fails_;
+      ++agg.solo_fails;
+    } else if (status == "timeout") {
+      ++chaos_timeouts_;
+      ++agg.timeouts;
+    }
+    if ((status == "violation" || status == "solo_fail") &&
+        chaos_first_bad_.empty()) {
+      chaos_first_bad_ = "seed " + std::to_string(v.int_or("seed", -1)) +
+                         " (" + v.str_or("target", "?") +
+                         "): " + v.str_or("detail", status);
+    }
+  } else if (type == "chaos.campaign") {
+    // The campaign summary is authoritative for the counters we did not
+    // re-derive (fault mix sizes); keep it verbatim for the report.
+    have_chaos_campaign_ = true;
+    obs::JsonObj o;
+    o.num("runs", v.int_or("runs", 0))
+        .num("violations", v.int_or("violations", 0))
+        .num("solo_runs", v.int_or("solo_runs", 0))
+        .num("solo_failures", v.int_or("solo_failures", 0))
+        .num("timeouts", v.int_or("timeouts", 0))
+        .num("crashes", v.int_or("crashes", 0))
+        .num("stalls", v.int_or("stalls", 0))
+        .num("yields", v.int_or("yields", 0))
+        .boolean("ok", v.bool_or("ok", false));
+    chaos_campaign_line_ = o.render();
   }
 }
 
@@ -429,6 +478,33 @@ void RunReport::render_text(std::ostream& out, int top_k) const {
     t.print(out, "hottest registers (top " + std::to_string(top_k) + ")");
   }
 
+  if (chaos_runs_ > 0 || have_chaos_campaign_) {
+    out << "\nchaos campaign: " << chaos_runs_ << " run records, "
+        << chaos_violations_ << " violations, " << chaos_solo_fails_
+        << " solo failures, " << chaos_timeouts_ << " timeouts, "
+        << chaos_steps_ << " scheduler steps\n";
+    if (!chaos_targets_.empty()) {
+      util::Table t({"target", "runs", "violations", "solo_fails",
+                     "timeouts", "steps"});
+      for (const auto& [name, agg] : chaos_targets_) {
+        t.row(name, agg.runs, agg.violations, agg.solo_fails, agg.timeouts,
+              agg.steps);
+      }
+      t.print(out, "per-target chaos outcomes");
+    }
+    if (!chaos_first_bad_.empty()) {
+      out << "first failing run: " << chaos_first_bad_ << "\n";
+    }
+    if (have_chaos_campaign_) {
+      out << "campaign summary: " << chaos_campaign_line_ << "\n";
+    }
+  }
+  if (budget_exhausted_) {
+    out << "\nadversary budget exhausted (clean truncation, not a "
+           "refutation): "
+        << budget_detail_ << "\n";
+  }
+
   if (have_cert_) {
     auto regs_str = [](const std::vector<int>& regs) {
       std::string s = "{";
@@ -476,6 +552,14 @@ std::string RunReport::baseline_json() const {
         .num("schedule_len", cert_schedule_len_)
         .boolean("consistent", consistent_);
   }
+  if (chaos_runs_ > 0) {
+    o.num("chaos_runs", static_cast<std::int64_t>(chaos_runs_))
+        .num("chaos_violations", static_cast<std::int64_t>(chaos_violations_))
+        .num("chaos_solo_failures",
+             static_cast<std::int64_t>(chaos_solo_fails_))
+        .num("chaos_timeouts", static_cast<std::int64_t>(chaos_timeouts_));
+  }
+  if (budget_exhausted_) o.boolean("budget_exhausted", true);
   return o.render();
 }
 
@@ -505,6 +589,9 @@ int analyze_files(const std::vector<std::string>& files, int top_k,
     out << "baseline: " << rep.baseline_json() << "\n";
   }
   if (rep.has_certificate() && !rep.consistent()) return 1;
+  // A safety violation or failed solo run in the chaos records fails the
+  // report; a budget-exhausted adversary run does not (clean truncation).
+  if (rep.chaos_violations() > 0) return 1;
   return 0;
 }
 

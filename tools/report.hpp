@@ -69,6 +69,14 @@ class RunReport {
   bool consistent() const { return consistent_; }
   bool has_certificate() const { return have_cert_; }
 
+  /// Chaos-campaign outcomes (chaos.run / chaos.campaign records). A
+  /// violation or solo failure in the ingested records fails the report;
+  /// a budget-exhausted adversary run does not — that is clean truncation.
+  std::uint64_t chaos_violations() const {
+    return chaos_violations_ + chaos_solo_fails_;
+  }
+  bool budget_exhausted() const { return budget_exhausted_; }
+
   std::uint64_t lines_ingested() const { return lines_; }
   std::uint64_t lines_malformed() const { return malformed_; }
 
@@ -95,6 +103,7 @@ class RunReport {
   void ingest_trace(const JsonValue& v);
   void ingest_stats(const JsonValue& v, const std::string& type);
   void ingest_audit(const JsonValue& v, const std::string& type);
+  void ingest_chaos(const JsonValue& v, const std::string& type);
   void count_regs(const std::vector<int>& regs);
 
   std::uint64_t lines_ = 0;
@@ -132,6 +141,26 @@ class RunReport {
   std::vector<int> pre_escape_regs_;
   bool have_escape_ = false;
   int last_escape_reg_ = -1;
+
+  // Chaos (fault-injection campaign).
+  struct ChaosTargetAgg {
+    std::uint64_t runs = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t solo_fails = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t steps = 0;
+  };
+  std::map<std::string, ChaosTargetAgg> chaos_targets_;
+  std::uint64_t chaos_runs_ = 0;
+  std::uint64_t chaos_violations_ = 0;
+  std::uint64_t chaos_solo_fails_ = 0;
+  std::uint64_t chaos_timeouts_ = 0;
+  std::uint64_t chaos_steps_ = 0;
+  std::string chaos_first_bad_;  ///< seed + detail of first bad run
+  bool have_chaos_campaign_ = false;
+  std::string chaos_campaign_line_;  ///< campaign summary, re-rendered as-is
+  bool budget_exhausted_ = false;
+  std::string budget_detail_;
 
   // Certificate (last one wins).
   bool have_cert_ = false;

@@ -5,6 +5,7 @@
 //   tsb search [modes] [cap]       sweep the 1-register protocol family
 //   tsb mutex [n]                  canonical-cost + Burns-Lynch summary
 //   tsb perturb [n]                JTT perturbation adversary on a counter
+//   tsb chaos                      seeded fault-injection campaign (rt layer)
 //   tsb report FILE...             analyze trace/stats/audit JSONL artifacts
 //
 // Observability flags (any position, any subcommand):
@@ -21,10 +22,24 @@
 //   --top=K          report: how many hottest registers to show (default 5)
 //   --baseline=FILE  report: write the one-line baseline JSON to FILE
 //
+// Chaos flags (tsb chaos; both --flag=V and --flag V forms):
+//   --runs=N --seed=S --n=P            campaign size / seed / processes
+//   --targets=LIST   ballot,rounds,randomized,commit-adopt,leader,
+//                    peterson,tournament,bakery (or "all")
+//   --mix=LIST       crash,stall,yield (any subset, or "all")
+//   --run-timeout-ms=MS  per-run wall-clock backstop
+//   --out=FILE       per-run JSONL records (feeds tsb report)
+//
+// Budget flags (tsb adversary; graceful degradation instead of OOM/hang):
+//   --mem-budget=BYTES[k|m|g]  cap on the valency arena's heap growth
+//   --time-budget-ms=MS        wall-clock watchdog across valency queries
+//
 // Exit codes (distinct so CI can tell misuse from refutation):
 //   0  success
 //   1  violation / failed construction / report inconsistency
 //   2  usage error: unknown subcommand, unknown protocol, bad flag
+//   3  chaos campaign clean of violations but some runs timed out
+//   4  budget exhausted (adversary stopped by --mem-budget/--time-budget-ms)
 //
 // Protocols for `check`: ballot | racing-strict | racing-atleast | swap
 #include <cstdlib>
@@ -45,6 +60,7 @@
 #include "perturb/counter.hpp"
 #include "perturb/perturbation.hpp"
 #include "report.hpp"
+#include "rt/chaos.hpp"
 #include "sim/model_checker.hpp"
 #include "sim/protocol_search.hpp"
 #include "tsb_flags.hpp"
@@ -57,6 +73,8 @@ namespace {
 constexpr int kExitOk = 0;
 constexpr int kExitViolation = 1;
 constexpr int kExitUsage = 2;
+constexpr int kExitTimeout = 3;
+constexpr int kExitBudget = 4;
 
 int usage() {
   std::cerr
@@ -67,12 +85,18 @@ int usage() {
          "  tsb search [modes=1] [cap=0]     1-register protocol sweep\n"
          "  tsb mutex [n=8]                  mutex cost + covering summary\n"
          "  tsb perturb [n=5]                JTT adversary on the counter\n"
+         "  tsb chaos                        seeded rt fault campaign\n"
          "  tsb report FILE...               analyze run artifacts (JSONL)\n"
          "flags: --trace=FILE --stats=FILE --audit=FILE --metrics "
          "--progress\n"
          "       --valency-cap=N --threads=N (0 = all cores) --top=K "
          "--baseline=FILE\n"
-         "exit codes: 0 ok, 1 violation/failed construction, 2 usage error\n";
+         "chaos: --runs=N --seed=S --n=P --targets=LIST|all --mix=LIST|all\n"
+         "       --run-timeout-ms=MS --out=FILE\n"
+         "adversary budgets: --mem-budget=BYTES[k|m|g] --time-budget-ms=MS\n"
+         "exit codes: 0 ok, 1 violation/failed construction, 2 usage "
+         "error,\n"
+         "            3 chaos timeouts (no violation), 4 budget exhausted\n";
   return kExitUsage;
 }
 
@@ -113,8 +137,17 @@ int cmd_adversary(int n, int cap, const ObsFlags& obs_flags) {
                                  ? obs_flags.valency_cap
                                  : default_valency_cap(n);
   opts.threads = cli::resolve_threads(obs_flags.threads);
+  opts.valency_max_arena_bytes =
+      static_cast<std::size_t>(obs_flags.mem_budget);
+  opts.valency_time_budget_ms = obs_flags.time_budget_ms;
   bound::SpaceBoundAdversary adversary(proto, opts);
   const auto result = adversary.run();
+  if (result.budget_exhausted) {
+    // Clean truncation, not a refutation: the construction was stopped by
+    // a configured budget before it could finish either way.
+    std::cout << "BUDGET EXHAUSTED: " << result.error << "\n";
+    return kExitBudget;
+  }
   if (!result.ok) {
     std::cout << "FAILED: " << result.error << "\n";
     return kExitViolation;
@@ -186,6 +219,52 @@ int cmd_perturb(int n) {
   return result.covering_complete ? kExitOk : kExitViolation;
 }
 
+// Parse --mix into the three allow_* flags: "all" or any comma-separated
+// subset of crash,stall,yield. Returns false on an unknown token.
+bool parse_mix(const std::string& mix, rt::chaos::Options* opts) {
+  if (mix == "all" || mix.empty()) return true;
+  opts->allow_crash = opts->allow_stall = opts->allow_yield = false;
+  std::size_t pos = 0;
+  while (pos <= mix.size()) {
+    const std::size_t comma = mix.find(',', pos);
+    const std::string tok =
+        mix.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (tok == "crash") opts->allow_crash = true;
+    else if (tok == "stall") opts->allow_stall = true;
+    else if (tok == "yield") opts->allow_yield = true;
+    else return false;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return opts->allow_crash || opts->allow_stall || opts->allow_yield;
+}
+
+int cmd_chaos(const ObsFlags& obs_flags) {
+  rt::chaos::Options opts;
+  opts.runs = obs_flags.runs;
+  opts.seed = obs_flags.seed;
+  opts.n = obs_flags.chaos_n;
+  opts.run_timeout_ms = obs_flags.run_timeout_ms;
+  if (!rt::chaos::parse_targets(obs_flags.targets, &opts.targets)) {
+    std::cerr << "unknown target in --targets=" << obs_flags.targets << "\n";
+    return usage();
+  }
+  if (!parse_mix(obs_flags.mix, &opts)) {
+    std::cerr << "bad --mix=" << obs_flags.mix
+              << " (want crash,stall,yield or all)\n";
+    return usage();
+  }
+  const rt::chaos::Result result = rt::chaos::run_campaign(opts);
+  std::cout << result.summary_json(opts) << "\n";
+  if (!result.ok()) {
+    std::cerr << "chaos: " << result.violations << " violation(s), "
+              << result.solo_failures << " solo failure(s); first: "
+              << result.first_violation << "\n";
+    return kExitViolation;
+  }
+  return result.timeouts > 0 ? kExitTimeout : kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -211,6 +290,11 @@ int main(int argc, char** argv) {
     std::cerr << "could not open audit file " << obs_flags.audit_file << "\n";
     return kExitUsage;
   }
+  if (!obs_flags.chaos_file.empty() &&
+      !obs::chaos_sink().open(obs_flags.chaos_file)) {
+    std::cerr << "could not open chaos file " << obs_flags.chaos_file << "\n";
+    return kExitUsage;
+  }
 
   const std::string cmd = args[0];
   auto arg = [&](std::size_t i, int def) {
@@ -230,6 +314,8 @@ int main(int argc, char** argv) {
     rc = cmd_mutex(arg(1, 8));
   } else if (cmd == "perturb") {
     rc = cmd_perturb(arg(1, 5));
+  } else if (cmd == "chaos") {
+    rc = cmd_chaos(obs_flags);
   } else if (cmd == "report") {
     if (args.size() < 2) return usage();
     rc = report::analyze_files(
@@ -248,6 +334,11 @@ int main(int argc, char** argv) {
     std::cerr << "audit: " << obs::audit_sink().lines() << " events -> "
               << obs_flags.audit_file << "\n";
     obs::audit_sink().close();
+  }
+  if (!obs_flags.chaos_file.empty()) {
+    std::cerr << "chaos: " << obs::chaos_sink().lines() << " records -> "
+              << obs_flags.chaos_file << "\n";
+    obs::chaos_sink().close();
   }
   if (!obs_flags.trace_file.empty()) {
     obs::TraceSink& sink = obs::TraceSink::global();

@@ -7,6 +7,7 @@
 // toggled) — main() applies the parsed flags, and the tests exercise the
 // parse paths (notably --threads=0) without side effects.
 
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -25,6 +26,20 @@ struct ObsFlags {
   std::size_t valency_cap = 0;  ///< --valency-cap=N; 0 = scale with n
   int threads = 1;            ///< --threads=N; 0 = hardware concurrency
   int top = 5;                ///< --top=K (report: hottest registers shown)
+
+  // Chaos campaign flags (tsb chaos). These accept both --flag=V and
+  // --flag V forms.
+  std::string chaos_file;     ///< --out=FILE (per-run chaos JSONL records)
+  int runs = 100;             ///< --runs=N (campaign size)
+  std::uint64_t seed = 1;     ///< --seed=S (campaign seed)
+  std::string mix = "all";    ///< --mix=crash,stall,yield (subset) | all
+  std::string targets = "all";///< --targets=ballot,bakery,... | all
+  int chaos_n = 4;            ///< --n=N (processes per run)
+  std::uint64_t run_timeout_ms = 5'000;  ///< --run-timeout-ms=MS (per run)
+
+  // Graceful-degradation budgets (tsb adversary). Same two flag forms.
+  std::uint64_t mem_budget = 0;      ///< --mem-budget=BYTES[k|m|g]; 0 = off
+  std::uint64_t time_budget_ms = 0;  ///< --time-budget-ms=MS; 0 = off
 };
 
 struct ParseResult {
@@ -43,6 +58,23 @@ inline int resolve_threads(int requested) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+/// Parse "123", "64k", "256m", "2g" into bytes (suffix = binary multiple).
+/// Returns false on anything else.
+inline bool parse_bytes(const std::string& s, std::uint64_t* bytes) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str()) return false;
+  std::uint64_t mult = 1;
+  if (*end == 'k' || *end == 'K') mult = 1ull << 10;
+  else if (*end == 'm' || *end == 'M') mult = 1ull << 20;
+  else if (*end == 'g' || *end == 'G') mult = 1ull << 30;
+  if (mult != 1) ++end;
+  if (*end != '\0') return false;
+  *bytes = v * mult;
+  return true;
+}
+
 inline ParseResult parse_args(const std::vector<std::string>& argv) {
   ParseResult out;
   auto fail = [&](std::string msg) {
@@ -56,7 +88,37 @@ inline ParseResult parse_args(const std::vector<std::string>& argv) {
     dst = a.substr(std::strlen(prefix));
     return true;
   };
-  for (const std::string& a : argv) {
+  bool bad_value = false;
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    const std::string& a = argv[i];
+    // The newer flags take a value in either form: --flag=V or --flag V.
+    auto value_flag = [&](const char* name, std::string* dst) {
+      const std::string prefix = std::string(name) + "=";
+      if (a.rfind(prefix, 0) == 0) {
+        *dst = a.substr(prefix.size());
+        return true;
+      }
+      if (a == name) {
+        if (i + 1 >= argv.size()) {
+          bad_value = true;
+          return true;
+        }
+        *dst = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    auto u64_flag = [&](const char* name, std::uint64_t* dst) {
+      std::string v;
+      if (!value_flag(name, &v)) return false;
+      if (bad_value) return true;
+      char* end = nullptr;
+      *dst = std::strtoull(v.c_str(), &end, 10);
+      if (v.empty() || end == v.c_str() || *end != '\0') bad_value = true;
+      return true;
+    };
+    std::string sval;
+    std::uint64_t uval = 0;
     if (file_flag(a, "--trace=", out.flags.trace_file)) {
       if (out.flags.trace_file.empty()) return fail("--trace needs a file");
     } else if (file_flag(a, "--stats=", out.flags.stats_file)) {
@@ -90,6 +152,39 @@ inline ParseResult parse_args(const std::vector<std::string>& argv) {
       const long v = std::strtol(s, &end, 10);
       if (v < 1 || end == s || *end != '\0') return fail("bad --top");
       out.flags.top = static_cast<int>(v);
+    } else if (value_flag("--out", &out.flags.chaos_file)) {
+      if (bad_value || out.flags.chaos_file.empty()) {
+        return fail("--out needs a file");
+      }
+    } else if (u64_flag("--runs", &uval)) {
+      if (bad_value || uval == 0) return fail("bad --runs (want >= 1)");
+      out.flags.runs = static_cast<int>(uval);
+    } else if (u64_flag("--seed", &out.flags.seed)) {
+      if (bad_value) return fail("bad --seed");
+    } else if (value_flag("--mix", &out.flags.mix)) {
+      if (bad_value || out.flags.mix.empty()) {
+        return fail("--mix needs crash,stall,yield (any subset) or all");
+      }
+    } else if (value_flag("--targets", &out.flags.targets)) {
+      if (bad_value || out.flags.targets.empty()) {
+        return fail("--targets needs a target list or all");
+      }
+    } else if (u64_flag("--n", &uval)) {
+      if (bad_value || uval < 2 || uval > 64) {
+        return fail("bad --n (want 2..64)");
+      }
+      out.flags.chaos_n = static_cast<int>(uval);
+    } else if (u64_flag("--run-timeout-ms", &out.flags.run_timeout_ms)) {
+      if (bad_value) return fail("bad --run-timeout-ms");
+    } else if (value_flag("--mem-budget", &sval)) {
+      if (bad_value || !parse_bytes(sval, &out.flags.mem_budget) ||
+          out.flags.mem_budget == 0) {
+        return fail("bad --mem-budget (want BYTES with optional k/m/g)");
+      }
+    } else if (u64_flag("--time-budget-ms", &out.flags.time_budget_ms)) {
+      if (bad_value || out.flags.time_budget_ms == 0) {
+        return fail("bad --time-budget-ms (want >= 1)");
+      }
     } else if (a.rfind("--", 0) == 0) {
       return fail("unknown flag: " + a);
     } else {
