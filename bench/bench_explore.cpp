@@ -6,13 +6,15 @@
 // measure scheduling overhead, not speedup; the determinism contract means
 // every row enumerates the exact same configuration set.
 //
-// Usage: bench_explore [--smoke] [--overhead] [--stats=FILE] [max_n]
+// Usage: bench_explore [--smoke] [--overhead] [--stats=FILE] [--json=FILE]
+//                      [max_n]
 //   --smoke       one small run (n = 4, 1 and 2 threads, low cap) for CI
 //   --overhead    E13: instrumentation cost — the same enumeration at three
 //                 tiers (off / stats-only / stats+trace), configs/sec each,
 //                 plus the per-level table recovered from the stats JSONL
 //                 by the same analyzer `tsb report` uses
 //   --stats=FILE  stream per-BFS-level stats to FILE during the runs
+//   --json=FILE   machine-readable per-row metrics for tools/check_perf.py
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -158,6 +160,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool overhead = false;
   std::string stats_file;
+  std::string json_file;
   int max_n = 6;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -166,6 +169,8 @@ int main(int argc, char** argv) {
       overhead = true;
     } else if (std::strncmp(argv[i], "--stats=", 8) == 0) {
       stats_file = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_file = argv[i] + 7;
     } else {
       max_n = std::atoi(argv[i]);
     }
@@ -197,6 +202,18 @@ int main(int argc, char** argv) {
                      "configs/sec", "peak RSS MB"});
   obs::Registry& reg = obs::Registry::global();
 
+  std::ofstream json;
+  if (!json_file.empty()) {
+    json.open(json_file);
+    if (!json.is_open()) {
+      std::cerr << "could not open " << json_file << "\n";
+      return 1;
+    }
+    json << "{\"bench\":\"explore\",\"smoke\":" << (smoke ? "true" : "false")
+         << ",\"rows\":[";
+  }
+  bool first_row = true;
+
   for (int n = min_n; n <= max_n; ++n) {
     consensus::BallotConsensus proto(n, ballot_cap(n));
     std::size_t seq_visited = 0;
@@ -224,6 +241,13 @@ int main(int argc, char** argv) {
           "explore.n" + std::to_string(n) + ".t" + std::to_string(threads);
       reg.gauge(tag + ".configs_per_sec").set(static_cast<std::int64_t>(cps));
       reg.gauge(tag + ".configs").set(static_cast<std::int64_t>(r.visited));
+      if (json.is_open()) {
+        if (!first_row) json << ",";
+        first_row = false;
+        json << "{\"n\":" << n << ",\"threads\":" << threads
+             << ",\"configs\":" << r.visited
+             << ",\"configs_per_sec\":" << cps << "}";
+      }
     }
     reg.gauge("explore.peak_rss_kb").set(obs::peak_rss_kb());
   }
@@ -233,6 +257,10 @@ int main(int argc, char** argv) {
             << "rehash on probe) carry the sequential rows; the parallel rows\n"
             << "add level-synchronous expansion with sharded dedup. Rows with\n"
             << "more threads than cores measure overhead, not speedup.\n";
+  if (json.is_open()) {
+    json << "]}\n";
+    std::cerr << "json: rows -> " << json_file << "\n";
+  }
   if (!stats_file.empty()) {
     std::cerr << "stats: " << obs::stats_sink().lines() << " records -> "
               << stats_file << "\n";

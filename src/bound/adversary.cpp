@@ -47,7 +47,8 @@ SpaceBoundAdversary::Result SpaceBoundAdversary::run_impl() {
                        {.max_configs = opts_.valency_max_configs,
                         .threads = opts_.threads,
                         .max_arena_bytes = opts_.valency_max_arena_bytes,
-                        .time_budget_ms = opts_.valency_time_budget_ms});
+                        .time_budget_ms = opts_.valency_time_budget_ms,
+                        .reuse = opts_.reuse});
   LemmaToolkit lemmas(proto_, oracle);
   lemmas.enable_narrative(opts_.narrative);
 
@@ -56,7 +57,9 @@ SpaceBoundAdversary::Result SpaceBoundAdversary::run_impl() {
     ev.str("protocol", proto_.name())
         .num("n", n)
         .num("registers", proto_.num_registers())
-        .num("threads", opts_.threads);
+        .num("threads", opts_.threads)
+        .boolean("reuse", opts_.reuse)
+        .boolean("symmetric", proto_.symmetric());
     obs::audit_sink().write(ev.render());
   }
 
@@ -132,11 +135,19 @@ SpaceBoundAdversary::Result SpaceBoundAdversary::run_impl() {
   out.lemma_stats = lemmas.stats();
   out.valency_queries = oracle.queries();
   out.valency_cache_hits = oracle.cache_hits();
+  out.reach_expanded = oracle.edges_expanded();
+  out.reach_reused = oracle.edges_reused();
+  out.reach_fact_answers = oracle.fact_answers();
+  out.reach_graph_nodes = oracle.graph_nodes();
   out.narrative = lemmas.narrative();
 
   obs::Registry& reg = obs::Registry::global();
   reg.counter("bound.valency_queries").add(out.valency_queries);
   reg.counter("bound.valency_cache_hits").add(out.valency_cache_hits);
+  reg.counter("bound.reach_expanded").add(out.reach_expanded);
+  reg.counter("bound.reach_reused").add(out.reach_reused);
+  reg.counter("bound.reach_fact_answers").add(out.reach_fact_answers);
+  reg.counter("bound.reach_graph_nodes").add(out.reach_graph_nodes);
   reg.counter("bound.lemma1_calls").add(out.lemma_stats.lemma1_calls);
   reg.counter("bound.lemma3_calls").add(out.lemma_stats.lemma3_calls);
   reg.counter("bound.lemma4_calls").add(out.lemma_stats.lemma4_calls);

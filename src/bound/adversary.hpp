@@ -28,6 +28,10 @@ class SpaceBoundAdversary {
     /// an OOM or a hang.
     std::size_t valency_max_arena_bytes = 0;
     std::uint64_t valency_time_budget_ms = 0;
+    /// Shared-subgraph valency engine (ValencyOracle::Options::reuse).
+    /// Off = the fresh-BFS-per-query backend, kept as the differential
+    /// anchor; identical verdicts and certificates either way.
+    bool reuse = true;
   };
 
   struct Result {
@@ -39,6 +43,11 @@ class SpaceBoundAdversary {
     LemmaToolkit::Stats lemma_stats;
     std::size_t valency_queries = 0;
     std::size_t valency_cache_hits = 0;
+    // Shared-subgraph engine statistics (all zero with Options::reuse off).
+    std::uint64_t reach_expanded = 0;   ///< protocol steps actually paid
+    std::uint64_t reach_reused = 0;     ///< stored edges walked instead
+    std::uint64_t reach_fact_answers = 0;  ///< queries settled by facts alone
+    std::size_t reach_graph_nodes = 0;  ///< projected configs interned
     std::string narrative;  ///< populated when Options::narrative
   };
 

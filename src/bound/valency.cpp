@@ -66,24 +66,66 @@ std::optional<Schedule> ValencyOracle::deciding_schedule(const Config& c,
                 last_lookup_hit_, a.witness_id[v]);
   }
   if (!a.can[v]) return std::nullopt;
-  return a.witness[v];
+  return decanonicalize(a.witness[v], last_perm_);
+}
+
+Schedule ValencyOracle::decanonicalize(const Schedule& s,
+                                       sim::ProcPerm pi) const {
+  if (pi.is_identity()) return s;
+  const sim::ProcPerm inv = pi.inverse();
+  std::vector<sim::ProcId> steps;
+  steps.reserve(s.size());
+  for (const sim::ProcId q : s.steps()) steps.push_back(inv(q));
+  return Schedule(std::move(steps));
+}
+
+void ValencyOracle::check_deadline() const {
+  // Wall-clock watchdog: don't even start a pass past the deadline. Both
+  // backends re-check it mid-pass, so a single long pass cannot hang
+  // either.
+  if (deadline_ != std::chrono::steady_clock::time_point::max() &&
+      std::chrono::steady_clock::now() >= deadline_) {
+    throw util::BudgetExhausted(
+        "valency oracle wall-clock budget exhausted (" +
+        std::to_string(opts_.time_budget_ms) + " ms)");
+  }
 }
 
 const ValencyOracle::PairAnswer& ValencyOracle::lookup(const Config& c,
                                                        ProcSet p) {
   roots_.pack(c, roots_.scratch());
-  const PairKey key{roots_.intern_scratch().id, p.bits()};
-  last_root_id_ = key.root;
+  last_root_id_ = roots_.intern_scratch().id;
+  last_perm_ = sim::ProcPerm::identity();
+  PairKey key{last_root_id_, p.bits()};
+  if (opts_.reuse) {
+    if (!graph_) {
+      graph_ = std::make_unique<sim::ReachGraph>(
+          proto_,
+          sim::ReachGraph::Options{.max_configs = opts_.max_configs,
+                                   .threads = opts_.threads,
+                                   .max_arena_bytes = opts_.max_arena_bytes});
+      graph_->set_deadline(deadline_);
+    }
+    // Memoize on the canonical projected (config, ProcSet-orbit, ambient)
+    // triple, so any two queries the engine cannot distinguish — same
+    // P-states, registers, frozen-process decide bits — share one entry;
+    // audit ids stay in the roots_ space above. Ambient rides in bits the
+    // P mask can never reach (n <= 28 whenever facts/ambient are live).
+    const sim::ReachGraph::Node node = graph_->intern_node(c, p, &last_perm_);
+    key = PairKey{node.id,
+                  node.pbits | (static_cast<std::uint64_t>(node.ambient) << 60)};
+  }
   if (auto it = memo_.find(key); it != memo_.end()) {
     ++cache_hits_;
     last_lookup_hit_ = true;
     return it->second;
   }
   last_lookup_hit_ = false;
-  PairAnswer answer = compute_pair(c, p);
+  PairAnswer answer =
+      opts_.reuse ? compute_pair_shared(c, p) : compute_pair(c, p);
   if (obs::audit_enabled()) {
     obs::JsonObj ev = obs::audit_event("valency.explore");
-    ev.num("config", static_cast<std::int64_t>(key.root))
+    ev.num("config", static_cast<std::int64_t>(last_root_id_))
         .raw("procs", obs::json_int_array(p.to_vector()))
         .boolean("can0", answer.can[0])
         .boolean("can1", answer.can[1]);
@@ -92,18 +134,71 @@ const ValencyOracle::PairAnswer& ValencyOracle::lookup(const Config& c,
   return memo_.emplace(key, std::move(answer)).first->second;
 }
 
+ValencyOracle::PairAnswer ValencyOracle::compute_pair_shared(const Config& c,
+                                                             ProcSet p) {
+  ++explorations_;
+  check_deadline();
+  sim::ProcPerm perm;
+  sim::ReachGraph::QueryResult qr = graph_->query(c, p, &perm);
+  last_perm_ = perm;
+  if (qr.truncated) ever_truncated_ = true;
+
+  PairAnswer answer;
+  bool replay_ok = true;
+  for (int v = 0; v < 2; ++v) {
+    if (!qr.can[v]) continue;
+    answer.can[v] = true;
+    answer.witness_id[v] = qr.witness_id[v];
+    answer.witness[v] = std::move(qr.witness[v]);
+    // De-canonicalized replay through the raw engine: the canonical-frame
+    // witness, translated into the caller's process ids, must decide v
+    // from the *original* configuration. This is the soundness check on
+    // the whole reuse/symmetry machinery, run on every fresh witness.
+    const Schedule w = decanonicalize(answer.witness[v], perm);
+    const Config end = sim::run(proto_, c, w);
+    replay_ok = replay_ok && sim::some_decided(proto_, end, v);
+  }
+
+  if (obs::stats_enabled()) {
+    obs::JsonObj rec;
+    rec.str("type", "valency.reuse")
+        .num("config", static_cast<std::int64_t>(last_root_id_))
+        .raw("procs", obs::json_int_array(p.to_vector()))
+        .num("expanded", static_cast<std::int64_t>(qr.expanded))
+        .num("reused", static_cast<std::int64_t>(qr.reused))
+        .num("visited", static_cast<std::int64_t>(qr.visited))
+        .boolean("from_facts", qr.from_facts)
+        .boolean("truncated", qr.truncated)
+        .boolean("can0", qr.can[0])
+        .boolean("can1", qr.can[1])
+        .boolean("replay_ok", replay_ok)
+        .num("graph_nodes", static_cast<std::int64_t>(graph_->nodes()))
+        .num("facts", static_cast<std::int64_t>(graph_->fact_entries()));
+    obs::stats_sink().write(rec.render());
+    if (graph_->symmetric()) {
+      obs::JsonObj orb;
+      orb.str("type", "canonical.orbit")
+          .num("config", static_cast<std::int64_t>(last_root_id_))
+          .num("canonical",
+               static_cast<std::int64_t>(graph_->intern_node(c, p, nullptr).id))
+          .raw("procs", obs::json_int_array(p.to_vector()))
+          .boolean("identity", perm.is_identity());
+      obs::stats_sink().write(orb.render());
+    }
+  }
+  // The record above is written first so `tsb report` can flag the failure
+  // from artifacts even though the run itself dies right here.
+  TSB_REQUIRE(replay_ok,
+              "shared-graph witness failed de-canonicalized replay — "
+              "reachability engine or a Protocol::symmetric() declaration "
+              "is unsound");
+  return answer;
+}
+
 ValencyOracle::PairAnswer ValencyOracle::compute_pair(const Config& c,
                                                       ProcSet p) {
   ++explorations_;
-  // Wall-clock watchdog: don't even start a pass past the deadline. The
-  // explorers re-check it mid-pass, so a single long pass cannot hang
-  // either.
-  if (deadline_ != std::chrono::steady_clock::time_point::max() &&
-      std::chrono::steady_clock::now() >= deadline_) {
-    throw util::BudgetExhausted(
-        "valency oracle wall-clock budget exhausted (" +
-        std::to_string(opts_.time_budget_ms) + " ms)");
-  }
+  check_deadline();
   const int n = proto_.num_processes();
   sim::ConfigId found[2] = {sim::kNoConfig, sim::kNoConfig};
   // One pass answers both values: scan each visited configuration for

@@ -2,11 +2,13 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
 #include "sim/explorer.hpp"
 #include "sim/parallel_explorer.hpp"
+#include "sim/reach_graph.hpp"
 
 namespace tsb::bound {
 
@@ -25,14 +27,28 @@ using sim::Value;
 /// reachability, which terminates because the experiment protocols have
 /// finite configuration spaces.
 ///
-/// Exploration is shared between the two values: one BFS pass per (C, P)
-/// answers both v = 0 and v = 1 (it runs until a deciding configuration for
-/// each value is found, or the P-only space is exhausted), and the deciding
-/// witnesses are extracted from the same pass. Results are memoized per
-/// (C, P) pair, keyed on an interned 32-bit id of C rather than a full
-/// configuration copy — so querying the complementary value, or asking for
-/// a witness after a decidability check (the lemma searches do both,
-/// constantly), never explores again.
+/// Two interchangeable backends answer a (C, P) pair (both values in one
+/// pass, witnesses extracted from the same pass):
+///
+///  * reuse = true (default): the persistent shared-subgraph engine
+///    (sim::ReachGraph), which explores the *projection* of the
+///    configuration onto (P-states, registers, ambient decide bits) — the
+///    exact quantities P-only dynamics and Definition 1 verdicts depend
+///    on. Successor edges expand at most once per session, queries consume
+///    previously expanded subgraphs, exhaustive passes persist per-node
+///    decided-value facts that answer later queries without any expansion,
+///    and symmetric protocols are additionally quotiented by process
+///    renaming. The memo keys on the canonical projected
+///    (ConfigId, ProcSet-orbit, ambient) triple, so any two queries the
+///    projection cannot distinguish share one entry — including the lemma
+///    peel loops' neighbours, whose roots differ only in frozen-process
+///    state; audit events keep reporting ids in the oracle's own root
+///    arena. Every freshly computed witness is de-canonicalized and
+///    replayed through the raw engine from the *original* configuration
+///    before it is memoized.
+///
+///  * reuse = false: the original fresh-BFS-per-pair backend (Explorer /
+///    ParallelExplorer), kept as the differential-testing anchor.
 ///
 /// A value counts as "decided in the execution" if some process is in a
 /// decided state at any configuration along it, including C itself —
@@ -43,16 +59,21 @@ class ValencyOracle {
   struct Options {
     std::size_t max_configs = 2'000'000;
     /// Worker threads for each reachability pass; > 1 switches to the
-    /// ParallelExplorer (identical results, see its determinism rule).
+    /// ParallelExplorer (reuse = false) or the engine's level-batched
+    /// expansion (reuse = true). Identical results either way.
     int threads = 1;
     /// Graceful-degradation budgets. When a reachability pass would push
     /// the arena past `max_arena_bytes` (0 = uncapped), or any pass runs
     /// past `time_budget_ms` of wall clock measured from the oracle's
     /// construction (0 = no watchdog), the query throws
     /// util::BudgetExhausted rather than returning an unsound negative
-    /// answer or OOMing/hanging.
+    /// answer or OOMing/hanging. With reuse = true the byte budget covers
+    /// the whole persistent graph (cumulative across queries), since the
+    /// shared graph is precisely what holds the memory.
     std::size_t max_arena_bytes = 0;
     std::uint64_t time_budget_ms = 0;
+    /// Shared-subgraph engine on/off (see class comment).
+    bool reuse = true;
   };
 
   explicit ValencyOracle(const Protocol& proto)
@@ -85,8 +106,10 @@ class ValencyOracle {
   Value some_decidable(const Config& c, ProcSet p);
 
   /// A P-only schedule from C in which v is decided (witness for
-  /// can_decide): the BFS-first deciding configuration's discovery path,
-  /// cached from the same shared exploration that answered can_decide.
+  /// can_decide). With reuse = false this is the BFS-first deciding
+  /// configuration's discovery path; with reuse = true it is the engine's
+  /// (possibly fact-chased) witness, de-canonicalized into the caller's
+  /// process ids and replay-verified before memoization.
   std::optional<Schedule> deciding_schedule(const Config& c, ProcSet p,
                                             Value v);
 
@@ -97,15 +120,37 @@ class ValencyOracle {
 
   std::size_t queries() const { return queries_; }
   std::size_t cache_hits() const { return cache_hits_; }
-  /// Underlying BFS passes actually run (each covers both values of one
-  /// (C, P) pair); queries() - cache_hits() public misses map 1:1 onto
-  /// pair lookups, of which this many missed the memo.
+  /// Underlying reachability passes actually run (each covers both values
+  /// of one (C, P) pair); queries() - cache_hits() public misses map 1:1
+  /// onto pair lookups, of which this many missed the memo.
   std::size_t explorations() const { return explorations_; }
+
+  // Shared-subgraph engine statistics (all 0 when reuse = false or no
+  // query has run yet).
+  bool reuse_enabled() const { return opts_.reuse; }
+  std::uint64_t edges_expanded() const {
+    return graph_ ? graph_->edges_expanded() : 0;
+  }
+  std::uint64_t edges_reused() const {
+    return graph_ ? graph_->edges_reused() : 0;
+  }
+  /// Pair computations answered entirely from persisted facts.
+  std::uint64_t fact_answers() const {
+    return graph_ ? graph_->fact_answers() : 0;
+  }
+  std::size_t graph_nodes() const { return graph_ ? graph_->nodes() : 0; }
+  std::size_t fact_entries() const {
+    return graph_ ? graph_->fact_entries() : 0;
+  }
+  /// True when the engine runs in symmetry-quotient mode.
+  bool engine_symmetric() const { return graph_ && graph_->symmetric(); }
 
   /// Intern `c` in the oracle's root arena and return its stable 32-bit id
   /// — the id space the audit trail's valency events use as "config", so
   /// lemma/adversary emitters can cross-link configurations to the queries
-  /// asked about them without copying configurations into the log.
+  /// asked about them without copying configurations into the log. This id
+  /// space is the *original* one: canonicalization never leaks into the
+  /// audit trail's config ids.
   sim::ConfigId intern_root(const Config& c) {
     roots_.pack(c, roots_.scratch());
     return roots_.intern_scratch().id;
@@ -114,10 +159,15 @@ class ValencyOracle {
  private:
   struct PairAnswer {
     bool can[2] = {false, false};
-    Schedule witness[2];  ///< meaningful iff can[v]
-    /// BFS-discovery id of the deciding configuration inside the pass that
-    /// answered this pair (kNoConfig when !can[v]); recorded in the audit
-    /// trail so a query's verdict points at its witness.
+    /// Meaningful iff can[v]. With reuse = true this is stored in the
+    /// canonical-root frame; public accessors de-canonicalize through the
+    /// current lookup's renaming (equivariance: symmetric queries share
+    /// the memo entry and each translates it into its own frame).
+    Schedule witness[2];
+    /// Id of the deciding configuration (kNoConfig when !can[v]) — pass-
+    /// local discovery id for reuse = false, engine arena id for
+    /// reuse = true; recorded in the audit trail so a query's verdict
+    /// points at its witness.
     sim::ConfigId witness_id[2] = {sim::kNoConfig, sim::kNoConfig};
   };
   struct PairKey {
@@ -132,22 +182,28 @@ class ValencyOracle {
   /// Memoized shared-exploration answer for (c, p).
   const PairAnswer& lookup(const Config& c, ProcSet p);
   PairAnswer compute_pair(const Config& c, ProcSet p);
+  PairAnswer compute_pair_shared(const Config& c, ProcSet p);
+  Schedule decanonicalize(const Schedule& s, sim::ProcPerm pi) const;
+  void check_deadline() const;
 
   const Protocol& proto_;
   Options opts_;
-  sim::ConfigArena roots_;  ///< interns query roots for 32-bit memo keys
+  sim::ConfigArena roots_;  ///< interns query roots for audit-stable ids
   std::unordered_map<PairKey, PairAnswer, PairKeyHash> memo_;
-  std::optional<sim::Explorer> seq_;          ///< reused across queries
+  std::optional<sim::Explorer> seq_;          ///< reuse = false backends,
   std::optional<sim::ParallelExplorer> par_;  ///< reused across queries
+  std::unique_ptr<sim::ReachGraph> graph_;    ///< reuse = true backend
   std::chrono::steady_clock::time_point deadline_ =
       std::chrono::steady_clock::time_point::max();
   bool ever_truncated_ = false;
   std::size_t queries_ = 0;
   std::size_t cache_hits_ = 0;
   std::size_t explorations_ = 0;
-  // Set by lookup() for the audit events the public queries emit.
+  // Set by lookup() for the audit events and witness translation the
+  // public queries do.
   bool last_lookup_hit_ = false;
   sim::ConfigId last_root_id_ = sim::kNoConfig;
+  sim::ProcPerm last_perm_;  ///< caller frame -> canonical frame
 };
 
 }  // namespace tsb::bound

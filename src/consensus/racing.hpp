@@ -56,6 +56,10 @@ class RacingConsensus final : public sim::Protocol {
   std::string name() const override;
   int num_processes() const override { return n_; }
   int num_registers() const override { return n_; }
+  /// Every transition below ignores its ProcId parameter: processes are
+  /// distinguished only by their states, so process renaming is an
+  /// automorphism and the canonicalizing engine may quotient by it.
+  bool symmetric() const override { return true; }
   sim::State initial_state(sim::ProcId p, sim::Value input) const override;
   sim::PendingOp poised(sim::ProcId p, sim::State s) const override;
   sim::State after_read(sim::ProcId p, sim::State s,

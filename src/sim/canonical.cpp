@@ -1,0 +1,65 @@
+#include "sim/canonical.hpp"
+
+#include <cassert>
+
+namespace tsb::sim {
+
+ProcPerm canonicalize_states(Value* states, int n) {
+  assert(n <= ProcPerm::kMaxProcs);
+  // Stable insertion sort of (state, original index) pairs. n <= 8, and the
+  // engine calls this once per expanded edge, so the quadratic worst case is
+  // at most 28 compares — cheaper than std::stable_sort's dispatch.
+  Value v[ProcPerm::kMaxProcs];
+  std::uint8_t src[ProcPerm::kMaxProcs];  // src[slot] = original process
+  for (int i = 0; i < n; ++i) {
+    const Value x = states[i];
+    int j = i;
+    while (j > 0 && v[j - 1] > x) {
+      v[j] = v[j - 1];
+      src[j] = src[j - 1];
+      --j;
+    }
+    v[j] = x;
+    src[j] = static_cast<std::uint8_t>(i);
+  }
+  ProcPerm pi;
+  for (int slot = 0; slot < n; ++slot) {
+    states[slot] = v[slot];
+    pi.set(src[slot], slot);
+  }
+  return pi;
+}
+
+ProcPerm refine_procset(const Value* sorted_states, int n, ProcSet p,
+                        ProcSet* canonical) {
+  assert(n <= ProcPerm::kMaxProcs);
+  ProcPerm tau;
+  std::uint64_t out = 0;
+  int i = 0;
+  while (i < n) {
+    int j = i + 1;
+    while (j < n && sorted_states[j] == sorted_states[i]) ++j;
+    // Run [i, j) of equal states: members of p take slots i..i+k-1 in
+    // relative order, non-members the rest. Relative order is preserved on
+    // both sides so tau is deterministic.
+    int next_member = i;
+    int next_other = i;
+    for (int q = i; q < j; ++q) {
+      if (p.contains(q)) ++next_other;
+    }
+    const int members_end = next_other;
+    for (int q = i; q < j; ++q) {
+      if (p.contains(q)) {
+        tau.set(q, next_member++);
+      } else {
+        tau.set(q, next_other++);
+      }
+    }
+    if (members_end > i) out |= ((1ull << (members_end - i)) - 1ull) << i;
+    i = j;
+  }
+  *canonical = ProcSet(out);
+  return tau;
+}
+
+}  // namespace tsb::sim

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/value.hpp"
+#include "util/proc_set.hpp"
+
+namespace tsb::sim {
+
+using util::ProcSet;
+
+/// Process-permutation canonicalization for symmetric (process-oblivious)
+/// protocols.
+///
+/// When Protocol::symmetric() holds, poised()/after_*()/initial_state()
+/// ignore their ProcId argument, so every renaming pi of the processes is an
+/// automorphism of the step relation: permuting the *states* component of a
+/// configuration (registers are global and untouched) maps executions to
+/// executions step for step. Configurations in the same orbit therefore have
+/// identical valency behaviour, and the reachability engine only ever needs
+/// one representative per orbit — a visited-set reduction of up to n!.
+///
+/// The canonical representative is the configuration whose state words are
+/// sorted ascending. Sorting is *stable* so the renaming is deterministic,
+/// and the full packed word sequence (states then registers) is what gets
+/// interned, so two configurations collide exactly when their sorted states
+/// AND their register contents agree — the renaming is register-content
+/// aware in the sense that registers stay part of the identity, they are
+/// just never permuted.
+///
+/// Queries are about a *pair* (C, P), and P breaks the symmetry: renaming is
+/// only sound if P is translated along. canonicalize_states() returns the
+/// renaming so callers can map process sets and de-canonicalize witness
+/// schedules; refine_procset() then picks the orbit-canonical member set
+/// among processes with equal states (see its contract).
+
+/// A permutation of process ids for n <= kMaxProcs, packed one image per
+/// byte: byte p holds pi(p). Slots >= n are identity so composition and
+/// inversion can work on all 8 lanes unconditionally.
+class ProcPerm {
+ public:
+  static constexpr int kMaxProcs = 8;
+
+  constexpr ProcPerm() : packed_(kIdentityBits) {}
+  constexpr explicit ProcPerm(std::uint64_t packed) : packed_(packed) {}
+
+  static constexpr ProcPerm identity() { return ProcPerm(); }
+
+  constexpr int operator()(int p) const {
+    return static_cast<int>((packed_ >> (8 * p)) & 0xFF);
+  }
+  constexpr void set(int p, int image) {
+    packed_ = (packed_ & ~(0xFFull << (8 * p))) |
+              (static_cast<std::uint64_t>(image) << (8 * p));
+  }
+
+  constexpr bool is_identity() const { return packed_ == kIdentityBits; }
+  constexpr std::uint64_t packed() const { return packed_; }
+  constexpr bool operator==(const ProcPerm&) const = default;
+
+  ProcPerm inverse() const {
+    ProcPerm inv;
+    for (int p = 0; p < kMaxProcs; ++p) inv.set((*this)(p), p);
+    return inv;
+  }
+
+  /// Composition "a then b": compose(a, b)(p) == b(a(p)).
+  static ProcPerm compose(ProcPerm a, ProcPerm b) {
+    ProcPerm out;
+    for (int p = 0; p < kMaxProcs; ++p) out.set(p, b(a(p)));
+    return out;
+  }
+
+  /// Image of a process set: { pi(p) : p in s }.
+  ProcSet apply(ProcSet s) const {
+    std::uint64_t out = 0;
+    s.for_each([&](int p) { out |= 1ull << (*this)(p); });
+    return ProcSet(out);
+  }
+
+ private:
+  // Identity packing: byte p holds p.
+  static constexpr std::uint64_t kIdentityBits = 0x0706050403020100ull;
+
+  std::uint64_t packed_;
+};
+
+/// Stable-sort states[0..n) ascending in place; returns the renaming pi
+/// with sorted[pi(p)] = original state of p. n <= ProcPerm::kMaxProcs.
+ProcPerm canonicalize_states(Value* states, int n);
+
+/// Orbit-canonical form of a process set over already-sorted states.
+///
+/// Processes with equal states are interchangeable, so (C~, P1) and
+/// (C~, P2) are the same query whenever P1 and P2 pick the same *number* of
+/// members from each run of equal states. The canonical member set takes
+/// the lowest slots of each run; the returned tau permutes only within
+/// runs of equal states (so it fixes the sorted configuration) and maps the
+/// given set onto the canonical one: tau.apply(p) == *canonical.
+ProcPerm refine_procset(const Value* sorted_states, int n, ProcSet p,
+                        ProcSet* canonical);
+
+}  // namespace tsb::sim

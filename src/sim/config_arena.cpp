@@ -7,11 +7,13 @@ namespace tsb::sim {
 namespace {
 constexpr std::size_t kInitialSlots = 1u << 10;
 
-// splitmix64 finalizer: full-avalanche mix of one word into the running
-// hash. Cheaper and better distributed than repeated hash_combine for the
-// fixed-width word sequences the arena stores.
-inline std::uint64_t mix(std::uint64_t h, std::uint64_t w) {
-  h += 0x9e3779b97f4a7c15ull + w;
+// splitmix64 finalizer: one full-avalanche pass over the accumulated
+// hash. The per-word step is a single xor-multiply (FNV-ish) — one mul of
+// latency per word instead of three — and this finalizer restores
+// avalanche in both the low bits (bucket index) and the high bits (slot
+// tag). Interning is the engines' single hottest function; the hash runs
+// once per protocol step ever taken.
+inline std::uint64_t finalize(std::uint64_t h) {
   h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
   h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
   return h ^ (h >> 31);
@@ -27,6 +29,8 @@ ConfigArena::ConfigArena(int num_states, int num_regs)
       table_(kInitialSlots),
       mask_(kInitialSlots - 1) {
   assert(num_states > 0 && num_regs >= 0);
+  shift_ = 64;
+  for (std::size_t s = kInitialSlots; s > 1; s >>= 1) --shift_;
 }
 
 void ConfigArena::clear() {
@@ -47,22 +51,39 @@ void ConfigArena::pack(const Config& c, Value* dst) const {
 std::uint64_t ConfigArena::hash_words(const Value* w) const {
   std::uint64_t h = 0x5bd1e995u;
   for (std::size_t i = 0; i < words_; ++i) {
-    h = mix(h, static_cast<std::uint64_t>(w[i]));
+    h = (h ^ static_cast<std::uint64_t>(w[i])) * 0x100000001b3ull;
   }
-  return h;
+  return finalize(h);
 }
 
 void ConfigArena::grow_table() {
+  // High-bit bucket indexing makes growth a single sequential pass: each
+  // entry's new bucket is a prefix of its stored tag, so nothing is
+  // rehashed and the word store is never touched. The only random access
+  // is the destination write, which the lookahead prefetch below covers.
   std::vector<Slot> bigger(table_.size() * 2);
   const std::size_t mask = bigger.size() - 1;
-  for (const Slot& s : table_) {
+  const int shift = shift_ - 1;
+  const int tag_shift = shift - 32;  // >= 0 while the table has < 2^32 slots
+  const std::size_t nslots = table_.size();
+  constexpr std::size_t kAhead = 8;
+  for (std::size_t j = 0; j < nslots; ++j) {
+    if (j + kAhead < nslots) {
+      const Slot& a = table_[j + kAhead];
+      if (a.id != kNoConfig) {
+        __builtin_prefetch(
+            bigger.data() + (static_cast<std::size_t>(a.tag) >> tag_shift), 1);
+      }
+    }
+    const Slot& s = table_[j];
     if (s.id == kNoConfig) continue;
-    std::size_t i = s.hash & mask;
+    std::size_t i = static_cast<std::size_t>(s.tag) >> tag_shift;
     while (bigger[i].id != kNoConfig) i = (i + 1) & mask;
     bigger[i] = s;
   }
   table_ = std::move(bigger);
   mask_ = mask;
+  shift_ = shift;
 }
 
 ConfigId ConfigArena::append_words(const Value* w) {
@@ -72,33 +93,38 @@ ConfigId ConfigArena::append_words(const Value* w) {
   return id;
 }
 
-ConfigArena::Interned ConfigArena::intern_scratch() {
+ConfigArena::Interned ConfigArena::intern_words(const Value* w) {
+  return intern_prehashed(w, hash_words(w));
+}
+
+ConfigArena::Interned ConfigArena::intern_prehashed(const Value* w,
+                                                    std::uint64_t h) {
   // Keep the load factor below 0.7 (growth check before the probe so slot
   // references stay valid through the insertion).
   if ((count_ + 1) * 10 >= table_.size() * 7) grow_table();
-  const Value* w = scratch_.data();
-  const std::uint64_t h = hash_words(w);
-  std::size_t i = h & mask_;
+  const std::uint32_t tag = static_cast<std::uint32_t>(h >> 32);
+  std::size_t i = h >> shift_;
   while (true) {
     Slot& s = table_[i];
     if (s.id == kNoConfig) {
       const ConfigId id = append_words(w);
-      s.hash = h;
+      s.tag = tag;
       s.id = id;
       return {id, true};
     }
-    if (s.hash == h && words_equal(words(s.id), w)) return {s.id, false};
+    if (s.tag == tag && words_equal(words(s.id), w)) return {s.id, false};
     i = (i + 1) & mask_;
   }
 }
 
 ConfigId ConfigArena::find(const Value* w) const {
   const std::uint64_t h = hash_words(w);
-  std::size_t i = h & mask_;
+  const std::uint32_t tag = static_cast<std::uint32_t>(h >> 32);
+  std::size_t i = h >> shift_;
   while (true) {
     const Slot& s = table_[i];
     if (s.id == kNoConfig) return kNoConfig;
-    if (s.hash == h && words_equal(words(s.id), w)) return s.id;
+    if (s.tag == tag && words_equal(words(s.id), w)) return s.id;
     i = (i + 1) & mask_;
   }
 }

@@ -48,11 +48,14 @@ inline std::optional<Value> decision_of(const Protocol& proto,
 /// A configuration of an (n, m) protocol is exactly n state words followed
 /// by m register words; the arena stores them back to back in one
 /// contiguous allocation and deduplicates through an open-addressing hash
-/// table whose slots carry the full 64-bit hash, so a probe rehashes
-/// nothing and touches the word data only on a hash match. Compared with
-/// `std::unordered_map<Config, ...>` (two heap vectors plus a node per
-/// entry) this is ~3x smaller and removes every per-configuration
-/// allocation from the explorer's hot loop.
+/// table of 8-byte slots (a 32-bit hash tag plus the id), so a probe
+/// touches the word data only on a tag match and the table stays half the
+/// size a full-hash layout would need — at tens of millions of interned
+/// configurations the table is the hot-loop cache footprint. Growth
+/// re-derives each slot's bucket by rehashing its words from the store.
+/// Compared with `std::unordered_map<Config, ...>` (two heap vectors plus
+/// a node per entry) this is far smaller and removes every
+/// per-configuration allocation from the explorer's hot loop.
 ///
 /// Usage: build the next configuration's words in scratch(), then
 /// intern_scratch(). The id space is dense and insertion-ordered.
@@ -84,7 +87,25 @@ class ConfigArena {
     bool inserted;  ///< false: already present, id is the prior copy's
   };
   /// Intern the scratch buffer's configuration.
-  Interned intern_scratch();
+  Interned intern_scratch() { return intern_words(scratch_.data()); }
+
+  /// Intern an externally staged word sequence (words_per_config() words).
+  /// `w` must not alias the arena's own word store — insertions may
+  /// reallocate it. The reachability engine's batched expansion stages
+  /// successor words in per-slot buffers and interns them through this.
+  Interned intern_words(const Value* w);
+
+  /// intern_words with the hash precomputed (must be hash_words(w)). Pair
+  /// with prefetch(): callers that stage several configurations before
+  /// interning any of them can overlap the table's cache misses, which
+  /// dominate interning once the table outgrows the cache.
+  Interned intern_prehashed(const Value* w, std::uint64_t h);
+
+  /// Hint the CPU to pull the hash's home slot into cache ahead of
+  /// intern_prehashed / find on the same hash. Never faults.
+  void prefetch(std::uint64_t h) const {
+    __builtin_prefetch(table_.data() + (h >> shift_));
+  }
 
   /// Lookup without insertion; kNoConfig if absent.
   ConfigId find(const Value* w) const;
@@ -121,8 +142,12 @@ class ConfigArena {
   }
 
  private:
+  /// Buckets are the hash's top log2(table size) bits — a prefix of the
+  /// stored tag — so growth re-derives every bucket from tags alone: one
+  /// sequential read pass, no rehashing of word data. (Holds while the
+  /// table has <= 2^32 slots; the 32-bit id space runs out first.)
   struct Slot {
-    std::uint64_t hash = 0;
+    std::uint32_t tag = 0;  ///< top 32 hash bits; full equality is by words
     ConfigId id = kNoConfig;
   };
 
@@ -135,7 +160,8 @@ class ConfigArena {
   std::vector<Value> data_;     ///< count_ * words_ packed words
   std::vector<Value> scratch_;  ///< words_ staging words
   std::vector<Slot> table_;     ///< open addressing, power-of-two size
-  std::size_t mask_ = 0;
+  std::size_t mask_ = 0;        ///< table size - 1 (probe wrap)
+  int shift_ = 0;               ///< 64 - log2(table size) (bucket index)
 };
 
 }  // namespace tsb::sim

@@ -44,6 +44,15 @@ class Protocol {
   /// same in all initial configurations (independent of inputs).
   virtual Value initial_register() const { return kEmptyRegister; }
 
+  /// True if the protocol is process-oblivious ("anonymous"):
+  /// initial_state(), poised() and after_*() ignore their ProcId argument,
+  /// so every renaming of the processes is an automorphism of the step
+  /// relation. The reachability engine exploits this with canonical forms
+  /// (sim/canonical.hpp), shrinking visited sets by up to n! — declaring
+  /// symmetry for a protocol that does consult process ids is UNSOUND; the
+  /// engine replay-verifies de-canonicalized witnesses to catch it.
+  virtual bool symmetric() const { return false; }
+
   /// Initial local state of process p with input `input`.
   virtual State initial_state(ProcId p, Value input) const = 0;
 

@@ -1,0 +1,575 @@
+#include "sim/reach_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "obs/progress.hpp"
+#include "util/require.hpp"
+
+namespace tsb::sim {
+
+namespace {
+inline std::uint64_t mix64(std::uint64_t h) {
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+}  // namespace
+
+// ---------------------------------------------------------------- FactMap
+
+const std::uint32_t* ReachGraph::FactMap::find(std::uint64_t key) const {
+  if (slots_.empty()) return nullptr;
+  std::size_t i = mix64(key) & mask_;
+  while (true) {
+    const Slot& s = slots_[i];
+    if (s.key == 0) return nullptr;
+    if (s.key == key) return &s.val;
+    i = (i + 1) & mask_;
+  }
+}
+
+std::uint32_t& ReachGraph::FactMap::at_or_insert(std::uint64_t key) {
+  if (slots_.empty() || (count_ + 1) * 10 >= slots_.size() * 7) grow();
+  std::size_t i = mix64(key) & mask_;
+  while (true) {
+    Slot& s = slots_[i];
+    if (s.key == 0) {
+      s.key = key;
+      ++count_;
+      return s.val;
+    }
+    if (s.key == key) return s.val;
+    i = (i + 1) & mask_;
+  }
+}
+
+void ReachGraph::FactMap::grow() {
+  const std::size_t cap = slots_.empty() ? 1024 : slots_.size() * 2;
+  std::vector<Slot> bigger(cap);
+  const std::size_t mask = cap - 1;
+  for (const Slot& s : slots_) {
+    if (s.key == 0) continue;
+    std::size_t i = mix64(s.key) & mask;
+    while (bigger[i].key != 0) i = (i + 1) & mask;
+    bigger[i] = s;
+  }
+  slots_ = std::move(bigger);
+  mask_ = mask;
+}
+
+// -------------------------------------------------------------- ReachGraph
+
+ReachGraph::ReachGraph(const Protocol& proto, Options opts)
+    : proto_(proto),
+      opts_(opts),
+      n_(proto.num_processes()),
+      words_(static_cast<std::size_t>(proto.num_processes()) +
+             static_cast<std::size_t>(proto.num_registers())),
+      sym_(proto.symmetric() && proto.num_processes() <= ProcPerm::kMaxProcs),
+      // Fact keys pack P and the ambient bits above the 32-bit id; for
+      // n > 28 (no experiment goes near it) facts are simply disabled —
+      // edge reuse still works.
+      facts_on_(proto.num_processes() <= 28),
+      arena_(proto.num_processes(), proto.num_registers()),
+      stage_(words_, 0),
+      exp_words_(words_ * static_cast<std::size_t>(proto.num_processes()), 0) {
+  if (opts_.threads > 1) {
+    pool_ = std::make_unique<util::WorkerPool>(opts_.threads);
+  }
+}
+
+std::size_t ReachGraph::memory_bytes() const {
+  return arena_.memory_bytes() + decide_flags_.capacity() +
+         succ_.capacity() * sizeof(ConfigId) +
+         succ_perm_.capacity() * sizeof(std::uint64_t) + facts_.memory_bytes() +
+         entries_.capacity() * sizeof(Entry) +
+         entry_perm_.capacity() * sizeof(ProcPerm) +
+         edges_.capacity() * sizeof(EdgeRec) +
+         (mark_epoch_.capacity() + mark_idx_.capacity()) *
+             sizeof(std::uint32_t);
+}
+
+void ReachGraph::check_budget() {
+  if (opts_.max_arena_bytes != 0 && memory_bytes() >= opts_.max_arena_bytes) {
+    throw util::BudgetExhausted(
+        "reachability engine memory budget exhausted (" +
+        std::to_string(opts_.max_arena_bytes) +
+        " bytes; the shared graph is cumulative across queries)");
+  }
+  if (deadline_ != std::chrono::steady_clock::time_point::max() &&
+      std::chrono::steady_clock::now() >= deadline_) {
+    throw util::BudgetExhausted(
+        "valency wall-clock budget exhausted during a shared-graph query");
+  }
+}
+
+void ReachGraph::register_config(ConfigId id) {
+  decide_flags_.resize(arena_.size(), 0);
+  succ_.resize(arena_.size() * static_cast<std::size_t>(n_), kUnexpanded);
+  if (sym_) {
+    succ_perm_.resize(arena_.size() * static_cast<std::size_t>(n_),
+                      ProcPerm::identity().packed());
+  }
+  // Decide scan happens once per configuration ever (the fresh-BFS oracle
+  // pays it once per visit per pass); decided processes get their "no edge"
+  // marker now so expansion never re-derives it. Masked slots are frozen
+  // processes outside the projection's P — their (query-constant) decide
+  // contribution is query_ambient_, not a per-node flag.
+  const Value* st = arena_.words(id);
+  std::uint8_t flags = 0;
+  for (int q = 0; q < n_; ++q) {
+    if (st[q] == kMaskedState) continue;
+    const PendingOp op = proto_.poised(q, st[q]);
+    if (!op.is_decide()) continue;
+    if (op.value == 0 || op.value == 1) {
+      flags |= static_cast<std::uint8_t>(1u << op.value);
+    }
+    succ_[static_cast<std::size_t>(id) * n_ + q] = kNoConfig;
+  }
+  decide_flags_[id] = flags;
+}
+
+ReachGraph::Node ReachGraph::intern_node(const Config& c, ProcSet p,
+                                         ProcPerm* perm_out) {
+  arena_.pack(c, stage_.data());
+  // Project: ambient decide bits from the frozen processes, then mask
+  // their state slots so nodes are shared by every query whose root agrees
+  // on (P-states, registers) — the whole of what P-only dynamics see.
+  std::uint8_t ambient = 0;
+  for (int q = 0; q < n_; ++q) {
+    if (p.contains(q)) continue;
+    const PendingOp op = proto_.poised(q, stage_[static_cast<std::size_t>(q)]);
+    if (op.is_decide() && (op.value == 0 || op.value == 1)) {
+      ambient |= static_cast<std::uint8_t>(1u << op.value);
+    }
+    stage_[static_cast<std::size_t>(q)] = kMaskedState;
+  }
+  ProcPerm pi;
+  std::uint64_t pbits = p.bits();
+  if (sym_) {
+    const ProcPerm rho = canonicalize_states(stage_.data(), n_);
+    ProcSet pc;
+    const ProcPerm tau = refine_procset(stage_.data(), n_, rho.apply(p), &pc);
+    pi = ProcPerm::compose(rho, tau);
+    pbits = pc.bits();
+  }
+  const auto [id, inserted] = arena_.intern_words(stage_.data());
+  if (inserted) register_config(id);
+  if (perm_out) *perm_out = pi;
+  return Node{id, pbits, ambient};
+}
+
+void ReachGraph::compute_successor(ConfigId id, int q, Value* out,
+                                   ProcPerm* sigma) const {
+  std::memcpy(out, arena_.words(id), words_ * sizeof(Value));
+  // register_config() pre-marked decided processes kNoConfig, so the op
+  // here is never a decide.
+  const PendingOp op = proto_.poised(q, out[q]);
+  apply_op(proto_, op, q, out, out + n_);
+  *sigma = sym_ ? canonicalize_states(out, n_) : ProcPerm::identity();
+}
+
+ConfigId ReachGraph::expand_edge(ConfigId id, int q, ProcPerm* sigma) {
+  const std::size_t ei = static_cast<std::size_t>(id) * n_ + q;
+  const Value* buf = nullptr;
+  if (pool_) {
+    if (auto it = batch_index_.find(ei); it != batch_index_.end()) {
+      buf = batch_words_.data() + static_cast<std::size_t>(it->second) * words_;
+      *sigma = ProcPerm(batch_perms_[it->second]);
+    }
+  }
+  if (!buf) {
+    compute_successor(id, q, stage_.data(), sigma);
+    buf = stage_.data();
+  }
+  const auto [sid, inserted] = arena_.intern_words(buf);
+  if (inserted) register_config(sid);
+  succ_[ei] = sid;
+  if (sym_) succ_perm_[ei] = sigma->packed();
+  ++edges_expanded_;
+  return sid;
+}
+
+void ReachGraph::precompute_level(std::uint32_t lo, std::uint32_t hi) {
+  // Collect the level's unexpanded edges, then compute their successor
+  // words/renamings on the pool. Interning still happens on the query
+  // thread in inline order, so ids and discovery order are bit-identical
+  // to threads == 1; on early exit the precomputed leftovers are simply
+  // never interned.
+  batch_index_.clear();
+  std::uint32_t count = 0;
+  for (std::uint32_t i = lo; i < hi; ++i) {
+    const Entry& e = entries_[i];
+    if ((e.fact & 0x3) == 0x3) continue;  // pruned at dequeue
+    const std::uint64_t pb = sym_ ? e.pbits : query_pbits_;
+    ProcSet(pb).for_each([&](int q) {
+      const std::uint64_t ei = static_cast<std::uint64_t>(e.id) * n_ + q;
+      if (succ_[ei] != kUnexpanded) return;
+      if (batch_index_.try_emplace(ei, count).second) ++count;
+    });
+  }
+  if (count == 0) return;
+  batch_keys_.resize(count);
+  for (const auto& [key, slot] : batch_index_) batch_keys_[slot] = key;
+  batch_words_.resize(static_cast<std::size_t>(count) * words_);
+  batch_perms_.resize(count);
+  const int workers = pool_->size();
+  pool_->run([&](int w) {
+    for (std::uint32_t slot = static_cast<std::uint32_t>(w); slot < count;
+         slot += static_cast<std::uint32_t>(workers)) {
+      const std::uint64_t key = batch_keys_[slot];
+      ProcPerm sigma;
+      compute_successor(static_cast<ConfigId>(key / n_),
+                        static_cast<int>(key % n_),
+                        batch_words_.data() +
+                            static_cast<std::size_t>(slot) * words_,
+                        &sigma);
+      batch_perms_[slot] = sigma.packed();
+    }
+  });
+}
+
+void ReachGraph::ensure_marks(ConfigId id) {
+  if (static_cast<std::size_t>(id) < mark_epoch_.size()) return;
+  // Geometric growth: ids arrive in insertion order, so growing to the
+  // arena's size exactly would mean one resize call per new configuration.
+  const std::size_t ns = std::max(arena_.size(), mark_epoch_.size() * 2);
+  mark_epoch_.resize(ns, 0);
+  mark_idx_.resize(ns, kNoEntry);
+}
+
+ReachGraph::QueryResult ReachGraph::query(const Config& c, ProcSet p,
+                                          ProcPerm* perm_out) {
+  check_budget();
+  QueryResult res;
+  ProcPerm pi0;
+  const Node root = intern_node(c, p, &pi0);
+  if (perm_out) *perm_out = pi0;
+  query_pbits_ = root.pbits;
+  query_ambient_ = root.ambient;  // before any fact_probe: it keys on this
+  recording_ = facts_on_;
+
+  entries_.clear();
+  entry_perm_.clear();
+  edges_.clear();
+  batch_index_.clear();
+  if (sym_) {
+    visited_.clear();
+  } else if (++epoch_ == 0) {
+    std::fill(mark_epoch_.begin(), mark_epoch_.end(), 0);
+    epoch_ = 1;
+  }
+
+  // Enter a node occurrence, deduplicating per query. Entry perms are
+  // relative to the *canonical root* (identity there), so witnesses come
+  // out in the canonical frame and memoize cleanly; callers translate via
+  // pi0^-1.
+  auto enter = [&](ConfigId id, std::uint8_t pb, std::uint32_t parent,
+                   std::uint8_t via, ProcPerm perm) -> std::uint32_t {
+    if (sym_) {
+      const std::uint64_t key = (static_cast<std::uint64_t>(id) << 8) | pb;
+      const auto [it, fresh] =
+          visited_.try_emplace(key, static_cast<std::uint32_t>(entries_.size()));
+      if (!fresh) return it->second;
+    } else {
+      ensure_marks(id);
+      if (mark_epoch_[id] == epoch_) return mark_idx_[id];
+      mark_epoch_[id] = epoch_;
+      mark_idx_[id] = static_cast<std::uint32_t>(entries_.size());
+    }
+    const std::uint64_t fpb = sym_ ? pb : query_pbits_;
+    entries_.push_back(Entry{id, parent, via, pb, fact_probe(id, fpb)});
+    if (sym_) entry_perm_.push_back(perm);
+    ++res.visited;
+    return static_cast<std::uint32_t>(entries_.size() - 1);
+  };
+
+  enter(root.id, static_cast<std::uint8_t>(sym_ ? root.pbits : 0), kNoEntry, 0,
+        ProcPerm::identity());
+
+  std::uint32_t found[2] = {kNoEntry, kNoEntry};
+  bool by_fact[2] = {false, false};
+  bool early = false;
+  obs::Heartbeat hb("valency.reach");
+
+  std::size_t head = 0;
+  std::size_t level_end = 0;
+  std::uint64_t steps = 0;
+  while (head < entries_.size()) {
+    if (pool_ && head == level_end) {
+      const std::uint32_t lo = static_cast<std::uint32_t>(head);
+      level_end = entries_.size();
+      precompute_level(lo, static_cast<std::uint32_t>(level_end));
+    }
+    if ((++steps & 0xFF) == 1) {
+      check_budget();
+      hb.beat([&] {
+        return "nodes=" + std::to_string(arena_.size()) +
+               " entries=" + std::to_string(entries_.size()) +
+               " facts=" + std::to_string(facts_.size());
+      });
+    }
+    const std::uint32_t cur = static_cast<std::uint32_t>(head++);
+    const Entry e = entries_[cur];  // copy: entries_ grows below
+
+    // Self-decision first — matches the fresh-BFS explorers' "first
+    // deciding configuration in discovery order" witness choice — then
+    // persisted facts. Ambient bits count as decisions at every node
+    // (frozen processes stay poised throughout the P-only subgraph).
+    const std::uint8_t df = decide_flags_[e.id] | query_ambient_;
+    for (int v = 0; v < 2; ++v) {
+      if (found[v] == kNoEntry && ((df >> v) & 1)) found[v] = cur;
+    }
+    for (int v = 0; v < 2; ++v) {
+      if (found[v] == kNoEntry && ((e.fact >> v) & 1) &&
+          ((e.fact >> (2 + v)) & 1)) {
+        found[v] = cur;
+        by_fact[v] = true;
+      }
+    }
+    if (found[0] != kNoEntry && found[1] != kNoEntry) {
+      early = true;
+      break;
+    }
+    // A fully known fact settles the entire subtree: skipping it keeps the
+    // pass exact, because the skipped node's answers are themselves exact.
+    if ((e.fact & 0x3) == 0x3) continue;
+
+    if (entries_.size() >= opts_.max_configs) {
+      res.truncated = true;
+      break;
+    }
+    if (recording_ && entries_.size() > opts_.fact_entry_cap) {
+      recording_ = false;
+      edges_.clear();  // keeps capacity, which stays O(fact_entry_cap)
+    }
+
+    const std::uint64_t pb = sym_ ? e.pbits : query_pbits_;
+    const ProcPerm eperm = sym_ ? entry_perm_[cur] : ProcPerm::identity();
+    const std::size_t row = static_cast<std::size_t>(e.id) * n_;
+    // Inline expansion is two-phase: first compute, hash and prefetch
+    // every unexpanded successor of this entry, then intern them. The
+    // dedup table dwarfs the cache at adversary scale, so overlapping up
+    // to |P| probe misses (instead of paying them serially) is worth more
+    // than any saving inside a single intern. The batched threads > 1
+    // path already staged its successor words in precompute_level.
+    ProcPerm pend_sigma[64];
+    std::uint64_t pend_h[64];
+    int npend = 0;
+    if (!pool_) {
+      ProcSet(pb).for_each([&](int q) {
+        const ConfigId s = succ_[row + static_cast<std::size_t>(q)];
+        if (s == kUnexpanded) {
+          Value* buf =
+              exp_words_.data() + static_cast<std::size_t>(npend) * words_;
+          compute_successor(e.id, q, buf, &pend_sigma[npend]);
+          pend_h[npend] = arena_.hash_words(buf);
+          arena_.prefetch(pend_h[npend]);
+          ++npend;
+        } else if (s != kNoConfig && !sym_ &&
+                   static_cast<std::size_t>(s) < mark_epoch_.size()) {
+          __builtin_prefetch(&mark_epoch_[s]);
+        }
+      });
+    }
+    int pend = 0;
+    ProcSet(pb).for_each([&](int q) {
+      const std::size_t ei = row + static_cast<std::size_t>(q);
+      ConfigId s = succ_[ei];
+      if (s == kNoConfig) return;  // q decided here: no edge
+      ProcPerm sigma;
+      if (s == kUnexpanded) {
+        if (pool_) {
+          s = expand_edge(e.id, q, &sigma);
+        } else {
+          const Value* buf =
+              exp_words_.data() + static_cast<std::size_t>(pend) * words_;
+          sigma = pend_sigma[pend];
+          const auto [sid, inserted] =
+              arena_.intern_prehashed(buf, pend_h[pend]);
+          ++pend;
+          if (inserted) register_config(sid);
+          succ_[ei] = sid;
+          if (sym_) succ_perm_[ei] = sigma.packed();
+          ++edges_expanded_;
+          s = sid;
+        }
+        ++res.expanded;
+      } else {
+        ++res.reused;
+        ++edges_reused_;
+        if (sym_) sigma = ProcPerm(succ_perm_[ei]);
+      }
+      std::uint32_t child;
+      if (sym_) {
+        ProcSet cpbs;
+        const ProcPerm tau = refine_procset(
+            arena_.words(s), n_, sigma.apply(ProcSet(pb)), &cpbs);
+        const ProcPerm cperm =
+            ProcPerm::compose(ProcPerm::compose(eperm, sigma), tau);
+        child = enter(s, static_cast<std::uint8_t>(cpbs.bits()), cur,
+                      static_cast<std::uint8_t>(q), cperm);
+      } else {
+        child = enter(s, 0, cur, static_cast<std::uint8_t>(q),
+                      ProcPerm::identity());
+      }
+      if (recording_) {
+        edges_.push_back(EdgeRec{cur, child, static_cast<std::uint8_t>(q)});
+      }
+    });
+  }
+
+  // Witness chase: extend a path from `ent` by following per-value
+  // next-hop facts to a self-deciding configuration. Terminates because a
+  // hop's target was already fact-positive (or self-deciding) when the hop
+  // was recorded — hops strictly descend in (recording pass, hop distance).
+  auto chase = [&](std::uint32_t ent, int v,
+                   std::vector<ProcId>& out) -> ConfigId {
+    ConfigId id = entries_[ent].id;
+    std::uint64_t pb = sym_ ? entries_[ent].pbits : query_pbits_;
+    ProcPerm pi = sym_ ? entry_perm_[ent] : ProcPerm::identity();
+    while (true) {
+      if (((decide_flags_[id] | query_ambient_) >> v) & 1) return id;
+      const std::uint32_t* f = facts_.find(fact_key(id, pb));
+      TSB_REQUIRE(f != nullptr && ((*f >> v) & 1) && ((*f >> (2 + v)) & 1),
+                  "fact chase hit a node without a positive fact");
+      const int q = static_cast<int>((*f >> (8 + 8 * v)) & 0xFF);
+      TSB_REQUIRE(q != kWpUnset && q != kWpSelf && q < n_,
+                  "fact chase: malformed next-hop");
+      out.push_back(sym_ ? pi.inverse()(q) : q);
+      const std::size_t ei = static_cast<std::size_t>(id) * n_ + q;
+      const ConfigId s = succ_[ei];
+      TSB_REQUIRE(s != kUnexpanded && s != kNoConfig,
+                  "fact chase: next-hop edge missing");
+      if (sym_) {
+        const ProcPerm sigma(succ_perm_[ei]);
+        ProcSet cpbs;
+        const ProcPerm tau = refine_procset(arena_.words(s), n_,
+                                            sigma.apply(ProcSet(pb)), &cpbs);
+        pb = cpbs.bits();
+        pi = ProcPerm::compose(ProcPerm::compose(pi, sigma), tau);
+      }
+      id = s;
+    }
+  };
+
+  // Path from the canonical root to entry `t`, in the canonical frame.
+  auto path_to = [&](std::uint32_t t, std::vector<ProcId>& out) {
+    const std::size_t base = out.size();
+    while (entries_[t].parent != kNoEntry) {
+      const Entry& et = entries_[t];
+      out.push_back(sym_ ? entry_perm_[et.parent].inverse()(et.via)
+                         : static_cast<ProcId>(et.via));
+      t = et.parent;
+    }
+    std::reverse(out.begin() + static_cast<std::ptrdiff_t>(base), out.end());
+  };
+
+  for (int v = 0; v < 2; ++v) {
+    if (found[v] == kNoEntry) continue;
+    res.can[v] = true;
+    std::vector<ProcId> steps_out;
+    path_to(found[v], steps_out);
+    if (by_fact[v]) {
+      res.witness_id[v] = chase(found[v], v, steps_out);
+    } else {
+      res.witness_id[v] = entries_[found[v]].id;
+    }
+    res.witness[v] = Schedule(std::move(steps_out));
+  }
+  // "Answered from facts": no graph work at all, and persisted facts (not
+  // just the root configuration deciding by itself) carried the verdicts.
+  res.from_facts = res.expanded == 0 && res.reused == 0 &&
+                   (by_fact[0] || by_fact[1] ||
+                    (entries_[0].fact & 0x3) == 0x3);
+  if (res.from_facts) ++fact_answers_;
+
+  if (facts_on_) {
+    if (recording_ && !early && !res.truncated) {
+      // The pass drained: every visited entry's answers are exact (skipped
+      // subtrees were behind fully known facts). Propagate decisions
+      // backward over this pass's edges and persist the results.
+      const std::size_t ne = entries_.size();
+      rev_off_.assign(ne + 1, 0);
+      for (const EdgeRec& er : edges_) ++rev_off_[er.to + 1];
+      for (std::size_t i = 1; i <= ne; ++i) rev_off_[i] += rev_off_[i - 1];
+      rev_cursor_.assign(rev_off_.begin(), rev_off_.end() - 1);
+      rev_from_.resize(edges_.size());
+      rev_via_.resize(edges_.size());
+      for (const EdgeRec& er : edges_) {
+        const std::uint32_t slot = rev_cursor_[er.to]++;
+        rev_from_[slot] = er.from;
+        rev_via_[slot] = er.via;
+      }
+      pos_.assign(ne, 0);
+      wtmp_.assign(ne * 2, kWpUnset);
+      for (int v = 0; v < 2; ++v) {
+        work_.clear();
+        for (std::size_t i = 0; i < ne; ++i) {
+          const Entry& ei = entries_[i];
+          const bool self = ((decide_flags_[ei.id] | query_ambient_) >> v) & 1;
+          const bool fact_pos =
+              ((ei.fact >> v) & 1) && ((ei.fact >> (2 + v)) & 1);
+          if (!self && !fact_pos) continue;
+          pos_[i] |= static_cast<std::uint8_t>(1u << v);
+          if (self) wtmp_[i * 2 + v] = kWpSelf;
+          work_.push_back(static_cast<std::uint32_t>(i));
+        }
+        for (std::size_t k = 0; k < work_.size(); ++k) {
+          const std::uint32_t t = work_[k];
+          for (std::uint32_t s = rev_off_[t]; s < rev_off_[t + 1]; ++s) {
+            const std::uint32_t u = rev_from_[s];
+            if ((pos_[u] >> v) & 1) continue;
+            pos_[u] |= static_cast<std::uint8_t>(1u << v);
+            wtmp_[u * 2 + v] = rev_via_[s];
+            work_.push_back(u);
+          }
+        }
+      }
+      for (std::size_t i = 0; i < ne; ++i) {
+        const Entry& ei = entries_[i];
+        std::uint32_t& slot =
+            facts_.at_or_insert(fact_key(ei.id, sym_ ? ei.pbits : query_pbits_));
+        for (int v = 0; v < 2; ++v) {
+          if ((slot >> v) & 1) continue;  // never overwrite a known fact
+          slot |= 1u << v;
+          if ((pos_[i] >> v) & 1) {
+            slot |= 1u << (2 + v);
+            std::uint8_t w = wtmp_[i * 2 + v];
+            if (w == kWpUnset) w = kWpSelf;
+            slot |= static_cast<std::uint32_t>(w) << (8 + 8 * v);
+          }
+        }
+      }
+    } else {
+      // Interrupted pass (early exit or cap) or one past fact_entry_cap:
+      // only the found witness paths are certainly positive; record those
+      // so prefix-pattern queries (the lemma peel loops) land on facts
+      // next time.
+      for (int v = 0; v < 2; ++v) {
+        if (found[v] == kNoEntry || by_fact[v]) continue;
+        std::uint32_t t = found[v];
+        std::uint8_t via_down = kWpSelf;  // found entry decides itself
+        while (true) {
+          const Entry& et = entries_[t];
+          std::uint32_t& slot = facts_.at_or_insert(
+              fact_key(et.id, sym_ ? et.pbits : query_pbits_));
+          if (!((slot >> v) & 1)) {
+            slot |= (1u << v) | (1u << (2 + v));
+            slot |= static_cast<std::uint32_t>(via_down) << (8 + 8 * v);
+          }
+          if (et.parent == kNoEntry) break;
+          via_down = et.via;
+          t = et.parent;
+        }
+      }
+    }
+  }
+
+  return res;
+}
+
+}  // namespace tsb::sim

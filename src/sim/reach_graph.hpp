@@ -1,0 +1,272 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/canonical.hpp"
+#include "sim/config_arena.hpp"
+#include "sim/engine.hpp"
+#include "util/worker_pool.hpp"
+
+namespace tsb::sim {
+
+/// Persistent shared-subgraph reachability engine behind the valency oracle.
+///
+/// The fresh-BFS oracle re-explores from scratch for every (C, P) pair even
+/// though the P-only subgraphs of an adversary run overlap almost
+/// completely. The overlap is invisible in full-configuration space: the
+/// lemma peel loops advance the query root by steps of processes *outside*
+/// P, so consecutive roots disagree on some frozen process's state and
+/// their raw subgraphs share no configuration at all. It becomes literal
+/// sharing under projection. During a P-only execution the states of
+/// processes outside P are frozen and inert — every step, register value
+/// and P-decision depends only on (P-states, registers) — so Definition 1
+/// valency is a function of the *projected* configuration: P's states, the
+/// registers, and two "ambient" bits recording which values some frozen
+/// process is already poised to decide (Proposition 1(iv) counts those as
+/// decided along every P-only execution). This engine therefore keeps one
+/// session-long successor graph over interned *projected* configurations
+/// (non-P state slots masked to kMaskedState):
+///
+///  * Edges are per (projected configuration, process) and lazily expanded
+///    exactly once. A query for (C, P) walks the stored graph and only pays
+///    protocol steps on the frontier no earlier query touched. Two queries
+///    whose roots differ only in frozen-process state hit the *same* nodes,
+///    edges and facts; peel-loop neighbours that differ in one register
+///    value re-merge as soon as P overwrites it, and everything past the
+///    merge point is answered from the store.
+///
+///  * After a pass that drains its frontier (so its negative answers are
+///    exact), decided-value facts are propagated backward along the pass's
+///    edges and persisted per (configuration, P): "P can / cannot decide v
+///    from here", plus the next-hop process of a deciding execution. Later
+///    queries consume facts mid-walk — a hit on a node with both values
+///    known settles its entire subtree without touching it, and a hit on
+///    the root answers the query with zero expansion. Witnesses are rebuilt
+///    by chasing next-hops; chains always terminate because a next-hop's
+///    target was already fact-positive (or self-deciding) when the hop was
+///    recorded, so hops strictly descend in (recording pass, hop distance)
+///    order.
+///
+///  * For symmetric protocols (Protocol::symmetric(), n <= 8) the graph is
+///    quotiented by process renaming: nodes are canonical (sorted-states)
+///    configurations and queries are canonical (config, ProcSet-orbit)
+///    pairs (sim/canonical.hpp), shrinking the stored graph by up to n!.
+///    Every stored edge carries the renaming its canonicalization applied,
+///    and every BFS entry the composed renaming from the canonical root, so
+///    witnesses de-canonicalize back to replayable schedules in the
+///    caller's frame. Renaming soundness: a symmetric protocol's step
+///    relation commutes with every process permutation, so orbit-translated
+///    queries have literally the same P-only execution trees.
+///
+/// Determinism: node ids, discovery order and witnesses are identical for
+/// every thread count. With threads > 1 the per-level protocol steps
+/// (successor words, hashes, renamings) are precomputed into per-slot
+/// buffers by a WorkerPool, but interning happens on the query thread in
+/// exactly the inline order (entry order, ascending process id).
+class ReachGraph {
+ public:
+  struct Options {
+    /// Per-query visited cap (BFS entries); hitting it truncates the query
+    /// (negative answers unsound — callers surface ever_truncated).
+    std::size_t max_configs = 2'000'000;
+    int threads = 1;
+    /// Passes with at most this many entries persist full fact coverage on
+    /// drain (edges recorded, decisions back-propagated, every entry
+    /// facted). Bigger passes only persist their witness paths: the lemma
+    /// peel loops that facts exist for run small passes, while a
+    /// multi-million-entry univalent pass would pay tens of MB of edge
+    /// records and fact-map churn for entries no later query probes.
+    /// Facts are an optimization — any cap is sound.
+    std::size_t fact_entry_cap = 1u << 16;
+    /// Whole-engine heap budget (0 = uncapped). Unlike the fresh-BFS
+    /// explorers this is cumulative across queries — the shared graph is
+    /// the point — so once tripped, every later query throws
+    /// util::BudgetExhausted too.
+    std::size_t max_arena_bytes = 0;
+  };
+
+  ReachGraph(const Protocol& proto, Options opts);
+
+  /// Wall-clock watchdog (time_point::max() = none), checked at query
+  /// start and every 256 BFS steps; throws util::BudgetExhausted.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+  }
+
+  /// Canonical (projected configuration, ProcSet-orbit, ambient) triple:
+  /// the memo key space. For asymmetric protocols the id interns the
+  /// P-masked words and pbits is P itself; `ambient` bit v is set iff some
+  /// process outside P is poised to decide v in c — part of the key
+  /// because it changes the verdicts but not the projected dynamics.
+  struct Node {
+    ConfigId id = kNoConfig;
+    std::uint64_t pbits = 0;
+    std::uint8_t ambient = 0;
+    bool operator==(const Node&) const = default;
+  };
+
+  /// Intern (c, p)'s canonical projected triple. `perm_out` (if non-null)
+  /// receives the renaming pi mapping the caller's process ids to canonical
+  /// slots; schedules in the canonical frame translate back via pi^-1.
+  Node intern_node(const Config& c, ProcSet p, ProcPerm* perm_out);
+
+  struct QueryResult {
+    bool can[2] = {false, false};
+    /// Deciding schedules in the canonical-root frame (meaningful iff
+    /// can[v]); de-canonicalize with the perm intern_node/query returned.
+    Schedule witness[2];
+    /// Engine id of the deciding *projected* configuration (kNoConfig when
+    /// !can[v]).
+    ConfigId witness_id[2] = {kNoConfig, kNoConfig};
+    bool truncated = false;   ///< hit max_configs; negatives unsound
+    bool from_facts = false;  ///< answered with zero new expansion
+    std::uint64_t expanded = 0;  ///< edges expanded (protocol steps paid)
+    std::uint64_t reused = 0;    ///< stored edges consumed
+    std::uint64_t visited = 0;   ///< BFS entries this query
+  };
+
+  /// Definition 1 for both values of (c, p) in one walk.
+  QueryResult query(const Config& c, ProcSet p, ProcPerm* perm_out);
+
+  bool symmetric() const { return sym_; }
+  std::size_t nodes() const { return arena_.size(); }
+  std::uint64_t edges_expanded() const { return edges_expanded_; }
+  std::uint64_t edges_reused() const { return edges_reused_; }
+  /// Queries answered entirely from persisted facts (zero expansion).
+  std::uint64_t fact_answers() const { return fact_answers_; }
+  std::size_t fact_entries() const { return facts_.size(); }
+  std::size_t memory_bytes() const;
+
+  /// State word marking a masked (outside-P) slot of a projected
+  /// configuration. Protocols never produce it: every state in this repo is
+  /// a small packed non-negative word or kNilValue (-1).
+  static constexpr Value kMaskedState = std::numeric_limits<Value>::min();
+
+ private:
+  static constexpr std::uint32_t kNoEntry = 0xFFFFFFFFu;
+  /// succ_ sentinel: edge never computed. Distinct from kNoConfig, which
+  /// marks "process decided here, no edge".
+  static constexpr ConfigId kUnexpanded = 0xFFFFFFFEu;
+  static constexpr std::uint8_t kWpSelf = 0xFF;   ///< decides at this node
+  static constexpr std::uint8_t kWpUnset = 0xFE;
+
+  /// One BFS node occurrence in the current query. Deliberately 12 bytes:
+  /// the entry stream is pushed and re-read tens of millions of times per
+  /// adversary run, so the symmetric-mode renaming lives in the parallel
+  /// entry_perm_ vector instead of padding every asymmetric entry to 24.
+  struct Entry {
+    ConfigId id;
+    std::uint32_t parent;  ///< entry index (kNoEntry at the root)
+    std::uint8_t via;      ///< process (parent's frame) that reached us
+    std::uint8_t pbits;    ///< P in this node's frame (symmetric mode)
+    std::uint8_t fact;     ///< cached fact bits (known/can) at enqueue
+  };
+  struct EdgeRec {
+    std::uint32_t from, to;  ///< entry indices
+    std::uint8_t via;        ///< process in `from`'s frame
+  };
+
+  /// Open-addressing (config, pbits, ambient) -> packed fact map. Packing:
+  /// bit v = known[v], bit 2+v = can[v], byte 1+v = next-hop process of a
+  /// deciding execution (kWpSelf: decides here). Key 0 is the empty
+  /// sentinel — real keys always carry a non-empty P in the high bits.
+  class FactMap {
+   public:
+    const std::uint32_t* find(std::uint64_t key) const;
+    std::uint32_t& at_or_insert(std::uint64_t key);
+    std::size_t size() const { return count_; }
+    std::size_t memory_bytes() const {
+      return slots_.capacity() * sizeof(Slot);
+    }
+
+   private:
+    struct Slot {
+      std::uint64_t key = 0;
+      std::uint32_t val = 0;
+    };
+    void grow();
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;
+    std::size_t count_ = 0;
+  };
+
+  /// Folds the query-constant ambient bits in above the id; pbits sits
+  /// above those (facts_on_ caps n so nothing collides).
+  std::uint64_t fact_key(ConfigId id, std::uint64_t pbits) const {
+    return (pbits << 34) |
+           (static_cast<std::uint64_t>(query_ambient_) << 32) | id;
+  }
+  std::uint8_t fact_probe(ConfigId id, std::uint64_t pbits) const {
+    if (!facts_on_) return 0;
+    const std::uint32_t* f = facts_.find(fact_key(id, pbits));
+    return f ? static_cast<std::uint8_t>(*f & 0x0F) : 0;
+  }
+
+  void register_config(ConfigId id);
+  void compute_successor(ConfigId id, int q, Value* out, ProcPerm* sigma) const;
+  ConfigId expand_edge(ConfigId id, int q, ProcPerm* sigma);
+  void precompute_level(std::uint32_t lo, std::uint32_t hi);
+  void check_budget();
+  void ensure_marks(ConfigId id);
+
+  const Protocol& proto_;
+  Options opts_;
+  int n_;
+  std::size_t words_;
+  bool sym_;
+  bool facts_on_;
+
+  ConfigArena arena_;
+  std::vector<std::uint8_t> decide_flags_;  ///< per config: bit v set iff
+                                            ///< some process poised-decides v
+  std::vector<ConfigId> succ_;              ///< [id*n + q] -> successor id
+  std::vector<std::uint64_t> succ_perm_;    ///< symmetric mode: sigma per edge
+  FactMap facts_;
+
+  std::chrono::steady_clock::time_point deadline_ =
+      std::chrono::steady_clock::time_point::max();
+  std::uint64_t edges_expanded_ = 0;
+  std::uint64_t edges_reused_ = 0;
+  std::uint64_t fact_answers_ = 0;
+
+  // Per-query state (members so allocations are reused across queries).
+  std::uint64_t query_pbits_ = 0;   ///< asymmetric mode: constant P
+  std::uint8_t query_ambient_ = 0;  ///< bit v: frozen proc poised-decides v
+  bool recording_ = false;          ///< still under fact_entry_cap
+  std::vector<Entry> entries_;
+  std::vector<ProcPerm> entry_perm_;  ///< symmetric mode: canonical-root
+                                      ///< frame -> entry frame, per entry
+  std::vector<EdgeRec> edges_;
+  std::vector<std::uint32_t> mark_epoch_;  ///< asymmetric visited marks
+  std::vector<std::uint32_t> mark_idx_;
+  std::uint32_t epoch_ = 0;
+  std::unordered_map<std::uint64_t, std::uint32_t> visited_;  ///< symmetric
+  std::vector<Value> stage_;  ///< inline expansion staging buffer
+  std::vector<Value> exp_words_;  ///< per-process successor staging: the
+                                  ///< expansion loop computes and hashes a
+                                  ///< whole entry's successors (prefetching
+                                  ///< their dedup slots) before interning any
+
+  // Backward-propagation scratch.
+  std::vector<std::uint32_t> rev_off_;
+  std::vector<std::uint32_t> rev_cursor_;
+  std::vector<std::uint32_t> rev_from_;
+  std::vector<std::uint8_t> rev_via_;
+  std::vector<std::uint8_t> pos_;    ///< per entry: bit v = can decide v
+  std::vector<std::uint8_t> wtmp_;   ///< per entry * 2: next-hop proc
+  std::vector<std::uint32_t> work_;
+
+  // Level-batched parallel expansion (threads > 1).
+  std::unique_ptr<util::WorkerPool> pool_;
+  std::unordered_map<std::uint64_t, std::uint32_t> batch_index_;
+  std::vector<std::uint64_t> batch_keys_;
+  std::vector<Value> batch_words_;
+  std::vector<std::uint64_t> batch_perms_;
+};
+
+}  // namespace tsb::sim

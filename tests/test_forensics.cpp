@@ -191,6 +191,63 @@ TEST(RunReport, AdversaryAuditTrailMatchesTheVerifiedCertificate) {
             2);
 }
 
+// --- shared-subgraph engine records (valency.reuse / canonical.orbit) ------
+
+TEST(RunReport, ReuseRecordsAggregateRenderAndBaseline) {
+  RunReport rep;
+  ingest(rep, {
+    R"({"type":"valency.reuse","config":7,"procs":[0,1],"expanded":100,"reused":300,"visited":400,"from_facts":false,"truncated":false,"can0":true,"can1":true,"replay_ok":true,"graph_nodes":120,"facts":80})",
+    R"({"type":"valency.reuse","config":9,"procs":[2],"expanded":0,"reused":0,"visited":1,"from_facts":true,"truncated":false,"can0":true,"can1":false,"replay_ok":true,"graph_nodes":121,"facts":81})",
+    R"({"type":"canonical.orbit","config":7,"canonical":3,"procs":[0,1],"identity":false})",
+  });
+  EXPECT_EQ(rep.reuse_records(), 2u);
+  EXPECT_EQ(rep.replay_failures(), 0u);
+  EXPECT_DOUBLE_EQ(rep.reuse_rate(), 0.75);  // 300 / (100 + 300)
+  EXPECT_TRUE(rep.consistent());
+
+  std::ostringstream text;
+  rep.render_text(text, 5);
+  EXPECT_NE(text.str().find("shared-subgraph valency queries"),
+            std::string::npos)
+      << text.str();
+  EXPECT_NE(text.str().find("work saved: 300 stored-edge reuses"),
+            std::string::npos)
+      << text.str();
+  EXPECT_NE(text.str().find("canonical orbits: 1 symmetric queries"),
+            std::string::npos)
+      << text.str();
+
+  const std::string baseline = rep.baseline_json();
+  for (const char* want :
+       {"\"reach_passes\":2", "\"reach_expanded\":100",
+        "\"reach_reused\":300", "\"reach_fact_answers\":1",
+        "\"reach_graph_nodes\":121", "\"reach_facts\":81",
+        "\"reach_replay_failures\":0", "\"orbit_records\":1",
+        "\"orbit_nonidentity\":1"}) {
+    EXPECT_NE(baseline.find(want), std::string::npos)
+        << want << " missing from " << baseline;
+  }
+}
+
+TEST(RunReport, WitnessReplayFailureFailsTheReport) {
+  const std::string path = ::testing::TempDir() + "forensics_replay.jsonl";
+  {
+    std::ofstream out(path);
+    out << R"({"type":"valency.reuse","config":7,"procs":[0,1],"expanded":10,"reused":5,"visited":12,"from_facts":false,"truncated":false,"can0":true,"can1":false,"replay_ok":false,"graph_nodes":12,"facts":4})"
+        << "\n";
+  }
+  std::ostringstream report_text;
+  EXPECT_EQ(analyze_files({path}, 5, "", report_text), 1)
+      << "an unsound witness must fail tsb report";
+  EXPECT_NE(report_text.str().find("REPLAY FAILURES"), std::string::npos)
+      << report_text.str();
+
+  RunReport rep;
+  ingest_file(rep, path);
+  rep.finalize();
+  EXPECT_EQ(rep.replay_failures(), 1u);
+}
+
 // --- chaos records ---------------------------------------------------------
 
 TEST(RunReport, ChaosRunRecordsAggregatePerTarget) {

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""CI perf-smoke comparator: committed BENCH_*.json baseline vs a fresh run.
+
+Usage: check_perf.py BASELINE.json CURRENT.json
+
+Both files are the one-object output of `bench_explore --json=` /
+`bench_lemmas --json=`: {"bench": ..., "rows": [{...}, ...]}. Rows are
+joined on their identity keys (n, threads) and every shared numeric metric
+is compared:
+
+  * deterministic counts (configs, queries, cache_hits, expanded, reused,
+    fact_answers, cert_steps) must match EXACTLY — the engines' determinism
+    contract means any drift is a real behaviour change, not noise;
+  * throughput (configs_per_sec) and efficiency ratios (hit_rate,
+    reuse_rate) may regress by at most TSB_PERF_TOLERANCE percent
+    (default 25) before the check fails;
+  * improvements never fail, and `seconds` is reported but not gated
+    (configs_per_sec already covers wall-clock, normalized by work done).
+
+Environment: TSB_PERF_TOLERANCE=<percent> overrides the 25% tolerance.
+Stdlib only — CI has no pip.
+"""
+
+import json
+import os
+import sys
+
+ID_KEYS = ("n", "threads")
+EXACT_KEYS = {
+    "configs",
+    "queries",
+    "cache_hits",
+    "expanded",
+    "reused",
+    "fact_answers",
+    "cert_steps",
+}
+# Higher is better; gated by the relative tolerance.
+RATE_KEYS = {"configs_per_sec", "hit_rate", "reuse_rate"}
+UNGATED_KEYS = {"seconds"}
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "rows" not in doc or not isinstance(doc["rows"], list):
+        sys.exit(f"{path}: not a bench JSON (no rows array)")
+    return doc
+
+
+def row_id(row):
+    return tuple((k, row[k]) for k in ID_KEYS if k in row)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    tolerance = float(os.environ.get("TSB_PERF_TOLERANCE", "25"))
+    base_doc = load(sys.argv[1])
+    cur_doc = load(sys.argv[2])
+    if base_doc.get("bench") != cur_doc.get("bench"):
+        sys.exit(
+            f"bench mismatch: baseline is {base_doc.get('bench')!r}, "
+            f"current is {cur_doc.get('bench')!r}"
+        )
+
+    current = {row_id(r): r for r in cur_doc["rows"]}
+    failures = []
+    compared = 0
+    for base in base_doc["rows"]:
+        rid = row_id(base)
+        label = ",".join(f"{k}={v}" for k, v in rid) or "(row)"
+        cur = current.get(rid)
+        if cur is None:
+            failures.append(f"{label}: row missing from current run")
+            continue
+        for key, base_val in base.items():
+            if key in ID_KEYS or key not in cur:
+                continue
+            cur_val = cur[key]
+            if key in EXACT_KEYS:
+                compared += 1
+                if cur_val != base_val:
+                    failures.append(
+                        f"{label} {key}: {cur_val} != baseline {base_val} "
+                        "(deterministic count drifted)"
+                    )
+            elif key in RATE_KEYS:
+                compared += 1
+                floor = base_val * (1 - tolerance / 100.0)
+                status = "ok"
+                if cur_val < floor:
+                    failures.append(
+                        f"{label} {key}: {cur_val:.6g} < {floor:.6g} "
+                        f"(baseline {base_val:.6g} - {tolerance}%)"
+                    )
+                    status = "FAIL"
+                print(
+                    f"  {label} {key}: {cur_val:.6g} vs baseline "
+                    f"{base_val:.6g} [{status}]"
+                )
+            elif key in UNGATED_KEYS:
+                print(
+                    f"  {label} {key}: {cur_val:.6g} vs baseline "
+                    f"{base_val:.6g} [ungated]"
+                )
+
+    if compared == 0:
+        failures.append("no comparable metrics found — empty baseline?")
+    for msg in failures:
+        print(f"PERF REGRESSION: {msg}", file=sys.stderr)
+    print(
+        f"check_perf: {compared} metrics compared, {len(failures)} failures "
+        f"(tolerance {tolerance}%)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

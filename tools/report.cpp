@@ -278,6 +278,31 @@ void RunReport::ingest_audit(const JsonValue& v, const std::string& type) {
     if (v.bool_or("memo_hit", false)) ++valency_memo_hits_;
   } else if (type == "valency.explore") {
     ++valency_explores_;
+  } else if (type == "valency.reuse") {
+    ++reuse_records_;
+    ReuseRow row;
+    row.config = v.int_or("config", -1);
+    const std::vector<int> procs = v.int_array("procs");
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+      if (i > 0) row.procs += ",";
+      row.procs += std::to_string(procs[i]);
+    }
+    row.expanded = static_cast<std::uint64_t>(v.int_or("expanded", 0));
+    row.reused = static_cast<std::uint64_t>(v.int_or("reused", 0));
+    row.visited = static_cast<std::uint64_t>(v.int_or("visited", 0));
+    row.from_facts = v.bool_or("from_facts", false);
+    row.replay_ok = v.bool_or("replay_ok", true);
+    reuse_expanded_ += row.expanded;
+    reuse_reused_ += row.reused;
+    if (row.from_facts) ++reuse_fact_answers_;
+    if (v.bool_or("truncated", false)) ++reuse_truncated_;
+    if (!row.replay_ok) ++reuse_replay_failures_;
+    reuse_graph_nodes_ = v.int_or("graph_nodes", reuse_graph_nodes_);
+    reuse_facts_ = v.int_or("facts", reuse_facts_);
+    reuse_rows_.push_back(std::move(row));
+  } else if (type == "canonical.orbit") {
+    ++orbit_records_;
+    if (!v.bool_or("identity", true)) ++orbit_nonidentity_;
   } else if (type == "lemma1") {
     ++lemma1_;
   } else if (type == "lemma3") {
@@ -455,6 +480,51 @@ void RunReport::render_text(std::ostream& out, int top_k) const {
                    : 0.0)
         << "%), " << valency_explores_ << " shared explorations\n";
   }
+  if (reuse_records_ > 0) {
+    // Per-query engine economics: what each reachability pass paid
+    // (expanded = fresh protocol steps) versus consumed for free (reused =
+    // stored edges; from_facts = answered with zero graph work). The
+    // heaviest queries first — they are where the engine's sharing either
+    // pays or doesn't.
+    std::vector<const ReuseRow*> rows;
+    rows.reserve(reuse_rows_.size());
+    for (const ReuseRow& r : reuse_rows_) rows.push_back(&r);
+    std::sort(rows.begin(), rows.end(),
+              [](const ReuseRow* a, const ReuseRow* b) {
+                return a->expanded + a->reused > b->expanded + b->reused;
+              });
+    if (static_cast<int>(rows.size()) > top_k) {
+      rows.resize(static_cast<std::size_t>(top_k));
+    }
+    util::Table t({"config", "procs", "expanded", "reused", "visited",
+                   "from_facts", "replay"});
+    for (const ReuseRow* r : rows) {
+      t.row(r->config, r->procs, r->expanded, r->reused, r->visited,
+            r->from_facts ? "yes" : "no", r->replay_ok ? "ok" : "FAILED");
+    }
+    t.print(out, "shared-subgraph valency queries (top " +
+                     std::to_string(top_k) + " by traversals)");
+    const std::uint64_t total = reuse_expanded_ + reuse_reused_;
+    out << "work saved: " << reuse_reused_ << " stored-edge reuses + "
+        << reuse_fact_answers_ << " fact-answered queries of "
+        << reuse_records_ << " passes, " << total << " traversals ("
+        << fmt(100.0 * reuse_rate()) << "% reused); graph "
+        << reuse_graph_nodes_ << " nodes, " << reuse_facts_ << " facts"
+        << (reuse_truncated_ > 0
+                ? ", " + std::to_string(reuse_truncated_) + " truncated"
+                : "")
+        << "\n";
+    if (orbit_records_ > 0) {
+      out << "canonical orbits: " << orbit_records_ << " symmetric queries, "
+          << orbit_nonidentity_ << " answered through a non-identity "
+          << "renaming\n";
+    }
+    if (reuse_replay_failures_ > 0) {
+      out << "REPLAY FAILURES: " << reuse_replay_failures_
+          << " witness(es) failed de-canonicalized replay — the engine or "
+             "a symmetry declaration is unsound\n";
+    }
+  }
   if (lemma4_ + lemma3_ + lemma1_ > 0) {
     out << "lemma calls: lemma4 x" << lemma4_ << " (stages " << stages_
         << ", pigeonholes " << pigeonholes_ << "), lemma3 x" << lemma3_
@@ -545,6 +615,25 @@ std::string RunReport::baseline_json() const {
       .num("clones", static_cast<std::int64_t>(clones_))
       .num("explore_runs", static_cast<std::int64_t>(explore_runs_))
       .num("explore_visited", static_cast<std::int64_t>(explore_visited_));
+  if (reuse_records_ > 0) {
+    // Engine traversal counts are deterministic (ids, discovery order and
+    // fact coverage are fixed per protocol + query sequence), so they
+    // belong in the baseline: a drift means the sharing changed.
+    o.num("reach_passes", static_cast<std::int64_t>(reuse_records_))
+        .num("reach_expanded", static_cast<std::int64_t>(reuse_expanded_))
+        .num("reach_reused", static_cast<std::int64_t>(reuse_reused_))
+        .num("reach_fact_answers",
+             static_cast<std::int64_t>(reuse_fact_answers_))
+        .num("reach_graph_nodes", reuse_graph_nodes_)
+        .num("reach_facts", reuse_facts_)
+        .num("reach_replay_failures",
+             static_cast<std::int64_t>(reuse_replay_failures_));
+  }
+  if (orbit_records_ > 0) {
+    o.num("orbit_records", static_cast<std::int64_t>(orbit_records_))
+        .num("orbit_nonidentity",
+             static_cast<std::int64_t>(orbit_nonidentity_));
+  }
   if (have_cert_) {
     o.boolean("verified", cert_verified_)
         .num("distinct_registers", cert_distinct_)
@@ -592,6 +681,9 @@ int analyze_files(const std::vector<std::string>& files, int top_k,
   // A safety violation or failed solo run in the chaos records fails the
   // report; a budget-exhausted adversary run does not (clean truncation).
   if (rep.chaos_violations() > 0) return 1;
+  // A shared-graph witness that failed de-canonicalized replay is an
+  // engine soundness bug, never a tolerable outcome.
+  if (rep.replay_failures() > 0) return 1;
   return 0;
 }
 

@@ -75,6 +75,19 @@ class RunReport {
   std::uint64_t chaos_violations() const {
     return chaos_violations_ + chaos_solo_fails_;
   }
+
+  /// valency.reuse records whose witness failed the de-canonicalized
+  /// replay (replay_ok:false). Any such record fails the report: it means
+  /// the shared-subgraph engine handed back an unsound witness.
+  std::uint64_t replay_failures() const { return reuse_replay_failures_; }
+  /// Stored-edge traversals / (expansions + traversals) over all ingested
+  /// valency.reuse records; 0 when none were ingested.
+  double reuse_rate() const {
+    const double total =
+        static_cast<double>(reuse_expanded_ + reuse_reused_);
+    return total > 0 ? static_cast<double>(reuse_reused_) / total : 0.0;
+  }
+  std::uint64_t reuse_records() const { return reuse_records_; }
   bool budget_exhausted() const { return budget_exhausted_; }
 
   std::uint64_t lines_ingested() const { return lines_; }
@@ -137,6 +150,28 @@ class RunReport {
   std::uint64_t block_writes_ = 0;
   std::uint64_t clones_ = 0;  ///< solo_escape events with found=true
   std::map<int, std::uint64_t> reg_cover_counts_;
+
+  // Shared-subgraph engine (valency.reuse / canonical.orbit records).
+  struct ReuseRow {
+    std::int64_t config = 0;
+    std::string procs;
+    std::uint64_t expanded = 0;
+    std::uint64_t reused = 0;
+    std::uint64_t visited = 0;
+    bool from_facts = false;
+    bool replay_ok = true;
+  };
+  std::vector<ReuseRow> reuse_rows_;
+  std::uint64_t reuse_records_ = 0;
+  std::uint64_t reuse_expanded_ = 0;
+  std::uint64_t reuse_reused_ = 0;
+  std::uint64_t reuse_fact_answers_ = 0;
+  std::uint64_t reuse_truncated_ = 0;
+  std::uint64_t reuse_replay_failures_ = 0;
+  std::int64_t reuse_graph_nodes_ = 0;  ///< last record wins (monotone)
+  std::int64_t reuse_facts_ = 0;        ///< last record wins (monotone)
+  std::uint64_t orbit_records_ = 0;
+  std::uint64_t orbit_nonidentity_ = 0;
   bool have_pre_escape_ = false;
   std::vector<int> pre_escape_regs_;
   bool have_escape_ = false;

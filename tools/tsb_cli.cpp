@@ -94,6 +94,8 @@ int usage() {
          "chaos: --runs=N --seed=S --n=P --targets=LIST|all --mix=LIST|all\n"
          "       --run-timeout-ms=MS --out=FILE\n"
          "adversary budgets: --mem-budget=BYTES[k|m|g] --time-budget-ms=MS\n"
+         "adversary backend: --no-reuse (fresh-BFS valency; default is the\n"
+         "                   shared-subgraph engine)\n"
          "exit codes: 0 ok, 1 violation/failed construction, 2 usage "
          "error,\n"
          "            3 chaos timeouts (no violation), 4 budget exhausted\n";
@@ -140,6 +142,7 @@ int cmd_adversary(int n, int cap, const ObsFlags& obs_flags) {
   opts.valency_max_arena_bytes =
       static_cast<std::size_t>(obs_flags.mem_budget);
   opts.valency_time_budget_ms = obs_flags.time_budget_ms;
+  opts.reuse = !obs_flags.no_reuse;
   bound::SpaceBoundAdversary adversary(proto, opts);
   const auto result = adversary.run();
   if (result.budget_exhausted) {
@@ -152,8 +155,15 @@ int cmd_adversary(int n, int cap, const ObsFlags& obs_flags) {
     std::cout << "FAILED: " << result.error << "\n";
     return kExitViolation;
   }
-  std::cout << result.narrative << "\ncovered "
-            << result.check.distinct_registers << " distinct registers "
+  std::cout << result.narrative << "\n";
+  if (opts.reuse) {
+    std::cout << "engine: expanded " << result.reach_expanded << " reused "
+              << result.reach_reused << " fact-answered "
+              << result.reach_fact_answers << " nodes "
+              << result.reach_graph_nodes << "\n";
+  }
+  std::cout << "covered " << result.check.distinct_registers
+            << " distinct registers "
             << "(bound n-1 = " << n - 1 << "); certificate "
             << (result.check.ok ? "verified" : "REJECTED") << "\n";
   return kExitOk;

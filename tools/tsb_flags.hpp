@@ -40,6 +40,11 @@ struct ObsFlags {
   // Graceful-degradation budgets (tsb adversary). Same two flag forms.
   std::uint64_t mem_budget = 0;      ///< --mem-budget=BYTES[k|m|g]; 0 = off
   std::uint64_t time_budget_ms = 0;  ///< --time-budget-ms=MS; 0 = off
+
+  /// --no-reuse: run valency queries on the fresh-BFS-per-query backend
+  /// instead of the shared-subgraph engine (differential anchor / A-B
+  /// timing). Applies to tsb adversary and the lemma benchmarks.
+  bool no_reuse = false;
 };
 
 struct ParseResult {
@@ -129,6 +134,8 @@ inline ParseResult parse_args(const std::vector<std::string>& argv) {
       if (out.flags.baseline_file.empty()) {
         return fail("--baseline needs a file");
       }
+    } else if (a == "--no-reuse") {
+      out.flags.no_reuse = true;
     } else if (a == "--metrics") {
       out.flags.metrics = true;
     } else if (a == "--progress") {
