@@ -84,10 +84,13 @@ int run_overhead(int n, std::size_t cap, int threads,
     const char* name;
     bool stats;
     bool trace;
+    bool prof;  ///< sampling profiler + flight recorder (PR 6 acceptance:
+                ///< within a few percent of the bare run)
   };
-  const Tier tiers[] = {{"off", false, false},
-                        {"stats", true, false},
-                        {"stats+trace", true, true}};
+  const Tier tiers[] = {{"off", false, false, false},
+                        {"stats", true, false, false},
+                        {"stats+trace", true, true, false},
+                        {"prof+flight", false, false, true}};
 
   std::cout << "E13: instrumentation overhead, ballot n=" << n << " cap "
             << cap << ", " << threads << " threads\n\n";
@@ -109,6 +112,13 @@ int run_overhead(int n, std::size_t cap, int threads,
       return 1;
     }
     if (tier.trace) obs::TraceSink::global().enable(1 << 18);
+    if (tier.prof) {
+      obs::flight::enable();
+      if (!obs::Profiler::global().start(200)) {
+        std::cerr << "could not start the sampling profiler\n";
+        return 1;
+      }
+    }
 
     RunResult r;
     if (threads == 1) {
@@ -122,6 +132,10 @@ int run_overhead(int n, std::size_t cap, int threads,
       r = timed_explore(explorer, proto, n);
     }
 
+    if (tier.prof) {
+      obs::Profiler::global().stop();
+      obs::flight::disable();
+    }
     if (tier.trace) obs::TraceSink::global().disable();
     if (tier.stats) obs::stats_sink().close();
 
@@ -171,6 +185,9 @@ int main(int argc, char** argv) {
       stats_file = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_file = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--progress-interval-ms=", 23) == 0) {
+      obs::set_progress_interval(
+          std::chrono::milliseconds(std::atoll(argv[i] + 23)));
     } else {
       max_n = std::atoi(argv[i]);
     }

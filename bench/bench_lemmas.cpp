@@ -16,6 +16,7 @@
 #include "bound/adversary.hpp"
 #include "consensus/ballot.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "util/table.hpp"
 
 using namespace tsb;
@@ -29,6 +30,9 @@ int main(int argc, char** argv) {
       reuse = false;
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_file = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--progress-interval-ms=", 23) == 0) {
+      obs::set_progress_interval(
+          std::chrono::milliseconds(std::atoll(argv[i] + 23)));
     } else {
       max_n = std::atoi(argv[i]);
     }

@@ -1,5 +1,6 @@
 #include "bound/adversary.hpp"
 
+#include "obs/flight.hpp"
 #include "obs/jsonl_sink.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -64,6 +65,7 @@ SpaceBoundAdversary::Result SpaceBoundAdversary::run_impl() {
   }
 
   // Proposition 2: initial bivalent configuration.
+  obs::flight::record(obs::flight::Ev::kPhase, 0);
   auto init = lemmas.proposition2();
   const ProcSet everyone = ProcSet::first_n(n);
 
@@ -75,6 +77,7 @@ SpaceBoundAdversary::Result SpaceBoundAdversary::run_impl() {
     // tell p0 took steps and would decide 1 from the indistinguishable
     // configuration, violating Agreement. So p0's solo run reaches a write:
     // one covered register = n - 1.
+    obs::flight::record(obs::flight::Ev::kPhase, 3);
     auto esc = lemmas.solo_escape(init.config, /*z=*/0, /*covered=*/{});
     if (!esc.found) {
       out.error = "p0 decided without ever writing: protocol violates "
@@ -86,12 +89,14 @@ SpaceBoundAdversary::Result SpaceBoundAdversary::run_impl() {
   } else {
     // Lemma 4 from the initial configuration: a pair Q bivalent from
     // I-alpha with the other n-2 processes covering distinct registers.
+    obs::flight::record(obs::flight::Ev::kPhase, 1);
     auto l4 = lemmas.lemma4(init.config, everyone);
     const Config c0 = sim::run(proto_, init.config, l4.alpha);
     const ProcSet r = everyone - l4.q;
 
     // Lemma 3: a Q-only alpha' and q in Q with R u {q} bivalent from
     // C0-alpha'-beta.
+    obs::flight::record(obs::flight::Ev::kPhase, 2);
     auto l3 = lemmas.lemma3(c0, everyone, r);
     const Config cq = sim::run(proto_, c0, l3.phi);
 
@@ -112,6 +117,7 @@ SpaceBoundAdversary::Result SpaceBoundAdversary::run_impl() {
           .num("z", z);
       obs::audit_sink().write(ev.render());
     }
+    obs::flight::record(obs::flight::Ev::kPhase, 3);
     auto esc = lemmas.solo_escape(cq, z, covered);
     if (!esc.found) {
       out.error = "Lemma 2 escape not found: the protocol is not a correct "

@@ -2,7 +2,9 @@
 
 #include <cassert>
 
+#include "obs/flight.hpp"
 #include "obs/jsonl_sink.hpp"
+#include "obs/memledger.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
 
@@ -118,9 +120,13 @@ const ValencyOracle::PairAnswer& ValencyOracle::lookup(const Config& c,
   if (auto it = memo_.find(key); it != memo_.end()) {
     ++cache_hits_;
     last_lookup_hit_ = true;
+    obs::flight::record(obs::flight::Ev::kValencyQuery,
+                        static_cast<std::int64_t>(last_root_id_), 1);
     return it->second;
   }
   last_lookup_hit_ = false;
+  obs::flight::record(obs::flight::Ev::kValencyQuery,
+                      static_cast<std::int64_t>(last_root_id_), 0);
   PairAnswer answer =
       opts_.reuse ? compute_pair_shared(c, p) : compute_pair(c, p);
   if (obs::audit_enabled()) {
@@ -131,7 +137,22 @@ const ValencyOracle::PairAnswer& ValencyOracle::lookup(const Config& c,
         .boolean("can1", answer.can[1]);
     obs::audit_sink().write(ev.render());
   }
-  return memo_.emplace(key, std::move(answer)).first->second;
+  const PairAnswer& stored = memo_.emplace(key, std::move(answer)).first->second;
+  // Memo growth only happens here (one entry per miss), so this is the
+  // natural ledger refresh point. An approximation: node + entry bytes per
+  // bucket, the witness schedules' steps (accumulated — entries are never
+  // evicted), and the root-id arena.
+  for (int v = 0; v < 2; ++v) {
+    memo_witness_bytes_ += stored.witness[v].size() * sizeof(sim::ProcId);
+  }
+  const std::size_t memo_bytes =
+      memo_.bucket_count() * sizeof(void*) +
+      memo_.size() *
+          (sizeof(PairKey) + sizeof(PairAnswer) + 2 * sizeof(void*)) +
+      memo_witness_bytes_;
+  obs::MemLedger::global().set(obs::MemAccount::kValencyMemo,
+                               memo_bytes + roots_.memory_bytes());
+  return stored;
 }
 
 ValencyOracle::PairAnswer ValencyOracle::compute_pair_shared(const Config& c,

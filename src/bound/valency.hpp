@@ -190,6 +190,7 @@ class ValencyOracle {
   Options opts_;
   sim::ConfigArena roots_;  ///< interns query roots for audit-stable ids
   std::unordered_map<PairKey, PairAnswer, PairKeyHash> memo_;
+  std::size_t memo_witness_bytes_ = 0;  ///< ledger: stored witness steps
   std::optional<sim::Explorer> seq_;          ///< reuse = false backends,
   std::optional<sim::ParallelExplorer> par_;  ///< reused across queries
   std::unique_ptr<sim::ReachGraph> graph_;    ///< reuse = true backend

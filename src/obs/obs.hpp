@@ -11,8 +11,12 @@
 ///    sharded relaxed load+store (metrics) — never a locked instruction,
 ///    never a shared contended cache line;
 ///  * enabling tracing/metrics changes no observable behavior, only emits.
+#include "obs/flight.hpp"
 #include "obs/jsonl_sink.hpp"
+#include "obs/memledger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/progress.hpp"
 #include "obs/span.hpp"
+#include "obs/status.hpp"
 #include "obs/trace_sink.hpp"

@@ -1,0 +1,322 @@
+#include "obs/profiler.hpp"
+
+#include <signal.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "obs/jsonl_sink.hpp"
+
+namespace tsb::obs {
+
+namespace prof_detail {
+
+std::atomic<bool> g_prof_enabled{false};
+
+namespace {
+
+constexpr int kMaxDepth = 32;
+constexpr int kTableSlots = 256;  // power of two; labels number in dozens
+
+// One open-addressing slot keyed by label pointer identity (span labels
+// are static strings). label claims the slot via CAS from nullptr — the
+// only RMW here, and only on first sight of a label.
+struct Slot {
+  std::atomic<const char*> label{nullptr};
+  std::atomic<std::uint64_t> cpu_self{0};
+  std::atomic<std::uint64_t> cpu_total{0};
+  std::atomic<std::uint64_t> wall_self{0};
+  std::atomic<std::uint64_t> wall_total{0};
+};
+
+// Heap-allocated once per thread and leaked: the global registry keeps a
+// pointer past thread exit, and the handful of pooled threads bound the
+// leak. Only the owning thread (and its own signal handler) touches
+// stack/depth; slots are atomics so aggregation can read them live.
+struct ThreadProf {
+  const char* stack[kMaxDepth] = {};
+  std::atomic<int> depth{0};
+  Slot slots[kTableSlots];
+  std::atomic<std::uint64_t> table_full{0};  ///< samples dropped: no slot
+};
+
+std::mutex g_registry_mu;
+std::vector<ThreadProf*>& registry() {
+  static std::vector<ThreadProf*>* v = new std::vector<ThreadProf*>();
+  return *v;
+}
+
+thread_local ThreadProf* t_prof = nullptr;
+
+// Samples on threads with no label stack (never entered a span, or the
+// profiler started before the thread's first span).
+std::atomic<std::uint64_t> g_unlabeled_cpu{0};
+std::atomic<std::uint64_t> g_unlabeled_wall{0};
+
+ThreadProf* thread_state() {
+  if (t_prof == nullptr) {
+    auto* tp = new ThreadProf();  // leaked, see above
+    {
+      std::lock_guard<std::mutex> lock(g_registry_mu);
+      registry().push_back(tp);
+    }
+    t_prof = tp;
+  }
+  return t_prof;
+}
+
+Slot* find_slot(ThreadProf* tp, const char* label) {
+  const auto h = reinterpret_cast<std::uintptr_t>(label);
+  std::size_t idx = (h >> 4) & (kTableSlots - 1);
+  for (int probe = 0; probe < kTableSlots; ++probe) {
+    Slot& s = tp->slots[idx];
+    const char* cur = s.label.load(std::memory_order_relaxed);
+    if (cur == label) return &s;
+    if (cur == nullptr) {
+      const char* expected = nullptr;
+      if (s.label.compare_exchange_strong(expected, label,
+                                          std::memory_order_relaxed)) {
+        return &s;
+      }
+      if (expected == label) return &s;
+    }
+    idx = (idx + 1) & (kTableSlots - 1);
+  }
+  tp->table_full.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+// Async-signal-safe by construction: TLS read (initial-exec model, no lazy
+// allocation), relaxed atomics, no calls out.
+void on_sample(bool cpu) {
+  ThreadProf* tp = t_prof;
+  if (tp == nullptr) {
+    (cpu ? g_unlabeled_cpu : g_unlabeled_wall)
+        .fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  int d = tp->depth.load(std::memory_order_relaxed);
+  if (d > kMaxDepth) d = kMaxDepth;
+  if (d <= 0) {
+    (cpu ? g_unlabeled_cpu : g_unlabeled_wall)
+        .fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (Slot* s = find_slot(tp, tp->stack[d - 1])) {
+    (cpu ? s->cpu_self : s->wall_self).fetch_add(1, std::memory_order_relaxed);
+  }
+  for (int i = 0; i < d; ++i) {
+    const char* label = tp->stack[i];
+    bool dup = false;  // recursion: count each label once per sample
+    for (int j = 0; j < i && !dup; ++j) dup = tp->stack[j] == label;
+    if (dup) continue;
+    if (Slot* s = find_slot(tp, label)) {
+      (cpu ? s->cpu_total : s->wall_total)
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void sigprof_handler(int) { on_sample(/*cpu=*/true); }
+void sigalrm_handler(int) { on_sample(/*cpu=*/false); }
+
+struct sigaction g_old_prof;
+struct sigaction g_old_alrm;
+
+}  // namespace
+
+void push(const char* label) {
+  ThreadProf* tp = thread_state();
+  const int d = tp->depth.load(std::memory_order_relaxed);
+  if (d < kMaxDepth) tp->stack[d] = label;
+  // The store below publishes stack[d] to this thread's own signal
+  // handler; program order plus the signal fence is the contract.
+  std::atomic_signal_fence(std::memory_order_release);
+  tp->depth.store(d + 1, std::memory_order_relaxed);
+}
+
+void pop() {
+  ThreadProf* tp = t_prof;
+  if (tp == nullptr) return;
+  const int d = tp->depth.load(std::memory_order_relaxed);
+  if (d > 0) tp->depth.store(d - 1, std::memory_order_relaxed);
+}
+
+}  // namespace prof_detail
+
+Profiler& Profiler::global() {
+  static Profiler* p = new Profiler();
+  return *p;
+}
+
+bool Profiler::start(int hz) {
+  using namespace prof_detail;
+  if (running_ || hz < 1 || hz > 10'000) return false;
+  {
+    std::lock_guard<std::mutex> lock(g_registry_mu);
+    for (ThreadProf* tp : registry()) {
+      for (Slot& s : tp->slots) {
+        s.label.store(nullptr, std::memory_order_relaxed);
+        s.cpu_self.store(0, std::memory_order_relaxed);
+        s.cpu_total.store(0, std::memory_order_relaxed);
+        s.wall_self.store(0, std::memory_order_relaxed);
+        s.wall_total.store(0, std::memory_order_relaxed);
+      }
+      tp->table_full.store(0, std::memory_order_relaxed);
+    }
+  }
+  g_unlabeled_cpu.store(0, std::memory_order_relaxed);
+  g_unlabeled_wall.store(0, std::memory_order_relaxed);
+
+  struct sigaction sa;
+  sa.sa_handler = sigprof_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  if (sigaction(SIGPROF, &sa, &g_old_prof) != 0) return false;
+  sa.sa_handler = sigalrm_handler;
+  if (sigaction(SIGALRM, &sa, &g_old_alrm) != 0) {
+    sigaction(SIGPROF, &g_old_prof, nullptr);
+    return false;
+  }
+
+  itimerval tv;
+  tv.it_interval.tv_sec = 0;
+  tv.it_interval.tv_usec = 1'000'000 / hz;
+  tv.it_value = tv.it_interval;
+  if (setitimer(ITIMER_PROF, &tv, nullptr) != 0 ||
+      setitimer(ITIMER_REAL, &tv, nullptr) != 0) {
+    const itimerval off{};
+    setitimer(ITIMER_PROF, &off, nullptr);
+    sigaction(SIGPROF, &g_old_prof, nullptr);
+    sigaction(SIGALRM, &g_old_alrm, nullptr);
+    return false;
+  }
+  hz_ = hz;
+  running_ = true;
+  g_prof_enabled.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void Profiler::stop() {
+  using namespace prof_detail;
+  if (!running_) return;
+  const itimerval off{};
+  setitimer(ITIMER_PROF, &off, nullptr);
+  setitimer(ITIMER_REAL, &off, nullptr);
+  g_prof_enabled.store(false, std::memory_order_relaxed);
+  sigaction(SIGPROF, &g_old_prof, nullptr);
+  sigaction(SIGALRM, &g_old_alrm, nullptr);
+  running_ = false;
+}
+
+std::vector<Profiler::LabelStat> Profiler::aggregate() const {
+  using namespace prof_detail;
+  // Label pointers for the same literal may differ across TUs; merge by
+  // string value. Cold path, map is fine.
+  std::map<std::string, LabelStat> merged;
+  {
+    std::lock_guard<std::mutex> lock(g_registry_mu);
+    for (ThreadProf* tp : registry()) {
+      for (Slot& s : tp->slots) {
+        const char* label = s.label.load(std::memory_order_relaxed);
+        if (label == nullptr) continue;
+        LabelStat& agg = merged[label];
+        agg.cpu_self += s.cpu_self.load(std::memory_order_relaxed);
+        agg.cpu_total += s.cpu_total.load(std::memory_order_relaxed);
+        agg.wall_self += s.wall_self.load(std::memory_order_relaxed);
+        agg.wall_total += s.wall_total.load(std::memory_order_relaxed);
+      }
+    }
+  }
+  const std::uint64_t ucpu = g_unlabeled_cpu.load(std::memory_order_relaxed);
+  const std::uint64_t uwall = g_unlabeled_wall.load(std::memory_order_relaxed);
+  if (ucpu != 0 || uwall != 0) {
+    LabelStat& agg = merged["(unlabeled)"];
+    agg.cpu_self += ucpu;
+    agg.cpu_total += ucpu;
+    agg.wall_self += uwall;
+    agg.wall_total += uwall;
+  }
+  std::vector<LabelStat> out;
+  out.reserve(merged.size());
+  for (auto& [label, stat] : merged) {
+    stat.label = label;
+    out.push_back(std::move(stat));
+  }
+  std::sort(out.begin(), out.end(), [](const LabelStat& a, const LabelStat& b) {
+    return a.cpu_self != b.cpu_self ? a.cpu_self > b.cpu_self
+                                    : a.label < b.label;
+  });
+  return out;
+}
+
+std::uint64_t Profiler::cpu_samples() const {
+  std::uint64_t t = 0;
+  for (const LabelStat& s : aggregate()) t += s.cpu_self;
+  return t;
+}
+
+std::uint64_t Profiler::wall_samples() const {
+  std::uint64_t t = 0;
+  for (const LabelStat& s : aggregate()) t += s.wall_self;
+  return t;
+}
+
+void Profiler::emit_jsonl() const {
+  if (!stats_enabled() || hz_ == 0) return;
+  const double period_ms = 1000.0 / hz_;
+  const auto stats = aggregate();
+  for (const LabelStat& s : stats) {
+    JsonObj rec;
+    rec.str("type", "prof.label")
+        .str("label", s.label)
+        .num("cpu_self", static_cast<std::int64_t>(s.cpu_self))
+        .num("cpu_total", static_cast<std::int64_t>(s.cpu_total))
+        .num("wall_self", static_cast<std::int64_t>(s.wall_self))
+        .num("wall_total", static_cast<std::int64_t>(s.wall_total))
+        .numf("cpu_self_ms", static_cast<double>(s.cpu_self) * period_ms)
+        .numf("cpu_total_ms", static_cast<double>(s.cpu_total) * period_ms);
+    stats_sink().write(rec.render());
+  }
+  std::uint64_t cpu = 0;
+  std::uint64_t wall = 0;
+  for (const LabelStat& s : stats) {
+    cpu += s.cpu_self;
+    wall += s.wall_self;
+  }
+  JsonObj sum;
+  sum.str("type", "prof.summary")
+      .num("hz", hz_)
+      .num("labels", static_cast<std::int64_t>(stats.size()))
+      .num("cpu_samples", static_cast<std::int64_t>(cpu))
+      .num("wall_samples", static_cast<std::int64_t>(wall));
+  stats_sink().write(sum.render());
+}
+
+void Profiler::render(std::ostream& out) const {
+  const double period_ms = hz_ > 0 ? 1000.0 / hz_ : 0.0;
+  const auto stats = aggregate();
+  std::uint64_t cpu = 0;
+  for (const LabelStat& s : stats) cpu += s.cpu_self;
+  out << "sampling profile (" << hz_ << " Hz, " << cpu << " cpu samples):\n";
+  char line[200];
+  std::snprintf(line, sizeof(line), "  %-18s %10s %10s %10s %10s\n", "label",
+                "cpu self", "cpu total", "wall self", "wall total");
+  out << line;
+  for (const LabelStat& s : stats) {
+    std::snprintf(line, sizeof(line),
+                  "  %-18s %8.0fms %8.0fms %8.0fms %8.0fms\n",
+                  s.label.c_str(), static_cast<double>(s.cpu_self) * period_ms,
+                  static_cast<double>(s.cpu_total) * period_ms,
+                  static_cast<double>(s.wall_self) * period_ms,
+                  static_cast<double>(s.wall_total) * period_ms);
+    out << line;
+  }
+}
+
+}  // namespace tsb::obs

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tsb::obs {
+
+namespace prof_detail {
+extern std::atomic<bool> g_prof_enabled;
+void push(const char* label);
+void pop();
+}  // namespace prof_detail
+
+/// True while the sampling profiler is armed. Span checks this with one
+/// relaxed load; when false the profiler adds zero work anywhere.
+inline bool profiler_enabled() {
+  return prof_detail::g_prof_enabled.load(std::memory_order_relaxed);
+}
+
+/// In-process sampling profiler resolving samples to obs span labels.
+///
+/// Replaces the out-of-band gprof workflow: no recompilation, no
+/// symbolization, works inside the TSan job. Two POSIX interval timers
+/// drive it — ITIMER_PROF (SIGPROF) ticks with consumed CPU time and
+/// ITIMER_REAL (SIGALRM) with wall time. Each signal handler walks *its
+/// own thread's* label stack (maintained by Span push/pop, so the labels
+/// are the static strings already in traces and reports) and bumps two
+/// per-label counts in a fixed-size per-thread table: `self` for the
+/// innermost label, `total` for every distinct label on the stack — the
+/// flame-style aggregation without storing stacks.
+///
+/// Signal-safety rules (documented in DESIGN.md, enforced by construction):
+/// the handler touches only lock-free atomics in pre-registered per-thread
+/// state — no allocation, no locks, no stdio; threads that never opened a
+/// span are counted as "(unlabeled)". Wall samples land on whichever
+/// thread the kernel delivers SIGALRM to (the main thread in practice), so
+/// wall numbers profile the orchestrating thread, not worker idle time.
+class Profiler {
+ public:
+  struct LabelStat {
+    std::string label;
+    std::uint64_t cpu_self = 0;   ///< samples with the label innermost
+    std::uint64_t cpu_total = 0;  ///< samples with the label anywhere
+    std::uint64_t wall_self = 0;
+    std::uint64_t wall_total = 0;
+  };
+
+  static Profiler& global();
+
+  /// Arm the label stacks, install the SIGPROF/SIGALRM handlers and start
+  /// both interval timers at `hz`. False if already running or the timers
+  /// cannot be set. Counts from a previous start() are cleared.
+  bool start(int hz = 200);
+  /// Disarm timers, restore the previous handlers. Counts remain readable.
+  void stop();
+  bool running() const { return running_; }
+  int hz() const { return hz_; }
+
+  std::uint64_t cpu_samples() const;
+  std::uint64_t wall_samples() const;
+
+  /// Merged per-label counts across all threads, cpu_self-descending.
+  /// Sample counts convert to time as count * (1000 / hz) milliseconds.
+  std::vector<LabelStat> aggregate() const;
+
+  /// Write one {"type":"prof.label",...} record per label plus a
+  /// {"type":"prof.summary",...} record to the stats sink.
+  void emit_jsonl() const;
+
+  /// Human flame-style table (self/total ms per label).
+  void render(std::ostream& out) const;
+
+ private:
+  Profiler() = default;
+  bool running_ = false;
+  int hz_ = 0;
+};
+
+}  // namespace tsb::obs

@@ -4,6 +4,8 @@
 #include <functional>
 #include <string>
 
+#include "obs/status.hpp"
+
 namespace tsb::obs {
 
 /// Global switch for progress heartbeats (CLI --progress). Off by default:
@@ -11,6 +13,12 @@ namespace tsb::obs {
 /// check is a single relaxed load.
 void set_progress(bool on);
 bool progress_enabled();
+
+/// Process-wide default Heartbeat interval (CLI --progress-interval-ms).
+/// Heartbeats constructed without an explicit interval pick it up; 1000ms
+/// until overridden.
+void set_progress_interval(std::chrono::milliseconds interval);
+std::chrono::milliseconds progress_interval();
 
 /// Rate-limited progress line for long computations. A caller in a hot
 /// loop calls beat() with a lambda that renders the line; the lambda runs
@@ -22,13 +30,24 @@ bool progress_enabled();
 ///
 /// Lines go to stderr so they interleave with, but do not corrupt,
 /// machine-readable stdout.
+///
+/// The beat is also the engine's slow-path tick: it samples peak RSS into
+/// the "process.peak_rss_kb" gauge (so mid-level blowups are visible, not
+/// just level boundaries), services pending SIGUSR1 flight-recorder dumps,
+/// and — when the caller supplies a status callback — publishes the
+/// --status-file snapshot at the same cadence.
 class Heartbeat {
  public:
-  explicit Heartbeat(
-      const char* what,
-      std::chrono::milliseconds interval = std::chrono::milliseconds(1000));
+  /// Uses the process-wide progress_interval().
+  explicit Heartbeat(const char* what);
+  Heartbeat(const char* what, std::chrono::milliseconds interval);
+
+  using StatusFn = std::function<void(StatusSnapshot&)>;
 
   void beat(const std::function<std::string()>& line);
+  /// Same, and fill `status` into the live status file when one is
+  /// configured. The callback runs under the same rate limit as the line.
+  void beat(const std::function<std::string()>& line, const StatusFn& status);
 
   /// Emit unconditionally (end-of-phase summary), if progress is enabled.
   void flush(const std::string& line);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
@@ -125,6 +126,8 @@ void ChaosScheduler::on_access(int tid, std::uint64_t access, std::size_t reg,
     while (ts.next_injection < script.size() &&
            script[ts.next_injection].at_access <= access) {
       const fault::Injection& inj = script[ts.next_injection++];
+      obs::flight::record(obs::flight::Ev::kChaosFault, tid,
+                          static_cast<std::int64_t>(inj.action));
       switch (inj.action) {
         case fault::Injection::Action::kCrash:
           // thread_end (called by the unwinding harness) hands the grant on.

@@ -135,11 +135,14 @@ class ConfigArena {
 
   /// Heap bytes held by the arena (word store + dedup table + scratch).
   /// Capacities, not sizes: this is what the process actually pays.
-  std::size_t memory_bytes() const {
+  /// The words/table split feeds the memory ledger's arena.words and
+  /// arena.table accounts.
+  std::size_t words_bytes() const {
     return data_.capacity() * sizeof(Value) +
-           scratch_.capacity() * sizeof(Value) +
-           table_.capacity() * sizeof(Slot);
+           scratch_.capacity() * sizeof(Value);
   }
+  std::size_t table_bytes() const { return table_.capacity() * sizeof(Slot); }
+  std::size_t memory_bytes() const { return words_bytes() + table_bytes(); }
 
  private:
   /// Buckets are the hash's top log2(table size) bits — a prefix of the

@@ -6,7 +6,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/jsonl_sink.hpp"
+#include "obs/memledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "sim/config_arena.hpp"
@@ -127,16 +129,26 @@ class Explorer {
         arena_(proto.num_processes(), proto.num_registers()),
         cur_(arena_.words_per_config()) {}
 
-  /// Graceful-degradation budgets: when the arena's heap footprint reaches
-  /// `max_arena_bytes` (0 = uncapped) or the wall clock passes `deadline`
-  /// (time_point::max() = none), explore() stops cleanly with truncated +
-  /// budget_exhausted set instead of growing without bound. Unlike the
-  /// configuration cap, budget truncation points are machine-dependent, so
-  /// budgeted runs waive the sequential/parallel bit-identity contract.
+  /// Graceful-degradation budgets: when the exploration's tracked heap
+  /// footprint (tracked_bytes(), the same arithmetic the memory ledger
+  /// reports) reaches `max_arena_bytes` (0 = uncapped) or the wall clock
+  /// passes `deadline` (time_point::max() = none), explore() stops cleanly
+  /// with truncated + budget_exhausted set instead of growing without
+  /// bound. Unlike the configuration cap, budget truncation points are
+  /// machine-dependent, so budgeted runs waive the sequential/parallel
+  /// bit-identity contract.
   void set_budget(std::size_t max_arena_bytes,
                   std::chrono::steady_clock::time_point deadline) {
     budget_bytes_ = max_arena_bytes;
     budget_deadline_ = deadline;
+  }
+
+  /// Heap bytes this exploration owns — the quantity set_budget() caps and
+  /// the ledger's arena.words/arena.table/explore.frontier accounts sum to.
+  /// Replaces the raw-RSS proxy budget checks used before the ledger: RSS
+  /// counts every subsystem at once and cannot attribute an overrun.
+  std::size_t tracked_bytes() const {
+    return arena_.memory_bytes() + frontier_bytes();
   }
 
   /// Enumerate configurations reachable from `root` by P-only steps,
@@ -179,6 +191,7 @@ class Explorer {
     // two compares per expansion and feeds the per-level stats records.
     ConfigId level_start = 0;
     ConfigId level_end = 1;
+    std::size_t level_idx = 0;
     std::uint64_t level_dedup = 0;
     std::uint64_t dedup_total = 0;
     while (head < arena_.size()) {
@@ -191,12 +204,21 @@ class Explorer {
         level_start = level_end;
         level_end = static_cast<ConfigId>(arena_.size());
         level_dedup = 0;
+        ++level_idx;
+        update_ledger();
+        obs::flight::record(obs::flight::Ev::kLevel,
+                            static_cast<std::int64_t>(level_idx),
+                            static_cast<std::int64_t>(level_end - level_start));
       }
       if (arena_.size() >= opts_.max_configs) {
         res.truncated = true;
         break;
       }
-      if (budget_bytes_ != 0 && arena_.memory_bytes() >= budget_bytes_) {
+      if (budget_bytes_ != 0 && tracked_bytes() >= budget_bytes_) {
+        update_ledger();
+        obs::flight::record(obs::flight::Ev::kBudgetTrip,
+                            static_cast<std::int64_t>(tracked_bytes()),
+                            static_cast<std::int64_t>(budget_bytes_));
         res.truncated = true;
         res.budget_exhausted = true;
         break;
@@ -208,16 +230,26 @@ class Explorer {
       if ((expanded & 0xFF) == 1 &&
           budget_deadline_ != std::chrono::steady_clock::time_point::max() &&
           std::chrono::steady_clock::now() >= budget_deadline_) {
+        obs::flight::record(obs::flight::Ev::kBudgetTrip,
+                            static_cast<std::int64_t>(tracked_bytes()), 0);
         res.truncated = true;
         res.budget_exhausted = true;
         break;
       }
       if ((expanded & 0xFFF) == 0) {
         metrics.frontier.set(static_cast<std::int64_t>(arena_.size() - head));
-        hb.beat([&] {
-          return "configs=" + std::to_string(res.visited) +
-                 " frontier=" + std::to_string(arena_.size() - head);
-        });
+        update_ledger();
+        hb.beat(
+            [&] {
+              return "configs=" + std::to_string(res.visited) +
+                     " frontier=" + std::to_string(arena_.size() - head);
+            },
+            [&](obs::StatusSnapshot& s) {
+              s.level = static_cast<std::int64_t>(level_idx);
+              s.frontier = static_cast<std::int64_t>(arena_.size() - head);
+              s.visited = static_cast<std::int64_t>(res.visited);
+              s.cap = static_cast<std::int64_t>(opts_.max_configs);
+            });
       }
       const ConfigId cur = head++;
       // Arena insertions may reallocate the word store; expand from a copy.
@@ -251,6 +283,7 @@ class Explorer {
       });
       if (!keep_going) break;
     }
+    update_ledger();
     if (stats.active()) {
       // The level in progress when the loop ended (complete if the frontier
       // drained, partial on truncation/abort).
@@ -276,6 +309,17 @@ class Explorer {
   ConfigView view(ConfigId id) const { return arena_.view(id); }
 
  private:
+  std::size_t frontier_bytes() const {
+    return parent_.capacity() * sizeof(std::pair<ConfigId, ProcId>) +
+           cur_.capacity() * sizeof(Value);
+  }
+  void update_ledger() const {
+    obs::MemLedger& ledger = obs::MemLedger::global();
+    ledger.set(obs::MemAccount::kArenaWords, arena_.words_bytes());
+    ledger.set(obs::MemAccount::kArenaTable, arena_.table_bytes());
+    ledger.set(obs::MemAccount::kExploreFrontier, frontier_bytes());
+  }
+
   const Protocol& proto_;
   Options opts_;
   std::size_t budget_bytes_ = 0;

@@ -23,6 +23,46 @@ ParallelExplorer::ParallelExplorer(const Protocol& proto, Options opts)
   opts_.max_configs = std::min<std::size_t>(opts_.max_configs, kPendingBit - 2);
 }
 
+std::size_t ParallelExplorer::tracked_bytes() const {
+  std::size_t bytes =
+      arena_.memory_bytes() +
+      parent_.capacity() * sizeof(std::pair<ConfigId, ProcId>);
+  for (const Worker& w : workers_) {
+    bytes += w.cands.capacity() * sizeof(Candidate) +
+             w.words.capacity() * sizeof(Value);
+    for (const auto& idx : w.by_shard) {
+      bytes += idx.capacity() * sizeof(std::uint32_t);
+    }
+  }
+  for (const Shard& sh : shards_) {
+    bytes += sh.slots.capacity() * sizeof(Shard::Slot) +
+             sh.pending.capacity() * sizeof(const Value*);
+  }
+  return bytes;
+}
+
+void ParallelExplorer::update_ledger() const {
+  obs::MemLedger& ledger = obs::MemLedger::global();
+  ledger.set(obs::MemAccount::kArenaWords, arena_.words_bytes());
+  ledger.set(obs::MemAccount::kArenaTable, arena_.table_bytes());
+  std::size_t frontier =
+      parent_.capacity() * sizeof(std::pair<ConfigId, ProcId>);
+  for (const Worker& w : workers_) {
+    frontier += w.cands.capacity() * sizeof(Candidate) +
+                w.words.capacity() * sizeof(Value);
+    for (const auto& idx : w.by_shard) {
+      frontier += idx.capacity() * sizeof(std::uint32_t);
+    }
+  }
+  ledger.set(obs::MemAccount::kExploreFrontier, frontier);
+  std::size_t shard_bytes = 0;
+  for (const Shard& sh : shards_) {
+    shard_bytes += sh.slots.capacity() * sizeof(Shard::Slot) +
+                   sh.pending.capacity() * sizeof(const Value*);
+  }
+  ledger.set(obs::MemAccount::kExploreShards, shard_bytes);
+}
+
 void ParallelExplorer::Shard::reset() {
   slots.assign(1u << 10, Slot{});
   mask = slots.size() - 1;

@@ -72,6 +72,13 @@ class ParallelExplorer {
     budget_deadline_ = deadline;
   }
 
+  /// Heap bytes this exploration owns: arena + parent edges + per-worker
+  /// candidate buffers + the sharded dedup tables. This is what
+  /// set_budget() caps and what the ledger's explore.* accounts report —
+  /// the parallel explorer's shard tables and candidate buffers are real
+  /// memory the raw arena-bytes check used to miss.
+  std::size_t tracked_bytes() const;
+
   template <typename Visit>
   Result explore(const Config& root, ProcSet p, Visit&& visit) {
     arena_.clear();
@@ -101,10 +108,13 @@ class ParallelExplorer {
 
     const int T = pool_.size();
     std::uint64_t dedup_total = 0;
+    std::size_t level_idx = 0;
     ConfigId lo = 0;
     while (lo < arena_.size() && !res.aborted && !res.truncated) {
       if (budget_deadline_ != std::chrono::steady_clock::time_point::max() &&
           std::chrono::steady_clock::now() >= budget_deadline_) {
+        obs::flight::record(obs::flight::Ev::kBudgetTrip,
+                            static_cast<std::int64_t>(tracked_bytes()), 0);
         res.truncated = true;
         res.budget_exhausted = true;
         break;
@@ -118,12 +128,24 @@ class ParallelExplorer {
         workers_[static_cast<std::size_t>(t)].end =
             b + chunk > hi ? hi : b + chunk;
       }
+      ++level_idx;
+      update_ledger();
+      obs::flight::record(obs::flight::Ev::kLevel,
+                          static_cast<std::int64_t>(level_idx),
+                          static_cast<std::int64_t>(hi - lo));
       metrics.frontier.set(static_cast<std::int64_t>(hi - lo));
-      hb.beat([&] {
-        return "configs=" + std::to_string(res.visited) +
-               " frontier=" + std::to_string(hi - lo) +
-               " threads=" + std::to_string(T);
-      });
+      hb.beat(
+          [&] {
+            return "configs=" + std::to_string(res.visited) +
+                   " frontier=" + std::to_string(hi - lo) +
+                   " threads=" + std::to_string(T);
+          },
+          [&](obs::StatusSnapshot& s) {
+            s.level = static_cast<std::int64_t>(level_idx);
+            s.frontier = static_cast<std::int64_t>(hi - lo);
+            s.visited = static_cast<std::int64_t>(res.visited);
+            s.cap = static_cast<std::int64_t>(opts_.max_configs);
+          });
 
       const auto t_expand = std::chrono::steady_clock::now();
       {
@@ -151,7 +173,11 @@ class ParallelExplorer {
             res.truncated = true;
             break;
           }
-          if (budget_bytes_ != 0 && arena_.memory_bytes() >= budget_bytes_) {
+          if (budget_bytes_ != 0 && tracked_bytes() >= budget_bytes_) {
+            update_ledger();
+            obs::flight::record(obs::flight::Ev::kBudgetTrip,
+                                static_cast<std::int64_t>(tracked_bytes()),
+                                static_cast<std::int64_t>(budget_bytes_));
             res.truncated = true;
             res.budget_exhausted = true;
             break;
@@ -191,6 +217,7 @@ class ParallelExplorer {
       for (Shard& sh : shards_) sh.pending.clear();
       lo = hi;
     }
+    update_ledger();
     if (stats.active()) stats.done(arena_, res, dedup_total);
     return res;
   }
@@ -258,6 +285,7 @@ class ParallelExplorer {
 
   void expand_slice(Worker& w, ProcSet p);
   void dedup_shard(int s);
+  void update_ledger() const;
 
   /// Extend the shared per-level stats record with the parallel-only fields
   /// (phase wall times, candidate volume, per-shard occupancy + imbalance)

@@ -4,7 +4,10 @@
 #include <cassert>
 #include <string>
 
+#include "obs/flight.hpp"
+#include "obs/memledger.hpp"
 #include "obs/progress.hpp"
+#include "obs/span.hpp"
 #include "util/require.hpp"
 
 namespace tsb::sim {
@@ -92,17 +95,49 @@ std::size_t ReachGraph::memory_bytes() const {
              sizeof(std::uint32_t);
 }
 
+void ReachGraph::update_ledger() const {
+  // Accounts mirror memory_bytes() exactly, so the exit-4 budget report
+  // attributes 100% of the graph's tracked bytes to named subsystems.
+  obs::MemLedger& ledger = obs::MemLedger::global();
+  ledger.set(obs::MemAccount::kReachNodes, arena_.memory_bytes());
+  ledger.set(obs::MemAccount::kReachEdges,
+             decide_flags_.capacity() + succ_.capacity() * sizeof(ConfigId) +
+                 succ_perm_.capacity() * sizeof(std::uint64_t));
+  ledger.set(obs::MemAccount::kReachFacts, facts_.memory_bytes());
+  ledger.set(obs::MemAccount::kReachQuery,
+             entries_.capacity() * sizeof(Entry) +
+                 entry_perm_.capacity() * sizeof(ProcPerm) +
+                 edges_.capacity() * sizeof(EdgeRec) +
+                 (mark_epoch_.capacity() + mark_idx_.capacity()) *
+                     sizeof(std::uint32_t));
+}
+
 void ReachGraph::check_budget() {
-  if (opts_.max_arena_bytes != 0 && memory_bytes() >= opts_.max_arena_bytes) {
+  // The budget poll doubles as the ledger refresh and a flight-recorder
+  // breadcrumb: every 256 BFS steps, current tracked bytes vs budget.
+  update_ledger();
+  const std::size_t bytes = memory_bytes();
+  obs::flight::record(obs::flight::Ev::kBudgetCheck,
+                      static_cast<std::int64_t>(bytes),
+                      static_cast<std::int64_t>(opts_.max_arena_bytes));
+  if (opts_.max_arena_bytes != 0 && bytes >= opts_.max_arena_bytes) {
+    obs::flight::record(obs::flight::Ev::kBudgetTrip,
+                        static_cast<std::int64_t>(bytes),
+                        static_cast<std::int64_t>(opts_.max_arena_bytes));
     throw util::BudgetExhausted(
         "reachability engine memory budget exhausted (" +
         std::to_string(opts_.max_arena_bytes) +
-        " bytes; the shared graph is cumulative across queries)");
+        " bytes; the shared graph is cumulative across queries); ledger: " +
+        obs::MemLedger::global().attribution(3));
   }
   if (deadline_ != std::chrono::steady_clock::time_point::max() &&
       std::chrono::steady_clock::now() >= deadline_) {
+    obs::flight::record(obs::flight::Ev::kBudgetTrip,
+                        static_cast<std::int64_t>(bytes), 0);
     throw util::BudgetExhausted(
-        "valency wall-clock budget exhausted during a shared-graph query");
+        "valency wall-clock budget exhausted during a shared-graph query; "
+        "ledger: " +
+        obs::MemLedger::global().attribution(3));
   }
 }
 
@@ -243,10 +278,14 @@ void ReachGraph::ensure_marks(ConfigId id) {
 
 ReachGraph::QueryResult ReachGraph::query(const Config& c, ProcSet p,
                                           ProcPerm* perm_out) {
+  obs::Span span("valency.query");
   check_budget();
   QueryResult res;
   ProcPerm pi0;
   const Node root = intern_node(c, p, &pi0);
+  obs::flight::record(obs::flight::Ev::kReachQuery,
+                      static_cast<std::int64_t>(root.id),
+                      static_cast<std::int64_t>(root.pbits));
   if (perm_out) *perm_out = pi0;
   query_pbits_ = root.pbits;
   query_ambient_ = root.ambient;  // before any fact_probe: it keys on this
@@ -306,11 +345,17 @@ ReachGraph::QueryResult ReachGraph::query(const Config& c, ProcSet p,
     }
     if ((++steps & 0xFF) == 1) {
       check_budget();
-      hb.beat([&] {
-        return "nodes=" + std::to_string(arena_.size()) +
-               " entries=" + std::to_string(entries_.size()) +
-               " facts=" + std::to_string(facts_.size());
-      });
+      hb.beat(
+          [&] {
+            return "nodes=" + std::to_string(arena_.size()) +
+                   " entries=" + std::to_string(entries_.size()) +
+                   " facts=" + std::to_string(facts_.size());
+          },
+          [&](obs::StatusSnapshot& s) {
+            s.frontier = static_cast<std::int64_t>(entries_.size() - head);
+            s.visited = static_cast<std::int64_t>(arena_.size());
+            s.cap = static_cast<std::int64_t>(opts_.max_configs);
+          });
     }
     const std::uint32_t cur = static_cast<std::uint32_t>(head++);
     const Entry e = entries_[cur];  // copy: entries_ grows below

@@ -212,6 +212,7 @@ class ReachGraph {
   ConfigId expand_edge(ConfigId id, int q, ProcPerm* sigma);
   void precompute_level(std::uint32_t lo, std::uint32_t hi);
   void check_budget();
+  void update_ledger() const;
   void ensure_marks(ConfigId id);
 
   const Protocol& proto_;

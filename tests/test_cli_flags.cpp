@@ -167,5 +167,46 @@ TEST(ParseArgs, BudgetFlags) {
   EXPECT_FALSE(parse_args({"--time-budget-ms=0"}).ok);
 }
 
+TEST(ParseArgs, IntrospectionFlags) {
+  const auto r = parse_args({"adversary", "--progress-interval-ms=250",
+                             "--status-file", "st.json", "--flight=fl.jsonl",
+                             "--profile", "--profile-hz=97", "5"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.flags.progress_interval_ms, 250u);
+  EXPECT_EQ(r.flags.status_file, "st.json");
+  EXPECT_EQ(r.flags.flight_file, "fl.jsonl");
+  EXPECT_TRUE(r.flags.profile);
+  EXPECT_EQ(r.flags.profile_hz, 97);
+  EXPECT_EQ(r.args, (std::vector<std::string>{"adversary", "5"}));
+}
+
+TEST(ParseArgs, IntrospectionDefaults) {
+  const auto r = parse_args({"adversary"});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.flags.progress_interval_ms, 1'000u);
+  EXPECT_TRUE(r.flags.status_file.empty());
+  EXPECT_TRUE(r.flags.flight_file.empty());
+  EXPECT_FALSE(r.flags.profile);
+  EXPECT_EQ(r.flags.profile_hz, 200);
+  EXPECT_FALSE(r.flags.once);
+}
+
+TEST(ParseArgs, IntrospectionValidation) {
+  EXPECT_FALSE(parse_args({"--progress-interval-ms=0"}).ok);
+  EXPECT_FALSE(parse_args({"--progress-interval-ms=fast"}).ok);
+  EXPECT_FALSE(parse_args({"--status-file="}).ok);
+  EXPECT_FALSE(parse_args({"--flight="}).ok);
+  EXPECT_FALSE(parse_args({"--profile-hz=0"}).ok);
+  EXPECT_FALSE(parse_args({"--profile-hz=20000"}).ok);
+  EXPECT_FALSE(parse_args({"--status-file"}).ok);  // missing value
+}
+
+TEST(ParseArgs, TopSubcommandOnce) {
+  const auto r = parse_args({"top", "st.json", "--once"});
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.flags.once);
+  EXPECT_EQ(r.args, (std::vector<std::string>{"top", "st.json"}));
+}
+
 }  // namespace
 }  // namespace tsb::cli

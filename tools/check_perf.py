@@ -17,6 +17,9 @@ is compared:
   * improvements never fail, and `seconds` is reported but not gated
     (configs_per_sec already covers wall-clock, normalized by work done).
 
+A per-metric delta table (current vs baseline, % change) is printed on both
+pass and fail, so CI logs answer "how close was it?" without a rerun.
+
 Environment: TSB_PERF_TOLERANCE=<percent> overrides the 25% tolerance.
 Stdlib only — CI has no pip.
 """
@@ -52,21 +55,32 @@ def row_id(row):
     return tuple((k, row[k]) for k in ID_KEYS if k in row)
 
 
-def main():
-    if len(sys.argv) != 3:
-        sys.exit(__doc__)
-    tolerance = float(os.environ.get("TSB_PERF_TOLERANCE", "25"))
-    base_doc = load(sys.argv[1])
-    cur_doc = load(sys.argv[2])
+def delta_pct(base_val, cur_val):
+    """Relative change in percent; None when the baseline is zero."""
+    if base_val == 0:
+        return None
+    return 100.0 * (cur_val - base_val) / base_val
+
+
+def compare(base_doc, cur_doc, tolerance):
+    """Join rows on identity keys and compare every shared metric.
+
+    Returns (rows, failures): `rows` is a list of
+    (label, key, base, cur, delta_pct_or_None, status) covering every
+    compared metric (status in {"ok", "FAIL", "exact", "DRIFT",
+    "ungated"}); `failures` is the human-readable failure list. Pure:
+    prints nothing, reads no environment.
+    """
+    rows = []
+    failures = []
     if base_doc.get("bench") != cur_doc.get("bench"):
-        sys.exit(
+        failures.append(
             f"bench mismatch: baseline is {base_doc.get('bench')!r}, "
             f"current is {cur_doc.get('bench')!r}"
         )
+        return rows, failures
 
     current = {row_id(r): r for r in cur_doc["rows"]}
-    failures = []
-    compared = 0
     for base in base_doc["rows"]:
         rid = row_id(base)
         label = ",".join(f"{k}={v}" for k, v in rid) or "(row)"
@@ -79,38 +93,77 @@ def main():
                 continue
             cur_val = cur[key]
             if key in EXACT_KEYS:
-                compared += 1
+                status = "exact"
                 if cur_val != base_val:
+                    status = "DRIFT"
                     failures.append(
                         f"{label} {key}: {cur_val} != baseline {base_val} "
                         "(deterministic count drifted)"
                     )
+                rows.append(
+                    (label, key, base_val, cur_val,
+                     delta_pct(base_val, cur_val), status)
+                )
             elif key in RATE_KEYS:
-                compared += 1
                 floor = base_val * (1 - tolerance / 100.0)
                 status = "ok"
                 if cur_val < floor:
+                    status = "FAIL"
                     failures.append(
                         f"{label} {key}: {cur_val:.6g} < {floor:.6g} "
                         f"(baseline {base_val:.6g} - {tolerance}%)"
                     )
-                    status = "FAIL"
-                print(
-                    f"  {label} {key}: {cur_val:.6g} vs baseline "
-                    f"{base_val:.6g} [{status}]"
+                rows.append(
+                    (label, key, base_val, cur_val,
+                     delta_pct(base_val, cur_val), status)
                 )
             elif key in UNGATED_KEYS:
-                print(
-                    f"  {label} {key}: {cur_val:.6g} vs baseline "
-                    f"{base_val:.6g} [ungated]"
+                rows.append(
+                    (label, key, base_val, cur_val,
+                     delta_pct(base_val, cur_val), "ungated")
                 )
-
-    if compared == 0:
+    if not any(s in ("exact", "DRIFT", "ok", "FAIL") for *_, s in rows):
         failures.append("no comparable metrics found — empty baseline?")
+    return rows, failures
+
+
+def fmt_val(v):
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)
+
+
+def print_table(rows, out=sys.stdout):
+    """Render the delta table; every compared metric, pass or fail."""
+    header = ("row", "metric", "baseline", "current", "delta%", "status")
+    cells = [header]
+    for label, key, base_val, cur_val, dp, status in rows:
+        cells.append(
+            (label, key, fmt_val(base_val), fmt_val(cur_val),
+             "n/a" if dp is None else f"{dp:+.2f}", status)
+        )
+    widths = [max(len(r[i]) for r in cells) for i in range(len(header))]
+    for i, row in enumerate(cells):
+        print("  " + "  ".join(c.ljust(w) for c, w in zip(row, widths)),
+              file=out)
+        if i == 0:
+            print("  " + "-" * (sum(widths) + 2 * (len(widths) - 1)),
+                  file=out)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    tolerance = float(os.environ.get("TSB_PERF_TOLERANCE", "25"))
+    base_doc = load(sys.argv[1])
+    cur_doc = load(sys.argv[2])
+    rows, failures = compare(base_doc, cur_doc, tolerance)
+    print_table(rows)
+    gated = sum(1 for *_, s in rows if s in ("exact", "DRIFT", "ok", "FAIL"))
     for msg in failures:
         print(f"PERF REGRESSION: {msg}", file=sys.stderr)
     print(
-        f"check_perf: {compared} metrics compared, {len(failures)} failures "
+        f"check_perf: {gated} metrics compared, {len(failures)} failures "
         f"(tolerance {tolerance}%)"
     )
     return 1 if failures else 0

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/flight.hpp"
 #include "obs/jsonl_sink.hpp"
 #include "util/table.hpp"
 
@@ -221,8 +222,60 @@ void RunReport::ingest_line(const std::string& line) {
     ingest_stats(v, type);
   } else if (type.rfind("chaos.", 0) == 0) {
     ingest_chaos(v, type);
+  } else if (type == "ledger" || type.rfind("prof.", 0) == 0 ||
+             type.rfind("flight.", 0) == 0) {
+    ingest_introspection(v, type);
   } else {
     ingest_audit(v, type);
+  }
+}
+
+void RunReport::ingest_introspection(const JsonValue& v,
+                                     const std::string& type) {
+  if (type == "ledger") {
+    // Gauges, not counters: every record is a full snapshot, last wins.
+    ledger_accounts_.clear();
+    ledger_peaks_.clear();
+    if (const JsonValue* acc = v.find("accounts");
+        acc && acc->type == JsonValue::Type::kObj) {
+      for (const auto& [name, val] : acc->obj) {
+        ledger_accounts_[name] = static_cast<std::int64_t>(val.num);
+      }
+    }
+    if (const JsonValue* pk = v.find("peaks");
+        pk && pk->type == JsonValue::Type::kObj) {
+      for (const auto& [name, val] : pk->obj) {
+        ledger_peaks_[name] = static_cast<std::int64_t>(val.num);
+      }
+    }
+    ledger_total_ = v.int_or("total", 0);
+    ledger_peak_total_ = v.int_or("peak_total", 0);
+  } else if (type == "prof.label") {
+    ProfRow row;
+    row.label = v.str_or("label", "?");
+    row.cpu_self_ms = v.num_or("cpu_self_ms", 0.0);
+    row.cpu_total_ms = v.num_or("cpu_total_ms", 0.0);
+    row.wall_self_ms = v.num_or("wall_self_ms", 0.0);
+    row.wall_total_ms = v.num_or("wall_total_ms", 0.0);
+    prof_rows_.push_back(std::move(row));
+  } else if (type == "prof.summary") {
+    prof_hz_ = static_cast<int>(v.int_or("hz", 0));
+    prof_cpu_samples_ = static_cast<std::uint64_t>(v.int_or("cpu_samples", 0));
+    prof_wall_samples_ =
+        static_cast<std::uint64_t>(v.int_or("wall_samples", 0));
+  } else if (type == "flight.dump") {
+    flight_reason_ = v.str_or("reason", "?");
+    flight_threads_ = v.int_or("threads", 0);
+    flight_total_events_ = v.int_or("events", 0);
+  } else if (type == "flight.event") {
+    FlightRow row;
+    row.tid = v.int_or("tid", 0);
+    row.seq = v.int_or("seq", 0);
+    row.ts_ns = v.int_or("ts_ns", 0);
+    row.ev = v.str_or("ev", "?");
+    row.a = v.int_or("a", 0);
+    row.b = v.int_or("b", 0);
+    flight_rows_.push_back(std::move(row));
   }
 }
 
@@ -573,6 +626,80 @@ void RunReport::render_text(std::ostream& out, int top_k) const {
     out << "\nadversary budget exhausted (clean truncation, not a "
            "refutation): "
         << budget_detail_ << "\n";
+  }
+
+  if (!ledger_accounts_.empty()) {
+    // Sorted by final bytes, so the subsystem that held the memory when
+    // the run ended (or tripped its budget) leads the table.
+    std::vector<std::pair<std::string, std::int64_t>> rows(
+        ledger_accounts_.begin(), ledger_accounts_.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    util::Table t({"account", "bytes", "peak_bytes", "share%"});
+    for (const auto& [name, bytes] : rows) {
+      const auto pk = ledger_peaks_.find(name);
+      t.row(name, bytes, pk != ledger_peaks_.end() ? pk->second : bytes,
+            ledger_total_ > 0
+                ? 100.0 * static_cast<double>(bytes) /
+                      static_cast<double>(ledger_total_)
+                : 0.0);
+    }
+    t.print(out, "memory ledger (tracked " + std::to_string(ledger_total_) +
+                     " B, peak " + std::to_string(ledger_peak_total_) + " B)");
+  }
+
+  if (!prof_rows_.empty()) {
+    std::vector<ProfRow> rows = prof_rows_;
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.cpu_self_ms > b.cpu_self_ms;
+    });
+    util::Table t({"label", "cpu_self_ms", "cpu_total_ms", "wall_self_ms",
+                   "wall_total_ms"});
+    for (const ProfRow& r : rows) {
+      t.row(r.label, r.cpu_self_ms, r.cpu_total_ms, r.wall_self_ms,
+            r.wall_total_ms);
+    }
+    t.print(out, "sampling profile (" + std::to_string(prof_hz_) + " Hz, " +
+                     std::to_string(prof_cpu_samples_) + " cpu + " +
+                     std::to_string(prof_wall_samples_) + " wall samples)");
+  }
+
+  if (!flight_rows_.empty()) {
+    out << "\nflight recorder: " << flight_total_events_ << " events from "
+        << flight_threads_ << " thread(s), dump reason \"" << flight_reason_
+        << "\"\n";
+    // The last moments before the dump, merged across threads by
+    // timestamp: what the run was doing when it died.
+    std::vector<FlightRow> tail = flight_rows_;
+    std::sort(tail.begin(), tail.end(), [](const auto& a, const auto& b) {
+      return a.ts_ns < b.ts_ns;
+    });
+    const std::size_t keep = std::min<std::size_t>(tail.size(), 24);
+    util::Table t({"t_ms", "tid", "event", "detail"});
+    for (std::size_t i = tail.size() - keep; i < tail.size(); ++i) {
+      const FlightRow& r = tail[i];
+      std::string detail;
+      if (r.ev == "phase") {
+        detail = obs::flight::phase_name(r.a);
+      } else if (r.ev == "level") {
+        detail = "level " + std::to_string(r.a) + ", frontier " +
+                 std::to_string(r.b);
+      } else if (r.ev == "budget.check" || r.ev == "budget.trip") {
+        detail = std::to_string(r.a) + " / " + std::to_string(r.b) + " B";
+      } else if (r.ev == "valency.query") {
+        detail = "config " + std::to_string(r.a) +
+                 (r.b != 0 ? " (memo hit)" : " (miss)");
+      } else if (r.ev == "reach.query") {
+        detail = "root " + std::to_string(r.a);
+      } else if (r.ev == "chaos.fault") {
+        detail = "tid " + std::to_string(r.a) + " action " +
+                 std::to_string(r.b);
+      } else {
+        detail = std::to_string(r.a) + ", " + std::to_string(r.b);
+      }
+      t.row(static_cast<double>(r.ts_ns) / 1e6, r.tid, r.ev, detail);
+    }
+    t.print(out, "last " + std::to_string(keep) + " flight events");
   }
 
   if (have_cert_) {

@@ -93,6 +93,17 @@ class RunReport {
   std::uint64_t lines_ingested() const { return lines_; }
   std::uint64_t lines_malformed() const { return malformed_; }
 
+  // --- introspection artifacts (ledger / profiler / flight recorder) -----
+  /// Bytes per ledger account from the last "ledger" record (the CLI
+  /// writes one at exit; mid-run records are cumulative gauges, so last
+  /// wins is the final state).
+  const std::map<std::string, std::int64_t>& ledger_accounts() const {
+    return ledger_accounts_;
+  }
+  std::uint64_t flight_events() const { return flight_rows_.size(); }
+  std::string flight_dump_reason() const { return flight_reason_; }
+  std::uint64_t profile_labels() const { return prof_rows_.size(); }
+
   // --- aggregates (public: the benches read them directly) ---------------
   struct SpanAgg {
     std::uint64_t count = 0;
@@ -117,6 +128,7 @@ class RunReport {
   void ingest_stats(const JsonValue& v, const std::string& type);
   void ingest_audit(const JsonValue& v, const std::string& type);
   void ingest_chaos(const JsonValue& v, const std::string& type);
+  void ingest_introspection(const JsonValue& v, const std::string& type);
   void count_regs(const std::vector<int>& regs);
 
   std::uint64_t lines_ = 0;
@@ -196,6 +208,37 @@ class RunReport {
   std::string chaos_campaign_line_;  ///< campaign summary, re-rendered as-is
   bool budget_exhausted_ = false;
   std::string budget_detail_;
+
+  // Introspection: memory ledger ("ledger"), sampling profiler
+  // ("prof.label"/"prof.summary"), flight recorder ("flight.dump"/
+  // "flight.event").
+  std::map<std::string, std::int64_t> ledger_accounts_;
+  std::map<std::string, std::int64_t> ledger_peaks_;
+  std::int64_t ledger_total_ = 0;
+  std::int64_t ledger_peak_total_ = 0;
+  struct ProfRow {
+    std::string label;
+    double cpu_self_ms = 0.0;
+    double cpu_total_ms = 0.0;
+    double wall_self_ms = 0.0;
+    double wall_total_ms = 0.0;
+  };
+  std::vector<ProfRow> prof_rows_;
+  int prof_hz_ = 0;
+  std::uint64_t prof_cpu_samples_ = 0;
+  std::uint64_t prof_wall_samples_ = 0;
+  struct FlightRow {
+    std::int64_t tid = 0;
+    std::int64_t seq = 0;
+    std::int64_t ts_ns = 0;
+    std::string ev;
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+  };
+  std::vector<FlightRow> flight_rows_;
+  std::string flight_reason_;
+  std::int64_t flight_threads_ = 0;
+  std::int64_t flight_total_events_ = 0;
 
   // Certificate (last one wins).
   bool have_cert_ = false;

@@ -7,6 +7,7 @@
 //   tsb perturb [n]                JTT perturbation adversary on a counter
 //   tsb chaos                      seeded fault-injection campaign (rt layer)
 //   tsb report FILE...             analyze trace/stats/audit JSONL artifacts
+//   tsb top <status-file>          live view of a running tsb's status file
 //
 // Observability flags (any position, any subcommand):
 //   --trace=FILE     record a trace; .jsonl gets JSONL, else Chrome
@@ -15,6 +16,20 @@
 //   --audit=FILE     stream the adversary's decision trail as JSONL
 //   --metrics        print the metrics registry as one JSON line at exit
 //   --progress       heartbeat lines on stderr during long computations
+//
+// In-flight introspection (see DESIGN.md "In-flight introspection"):
+//   --progress-interval-ms=MS  heartbeat/status cadence (default 1000)
+//   --status-file=FILE  atomically rewritten JSON snapshot of the run
+//                       (level, frontier, ledger, configs/sec, ETAs);
+//                       watch it live with `tsb top FILE`
+//   --flight=FILE    enable the in-memory flight recorder; rings dump to
+//                    FILE on fatal signal, budget exhaustion, SIGUSR1, and
+//                    exit. Feed the dump to `tsb report` for a narrative.
+//   --profile        sampling profiler (SIGPROF cpu + SIGALRM wall);
+//                    per-span table on stderr at exit, JSONL records into
+//                    --stats when that sink is open
+//   --profile-hz=HZ  sampling rate (default 200)
+//   --once           tsb top: render one frame and exit (CI-friendly)
 //   --valency-cap=N  valency oracle configuration cap (adversary only)
 //   --threads=N      exploration worker threads (adversary and check);
 //                    0 = all hardware threads; results are identical at
@@ -42,10 +57,14 @@
 //   4  budget exhausted (adversary stopped by --mem-budget/--time-budget-ms)
 //
 // Protocols for `check`: ballot | racing-strict | racing-atleast | swap
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bound/adversary.hpp"
@@ -87,10 +106,13 @@ int usage() {
          "  tsb perturb [n=5]                JTT adversary on the counter\n"
          "  tsb chaos                        seeded rt fault campaign\n"
          "  tsb report FILE...               analyze run artifacts (JSONL)\n"
+         "  tsb top <status-file> [--once]   live view of a --status-file\n"
          "flags: --trace=FILE --stats=FILE --audit=FILE --metrics "
          "--progress\n"
          "       --valency-cap=N --threads=N (0 = all cores) --top=K "
          "--baseline=FILE\n"
+         "introspection: --progress-interval-ms=MS --status-file=FILE\n"
+         "       --flight=FILE --profile --profile-hz=HZ\n"
          "chaos: --runs=N --seed=S --n=P --targets=LIST|all --mix=LIST|all\n"
          "       --run-timeout-ms=MS --out=FILE\n"
          "adversary budgets: --mem-budget=BYTES[k|m|g] --time-budget-ms=MS\n"
@@ -147,8 +169,10 @@ int cmd_adversary(int n, int cap, const ObsFlags& obs_flags) {
   const auto result = adversary.run();
   if (result.budget_exhausted) {
     // Clean truncation, not a refutation: the construction was stopped by
-    // a configured budget before it could finish either way.
+    // a configured budget before it could finish either way. The ledger
+    // says which subsystem held the bytes when the trip fired.
     std::cout << "BUDGET EXHAUSTED: " << result.error << "\n";
+    obs::MemLedger::global().render(std::cout);
     return kExitBudget;
   }
   if (!result.ok) {
@@ -275,6 +299,82 @@ int cmd_chaos(const ObsFlags& obs_flags) {
   return result.timeouts > 0 ? kExitTimeout : kExitOk;
 }
 
+// One frame of `tsb top`: parse the status snapshot and render a compact
+// dashboard. Returns false when the file is missing/unparseable (the
+// writer may be mid-rename only on filesystems without atomic rename(2),
+// so persistent failure means the path is wrong or the run never started).
+bool top_frame(const std::string& path, std::ostream& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  report::JsonValue v;
+  if (!report::parse_json(text, v)) return false;
+
+  out << "tsb top — " << path << "\n";
+  out << "  phase      " << v.str_or("phase", "?") << "\n";
+  out << "  uptime     " << v.num_or("uptime_s", 0.0) << " s\n";
+  if (v.find("level")) out << "  level      " << v.int_or("level", -1) << "\n";
+  if (v.find("frontier")) {
+    out << "  frontier   " << v.int_or("frontier", -1) << "\n";
+  }
+  if (v.find("visited")) {
+    out << "  visited    " << v.int_or("visited", -1);
+    if (v.find("cap")) out << " / cap " << v.int_or("cap", -1);
+    out << "\n";
+  }
+  if (v.find("configs_per_sec")) {
+    out << "  rate       " << static_cast<std::int64_t>(
+               v.num_or("configs_per_sec", 0.0))
+        << " configs/s\n";
+  }
+  if (v.find("eta_cap_s")) {
+    out << "  eta->cap   " << v.num_or("eta_cap_s", 0.0) << " s\n";
+  }
+  if (v.find("eta_deadline_s")) {
+    out << "  deadline   " << v.num_or("eta_deadline_s", 0.0) << " s left\n";
+  }
+  out << "  rss peak   " << v.int_or("peak_rss_kb", 0) << " KiB, tracked "
+      << obs::format_bytes(
+             static_cast<std::size_t>(v.int_or("ledger_total", 0)))
+      << "\n";
+  if (const report::JsonValue* ledger = v.find("ledger");
+      ledger && ledger->type == report::JsonValue::Type::kObj) {
+    for (const auto& [name, bytes] : ledger->obj) {
+      if (bytes.num <= 0) continue;
+      out << "    " << name << std::string(name.size() < 18
+                                               ? 18 - name.size()
+                                               : 1, ' ')
+          << obs::format_bytes(static_cast<std::size_t>(bytes.num)) << "\n";
+    }
+  }
+  if (v.find("flight_events")) {
+    out << "  flight     " << v.int_or("flight_events", 0) << " events\n";
+  }
+  return true;
+}
+
+int cmd_top(const std::string& path, bool once) {
+  // Live mode repaints with an ANSI home+clear until interrupted; --once
+  // renders a single frame (CI, scripts) and fails loudly when the file
+  // is absent.
+  if (once) {
+    if (!top_frame(path, std::cout)) {
+      std::cerr << "tsb top: cannot read status file " << path << "\n";
+      return kExitViolation;
+    }
+    return kExitOk;
+  }
+  while (true) {
+    std::ostringstream frame;
+    const bool ok = top_frame(path, frame);
+    std::cout << "\x1b[H\x1b[2J" << (ok ? frame.str()
+                                        : "waiting for " + path + " ...\n")
+              << std::flush;
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -289,6 +389,24 @@ int main(int argc, char** argv) {
   if (args.empty()) return usage();
 
   if (obs_flags.progress) obs::set_progress(true);
+  obs::set_progress_interval(
+      std::chrono::milliseconds(obs_flags.progress_interval_ms));
+  if (!obs_flags.status_file.empty()) {
+    obs::set_status_file(obs_flags.status_file);
+    if (obs_flags.time_budget_ms > 0) {
+      obs::set_status_deadline_ms(obs_flags.time_budget_ms);
+    }
+  }
+  if (!obs_flags.flight_file.empty()) {
+    obs::flight::enable();
+    obs::flight::set_dump_path(obs_flags.flight_file);
+    obs::flight::install_signal_handlers();
+  }
+  if (obs_flags.profile &&
+      !obs::Profiler::global().start(obs_flags.profile_hz)) {
+    std::cerr << "could not start the sampling profiler\n";
+    return kExitUsage;
+  }
   if (!obs_flags.trace_file.empty()) obs::TraceSink::global().enable();
   if (!obs_flags.stats_file.empty() &&
       !obs::stats_sink().open(obs_flags.stats_file)) {
@@ -327,12 +445,43 @@ int main(int argc, char** argv) {
   } else if (cmd == "chaos") {
     rc = cmd_chaos(obs_flags);
   } else if (cmd == "report") {
-    if (args.size() < 2) return usage();
-    rc = report::analyze_files(
-        std::vector<std::string>(args.begin() + 1, args.end()),
-        obs_flags.top, obs_flags.baseline_file, std::cout);
+    // --flight=FILE names an extra input here (symmetric with the flag
+    // that produced the dump on the recording side).
+    std::vector<std::string> files(args.begin() + 1, args.end());
+    if (!obs_flags.flight_file.empty()) {
+      obs::flight::disable();  // report reads the file, doesn't record
+      files.push_back(obs_flags.flight_file);
+    }
+    if (files.empty()) return usage();
+    rc = report::analyze_files(files, obs_flags.top, obs_flags.baseline_file,
+                               std::cout);
+  } else if (cmd == "top" && args.size() >= 2) {
+    return cmd_top(args[1], obs_flags.once);
   } else {
     return usage();
+  }
+
+  // Profiler first (stop the itimers before teardown), then the flight
+  // exit dump, so the sinks below flush after all introspection output.
+  if (obs_flags.profile) {
+    obs::Profiler& prof = obs::Profiler::global();
+    prof.stop();
+    prof.render(std::cerr);
+    if (obs::stats_enabled()) prof.emit_jsonl();
+  }
+  if (!obs_flags.flight_file.empty() && cmd != "report") {
+    obs::flight::dump(obs_flags.flight_file,
+                      rc == kExitBudget ? "budget" : "exit");
+  }
+  if (obs::stats_enabled() && obs::MemLedger::global().total() > 0) {
+    obs::MemLedger::global().emit_record();
+  }
+  if (obs::status_enabled()) {
+    // Final snapshot: short runs can finish inside the first heartbeat
+    // interval, and watchers deserve a terminal state either way.
+    obs::StatusSnapshot last;
+    last.phase = rc == kExitBudget ? "budget-exhausted" : "done";
+    obs::publish_status(last);
   }
 
   if (!obs_flags.stats_file.empty()) {

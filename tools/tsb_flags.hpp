@@ -23,6 +23,14 @@ struct ObsFlags {
   std::string baseline_file;  ///< --baseline=FILE (report: one-line JSON)
   bool metrics = false;       ///< --metrics
   bool progress = false;      ///< --progress
+
+  // In-flight introspection (tsb adversary / tsb chaos / benches).
+  std::uint64_t progress_interval_ms = 1'000;  ///< --progress-interval-ms=MS
+  std::string status_file;    ///< --status-file=FILE (atomic JSON snapshot)
+  std::string flight_file;    ///< --flight=FILE (ring dump path / report input)
+  bool profile = false;       ///< --profile (SIGPROF sampling profiler)
+  int profile_hz = 200;       ///< --profile-hz=HZ (sampling rate)
+  bool once = false;          ///< --once (tsb top: render one frame and exit)
   std::size_t valency_cap = 0;  ///< --valency-cap=N; 0 = scale with n
   int threads = 1;            ///< --threads=N; 0 = hardware concurrency
   int top = 5;                ///< --top=K (report: hottest registers shown)
@@ -140,6 +148,28 @@ inline ParseResult parse_args(const std::vector<std::string>& argv) {
       out.flags.metrics = true;
     } else if (a == "--progress") {
       out.flags.progress = true;
+    } else if (u64_flag("--progress-interval-ms",
+                        &out.flags.progress_interval_ms)) {
+      if (bad_value || out.flags.progress_interval_ms == 0) {
+        return fail("bad --progress-interval-ms (want >= 1)");
+      }
+    } else if (value_flag("--status-file", &out.flags.status_file)) {
+      if (bad_value || out.flags.status_file.empty()) {
+        return fail("--status-file needs a file");
+      }
+    } else if (value_flag("--flight", &out.flags.flight_file)) {
+      if (bad_value || out.flags.flight_file.empty()) {
+        return fail("--flight needs a file");
+      }
+    } else if (a == "--profile") {
+      out.flags.profile = true;
+    } else if (u64_flag("--profile-hz", &uval)) {
+      if (bad_value || uval == 0 || uval > 10'000) {
+        return fail("bad --profile-hz (want 1..10000)");
+      }
+      out.flags.profile_hz = static_cast<int>(uval);
+    } else if (a == "--once") {
+      out.flags.once = true;
     } else if (a.rfind("--valency-cap=", 0) == 0) {
       out.flags.valency_cap = std::strtoull(
           a.c_str() + std::strlen("--valency-cap="), nullptr, 10);
