@@ -1,10 +1,12 @@
 // Experiment E12 — raw BFS throughput of the state-space engine: packed
-// ConfigArena storage plus level-synchronous parallel frontier expansion.
+// ConfigArena storage plus work-stealing parallel frontier expansion.
 // Enumerates the reachable space of the ballot protocol (the adversary's
 // workhorse) at n = 4..6 with 1/2/4/8 worker threads and reports
-// configs/sec and peak RSS. Thread counts above the machine's core count
-// measure scheduling overhead, not speedup; the determinism contract means
-// every row enumerates the exact same configuration set.
+// configs/sec, steal/chunk forensics and peak RSS. Thread counts above the
+// machine's core count measure scheduling overhead, not speedup; the
+// determinism contract means every complete (untruncated) row enumerates
+// the exact same configuration set — discovery order is scheduling-
+// dependent, so truncated rows may legitimately differ.
 //
 // Usage: bench_explore [--smoke] [--overhead] [--stats=FILE] [--json=FILE]
 //                      [max_n]
@@ -16,6 +18,7 @@
 //   --stats=FILE  stream per-BFS-level stats to FILE during the runs
 //   --json=FILE   machine-readable per-row metrics for tools/check_perf.py
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -213,10 +216,11 @@ int main(int argc, char** argv) {
 
   std::cout << "E12: state-space enumeration throughput, ballot protocol\n"
             << "(config cap " << cap << "; identical configuration sets on\n"
-            << "every row — see the parallel explorer's determinism rule).\n\n";
+            << "every complete row — see the work-stealing explorer's\n"
+            << "determinism rule; truncated rows may differ by schedule).\n\n";
 
   util::Table table({"n", "cap", "threads", "configs", "truncated", "seconds",
-                     "configs/sec", "peak RSS MB"});
+                     "configs/sec", "steals", "chunks", "peak RSS MB"});
   obs::Registry& reg = obs::Registry::global();
 
   std::ofstream json;
@@ -234,17 +238,26 @@ int main(int argc, char** argv) {
   for (int n = min_n; n <= max_n; ++n) {
     consensus::BallotConsensus proto(n, ballot_cap(n));
     std::size_t seq_visited = 0;
+    bool seq_truncated = false;
     for (int threads : thread_counts) {
       RunResult r;
+      std::uint64_t steals = 0;
+      std::uint64_t chunks = 0;
       if (threads == 1) {
         sim::Explorer explorer(proto, {.max_configs = cap});
         r = timed_explore(explorer, proto, n);
         seq_visited = r.visited;
+        seq_truncated = r.truncated;
       } else {
         sim::ParallelExplorer explorer(proto,
                                        {.max_configs = cap, .threads = threads});
         r = timed_explore(explorer, proto, n);
-        if (r.visited != seq_visited) {
+        steals = explorer.last_run().steals;
+        chunks = explorer.last_run().chunks;
+        // Complete runs enumerate exactly the sequential set; truncated
+        // runs stop at the cap along schedule-dependent frontiers, so only
+        // the count of complete runs is checkable here.
+        if (!r.truncated && !seq_truncated && r.visited != seq_visited) {
           std::cerr << "DETERMINISM VIOLATION: " << threads << " threads saw "
                     << r.visited << " configs, sequential saw " << seq_visited
                     << "\n";
@@ -252,8 +265,8 @@ int main(int argc, char** argv) {
         }
       }
       const double cps = configs_per_sec(r);
-      table.row(n, cap, threads, r.visited, r.truncated, r.secs, cps,
-                static_cast<double>(obs::peak_rss_kb()) / 1024.0);
+      table.row(n, cap, threads, r.visited, r.truncated, r.secs, cps, steals,
+                chunks, static_cast<double>(obs::peak_rss_kb()) / 1024.0);
       const std::string tag =
           "explore.n" + std::to_string(n) + ".t" + std::to_string(threads);
       reg.gauge(tag + ".configs_per_sec").set(static_cast<std::int64_t>(cps));
@@ -263,7 +276,9 @@ int main(int argc, char** argv) {
         first_row = false;
         json << "{\"n\":" << n << ",\"threads\":" << threads
              << ",\"configs\":" << r.visited
-             << ",\"configs_per_sec\":" << cps << "}";
+             << ",\"configs_per_sec\":" << cps << ",\"steals\":" << steals
+             << ",\"chunks\":" << chunks
+             << ",\"truncated\":" << (r.truncated ? "true" : "false") << "}";
       }
     }
     reg.gauge("explore.peak_rss_kb").set(obs::peak_rss_kb());
@@ -272,8 +287,9 @@ int main(int argc, char** argv) {
   std::cout << "\nReading: one packed arena word-block per configuration and\n"
             << "an open-addressing visited table (hash stored per slot, no\n"
             << "rehash on probe) carry the sequential rows; the parallel rows\n"
-            << "add level-synchronous expansion with sharded dedup. Rows with\n"
-            << "more threads than cores measure overhead, not speedup.\n";
+            << "add work-stealing expansion over chunked id ranges with\n"
+            << "sharded dedup. Rows with more threads than cores measure\n"
+            << "overhead, not speedup.\n";
   if (json.is_open()) {
     json << "]}\n";
     std::cerr << "json: rows -> " << json_file << "\n";

@@ -49,7 +49,12 @@ SpaceBoundAdversary::Result SpaceBoundAdversary::run_impl() {
                         .threads = opts_.threads,
                         .max_arena_bytes = opts_.valency_max_arena_bytes,
                         .time_budget_ms = opts_.valency_time_budget_ms,
-                        .reuse = opts_.reuse});
+                        .reuse = opts_.reuse,
+                        .spill_dir = opts_.spill_dir,
+                        .spill_threshold_bytes = opts_.spill_threshold_bytes,
+                        .spill_seg_configs = opts_.spill_seg_configs,
+                        .chunk_configs = opts_.chunk_configs,
+                        .parallel_threshold = opts_.parallel_threshold});
   LemmaToolkit lemmas(proto_, oracle);
   lemmas.enable_narrative(opts_.narrative);
 
@@ -60,6 +65,7 @@ SpaceBoundAdversary::Result SpaceBoundAdversary::run_impl() {
         .num("registers", proto_.num_registers())
         .num("threads", opts_.threads)
         .boolean("reuse", opts_.reuse)
+        .boolean("spill", opts_.spill_threshold_bytes != 0)
         .boolean("symmetric", proto_.symmetric());
     obs::audit_sink().write(ev.render());
   }

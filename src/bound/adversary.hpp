@@ -32,6 +32,17 @@ class SpaceBoundAdversary {
     /// Off = the fresh-BFS-per-query backend, kept as the differential
     /// anchor; identical verdicts and certificates either way.
     bool reuse = true;
+    /// Out-of-core spill for the oracle's config storage (see
+    /// ValencyOracle::Options). threshold 0 = all in RAM. Verdicts and
+    /// certificates are unchanged by spilling; it exists so campaigns past
+    /// the RAM wall (n = 7) can keep the frontier advancing from disk.
+    std::string spill_dir = ".";
+    std::size_t spill_threshold_bytes = 0;
+    std::size_t spill_seg_configs = 0;
+    /// Work-stealing tuning for the --no-reuse parallel backend; 0 keeps
+    /// the explorer defaults (see ValencyOracle::Options).
+    std::uint32_t chunk_configs = 0;
+    std::size_t parallel_threshold = 0;
   };
 
   struct Result {

@@ -102,10 +102,13 @@ const ValencyOracle::PairAnswer& ValencyOracle::lookup(const Config& c,
   if (opts_.reuse) {
     if (!graph_) {
       graph_ = std::make_unique<sim::ReachGraph>(
-          proto_,
-          sim::ReachGraph::Options{.max_configs = opts_.max_configs,
-                                   .threads = opts_.threads,
-                                   .max_arena_bytes = opts_.max_arena_bytes});
+          proto_, sim::ReachGraph::Options{
+                      .max_configs = opts_.max_configs,
+                      .threads = opts_.threads,
+                      .max_arena_bytes = opts_.max_arena_bytes,
+                      .spill_dir = opts_.spill_dir,
+                      .spill_threshold_bytes = opts_.spill_threshold_bytes,
+                      .spill_seg_configs = opts_.spill_seg_configs});
       graph_->set_deadline(deadline_);
     }
     // Memoize on the canonical projected (config, ProcSet-orbit, ambient)
@@ -261,15 +264,29 @@ ValencyOracle::PairAnswer ValencyOracle::compute_pair(const Config& c,
 
   if (opts_.threads > 1) {
     if (!par_) {
-      par_.emplace(proto_, sim::ParallelExplorer::Options{opts_.max_configs,
-                                                          opts_.threads});
+      sim::ParallelExplorer::Options popts;
+      popts.max_configs = opts_.max_configs;
+      popts.threads = opts_.threads;
+      if (opts_.chunk_configs != 0) popts.chunk_configs = opts_.chunk_configs;
+      if (opts_.parallel_threshold != 0) {
+        popts.parallel_threshold = opts_.parallel_threshold;
+      }
+      par_.emplace(proto_, popts);
       par_->set_budget(opts_.max_arena_bytes, deadline_);
+      if (opts_.spill_threshold_bytes != 0 && !opts_.spill_dir.empty()) {
+        par_->set_spill(opts_.spill_dir, opts_.spill_threshold_bytes,
+                        opts_.spill_seg_configs);
+      }
     }
     finish(*par_, par_->explore(c, p, visit));
   } else {
     if (!seq_) {
       seq_.emplace(proto_, sim::Explorer::Options{opts_.max_configs});
       seq_->set_budget(opts_.max_arena_bytes, deadline_);
+      if (opts_.spill_threshold_bytes != 0 && !opts_.spill_dir.empty()) {
+        seq_->set_spill(opts_.spill_dir, opts_.spill_threshold_bytes,
+                        opts_.spill_seg_configs);
+      }
     }
     finish(*seq_, seq_->explore(c, p, visit));
   }

@@ -74,6 +74,22 @@ class ValencyOracle {
     std::uint64_t time_budget_ms = 0;
     /// Shared-subgraph engine on/off (see class comment).
     bool reuse = true;
+    /// Out-of-core node storage: when resident packed-config bytes exceed
+    /// spill_threshold_bytes (0 = never), the backend arena compresses
+    /// cold full segments to an unlinked file under spill_dir and reads
+    /// them back through mmap. Verdicts and witnesses are unchanged;
+    /// max_arena_bytes keeps capping RAM (spilled bytes leave it), so
+    /// spill + budget together turn "OOM at n = 7" into "slower but
+    /// finishes". spill_seg_configs (0 = default) shrinks segments so
+    /// tests/CI can force spilling on tiny campaigns.
+    std::string spill_dir = ".";
+    std::size_t spill_threshold_bytes = 0;
+    std::size_t spill_seg_configs = 0;
+    /// Work-stealing tuning for the reuse = false parallel backend
+    /// (ParallelExplorer::Options::chunk_configs / parallel_threshold);
+    /// 0 keeps each explorer default. Purely perf — verdicts never change.
+    std::uint32_t chunk_configs = 0;
+    std::size_t parallel_threshold = 0;
   };
 
   explicit ValencyOracle(const Protocol& proto)

@@ -24,6 +24,8 @@ const char* ev_name(Ev ev) {
     case Ev::kReachQuery: return "reach.query";
     case Ev::kChaosFault: return "chaos.fault";
     case Ev::kPhase: return "phase";
+    case Ev::kSteal: return "steal";
+    case Ev::kSpill: return "spill";
   }
   return "?";
 }

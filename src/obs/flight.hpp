@@ -17,6 +17,8 @@ enum class Ev : std::uint8_t {
   kReachQuery,    ///< shared-graph query: a=node id, b=pbits
   kChaosFault,    ///< rt fault injected: a=thread id, b=fault kind
   kPhase,         ///< adversary stage entered: a=phase code (see phase_name)
+  kSteal,         ///< work-stealing: a=thief worker, b=victim worker
+  kSpill,         ///< arena spill: a=bytes released, b=total spilled bytes
 };
 
 const char* ev_name(Ev ev);

@@ -12,6 +12,8 @@ const char* mem_account_name(MemAccount a) {
   switch (a) {
     case MemAccount::kArenaWords: return "arena.words";
     case MemAccount::kArenaTable: return "arena.table";
+    case MemAccount::kArenaSpill: return "arena.spill";
+    case MemAccount::kArenaMapped: return "arena.mapped";
     case MemAccount::kExploreFrontier: return "explore.frontier";
     case MemAccount::kExploreShards: return "explore.shards";
     case MemAccount::kReachNodes: return "reach.nodes";

@@ -13,8 +13,10 @@ namespace tsb::obs {
 /// from already-rate-limited code (level boundaries, the every-256-steps
 /// budget check), never per element.
 enum class MemAccount : int {
-  kArenaWords,       ///< BFS ConfigArena packed words + scratch
+  kArenaWords,       ///< BFS ConfigArena resident packed words + scratch
   kArenaTable,       ///< BFS ConfigArena open-addressing visited table
+  kArenaSpill,       ///< compressed bytes in arena spill backing files
+  kArenaMapped,      ///< mmap'd (clean, file-backed) spill block bytes
   kExploreFrontier,  ///< explorer parent edges + expansion buffers
   kExploreShards,    ///< ParallelExplorer per-shard dedup tables
   kReachNodes,       ///< shared reach graph: projected-config arena

@@ -1,11 +1,24 @@
 #include "sim/config_arena.hpp"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
 #include <cassert>
+#include <cerrno>
+
+#include "util/require.hpp"
 
 namespace tsb::sim {
 
 namespace {
 constexpr std::size_t kInitialSlots = 1u << 10;
+
+/// Configurations per delta group in a spilled block: the first is stored
+/// raw (a random-access checkpoint), the rest as deltas against their
+/// predecessor. 64 keeps worst-case decode at 63 delta applications while
+/// amortizing the raw checkpoint to under an eighth of the group.
+constexpr std::size_t kGroup = 64;
 
 // splitmix64 finalizer: one full-avalanche pass over the accumulated
 // hash. The per-word step is a single xor-multiply (FNV-ish) — one mul of
@@ -17,6 +30,57 @@ inline std::uint64_t finalize(std::uint64_t h) {
   h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
   h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
   return h ^ (h >> 31);
+}
+
+inline std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t unzigzag(std::uint64_t u) {
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+inline std::uint64_t get_varint(const std::uint8_t*& p) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (*p & 0x80) {
+    v |= static_cast<std::uint64_t>(*p++ & 0x7f) << shift;
+    shift += 7;
+  }
+  v |= static_cast<std::uint64_t>(*p++) << shift;
+  return v;
+}
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::size_t page_size() {
+  static const std::size_t sz = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return sz;
+}
+
+inline std::size_t round_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) & ~(align - 1);
 }
 }  // namespace
 
@@ -31,12 +95,80 @@ ConfigArena::ConfigArena(int num_states, int num_regs)
   assert(num_states > 0 && num_regs >= 0);
   shift_ = 64;
   for (std::size_t s = kInitialSlots; s > 1; s >>= 1) --shift_;
+  // Segments target ~4 MB of words each: big enough that the directory
+  // stays tiny and spill blocks amortize their syscalls, small enough
+  // that one segment is a meaningful spill quantum for CI-sized budgets.
+  seg_configs_ = kGroup;
+  while (seg_configs_ * words_ * sizeof(Value) < (4u << 20) &&
+         seg_configs_ < (1u << 20)) {
+    seg_configs_ <<= 1;
+  }
+  seg_mask_ = seg_configs_ - 1;
+  seg_shift_ = 0;
+  for (std::size_t s = seg_configs_; s > 1; s >>= 1) ++seg_shift_;
+}
+
+ConfigArena::~ConfigArena() {
+  for (auto& s : segs_) {
+    release_map(*s);
+    delete[] s->data;
+  }
+  if (spill_fd_ >= 0) ::close(spill_fd_);
+}
+
+void ConfigArena::alloc_seg_data(Seg& s) {
+  // Flat, uninitialized block (geas Vec idiom): pages are first touched by
+  // the thread that writes configurations into them, which on a NUMA box
+  // places each shard-flush's output near the worker that produced it.
+  s.data = new Value[seg_configs_ * words_];
+  resident_words_bytes_.fetch_add(seg_configs_ * words_ * sizeof(Value),
+                                  std::memory_order_relaxed);
+}
+
+void ConfigArena::add_segment() {
+  auto seg = std::make_unique<Seg>();
+  alloc_seg_data(*seg);
+  const std::size_t idx = segs_.size();
+  if (idx >= dir_cap_) {
+    const std::size_t cap = dir_cap_ == 0 ? 64 : dir_cap_ * 2;
+    auto fresh = std::make_unique<DirEntry[]>(cap);
+    DirEntry* old = dir_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < idx; ++i) {
+      fresh[i].store(old[i].load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    }
+    dir_.store(fresh.get(), std::memory_order_release);
+    dir_store_.push_back(std::move(fresh));
+    dir_cap_ = cap;
+  }
+  dir_.load(std::memory_order_relaxed)[idx].store(seg.get(),
+                                                  std::memory_order_release);
+  segs_.push_back(std::move(seg));
+  seg_count_.store(segs_.size(), std::memory_order_release);
+}
+
+void ConfigArena::ensure_capacity(std::size_t up_to) {
+  if (seg_count_.load(std::memory_order_acquire) * seg_configs_ >= up_to) {
+    return;
+  }
+  std::lock_guard<std::mutex> lk(grow_mu_);
+  while (segs_.size() * seg_configs_ < up_to) add_segment();
 }
 
 void ConfigArena::clear() {
   count_ = 0;
-  data_.clear();
   for (Slot& s : table_) s = Slot{};
+  if (spilled_segments_ != 0 || spill_file_end_ != 0) {
+    for (auto& s : segs_) {
+      release_map(*s);
+      if (s->data == nullptr) alloc_seg_data(*s);  // was spilled; re-arm
+    }
+    if (spill_fd_ >= 0 && ::ftruncate(spill_fd_, 0) != 0) ++spill_failures_;
+    spill_file_end_ = 0;
+    first_resident_seg_ = 0;
+    spilled_segments_ = 0;
+    spilled_bytes_.store(0, std::memory_order_relaxed);
+  }
 }
 
 void ConfigArena::pack(const Config& c, Value* dst) const {
@@ -88,8 +220,10 @@ void ConfigArena::grow_table() {
 
 ConfigId ConfigArena::append_words(const Value* w) {
   assert(count_ < kNoConfig);
-  const ConfigId id = static_cast<ConfigId>(count_++);
-  data_.insert(data_.end(), w, w + words_);
+  const ConfigId id = static_cast<ConfigId>(count_);
+  ensure_capacity(count_ + 1);
+  std::memcpy(slot_ptr(id), w, words_ * sizeof(Value));
+  ++count_;
   return id;
 }
 
@@ -127,6 +261,193 @@ ConfigId ConfigArena::find(const Value* w) const {
     if (s.tag == tag && words_equal(words(s.id), w)) return s.id;
     i = (i + 1) & mask_;
   }
+}
+
+// --- out-of-core --------------------------------------------------------
+
+bool ConfigArena::set_spill(const std::string& dir,
+                            std::size_t threshold_bytes,
+                            std::size_t seg_configs_hint) {
+  TSB_REQUIRE(count_ == 0,
+              "ConfigArena::set_spill requires an empty arena");
+  TSB_REQUIRE(words_ <= 255,
+              "spill delta encoding stores slot counts in one byte");
+  if (spill_fd_ >= 0) {
+    ::close(spill_fd_);
+    spill_fd_ = -1;
+  }
+  // Segment geometry may change below; drop any allocations from a prior
+  // run (set_spill is a per-run reconfiguration, not a hot path).
+  for (auto& s : segs_) {
+    release_map(*s);
+    delete[] s->data;
+  }
+  segs_.clear();
+  seg_count_.store(0, std::memory_order_relaxed);
+  resident_words_bytes_.store(0, std::memory_order_relaxed);
+  spilled_bytes_.store(0, std::memory_order_relaxed);
+  first_resident_seg_ = 0;
+  spilled_segments_ = 0;
+  spill_file_end_ = 0;
+  if (seg_configs_hint != 0) {
+    std::size_t sc = kGroup;
+    while (sc < seg_configs_hint) sc <<= 1;
+    seg_configs_ = sc;
+    seg_mask_ = sc - 1;
+    seg_shift_ = 0;
+    for (std::size_t s = sc; s > 1; s >>= 1) ++seg_shift_;
+  }
+  // The backing file is unlinked the moment it exists: the fd keeps the
+  // space alive, the name never leaks past a crash, and the ledger (not
+  // the filesystem) is the interface for "how much is spilled".
+  const std::string path = dir + "/tsb-spill-" + std::to_string(::getpid()) +
+                           "-" + std::to_string(reinterpret_cast<std::uintptr_t>(
+                                     this) &
+                                 0xffffffu) +
+                           ".bin";
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
+  if (fd < 0) return false;
+  ::unlink(path.c_str());
+  spill_fd_ = fd;
+  spill_threshold_ = threshold_bytes;
+  return true;
+}
+
+void ConfigArena::release_map(Seg& s) {
+  if (s.map != nullptr) {
+    ::munmap(s.map, s.map_len);
+    mapped_bytes_.fetch_sub(s.map_len, std::memory_order_relaxed);
+    s.map = nullptr;
+    s.map_len = 0;
+    s.comp_bytes = 0;
+  }
+}
+
+bool ConfigArena::spill_segment(Seg& s) {
+  // Encode: groups of kGroup configurations, the first raw, the rest as
+  // (changed-slot count, then per change a varint slot index and a
+  // zigzag-varint value delta) against their predecessor. A per-group
+  // offset table up front gives random access at group granularity.
+  const std::size_t ngroups = seg_configs_ / kGroup;
+  std::vector<std::uint8_t> payload;
+  payload.reserve(seg_configs_ * 8);
+  std::vector<std::uint32_t> offsets(ngroups);
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    offsets[g] = static_cast<std::uint32_t>(payload.size());
+    const Value* prev = nullptr;
+    for (std::size_t c = 0; c < kGroup; ++c) {
+      const Value* cur = s.data + (g * kGroup + c) * words_;
+      if (prev == nullptr) {
+        const std::size_t at = payload.size();
+        payload.resize(at + words_ * sizeof(Value));
+        std::memcpy(payload.data() + at, cur, words_ * sizeof(Value));
+      } else {
+        std::uint8_t nchanged = 0;
+        for (std::size_t i = 0; i < words_; ++i) nchanged += cur[i] != prev[i];
+        payload.push_back(nchanged);
+        for (std::size_t i = 0; i < words_; ++i) {
+          if (cur[i] == prev[i]) continue;
+          put_varint(payload, i);
+          put_varint(payload, zigzag(cur[i] - prev[i]));
+        }
+      }
+      prev = cur;
+    }
+  }
+  std::vector<std::uint8_t> block;
+  block.reserve(4 + 4 * ngroups + payload.size());
+  put_u32(block, static_cast<std::uint32_t>(ngroups));
+  for (std::uint32_t off : offsets) put_u32(block, off);
+  block.insert(block.end(), payload.begin(), payload.end());
+
+  // Append at a page-aligned offset so the block can be mapped directly.
+  const std::uint64_t off = spill_file_end_;
+  std::size_t written = 0;
+  while (written < block.size()) {
+    const ssize_t w = ::pwrite(spill_fd_, block.data() + written,
+                               block.size() - written,
+                               static_cast<off_t>(off + written));
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      ++spill_failures_;
+      return false;
+    }
+    written += static_cast<std::size_t>(w);
+  }
+  const std::size_t map_len = round_up(block.size(), page_size());
+  void* map = ::mmap(nullptr, map_len, PROT_READ, MAP_SHARED, spill_fd_,
+                     static_cast<off_t>(off));
+  if (map == MAP_FAILED) {
+    ++spill_failures_;
+    return false;
+  }
+  spill_file_end_ = off + map_len;
+  s.map = static_cast<std::uint8_t*>(map);
+  s.map_len = map_len;
+  s.map_skip = 0;
+  s.comp_bytes = block.size();
+  delete[] s.data;
+  s.data = nullptr;
+  resident_words_bytes_.fetch_sub(seg_configs_ * words_ * sizeof(Value),
+                                  std::memory_order_relaxed);
+  spilled_bytes_.fetch_add(block.size(), std::memory_order_relaxed);
+  mapped_bytes_.fetch_add(map_len, std::memory_order_relaxed);
+  ++spilled_segments_;
+  return true;
+}
+
+std::size_t ConfigArena::maybe_spill(ConfigId pin_floor) {
+  if (spill_fd_ < 0) return 0;
+  const std::size_t seg_bytes = seg_configs_ * words_ * sizeof(Value);
+  // Only FULL segments spill (the partial tail is still being appended
+  // to), and never one at or above the pin floor: callers pin the
+  // unexpanded frontier so its reads stay pointer-direct.
+  const std::size_t full = count_ >> seg_shift_;
+  const std::size_t pinned = static_cast<std::size_t>(pin_floor) >> seg_shift_;
+  const std::size_t limit = full < pinned ? full : pinned;
+  std::size_t released = 0;
+  for (std::size_t i = first_resident_seg_; i < limit; ++i) {
+    if (resident_words_bytes_.load(std::memory_order_relaxed) <=
+        spill_threshold_) {
+      break;
+    }
+    Seg& s = *segs_[i];
+    if (s.data == nullptr) continue;
+    if (!spill_segment(s)) {
+      // Disk trouble: stop trying this run; exploration continues in RAM
+      // and the budget machinery reports the pressure honestly.
+      ::close(spill_fd_);
+      spill_fd_ = -1;
+      break;
+    }
+    first_resident_seg_ = i + 1;
+    released += seg_bytes;
+  }
+  return released;
+}
+
+const Value* ConfigArena::decode_spilled(const Seg& s,
+                                         std::size_t local) const {
+  static thread_local std::vector<Value> buf;
+  if (buf.size() < words_) buf.resize(words_);
+  const std::uint8_t* base = s.map + s.map_skip;
+  const std::size_t ngroups = get_u32(base);
+  const std::size_t g = local / kGroup;
+  assert(g < ngroups);
+  const std::uint8_t* p =
+      base + 4 + 4 * ngroups + get_u32(base + 4 + 4 * g);
+  std::memcpy(buf.data(), p, words_ * sizeof(Value));
+  p += words_ * sizeof(Value);
+  const std::size_t upto = local % kGroup;
+  for (std::size_t c = 1; c <= upto; ++c) {
+    const std::uint8_t nchanged = *p++;
+    for (std::uint8_t j = 0; j < nchanged; ++j) {
+      const std::size_t slot = get_varint(p);
+      const std::int64_t delta = unzigzag(get_varint(p));
+      buf[slot] += delta;
+    }
+  }
+  return buf.data();
 }
 
 }  // namespace tsb::sim

@@ -1,8 +1,12 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "sim/config.hpp"
@@ -17,8 +21,9 @@ using ConfigId = std::uint32_t;
 inline constexpr ConfigId kNoConfig = 0xFFFFFFFFu;
 
 /// Zero-copy read access to one interned configuration: `states` and `regs`
-/// point directly into the arena. Valid until the arena's next insertion
-/// (insertions may reallocate); visitors that need to retain a
+/// point directly into the arena's resident segment (or, for a spilled
+/// segment, into a thread-local decode buffer that the next words()/view()
+/// call on the same thread overwrites). Visitors that need to retain a
 /// configuration call materialize().
 struct ConfigView {
   ConfigId id = kNoConfig;
@@ -43,32 +48,54 @@ inline std::optional<Value> decision_of(const Protocol& proto,
   return std::nullopt;
 }
 
-/// Packed, interned configuration storage.
+/// Packed, interned, out-of-core configuration storage.
 ///
 /// A configuration of an (n, m) protocol is exactly n state words followed
-/// by m register words; the arena stores them back to back in one
-/// contiguous allocation and deduplicates through an open-addressing hash
-/// table of 8-byte slots (a 32-bit hash tag plus the id), so a probe
-/// touches the word data only on a tag match and the table stays half the
-/// size a full-hash layout would need — at tens of millions of interned
-/// configurations the table is the hot-loop cache footprint. Growth
-/// re-derives each slot's bucket by rehashing its words from the store.
-/// Compared with `std::unordered_map<Config, ...>` (two heap vectors plus
-/// a node per entry) this is far smaller and removes every
-/// per-configuration allocation from the explorer's hot loop.
+/// by m register words. The arena stores them back to back in fixed-size
+/// SEGMENTS (a power-of-two number of configurations each, sized to a few
+/// MB) allocated flat with new[] — the geas Vec idiom: no per-configuration
+/// allocation, no reallocation copying, and word pointers stay stable for
+/// the lifetime of a segment's residency. Deduplication goes through an
+/// open-addressing hash table of 8-byte slots (a 32-bit hash tag plus the
+/// id), so a probe touches the word data only on a tag match and the table
+/// stays half the size a full-hash layout would need. Growth re-derives
+/// each slot's bucket by rehashing its words from the store.
+///
+/// Out-of-core operation (set_spill): when resident word bytes exceed the
+/// spill threshold, maybe_spill() takes cold FULL segments (lowest ids
+/// first — in BFS id order those are the oldest levels), delta/varint
+/// compresses them against the previous configuration in the segment (most
+/// successors differ from a neighbour in one or two slots), appends the
+/// compressed block to an unlinked backing file in the spill directory,
+/// maps it read-only, and frees the resident array. words() on a spilled
+/// id decodes the configuration into a thread-local buffer. Spilling only
+/// happens inside maybe_spill(), which callers invoke at quiescent points
+/// (level boundaries, or the parallel explorer's stop-the-world
+/// rendezvous), so readers never race a segment teardown.
+///
+/// Thread safety: interning and spilling are single-threaded (externally
+/// synchronized). Concurrent READERS (words/view) plus concurrent WRITERS
+/// to distinct reserved ids are safe between spills: the segment directory
+/// is an atomic snapshot array and ensure_capacity() publishes fully
+/// initialized segments before exposing them.
 ///
 /// Usage: build the next configuration's words in scratch(), then
 /// intern_scratch(). The id space is dense and insertion-ordered.
 class ConfigArena {
  public:
   ConfigArena(int num_states, int num_regs);
+  ~ConfigArena();
+
+  ConfigArena(const ConfigArena&) = delete;
+  ConfigArena& operator=(const ConfigArena&) = delete;
 
   int num_states() const { return n_; }
   int num_regs() const { return m_; }
   std::size_t words_per_config() const { return words_; }
   std::size_t size() const { return count_; }
 
-  /// Drop all configurations but keep the allocations for reuse.
+  /// Drop all configurations but keep the allocations for reuse. Unmaps
+  /// spilled blocks and truncates the backing file.
   void clear();
 
   /// Staging buffer for the configuration about to be interned
@@ -90,9 +117,9 @@ class ConfigArena {
   Interned intern_scratch() { return intern_words(scratch_.data()); }
 
   /// Intern an externally staged word sequence (words_per_config() words).
-  /// `w` must not alias the arena's own word store — insertions may
-  /// reallocate it. The reachability engine's batched expansion stages
-  /// successor words in per-slot buffers and interns them through this.
+  /// `w` must not alias the arena's own word store. The reachability
+  /// engine's batched expansion stages successor words in per-slot buffers
+  /// and interns them through this.
   Interned intern_words(const Value* w);
 
   /// intern_words with the hash precomputed (must be hash_words(w)). Pair
@@ -115,8 +142,17 @@ class ConfigArena {
   /// explorer's sharded visited sets).
   ConfigId append_words(const Value* w);
 
+  /// Read access to one configuration's packed words. Resident segments
+  /// return a direct pointer; spilled segments decode into a thread-local
+  /// buffer valid until this thread's next words() call on a spilled id.
   const Value* words(ConfigId id) const {
-    return data_.data() + words_ * static_cast<std::size_t>(id);
+    const Seg* s = dir_.load(std::memory_order_acquire)[id >> seg_shift_].load(
+        std::memory_order_acquire);
+    const Value* d = s->data;
+    if (d != nullptr) {
+      return d + (static_cast<std::size_t>(id) & seg_mask_) * words_;
+    }
+    return decode_spilled(*s, static_cast<std::size_t>(id) & seg_mask_);
   }
   ConfigView view(ConfigId id) const {
     const Value* w = words(id);
@@ -128,21 +164,84 @@ class ConfigArena {
     return std::memcmp(a, b, words_ * sizeof(Value)) == 0;
   }
 
+  // --- concurrent-append support (the work-stealing explorer) -----------
+
+  /// Make segments for every id < up_to exist and be resident. Safe to
+  /// call concurrently with readers and with writers to other ids;
+  /// internally serialized against other ensure_capacity calls.
+  void ensure_capacity(std::size_t up_to);
+
+  /// Writable pointer to a reserved (ensure_capacity'd) id's word slot.
+  /// The caller owns the id exclusively until it is published.
+  Value* slot_ptr(ConfigId id) {
+    Seg* s = dir_.load(std::memory_order_acquire)[id >> seg_shift_].load(
+        std::memory_order_acquire);
+    return s->data + (static_cast<std::size_t>(id) & seg_mask_) * words_;
+  }
+
+  /// Publish the final count after a phase of concurrent slot_ptr writes.
+  /// (The dedup table is NOT updated; concurrent appenders own dedup.)
+  void set_size(std::size_t count) { count_ = count; }
+
+  // --- out-of-core ------------------------------------------------------
+
+  /// Enable spilling: cold full segments move to an unlinked backing file
+  /// under `dir` once resident word bytes exceed `threshold_bytes`.
+  /// `seg_configs_hint` (power of two, 0 = default ~4 MB segments) is for
+  /// tests that need multiple segments within tiny runs. Must be called
+  /// while the arena is empty. Returns false if the directory is unusable
+  /// (spilling stays disabled).
+  bool set_spill(const std::string& dir, std::size_t threshold_bytes,
+                 std::size_t seg_configs_hint = 0);
+
+  bool spill_enabled() const { return spill_fd_ >= 0; }
+  std::size_t spill_threshold() const { return spill_threshold_; }
+
+  /// True when resident word bytes exceed the spill threshold and at least
+  /// one full cold segment could be released. `cur_size` is the caller's
+  /// view of how many configurations exist (the work-stealing explorer's
+  /// id counter runs ahead of size()). Cheap; any thread.
+  bool spill_needed(std::size_t cur_size) const {
+    return spill_fd_ >= 0 &&
+           resident_words_bytes_.load(std::memory_order_relaxed) >
+               spill_threshold_ &&
+           first_resident_seg_ < cur_size >> seg_shift_;
+  }
+
+  /// Spill cold full segments (lowest ids first) until resident word bytes
+  /// drop to the threshold or only pinned/partial segments remain. Ids >=
+  /// pin_floor are never spilled (callers pin the unexpanded frontier so
+  /// the hot read path stays pointer-direct). Caller guarantees no
+  /// concurrent arena access (quiescent point). Returns bytes released.
+  std::size_t maybe_spill(ConfigId pin_floor);
+
+  std::size_t spilled_bytes() const {
+    return spilled_bytes_.load(std::memory_order_relaxed);
+  }
+  std::size_t mapped_bytes() const {
+    return mapped_bytes_.load(std::memory_order_relaxed);
+  }
+  std::size_t spilled_segments() const { return spilled_segments_; }
+  std::size_t spill_failures() const { return spill_failures_; }
+
   /// Capacity of the dedup table (power of two; 0 before first insertion).
   /// Every interned configuration owns exactly one slot, so occupancy is
   /// size() / table_slots() — the load factor the stats records report.
   std::size_t table_slots() const { return table_.size(); }
 
-  /// Heap bytes held by the arena (word store + dedup table + scratch).
-  /// Capacities, not sizes: this is what the process actually pays.
-  /// The words/table split feeds the memory ledger's arena.words and
-  /// arena.table accounts.
+  /// Resident heap bytes held by the arena (word segments + dedup table +
+  /// scratch). Spilled bytes live in the (unlinked) backing file and
+  /// mmap'd blocks are clean file-backed pages the kernel can drop, so
+  /// neither counts against the RAM budget; they get their own ledger
+  /// accounts (arena.spill / arena.mapped).
   std::size_t words_bytes() const {
-    return data_.capacity() * sizeof(Value) +
+    return resident_words_bytes_.load(std::memory_order_relaxed) +
            scratch_.capacity() * sizeof(Value);
   }
   std::size_t table_bytes() const { return table_.capacity() * sizeof(Slot); }
   std::size_t memory_bytes() const { return words_bytes() + table_bytes(); }
+
+  std::size_t segment_configs() const { return seg_configs_; }
 
  private:
   /// Buckets are the hash's top log2(table size) bits — a prefix of the
@@ -154,17 +253,66 @@ class ConfigArena {
     ConfigId id = kNoConfig;
   };
 
+  /// One fixed-size segment of seg_configs_ configurations. `data` is the
+  /// flat resident array (null once spilled); the remaining fields
+  /// describe the compressed block in the backing file after a spill.
+  struct Seg {
+    Value* data = nullptr;
+    std::uint8_t* map = nullptr;  ///< mmap'd compressed block (read-only)
+    std::size_t map_len = 0;      ///< mapped length (page-aligned)
+    std::size_t map_skip = 0;     ///< offset of the block within the map
+    std::size_t comp_bytes = 0;   ///< compressed payload bytes
+  };
+
   void grow_table();
+  const Value* decode_spilled(const Seg& s, std::size_t local) const;
+  bool spill_segment(Seg& s);
+  void release_map(Seg& s);
+  void add_segment();
+  void alloc_seg_data(Seg& s);
 
   int n_;
   int m_;
   std::size_t words_;
   std::size_t count_ = 0;
-  std::vector<Value> data_;     ///< count_ * words_ packed words
+  std::size_t seg_configs_ = 0;  ///< configs per segment (power of two)
+  std::size_t seg_mask_ = 0;     ///< seg_configs_ - 1
+  int seg_shift_ = 0;            ///< log2(seg_configs_)
+
+  std::vector<std::unique_ptr<Seg>> segs_;  ///< stable Seg addresses
+  /// segs_.size() mirrored for the lock-free ensure_capacity fast path.
+  std::atomic<std::size_t> seg_count_{0};
+  std::mutex grow_mu_;  ///< serializes segment growth (slow path only)
+
+  /// Lock-free segment directory: an array of atomic Seg pointers,
+  /// republished (capacity-doubled) when it fills. Old arrays are retired
+  /// (kept until destruction) so a reader holding a stale snapshot never
+  /// touches freed memory; doubling bounds the retired total at one extra
+  /// copy of the final directory. A reader can only hold a snapshot at
+  /// least as new as the publication of any id it was handed, because id
+  /// handoff (shard lock / deque steal) happens-after the entry store.
+  using DirEntry = std::atomic<Seg*>;
+  std::atomic<DirEntry*> dir_{nullptr};
+  std::vector<std::unique_ptr<DirEntry[]>> dir_store_;
+  std::size_t dir_cap_ = 0;
+
   std::vector<Value> scratch_;  ///< words_ staging words
   std::vector<Slot> table_;     ///< open addressing, power-of-two size
   std::size_t mask_ = 0;        ///< table size - 1 (probe wrap)
   int shift_ = 0;               ///< 64 - log2(table size) (bucket index)
+
+  // Spill state. resident_words_bytes_ is atomic because the parallel
+  // explorer's budget checks read it from worker threads while another
+  // worker's flush is growing the arena.
+  int spill_fd_ = -1;
+  std::size_t spill_threshold_ = 0;
+  std::uint64_t spill_file_end_ = 0;  ///< next write offset (page aligned)
+  std::size_t first_resident_seg_ = 0;
+  std::size_t spilled_segments_ = 0;
+  std::size_t spill_failures_ = 0;
+  std::atomic<std::size_t> resident_words_bytes_{0};
+  std::atomic<std::size_t> spilled_bytes_{0};
+  std::atomic<std::size_t> mapped_bytes_{0};
 };
 
 }  // namespace tsb::sim

@@ -27,9 +27,13 @@ struct ExploreMetrics {
 ExploreMetrics& explore_metrics();
 }  // namespace detail
 
-/// Outcome of a reachability enumeration (shared by Explorer and
-/// ParallelExplorer; the two are bit-identical on every field for the same
-/// root, process set, and visitor).
+/// Outcome of a reachability enumeration, shared by Explorer and
+/// ParallelExplorer. On complete (untruncated, unaborted) runs the two
+/// enumerate the exact same configuration SET — identical `visited` counts
+/// and identical verdicts for any order-independent visitor — but the
+/// work-stealing parallel path no longer promises the sequential discovery
+/// ORDER or id assignment (see parallel_explorer.hpp for the contract and
+/// DESIGN.md for why replay verification keeps that sound).
 struct ExploreResult {
   bool truncated = false;       ///< hit max_configs before exhausting
   bool aborted = false;         ///< visitor returned false
@@ -143,6 +147,19 @@ class Explorer {
     budget_deadline_ = deadline;
   }
 
+  /// Out-of-core operation: cold arena segments spill (delta/varint
+  /// compressed) to an unlinked backing file under `dir` once resident
+  /// word bytes exceed `threshold_bytes`. Spilled bytes leave
+  /// tracked_bytes(), so a memory budget caps RAM while the reachable set
+  /// keeps growing on disk. Call before the first explore(). Returns
+  /// false (and leaves spilling off) if the directory is unusable.
+  /// `seg_configs_hint` shrinks segments for tests that must spill on
+  /// tiny runs.
+  bool set_spill(const std::string& dir, std::size_t threshold_bytes,
+                 std::size_t seg_configs_hint = 0) {
+    return arena_.set_spill(dir, threshold_bytes, seg_configs_hint);
+  }
+
   /// Heap bytes this exploration owns — the quantity set_budget() caps and
   /// the ledger's arena.words/arena.table/explore.frontier accounts sum to.
   /// Replaces the raw-RSS proxy budget checks used before the ledger: RSS
@@ -238,6 +255,16 @@ class Explorer {
       }
       if ((expanded & 0xFFF) == 0) {
         metrics.frontier.set(static_cast<std::int64_t>(arena_.size() - head));
+        if (arena_.spill_needed(arena_.size())) {
+          // Pin the unexpanded frontier: ids >= head stay resident so the
+          // expansion loop keeps its pointer-direct read path.
+          const std::size_t released = arena_.maybe_spill(head);
+          if (released != 0) {
+            obs::flight::record(
+                obs::flight::Ev::kSpill, static_cast<std::int64_t>(released),
+                static_cast<std::int64_t>(arena_.spilled_bytes()));
+          }
+        }
         update_ledger();
         hb.beat(
             [&] {
@@ -318,6 +345,10 @@ class Explorer {
     ledger.set(obs::MemAccount::kArenaWords, arena_.words_bytes());
     ledger.set(obs::MemAccount::kArenaTable, arena_.table_bytes());
     ledger.set(obs::MemAccount::kExploreFrontier, frontier_bytes());
+    if (arena_.spill_enabled() || arena_.spilled_bytes() != 0) {
+      ledger.set(obs::MemAccount::kArenaSpill, arena_.spilled_bytes());
+      ledger.set(obs::MemAccount::kArenaMapped, arena_.mapped_bytes());
+    }
   }
 
   const Protocol& proto_;

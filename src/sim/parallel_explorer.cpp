@@ -1,82 +1,148 @@
 #include "sim/parallel_explorer.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <thread>
+
+#include "obs/span.hpp"
 
 namespace tsb::sim {
 
 namespace {
+
 int resolve_threads(int requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+inline void spin_lock(std::atomic_flag& f) {
+  while (f.test_and_set(std::memory_order_acquire)) cpu_pause();
+}
+
+inline void spin_unlock(std::atomic_flag& f) {
+  f.clear(std::memory_order_release);
+}
+
+struct StealMetrics {
+  obs::Counter& steals;
+  obs::Counter& steal_fails;
+  obs::Counter& idle_spins;
+  obs::Counter& chunks;
+};
+
+StealMetrics& steal_metrics() {
+  static StealMetrics m{
+      obs::Registry::global().counter("sim.explore.steals"),
+      obs::Registry::global().counter("sim.explore.steal_fails"),
+      obs::Registry::global().counter("sim.explore.idle_spins"),
+      obs::Registry::global().counter("sim.explore.chunks"),
+  };
+  return m;
+}
+
 }  // namespace
 
-ParallelExplorer::ParallelExplorer(const Protocol& proto, Options opts)
-    : proto_(proto),
-      opts_(opts),
-      arena_(proto.num_processes(), proto.num_registers()),
-      workers_(static_cast<std::size_t>(resolve_threads(opts.threads))),
-      pool_(resolve_threads(opts.threads)) {
-  // Ids must stay clear of the pending tag bit.
-  opts_.max_configs = std::min<std::size_t>(opts_.max_configs, kPendingBit - 2);
+namespace detail {
+
+ParentStore::~ParentStore() {
+  for (std::size_t i = 0; i < dir_segs_; ++i) {
+    delete[] dir_[i].load(std::memory_order_relaxed);
+  }
 }
 
-std::size_t ParallelExplorer::tracked_bytes() const {
-  std::size_t bytes =
-      arena_.memory_bytes() +
-      parent_.capacity() * sizeof(std::pair<ConfigId, ProcId>);
-  for (const Worker& w : workers_) {
-    bytes += w.cands.capacity() * sizeof(Candidate) +
-             w.words.capacity() * sizeof(Value);
-    for (const auto& idx : w.by_shard) {
-      bytes += idx.capacity() * sizeof(std::uint32_t);
-    }
+void ParentStore::prepare(std::size_t cap) {
+  const std::size_t need = (cap + kSegSize - 1) >> kSegShift;
+  if (need <= dir_segs_) return;
+  auto bigger = std::make_unique<std::atomic<Rec*>[]>(need);
+  for (std::size_t i = 0; i < dir_segs_; ++i) {
+    bigger[i].store(dir_[i].load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
   }
-  for (const Shard& sh : shards_) {
-    bytes += sh.slots.capacity() * sizeof(Shard::Slot) +
-             sh.pending.capacity() * sizeof(const Value*);
+  for (std::size_t i = dir_segs_; i < need; ++i) {
+    bigger[i].store(nullptr, std::memory_order_relaxed);
   }
-  return bytes;
+  dir_ = std::move(bigger);
+  dir_segs_ = need;
 }
 
-void ParallelExplorer::update_ledger() const {
-  obs::MemLedger& ledger = obs::MemLedger::global();
-  ledger.set(obs::MemAccount::kArenaWords, arena_.words_bytes());
-  ledger.set(obs::MemAccount::kArenaTable, arena_.table_bytes());
-  std::size_t frontier =
-      parent_.capacity() * sizeof(std::pair<ConfigId, ProcId>);
-  for (const Worker& w : workers_) {
-    frontier += w.cands.capacity() * sizeof(Candidate) +
-                w.words.capacity() * sizeof(Value);
-    for (const auto& idx : w.by_shard) {
-      frontier += idx.capacity() * sizeof(std::uint32_t);
-    }
+}  // namespace detail
+
+// --- Deque --------------------------------------------------------------
+
+bool ParallelExplorer::Deque::pop(WorkItem& out) {
+  spin_lock(lock);
+  if (top == buf.size()) {
+    spin_unlock(lock);
+    return false;
   }
-  ledger.set(obs::MemAccount::kExploreFrontier, frontier);
-  std::size_t shard_bytes = 0;
-  for (const Shard& sh : shards_) {
-    shard_bytes += sh.slots.capacity() * sizeof(Shard::Slot) +
-                   sh.pending.capacity() * sizeof(const Value*);
+  out = buf.back();
+  buf.pop_back();
+  if (top == buf.size()) {
+    buf.clear();
+    top = 0;
   }
-  ledger.set(obs::MemAccount::kExploreShards, shard_bytes);
+  spin_unlock(lock);
+  return true;
 }
 
-void ParallelExplorer::Shard::reset() {
-  slots.assign(1u << 10, Slot{});
+bool ParallelExplorer::Deque::steal(WorkItem& out) {
+  spin_lock(lock);
+  if (top == buf.size()) {
+    spin_unlock(lock);
+    return false;
+  }
+  out = buf[top++];
+  if (top == buf.size()) {
+    buf.clear();
+    top = 0;
+  } else if (top >= 1024 && top * 2 >= buf.size()) {
+    buf.erase(buf.begin(),
+              buf.begin() + static_cast<std::ptrdiff_t>(top));
+    top = 0;
+  }
+  spin_unlock(lock);
+  return true;
+}
+
+void ParallelExplorer::Deque::push(WorkItem item) {
+  spin_lock(lock);
+  buf.push_back(item);
+  cap_bytes.store(buf.capacity() * sizeof(WorkItem),
+                  std::memory_order_relaxed);
+  spin_unlock(lock);
+}
+
+void ParallelExplorer::Deque::clear() {
+  buf.clear();
+  top = 0;
+}
+
+// --- Shard --------------------------------------------------------------
+
+void ParallelExplorer::Shard::reset(std::atomic<std::size_t>&) {
+  slots.assign(std::size_t{1} << 10, Slot{});
   mask = slots.size() - 1;
   used = 0;
-  pending.clear();
 }
 
-void ParallelExplorer::Shard::reserve_for(std::size_t incoming) {
+void ParallelExplorer::Shard::reserve_for(std::size_t incoming,
+                                          std::atomic<std::size_t>& bytes) {
   // Keep the load factor below 0.7 for the worst case where every incoming
-  // candidate is new; grown before any insertion of the level, so slot
-  // indices handed to candidates stay valid until the level commits.
+  // candidate is new. Runs under the shard lock; the grown table is
+  // allocated (first-touched) by the flushing worker.
   std::size_t needed = slots.size();
   while ((used + incoming) * 10 >= needed * 7) needed *= 2;
   if (needed == slots.size()) return;
+  const std::size_t before = slots.capacity() * sizeof(Slot);
   std::vector<Slot> bigger(needed);
   const std::size_t bigger_mask = needed - 1;
   for (const Slot& s : slots) {
@@ -87,145 +153,710 @@ void ParallelExplorer::Shard::reserve_for(std::size_t incoming) {
   }
   slots = std::move(bigger);
   mask = bigger_mask;
+  bytes.fetch_add(slots.capacity() * sizeof(Slot) - before,
+                  std::memory_order_relaxed);
 }
 
-void ParallelExplorer::Shard::insert_committed(std::uint64_t h, ConfigId id) {
-  reserve_for(1);
-  std::size_t i = h & mask;
-  while (slots[i].ref != kEmptyRef) i = (i + 1) & mask;
-  slots[i] = Slot{h, id};
-  ++used;
-}
+// --- ParallelExplorer ---------------------------------------------------
 
-void ParallelExplorer::expand_slice(Worker& w, ProcSet p) {
-  w.cands.clear();
-  w.words.clear();
-  w.commit_cursor = 0;
-  for (auto& list : w.by_shard) list.clear();
-
+ParallelExplorer::ParallelExplorer(const Protocol& proto, Options opts)
+    : proto_(proto),
+      opts_(opts),
+      arena_(proto.num_processes(), proto.num_registers()),
+      shards_(kShards),
+      deques_(static_cast<std::size_t>(resolve_threads(opts.threads))),
+      workers_(static_cast<std::size_t>(resolve_threads(opts.threads))),
+      pool_(resolve_threads(opts.threads)) {
+  opts_.max_configs = std::min<std::size_t>(opts_.max_configs, kNoConfig - 1);
+  if (opts_.chunk_configs == 0) opts_.chunk_configs = 1;
   const std::size_t W = arena_.words_per_config();
-  const int n = arena_.num_states();
-  for (ConfigId cur = w.begin; cur < w.end; ++cur) {
-    // No arena insertions happen during phase A, so this pointer is stable.
-    const Value* src = arena_.words(cur);
-    p.for_each([&](int q) {
-      const PendingOp op =
-          proto_.poised(q, src[static_cast<std::size_t>(q)]);
-      if (op.is_decide()) return;  // terminated: no edge
-      const std::size_t k = w.cands.size();
-      w.words.resize((k + 1) * W);
-      Value* dst = w.words.data() + k * W;
-      std::memcpy(dst, src, W * sizeof(Value));
-      apply_op(proto_, op, q, dst, dst + n);
-      const std::uint64_t h = arena_.hash_words(dst);
-      const auto shard =
-          static_cast<std::uint16_t>((h >> 60) & (kShards - 1));
-      w.cands.push_back(Candidate{h, cur, q, 0, shard, 0});
-      w.by_shard[shard].push_back(static_cast<std::uint32_t>(k));
-    });
+  for (WorkerCtx& w : workers_) {
+    w.batches.resize(kShards);
+    for (Batch& b : w.batches) {
+      b.meta.reserve(kBatch);
+      b.words.reserve(kBatch * W);
+    }
+    w.cur.resize(W);
   }
 }
 
-void ParallelExplorer::dedup_shard(int s) {
-  Shard& sh = shards_[static_cast<std::size_t>(s)];
-  std::size_t incoming = 0;
-  for (const Worker& w : workers_) incoming += w.by_shard[s].size();
-  sh.reserve_for(incoming);
-  sh.pending.clear();
+ParallelExplorer::~ParallelExplorer() = default;
 
+std::size_t ParallelExplorer::tracked_bytes() const {
   const std::size_t W = arena_.words_per_config();
-  // Workers in index order, candidates in buffer order: exactly the global
-  // discovery order, so the earliest occurrence of a configuration wins.
-  for (Worker& w : workers_) {
-    for (std::uint32_t idx : w.by_shard[s]) {
-      Candidate& c = w.cands[idx];
-      const Value* cw = w.words.data() + idx * W;
-      std::size_t i = c.hash & sh.mask;
-      while (true) {
-        Shard::Slot& slot = sh.slots[i];
-        if (slot.ref == kEmptyRef) {
-          slot.hash = c.hash;
-          slot.ref =
-              kPendingBit | static_cast<std::uint32_t>(sh.pending.size());
-          sh.pending.push_back(cw);
-          ++sh.used;
-          c.winner = 1;
-          c.slot = static_cast<std::uint32_t>(i);
-          break;
+  // Staging buffers are bounded by their reserve; counting the bound keeps
+  // this callable from any worker without touching vector internals that
+  // another thread might be growing.
+  const std::size_t staging =
+      workers_.size() *
+      (kShards * kBatch * (W * sizeof(Value) + sizeof(Cand)) +
+       W * sizeof(Value));
+  std::size_t deque_bytes = 0;
+  for (const Deque& d : deques_) {
+    deque_bytes += d.cap_bytes.load(std::memory_order_relaxed);
+  }
+  return arena_.memory_bytes() + parent_.memory_bytes() +
+         shard_bytes_.load(std::memory_order_relaxed) + staging + deque_bytes;
+}
+
+void ParallelExplorer::update_ledger() const {
+  obs::MemLedger& ledger = obs::MemLedger::global();
+  ledger.set(obs::MemAccount::kArenaWords, arena_.words_bytes());
+  ledger.set(obs::MemAccount::kArenaTable, arena_.table_bytes());
+  if (arena_.spill_enabled() || arena_.spilled_bytes() != 0) {
+    ledger.set(obs::MemAccount::kArenaSpill, arena_.spilled_bytes());
+    ledger.set(obs::MemAccount::kArenaMapped, arena_.mapped_bytes());
+  }
+  const std::size_t W = arena_.words_per_config();
+  std::size_t frontier =
+      parent_.memory_bytes() +
+      workers_.size() *
+          (kShards * kBatch * (W * sizeof(Value) + sizeof(Cand)) +
+           W * sizeof(Value));
+  for (const Deque& d : deques_) {
+    frontier += d.cap_bytes.load(std::memory_order_relaxed);
+  }
+  ledger.set(obs::MemAccount::kExploreFrontier, frontier);
+  ledger.set(obs::MemAccount::kExploreShards,
+             shard_bytes_.load(std::memory_order_relaxed));
+}
+
+std::size_t ParallelExplorer::committed() const {
+  const std::uint64_t raw = next_id_.load(std::memory_order_relaxed);
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(raw, opts_.max_configs));
+}
+
+void ParallelExplorer::flush_shard(WorkerCtx& w, int s) {
+  Batch& b = w.batches[static_cast<std::size_t>(s)];
+  if (b.meta.empty()) return;
+  Shard& sh = shards_[static_cast<std::size_t>(s)];
+  const std::size_t W = arena_.words_per_config();
+  const std::uint64_t cap = opts_.max_configs;
+
+  spin_lock(sh.lock);
+  sh.reserve_for(b.meta.size(), shard_bytes_);
+  for (std::size_t k = 0; k < b.meta.size(); ++k) {
+    const Cand& c = b.meta[k];
+    const Value* cw = b.words.data() + k * W;
+    std::size_t i = c.hash & sh.mask;
+    while (true) {
+      Shard::Slot& slot = sh.slots[i];
+      if (slot.ref == kEmptyRef) {
+        const std::uint64_t raw =
+            next_id_.fetch_add(1, std::memory_order_relaxed);
+        if (raw >= cap) {
+          // Cap reached: drop the rest of the batch. Nothing was inserted
+          // for this candidate, so probe chains stay intact; the run is
+          // truncated and never claims completeness.
+          truncated_.store(true, std::memory_order_relaxed);
+          stop_.store(true, std::memory_order_release);
+          spin_unlock(sh.lock);
+          b.meta.clear();
+          b.words.clear();
+          return;
         }
-        if (slot.hash == c.hash) {
-          const Value* other = (slot.ref & kPendingBit) != 0
-                                   ? sh.pending[slot.ref & ~kPendingBit]
-                                   : arena_.words(slot.ref);
-          if (arena_.words_equal(other, cw)) break;  // duplicate
+        const ConfigId id = static_cast<ConfigId>(raw);
+        arena_.ensure_capacity(raw + 1);
+        std::memcpy(arena_.slot_ptr(id), cw, W * sizeof(Value));
+        parent_.ensure(id);
+        parent_.set(id, {c.parent, c.via});
+        slot.hash = c.hash;
+        slot.ref = id;
+        ++sh.used;
+        w.fresh.push_back(id);
+        break;
+      }
+      if (slot.hash == c.hash &&
+          arena_.words_equal(arena_.words(slot.ref), cw)) {
+        ++w.dedup_delta;
+        break;
+      }
+      i = (i + 1) & sh.mask;
+    }
+  }
+  spin_unlock(sh.lock);
+  b.meta.clear();
+  b.words.clear();
+}
+
+void ParallelExplorer::publish_fresh(WorkerCtx& w, int self, VisitFn fn,
+                                     void* vctx) {
+  if (w.fresh.empty()) return;
+  detail::ExploreMetrics& metrics = detail::explore_metrics();
+  metrics.visited.add(w.fresh.size());
+  w.visited_delta += w.fresh.size();
+  {
+    std::lock_guard<std::mutex> lk(visit_mu_);
+    for (ConfigId id : w.fresh) {
+      if (aborted_.load(std::memory_order_relaxed)) break;
+      if (!fn(vctx, arena_.view(id))) {
+        bool expected = false;
+        if (aborted_.compare_exchange_strong(expected, true)) {
+          abort_id_.store(id, std::memory_order_relaxed);
+          stop_.store(true, std::memory_order_release);
         }
-        i = (i + 1) & sh.mask;
+        break;
       }
     }
   }
+  if (!stopping()) {
+    // Coalesce into contiguous runs (ids from this worker's flushes are
+    // strictly increasing) and make them stealable. pending_ rises before
+    // the items become visible so the termination count never dips to
+    // zero with live work in a deque.
+    w.runs.clear();
+    ConfigId begin = w.fresh.front();
+    ConfigId prev = begin;
+    for (std::size_t i = 1; i < w.fresh.size(); ++i) {
+      const ConfigId id = w.fresh[i];
+      if (id != prev + 1) {
+        w.runs.push_back({begin, prev + 1});
+        begin = id;
+      }
+      prev = id;
+    }
+    w.runs.push_back({begin, prev + 1});
+    pending_.fetch_add(static_cast<std::int64_t>(w.fresh.size()));
+    for (const WorkItem& run : w.runs) deques_[self].push(run);
+  }
+  w.fresh.clear();
 }
 
-void ParallelExplorer::commit_level_stats(
-    detail::LevelStatsTracker& stats, std::uint64_t frontier,
-    std::uint64_t discovered, std::uint64_t dedup,
-    std::chrono::steady_clock::time_point t_expand,
-    std::chrono::steady_clock::time_point t_dedup,
-    std::chrono::steady_clock::time_point t_commit) {
-  const auto t_end = std::chrono::steady_clock::now();
-  const auto ms = [](std::chrono::steady_clock::time_point a,
-                     std::chrono::steady_clock::time_point b) {
-    return std::chrono::duration<double, std::milli>(b - a).count();
-  };
+void ParallelExplorer::expand_chunk(WorkerCtx& w, WorkItem item, ProcSet p,
+                                    VisitFn fn, void* vctx) {
+  const std::size_t W = arena_.words_per_config();
+  const int n = arena_.num_states();
+  const int self = static_cast<int>(&w - workers_.data());
+  static thread_local std::vector<Value> succ;
+  if (succ.size() < W) succ.resize(W);
 
-  std::uint64_t candidates = 0;
-  for (const Worker& w : workers_) candidates += w.cands.size();
-
-  std::vector<std::uint64_t> shard_used;
-  shard_used.reserve(kShards);
-  std::uint64_t used_max = 0;
-  std::uint64_t used_sum = 0;
-  std::uint64_t slots_sum = 0;
-  for (const Shard& sh : shards_) {
-    const auto used = static_cast<std::uint64_t>(sh.used);
-    shard_used.push_back(used);
-    used_max = std::max(used_max, used);
-    used_sum += used;
-    slots_sum += static_cast<std::uint64_t>(sh.slots.size());
+  for (ConfigId cur = item.begin; cur < item.end && !stopping(); ++cur) {
+    // words() may hand back the thread-local decode buffer of a spilled
+    // segment; copy so successor staging (which can itself decode other
+    // spilled ids during dedup) cannot clobber the source.
+    std::memcpy(w.cur.data(), arena_.words(cur), W * sizeof(Value));
+    p.for_each([&](int q) {
+      if (stopping()) return;
+      const PendingOp op =
+          proto_.poised(q, w.cur[static_cast<std::size_t>(q)]);
+      if (op.is_decide()) return;  // terminated: no edge
+      std::memcpy(succ.data(), w.cur.data(), W * sizeof(Value));
+      apply_op(proto_, op, q, succ.data(), succ.data() + n);
+      const std::uint64_t h = arena_.hash_words(succ.data());
+      const int s = static_cast<int>((h >> 58) & (kShards - 1));
+      Batch& b = w.batches[static_cast<std::size_t>(s)];
+      const std::size_t k = b.meta.size();
+      b.words.resize((k + 1) * W);
+      std::memcpy(b.words.data() + k * W, succ.data(), W * sizeof(Value));
+      b.meta.push_back(Cand{h, cur, q});
+      if (b.meta.size() >= kBatch) {
+        flush_shard(w, s);
+        publish_fresh(w, self, fn, vctx);
+      }
+    });
   }
-  // max/mean occupancy across shards: 1.0 is a perfect hash spread; the
-  // stats consumer flags levels where one shard serializes phase B.
-  const double imbalance =
-      used_sum ? static_cast<double>(used_max) * kShards /
-                     static_cast<double>(used_sum)
-               : 0.0;
+  if (stopping()) {
+    for (Batch& b : w.batches) {
+      b.meta.clear();
+      b.words.clear();
+    }
+  } else {
+    for (int s = 0; s < kShards; ++s) flush_shard(w, s);
+    publish_fresh(w, self, fn, vctx);
+  }
+  // Only after this chunk's candidates are flushed and its children
+  // counted may the chunk leave the termination count.
+  pending_.fetch_sub(static_cast<std::int64_t>(item.end - item.begin));
+}
 
-  obs::JsonObj rec = stats.level_record(arena_, frontier, discovered, dedup);
-  rec.num("threads", static_cast<std::int64_t>(pool_.size()))
-      .num("candidates", static_cast<std::int64_t>(candidates))
-      .numf("expand_ms", ms(t_expand, t_dedup))
-      .numf("dedup_ms", ms(t_dedup, t_commit))
-      .numf("commit_ms", ms(t_commit, t_end))
-      .num("shard_slots", static_cast<std::int64_t>(slots_sum))
-      .numf("shard_load", slots_sum ? static_cast<double>(used_sum) /
-                                          static_cast<double>(slots_sum)
-                                    : 0.0)
-      .numf("shard_imbalance", imbalance)
-      .raw("shard_used", obs::json_u64_array(shard_used));
-  stats.commit_level(std::move(rec));
+void ParallelExplorer::request_spill() {
+  std::unique_lock<std::mutex> lk(spill_.mu);
+  if (spill_.requested.load(std::memory_order_relaxed)) return;
+  spill_.requested.store(true, std::memory_order_relaxed);
+  spill_.cv.notify_all();
+  spill_.cv.wait(lk, [&] { return spill_.parked >= spill_.active - 1; });
+  // Quiesced: every other active worker is parked between chunks, so no
+  // arena reads or writes are in flight anywhere.
+  arena_.set_size(committed());
+  const std::size_t released = arena_.maybe_spill(kNoConfig);
+  if (released != 0) {
+    ++run_stats_.spill_pauses;
+    obs::flight::record(obs::flight::Ev::kSpill,
+                        static_cast<std::int64_t>(released),
+                        static_cast<std::int64_t>(arena_.spilled_bytes()));
+    update_ledger();
+  }
+  spill_.requested.store(false, std::memory_order_relaxed);
+  spill_.cv.notify_all();
+}
+
+void ParallelExplorer::park_for_spill() {
+  std::unique_lock<std::mutex> lk(spill_.mu);
+  if (!spill_.requested.load(std::memory_order_relaxed)) return;
+  ++spill_.parked;
+  spill_.cv.notify_all();
+  spill_.cv.wait(
+      lk, [&] { return !spill_.requested.load(std::memory_order_relaxed); });
+  --spill_.parked;
+}
+
+void ParallelExplorer::worker_main(int t, ProcSet p, VisitFn fn, void* vctx,
+                                   obs::Heartbeat& hb) {
+  WorkerCtx& w = workers_[static_cast<std::size_t>(t)];
+  detail::ExploreMetrics& metrics = detail::explore_metrics();
+  const int T = pool_.size();
+  int backoff = 0;
+  const auto body = [&] {
+    while (true) {
+      if (stopping()) break;
+      if (spill_.requested.load(std::memory_order_relaxed)) park_for_spill();
+      WorkItem item{};
+      bool got = deques_[static_cast<std::size_t>(t)].pop(item);
+      if (!got) {
+        for (int i = 1; i < T; ++i) {
+          const int v = (t + i) % T;
+          if (deques_[static_cast<std::size_t>(v)].steal(item)) {
+            got = true;
+            w.steals.fetch_add(1, std::memory_order_relaxed);
+            obs::flight::record(obs::flight::Ev::kSteal, t, v);
+            break;
+          }
+        }
+        if (!got) w.steal_fails.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!got) {
+        if (pending_.load() == 0) break;
+        w.idle_spins.fetch_add(1, std::memory_order_relaxed);
+        // Exponential backoff: brief pause bursts, then yields, so an
+        // out-of-work worker neither burns a core nor misses a steal.
+        if (backoff < 10) ++backoff;
+        if (backoff < 6) {
+          for (int i = 0; i < (1 << backoff); ++i) cpu_pause();
+        } else {
+          std::this_thread::yield();
+        }
+        continue;
+      }
+      backoff = 0;
+      if (item.end - item.begin > opts_.chunk_configs) {
+        deques_[static_cast<std::size_t>(t)].push(
+            {item.begin + opts_.chunk_configs, item.end});
+        item.end = item.begin + opts_.chunk_configs;
+      }
+      expand_chunk(w, item, p, fn, vctx);
+      const std::uint64_t chunks =
+          w.chunks.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (w.dedup_delta >= 1024) {
+        metrics.dedup_hits.add(w.dedup_delta);
+        w.dedup_run += w.dedup_delta;
+        w.dedup_delta = 0;
+      }
+      if (budget_bytes_ != 0 && !stopping() &&
+          tracked_bytes() >= budget_bytes_) {
+        obs::flight::record(obs::flight::Ev::kBudgetTrip,
+                            static_cast<std::int64_t>(tracked_bytes()),
+                            static_cast<std::int64_t>(budget_bytes_));
+        budget_exhausted_.store(true, std::memory_order_relaxed);
+        truncated_.store(true, std::memory_order_relaxed);
+        stop_.store(true, std::memory_order_release);
+      }
+      if ((chunks & 0xF) == 0 && !stopping() &&
+          budget_deadline_ != std::chrono::steady_clock::time_point::max() &&
+          std::chrono::steady_clock::now() >= budget_deadline_) {
+        obs::flight::record(obs::flight::Ev::kBudgetTrip,
+                            static_cast<std::int64_t>(tracked_bytes()), 0);
+        budget_exhausted_.store(true, std::memory_order_relaxed);
+        truncated_.store(true, std::memory_order_relaxed);
+        stop_.store(true, std::memory_order_release);
+      }
+      if (arena_.spill_needed(
+              static_cast<std::size_t>(next_id_.load(
+                  std::memory_order_relaxed))) &&
+          !stopping()) {
+        request_spill();
+      }
+      if (t == 0 && (chunks & 0x3F) == 0) {
+        metrics.frontier.set(pending_.load(std::memory_order_relaxed));
+        hb.beat(
+            [&] {
+              return "configs=" + std::to_string(committed()) +
+                     " pending=" + std::to_string(pending_.load(
+                                       std::memory_order_relaxed)) +
+                     " threads=" + std::to_string(T);
+            },
+            [&](obs::StatusSnapshot& s) {
+              s.frontier = pending_.load(std::memory_order_relaxed);
+              s.visited = static_cast<std::int64_t>(committed());
+              s.cap = static_cast<std::int64_t>(opts_.max_configs);
+            });
+      }
+      if (t == 0 && (chunks & 0xFF) == 0) {
+        update_ledger();
+        if (obs::stats_enabled()) {
+          std::uint64_t steals = 0;
+          std::uint64_t idle = 0;
+          for (const WorkerCtx& o : workers_) {
+            steals += o.steals.load(std::memory_order_relaxed);
+            idle += o.idle_spins.load(std::memory_order_relaxed);
+          }
+          obs::stats_sink().write(
+              obs::JsonObj()
+                  .str("type", "explore.ws")
+                  .str("who", "explore-par")
+                  .num("visited", static_cast<std::int64_t>(committed()))
+                  .num("pending",
+                       pending_.load(std::memory_order_relaxed))
+                  .num("steals", static_cast<std::int64_t>(steals))
+                  .num("idle_spins", static_cast<std::int64_t>(idle))
+                  .num("spilled_bytes",
+                       static_cast<std::int64_t>(arena_.spilled_bytes()))
+                  .num("resident_bytes",
+                       static_cast<std::int64_t>(arena_.words_bytes()))
+                  .render());
+        }
+      }
+    }
+  };
+  try {
+    body();
+  } catch (...) {
+    // Unblock any spill requester waiting on this worker, then let the
+    // pool rethrow from run().
+    stop_.store(true, std::memory_order_release);
+    metrics.dedup_hits.add(w.dedup_delta);
+    w.dedup_run += w.dedup_delta;
+    w.dedup_delta = 0;
+    {
+      std::lock_guard<std::mutex> lk(spill_.mu);
+      --spill_.active;
+    }
+    spill_.cv.notify_all();
+    throw;
+  }
+  metrics.dedup_hits.add(w.dedup_delta);
+  w.dedup_run += w.dedup_delta;
+  w.dedup_delta = 0;
+  {
+    std::lock_guard<std::mutex> lk(spill_.mu);
+    --spill_.active;
+  }
+  spill_.cv.notify_all();
+}
+
+ParallelExplorer::Result ParallelExplorer::explore_impl(const Config& root,
+                                                        ProcSet p, VisitFn fn,
+                                                        void* vctx) {
+  arena_.clear();
+  parent_.prepare(opts_.max_configs);
+  for (Shard& sh : shards_) sh.reset(shard_bytes_);
+  {
+    std::size_t sb = 0;
+    for (const Shard& sh : shards_) sb += sh.slots.capacity() * sizeof(Shard::Slot);
+    shard_bytes_.store(sb, std::memory_order_relaxed);
+  }
+  for (Deque& d : deques_) d.clear();
+  for (WorkerCtx& w : workers_) {
+    for (Batch& b : w.batches) {
+      b.meta.clear();
+      b.words.clear();
+    }
+    w.fresh.clear();
+    w.runs.clear();
+    w.steals.store(0, std::memory_order_relaxed);
+    w.steal_fails.store(0, std::memory_order_relaxed);
+    w.idle_spins.store(0, std::memory_order_relaxed);
+    w.chunks.store(0, std::memory_order_relaxed);
+    w.visited_delta = 0;
+    w.dedup_delta = 0;
+    w.dedup_run = 0;
+  }
+  next_id_.store(0, std::memory_order_relaxed);
+  pending_.store(0);
+  stop_.store(false, std::memory_order_relaxed);
+  truncated_.store(false, std::memory_order_relaxed);
+  aborted_.store(false, std::memory_order_relaxed);
+  budget_exhausted_.store(false, std::memory_order_relaxed);
+  abort_id_.store(kNoConfig, std::memory_order_relaxed);
+  run_stats_ = RunStats{};
+
+  Result res;
+  detail::ExploreMetrics& metrics = detail::explore_metrics();
+  detail::LevelStatsTracker stats("explore-par", opts_.stats_min_visited);
+  obs::Heartbeat hb("explore-par");
+  const std::size_t W = arena_.words_per_config();
+  const int n = arena_.num_states();
+  const int T = pool_.size();
+
+  // Root.
+  arena_.pack(root, arena_.scratch());
+  const std::uint64_t root_hash = arena_.hash_words(arena_.scratch());
+  const ConfigId root_id = arena_.append_words(arena_.scratch());
+  parent_.ensure(root_id);
+  parent_.set(root_id, {kNoConfig, -1});
+  {
+    Shard& sh = shard_of(root_hash);
+    sh.reserve_for(1, shard_bytes_);
+    std::size_t i = root_hash & sh.mask;
+    while (sh.slots[i].ref != kEmptyRef) i = (i + 1) & sh.mask;
+    sh.slots[i] = Shard::Slot{root_hash, root_id};
+    ++sh.used;
+  }
+  ++res.visited;
+  metrics.visited.add();
+  if (!fn(vctx, arena_.view(root_id))) {
+    res.aborted = true;
+    res.abort_config = arena_.materialize(root_id);
+    next_id_.store(1, std::memory_order_relaxed);
+    visited_count_ = 1;
+    if (stats.active()) stats.done(arena_, res, 0);
+    return res;
+  }
+
+  // Sequential warm phase on the calling thread: identical inner loop to
+  // Explorer's, but deduplicating against the shard tables the parallel
+  // phase will inherit. Small enumerations finish here without ever
+  // touching locks, deques, or the pool.
+  ConfigId head = 0;
+  std::size_t expanded = 0;
+  ConfigId level_start = 0;
+  ConfigId level_end = 1;
+  std::size_t level_idx = 0;
+  std::uint64_t level_dedup = 0;
+  std::uint64_t dedup_total = 0;
+  bool warm_stopped = false;  // truncation/budget/abort ends the run here
+  static thread_local std::vector<Value> cur_buf;
+  static thread_local std::vector<Value> succ_buf;
+  if (cur_buf.size() < W) cur_buf.resize(W);
+  if (succ_buf.size() < W) succ_buf.resize(W);
+
+  while (head < arena_.size()) {
+    if (head == level_end) {
+      if (stats.active()) {
+        stats.commit_level(stats.level_record(
+            arena_, level_end - level_start,
+            static_cast<ConfigId>(arena_.size()) - level_end, level_dedup));
+      }
+      level_start = level_end;
+      level_end = static_cast<ConfigId>(arena_.size());
+      level_dedup = 0;
+      ++level_idx;
+      update_ledger();
+      obs::flight::record(obs::flight::Ev::kLevel,
+                          static_cast<std::int64_t>(level_idx),
+                          static_cast<std::int64_t>(level_end - level_start));
+    }
+    if (arena_.size() >= opts_.max_configs) {
+      res.truncated = true;
+      warm_stopped = true;
+      break;
+    }
+    if (budget_bytes_ != 0 && tracked_bytes() >= budget_bytes_) {
+      update_ledger();
+      obs::flight::record(obs::flight::Ev::kBudgetTrip,
+                          static_cast<std::int64_t>(tracked_bytes()),
+                          static_cast<std::int64_t>(budget_bytes_));
+      res.truncated = true;
+      res.budget_exhausted = true;
+      warm_stopped = true;
+      break;
+    }
+    ++expanded;
+    if ((expanded & 0xFF) == 1 &&
+        budget_deadline_ != std::chrono::steady_clock::time_point::max() &&
+        std::chrono::steady_clock::now() >= budget_deadline_) {
+      obs::flight::record(obs::flight::Ev::kBudgetTrip,
+                          static_cast<std::int64_t>(tracked_bytes()), 0);
+      res.truncated = true;
+      res.budget_exhausted = true;
+      warm_stopped = true;
+      break;
+    }
+    if (T > 1 && arena_.size() >= opts_.parallel_threshold) {
+      --expanded;
+      break;
+    }
+    if ((expanded & 0xFFF) == 0) {
+      metrics.frontier.set(static_cast<std::int64_t>(arena_.size() - head));
+      if (arena_.spill_needed(arena_.size())) {
+        const std::size_t released = arena_.maybe_spill(head);
+        if (released != 0) {
+          obs::flight::record(
+              obs::flight::Ev::kSpill, static_cast<std::int64_t>(released),
+              static_cast<std::int64_t>(arena_.spilled_bytes()));
+        }
+      }
+      update_ledger();
+      hb.beat(
+          [&] {
+            return "configs=" + std::to_string(res.visited) +
+                   " frontier=" + std::to_string(arena_.size() - head);
+          },
+          [&](obs::StatusSnapshot& s) {
+            s.level = static_cast<std::int64_t>(level_idx);
+            s.frontier = static_cast<std::int64_t>(arena_.size() - head);
+            s.visited = static_cast<std::int64_t>(res.visited);
+            s.cap = static_cast<std::int64_t>(opts_.max_configs);
+          });
+    }
+    const ConfigId cur = head++;
+    std::memcpy(cur_buf.data(), arena_.words(cur), W * sizeof(Value));
+    bool keep_going = true;
+    p.for_each([&](int q) {
+      if (!keep_going) return;
+      const PendingOp op =
+          proto_.poised(q, cur_buf[static_cast<std::size_t>(q)]);
+      if (op.is_decide()) return;
+      std::memcpy(succ_buf.data(), cur_buf.data(), W * sizeof(Value));
+      apply_op(proto_, op, q, succ_buf.data(), succ_buf.data() + n);
+      const std::uint64_t h = arena_.hash_words(succ_buf.data());
+      Shard& sh = shard_of(h);
+      sh.reserve_for(1, shard_bytes_);
+      std::size_t i = h & sh.mask;
+      while (true) {
+        Shard::Slot& slot = sh.slots[i];
+        if (slot.ref == kEmptyRef) {
+          // Strict cap (unlike Explorer's per-expansion check, which can
+          // overshoot by a few children): the parallel phase drops at
+          // exactly max_configs, so the warm phase must too for a uniform
+          // visited <= cap guarantee.
+          if (arena_.size() >= opts_.max_configs) {
+            res.truncated = true;
+            keep_going = false;
+            return;
+          }
+          const ConfigId id = arena_.append_words(succ_buf.data());
+          parent_.ensure(id);
+          parent_.set(id, {cur, q});
+          slot.hash = h;
+          slot.ref = id;
+          ++sh.used;
+          ++res.visited;
+          metrics.visited.add();
+          if (!fn(vctx, arena_.view(id))) {
+            res.aborted = true;
+            res.abort_config = arena_.materialize(id);
+            keep_going = false;
+          }
+          return;
+        }
+        if (slot.hash == h &&
+            arena_.words_equal(arena_.words(slot.ref), succ_buf.data())) {
+          metrics.dedup_hits.add();
+          ++level_dedup;
+          ++dedup_total;
+          return;
+        }
+        i = (i + 1) & sh.mask;
+      }
+    });
+    if (!keep_going) {
+      warm_stopped = true;
+      break;
+    }
+  }
+  run_stats_.warm_visited = arena_.size();
+  next_id_.store(arena_.size(), std::memory_order_relaxed);
+
+  if (!warm_stopped && head < arena_.size()) {
+    // Hand the unexpanded tail to the pool: chunked round-robin across
+    // the worker deques, then steal-balance from there.
+    run_stats_.went_parallel = true;
+    const ConfigId tail = static_cast<ConfigId>(arena_.size());
+    pending_.store(static_cast<std::int64_t>(tail - head));
+    std::size_t d = 0;
+    for (ConfigId b = head; b < tail; b += opts_.chunk_configs) {
+      const ConfigId e = std::min<ConfigId>(b + opts_.chunk_configs, tail);
+      deques_[d++ % deques_.size()].push({b, e});
+    }
+    {
+      std::lock_guard<std::mutex> lk(spill_.mu);
+      spill_.active = T;
+      spill_.parked = 0;
+      spill_.requested.store(false, std::memory_order_relaxed);
+    }
+    {
+      obs::Span span("par.steal");
+      span.set_value(static_cast<std::int64_t>(tail - head));
+      pool_.run([&](int t) { worker_main(t, p, fn, vctx, hb); });
+    }
+    visited_count_ = committed();
+    arena_.set_size(visited_count_);
+    res.visited = visited_count_;
+    res.truncated = truncated_.load(std::memory_order_relaxed);
+    res.aborted = aborted_.load(std::memory_order_relaxed);
+    res.budget_exhausted = budget_exhausted_.load(std::memory_order_relaxed);
+    if (res.budget_exhausted) res.truncated = true;
+    const ConfigId aid = abort_id_.load(std::memory_order_relaxed);
+    if (res.aborted && aid != kNoConfig) {
+      res.abort_config = arena_.materialize(aid);
+    }
+  } else {
+    visited_count_ = arena_.size();
+  }
+
+  // Aggregate work-stealing forensics.
+  StealMetrics& sm = steal_metrics();
+  for (const WorkerCtx& w : workers_) {
+    run_stats_.steals += w.steals.load(std::memory_order_relaxed);
+    run_stats_.steal_fails += w.steal_fails.load(std::memory_order_relaxed);
+    run_stats_.idle_spins += w.idle_spins.load(std::memory_order_relaxed);
+    run_stats_.chunks += w.chunks.load(std::memory_order_relaxed);
+    dedup_total += w.dedup_run;
+  }
+  sm.steals.add(run_stats_.steals);
+  sm.steal_fails.add(run_stats_.steal_fails);
+  sm.idle_spins.add(run_stats_.idle_spins);
+  sm.chunks.add(run_stats_.chunks);
+
+  update_ledger();
+  if (stats.active()) {
+    // Close the warm phase's level in progress (complete if a small run
+    // drained sequentially, partial on truncation/abort/handoff); the
+    // parallel phase has no levels — its story is the explore.ws record.
+    stats.commit_level(stats.level_record(
+        arena_, level_end - level_start,
+        static_cast<ConfigId>(run_stats_.warm_visited) - level_end,
+        level_dedup));
+    if (run_stats_.went_parallel) {
+      obs::stats_sink().write(
+          obs::JsonObj()
+              .str("type", "explore.ws")
+              .str("who", "explore-par")
+              .num("visited", static_cast<std::int64_t>(res.visited))
+              .num("warm_visited",
+                   static_cast<std::int64_t>(run_stats_.warm_visited))
+              .num("threads", static_cast<std::int64_t>(T))
+              .num("chunks", static_cast<std::int64_t>(run_stats_.chunks))
+              .num("steals", static_cast<std::int64_t>(run_stats_.steals))
+              .num("steal_fails",
+                   static_cast<std::int64_t>(run_stats_.steal_fails))
+              .num("idle_spins",
+                   static_cast<std::int64_t>(run_stats_.idle_spins))
+              .num("spill_pauses",
+                   static_cast<std::int64_t>(run_stats_.spill_pauses))
+              .num("spilled_bytes",
+                   static_cast<std::int64_t>(arena_.spilled_bytes()))
+              .num("mapped_bytes",
+                   static_cast<std::int64_t>(arena_.mapped_bytes()))
+              .render());
+    }
+    stats.done(arena_, res, dedup_total);
+  }
+  return res;
 }
 
 std::optional<Schedule> ParallelExplorer::witness(const Config& target) const {
   std::vector<Value> packed(arena_.words_per_config());
   arena_.pack(target, packed.data());
   const std::uint64_t h = arena_.hash_words(packed.data());
-  const Shard& sh = shard_of(h);
+  const Shard& sh = shards_[(h >> 58) & (kShards - 1)];
+  if (sh.slots.empty()) return std::nullopt;
   std::size_t i = h & sh.mask;
   while (true) {
     const Shard::Slot& slot = sh.slots[i];
     if (slot.ref == kEmptyRef) return std::nullopt;
-    // Uncommitted leftovers from an aborted level are not visited configs;
-    // skip them without dereferencing (their words are gone).
-    if (slot.hash == h && (slot.ref & kPendingBit) == 0 &&
+    if (slot.hash == h && slot.ref < visited_count_ &&
         arena_.words_equal(arena_.words(slot.ref), packed.data())) {
       return witness_by_id(slot.ref);
     }
@@ -234,11 +865,11 @@ std::optional<Schedule> ParallelExplorer::witness(const Config& target) const {
 }
 
 std::optional<Schedule> ParallelExplorer::witness_by_id(ConfigId id) const {
-  if (id >= parent_.size()) return std::nullopt;
+  if (id >= visited_count_) return std::nullopt;
   std::vector<ProcId> rev;
   ConfigId idx = id;
   while (idx != kNoConfig) {
-    const auto [par, via] = parent_[idx];
+    const auto [par, via] = parent_.get(idx);
     if (par != kNoConfig) rev.push_back(via);
     idx = par;
   }

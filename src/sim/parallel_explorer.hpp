@@ -1,50 +1,128 @@
 #pragma once
 
-#include <array>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
-#include "obs/span.hpp"
 #include "sim/explorer.hpp"
 #include "util/worker_pool.hpp"
 
 namespace tsb::sim {
 
-/// Parallel breadth-first enumeration, bit-identical to Explorer.
+namespace detail {
+
+/// Concurrent (parent id, stepping process) edge store for the
+/// work-stealing explorer: fixed 64Ki-record segments behind an atomic
+/// pointer directory, so workers committing disjoint ids write without
+/// coordination and nothing ever reallocates under a reader. Segment
+/// publication is a CAS (the losing allocator frees); record writes are
+/// plain stores to exclusively-owned indices, read only after the pool
+/// joins (witness reconstruction) or for already-published ancestors.
+class ParentStore {
+ public:
+  static constexpr std::size_t kSegShift = 16;
+  static constexpr std::size_t kSegSize = std::size_t{1} << kSegShift;
+
+  struct Rec {
+    ConfigId parent;
+    std::int32_t via;
+  };
+
+  ParentStore() = default;
+  ~ParentStore();
+  ParentStore(const ParentStore&) = delete;
+  ParentStore& operator=(const ParentStore&) = delete;
+
+  /// Size the directory for ids < cap. Single-threaded (between runs);
+  /// existing segments are kept for reuse.
+  void prepare(std::size_t cap);
+
+  /// Make id's segment exist. Thread-safe, lock-free.
+  void ensure(ConfigId id) {
+    const std::size_t seg = id >> kSegShift;
+    Rec* p = dir_[seg].load(std::memory_order_acquire);
+    if (p != nullptr) return;
+    Rec* fresh = new Rec[kSegSize];
+    if (dir_[seg].compare_exchange_strong(p, fresh, std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+      bytes_.fetch_add(kSegSize * sizeof(Rec), std::memory_order_relaxed);
+    } else {
+      delete[] fresh;
+    }
+  }
+
+  void set(ConfigId id, Rec r) {
+    dir_[id >> kSegShift].load(std::memory_order_acquire)[id &
+                                                          (kSegSize - 1)] = r;
+  }
+  Rec get(ConfigId id) const {
+    return dir_[id >> kSegShift].load(
+        std::memory_order_acquire)[id & (kSegSize - 1)];
+  }
+
+  std::size_t memory_bytes() const {
+    return bytes_.load(std::memory_order_relaxed) +
+           dir_segs_ * sizeof(std::atomic<Rec*>);
+  }
+
+ private:
+  std::unique_ptr<std::atomic<Rec*>[]> dir_;
+  std::size_t dir_segs_ = 0;
+  std::atomic<std::size_t> bytes_{0};
+};
+
+}  // namespace detail
+
+/// Parallel breadth-first-style enumeration by work stealing.
 ///
-/// The BFS is level-synchronous; each level runs three phases:
+/// Replaces the earlier level-synchronous design (expand / dedup / commit
+/// phases with a full-pool rendezvous at every BFS level — the barrier
+/// idles every worker at each level tail, which is most of the wall clock
+/// on shallow-but-wide spaces). There are no levels and no barriers:
 ///
-///   A (parallel)  — the frontier (a contiguous ConfigId range, since ids
-///       are assigned in discovery order) is split into one contiguous
-///       slice per worker; each worker expands its slice into a private
-///       candidate buffer: packed successor words, parent id, stepping
-///       process, and hash.
-///   B (parallel)  — the visited set is sharded 16 ways by the top hash
-///       bits; each shard's owner scans the level's candidates destined to
-///       it *in global discovery order* and probes its open-addressing
-///       table: a match (against a committed configuration or an earlier
-///       candidate of this level) marks the candidate a duplicate,
-///       otherwise the candidate is marked the winner and holds the slot.
-///   C (sequential) — candidates are walked in global discovery order
-///       (frontier order, then ascending process id — exactly the order
-///       the sequential explorer discovers them); winners are appended to
-///       the arena, their slot is patched with the final id, and the
-///       visitor runs. The configuration cap is re-checked before each
-///       frontier entry's candidates, which reproduces the sequential
-///       explorer's truncation point exactly.
+///   * Work items are contiguous ConfigId ranges of freshly discovered
+///     configurations. Each worker owns a Chase-Lev-style deque — the
+///     owner pushes and pops at the bottom, idle workers steal from the
+///     top (here guarded by an uncontended per-deque spinlock rather than
+///     the lock-free C11 protocol; the critical section is a couple of
+///     index updates, and every acquisition moves >= one chunk of work).
+///   * The visited set is sharded kShards ways by the top hash bits. A
+///     worker expanding a chunk stages successors in per-shard batch
+///     buffers and flushes a whole batch under one shard spinlock:
+///     probe, allocate ids (one global fetch_add each), write words into
+///     the shared segmented ConfigArena, record the parent edge, publish
+///     the slot. Batching amortizes the handoff that made the old design
+///     slower than sequential at small n. Shard tables and arena segments
+///     are allocated (first-touched) by the worker that grows them.
+///   * Termination: a global count of discovered-but-unexpanded
+///     configurations; a worker with an empty deque that fails to steal
+///     exits when the count is zero (every item is counted from before it
+///     becomes stealable until after its chunk is fully expanded AND its
+///     candidates flushed, so zero really means drained).
 ///
-/// Determinism rule (tested in test_explorer_parallel): because phase C
-/// assigns ids in the sequential discovery order and duplicate resolution
-/// in phase B prefers the earliest occurrence in that same order, the
-/// visited set, the id of every configuration, every parent edge (hence
-/// every witness schedule), the visit order, and the truncated/aborted
-/// verdicts are all identical to Explorer's, for any thread count.
+/// Below Options::parallel_threshold discovered configurations the
+/// calling thread runs a sequential warm phase against the same shard
+/// tables (no locks, no pool) — small enumerations, the valency oracle's
+/// common case, never pay for the machinery at all.
 ///
-/// Only phases A and B run concurrently, and they touch disjoint data
-/// (worker-private buffers; shard-private tables) with a barrier between
-/// phases — the visitor itself always runs on the calling thread.
+/// Determinism contract (relaxed from the old bit-identical rule; see
+/// DESIGN.md "work-stealing soundness"): on COMPLETE runs the visited
+/// configuration SET — and therefore the visited count and any
+/// order-independent visitor verdict — is identical to the sequential
+/// Explorer's. Discovery order, id assignment, and witness schedules are
+/// not; witnesses remain valid P-only schedules (parents always commit
+/// before children) and every consumer replay-verifies them. Truncated
+/// runs stop at machine-dependent points but never claim completeness,
+/// so budget/cap truncation still proves positives, never negatives.
+/// Visitors run serialized under one mutex (possibly from different
+/// threads, with happens-before between consecutive calls), so existing
+/// single-threaded visitors stay correct unchanged.
 class ParallelExplorer {
  public:
   struct Options {
@@ -52,6 +130,11 @@ class ParallelExplorer {
     int threads = 0;  ///< worker threads; 0 = hardware concurrency
     /// Same meaning as Explorer::Options::stats_min_visited.
     std::size_t stats_min_visited = 10'000;
+    /// Ids per stealable work chunk: the deque handoff granularity.
+    std::uint32_t chunk_configs = 256;
+    /// Stay on the sequential warm path until this many configurations
+    /// are discovered; spaces smaller than this never touch the pool.
+    std::size_t parallel_threshold = 32'768;
   };
 
   using Result = ExploreResult;
@@ -59,167 +142,40 @@ class ParallelExplorer {
   explicit ParallelExplorer(const Protocol& proto)
       : ParallelExplorer(proto, Options{}) {}
   ParallelExplorer(const Protocol& proto, Options opts);
+  ~ParallelExplorer();
 
   int threads() const { return pool_.size(); }
 
   /// Same graceful-degradation contract as Explorer::set_budget: trip the
   /// memory or wall budget and explore() returns truncated +
-  /// budget_exhausted. Budgeted runs waive bit-identity with Explorer
-  /// (budget truncation points are machine-dependent).
+  /// budget_exhausted. Budget truncation points are machine-dependent.
   void set_budget(std::size_t max_arena_bytes,
                   std::chrono::steady_clock::time_point deadline) {
     budget_bytes_ = max_arena_bytes;
     budget_deadline_ = deadline;
   }
 
+  /// Out-of-core arena spilling; same contract as Explorer::set_spill.
+  /// During work-stealing the spill itself runs at a stop-the-world
+  /// rendezvous (workers park between chunks), so readers never race a
+  /// segment teardown.
+  bool set_spill(const std::string& dir, std::size_t threshold_bytes,
+                 std::size_t seg_configs_hint = 0) {
+    return arena_.set_spill(dir, threshold_bytes, seg_configs_hint);
+  }
+
   /// Heap bytes this exploration owns: arena + parent edges + per-worker
-  /// candidate buffers + the sharded dedup tables. This is what
-  /// set_budget() caps and what the ledger's explore.* accounts report —
-  /// the parallel explorer's shard tables and candidate buffers are real
-  /// memory the raw arena-bytes check used to miss.
+  /// staging buffers + deques + the sharded dedup tables. What
+  /// set_budget() caps and the ledger's explore.* accounts report. Safe
+  /// to call from any thread mid-run (all inputs are atomics or stable).
   std::size_t tracked_bytes() const;
 
   template <typename Visit>
   Result explore(const Config& root, ProcSet p, Visit&& visit) {
-    arena_.clear();
-    parent_.clear();
-    for (Shard& sh : shards_) sh.reset();
-
-    Result res;
-    detail::ExploreMetrics& metrics = detail::explore_metrics();
-    detail::LevelStatsTracker stats("explore-par", opts_.stats_min_visited);
-    obs::Heartbeat hb("explore-par");
-    const std::size_t W = arena_.words_per_config();
-
-    // Root.
-    arena_.pack(root, arena_.scratch());
-    const std::uint64_t root_hash = arena_.hash_words(arena_.scratch());
-    const ConfigId root_id = arena_.append_words(arena_.scratch());
-    shard_of(root_hash).insert_committed(root_hash, root_id);
-    parent_.emplace_back(kNoConfig, -1);
-    ++res.visited;
-    metrics.visited.add();
-    if (!visit(arena_.view(root_id))) {
-      res.aborted = true;
-      res.abort_config = arena_.materialize(root_id);
-      if (stats.active()) stats.done(arena_, res, 0);
-      return res;
-    }
-
-    const int T = pool_.size();
-    std::uint64_t dedup_total = 0;
-    std::size_t level_idx = 0;
-    ConfigId lo = 0;
-    while (lo < arena_.size() && !res.aborted && !res.truncated) {
-      if (budget_deadline_ != std::chrono::steady_clock::time_point::max() &&
-          std::chrono::steady_clock::now() >= budget_deadline_) {
-        obs::flight::record(obs::flight::Ev::kBudgetTrip,
-                            static_cast<std::int64_t>(tracked_bytes()), 0);
-        res.truncated = true;
-        res.budget_exhausted = true;
-        break;
-      }
-      const ConfigId hi = static_cast<ConfigId>(arena_.size());
-      const ConfigId chunk = (hi - lo + static_cast<ConfigId>(T) - 1) /
-                             static_cast<ConfigId>(T);
-      for (int t = 0; t < T; ++t) {
-        const ConfigId b = lo + static_cast<ConfigId>(t) * chunk;
-        workers_[static_cast<std::size_t>(t)].begin = b > hi ? hi : b;
-        workers_[static_cast<std::size_t>(t)].end =
-            b + chunk > hi ? hi : b + chunk;
-      }
-      ++level_idx;
-      update_ledger();
-      obs::flight::record(obs::flight::Ev::kLevel,
-                          static_cast<std::int64_t>(level_idx),
-                          static_cast<std::int64_t>(hi - lo));
-      metrics.frontier.set(static_cast<std::int64_t>(hi - lo));
-      hb.beat(
-          [&] {
-            return "configs=" + std::to_string(res.visited) +
-                   " frontier=" + std::to_string(hi - lo) +
-                   " threads=" + std::to_string(T);
-          },
-          [&](obs::StatusSnapshot& s) {
-            s.level = static_cast<std::int64_t>(level_idx);
-            s.frontier = static_cast<std::int64_t>(hi - lo);
-            s.visited = static_cast<std::int64_t>(res.visited);
-            s.cap = static_cast<std::int64_t>(opts_.max_configs);
-          });
-
-      const auto t_expand = std::chrono::steady_clock::now();
-      {
-        obs::Span span("par.expand");
-        span.set_value(static_cast<std::int64_t>(hi - lo));
-        pool_.run([&](int t) {  // phase A
-          expand_slice(workers_[static_cast<std::size_t>(t)], p);
-        });
-      }
-      const auto t_dedup = std::chrono::steady_clock::now();
-      {
-        obs::Span span("par.dedup");
-        pool_.run([&](int t) {  // phase B
-          for (int s = t; s < kShards; s += T) dedup_shard(s);
-        });
-      }
-      const auto t_commit = std::chrono::steady_clock::now();
-
-      // Phase C: commit in global discovery order.
-      std::uint64_t level_dedup = 0;
-      {
-        obs::Span span("par.commit");
-        for (ConfigId pos = lo; pos < hi && !res.aborted; ++pos) {
-          if (arena_.size() >= opts_.max_configs) {
-            res.truncated = true;
-            break;
-          }
-          if (budget_bytes_ != 0 && tracked_bytes() >= budget_bytes_) {
-            update_ledger();
-            obs::flight::record(obs::flight::Ev::kBudgetTrip,
-                                static_cast<std::int64_t>(tracked_bytes()),
-                                static_cast<std::int64_t>(budget_bytes_));
-            res.truncated = true;
-            res.budget_exhausted = true;
-            break;
-          }
-          Worker& w = workers_[(pos - lo) / chunk];
-          while (w.commit_cursor < w.cands.size() &&
-                 w.cands[w.commit_cursor].parent == pos) {
-            const Candidate& c = w.cands[w.commit_cursor];
-            if (!c.winner) {
-              metrics.dedup_hits.add();
-              ++level_dedup;
-              ++w.commit_cursor;
-              continue;
-            }
-            const ConfigId id =
-                arena_.append_words(w.words.data() + w.commit_cursor * W);
-            shards_[c.shard].commit(c.slot, id);
-            parent_.emplace_back(c.parent, c.via);
-            ++res.visited;
-            metrics.visited.add();
-            ++w.commit_cursor;
-            if (!visit(arena_.view(id))) {
-              res.aborted = true;
-              res.abort_config = arena_.materialize(id);
-              break;
-            }
-          }
-        }
-        span.set_value(static_cast<std::int64_t>(arena_.size()) - hi);
-      }
-      dedup_total += level_dedup;
-      if (stats.active()) {
-        commit_level_stats(stats, hi - lo,
-                           static_cast<ConfigId>(arena_.size()) - hi,
-                           level_dedup, t_expand, t_dedup, t_commit);
-      }
-      for (Shard& sh : shards_) sh.pending.clear();
-      lo = hi;
-    }
-    update_ledger();
-    if (stats.active()) stats.done(arena_, res, dedup_total);
-    return res;
+    VisitFn fn = [](void* ctx, const ConfigView& v) {
+      return (*static_cast<std::remove_reference_t<Visit>*>(ctx))(v);
+    };
+    return explore_impl(root, p, fn, &visit);
   }
 
   /// Schedule from the last explore()'s root to `target`; target must have
@@ -234,79 +190,154 @@ class ParallelExplorer {
 
   ConfigView view(ConfigId id) const { return arena_.view(id); }
 
+  /// Work-stealing forensics for the last explore() (also surfaced as
+  /// sim.explore.* metrics, explore.ws stats records, and flight events).
+  struct RunStats {
+    std::uint64_t steals = 0;       ///< successful chunk steals
+    std::uint64_t steal_fails = 0;  ///< full failed victim sweeps
+    std::uint64_t idle_spins = 0;   ///< backoff rounds with no work found
+    std::uint64_t chunks = 0;       ///< work items expanded
+    std::uint64_t spill_pauses = 0; ///< stop-the-world spill rendezvous
+    std::uint64_t warm_visited = 0; ///< configs from the sequential phase
+    bool went_parallel = false;     ///< pool was engaged at all
+  };
+  const RunStats& last_run() const { return run_stats_; }
+
  private:
-  static constexpr int kShards = 16;  // fixed: independent of thread count
-  static constexpr std::uint32_t kPendingBit = 0x80000000u;
+  static constexpr int kShards = 64;
   static constexpr std::uint32_t kEmptyRef = 0xFFFFFFFFu;
+  static constexpr std::size_t kBatch = 48;  ///< candidates per shard flush
 
-  struct Candidate {
-    std::uint64_t hash;
-    ConfigId parent;        ///< frontier position == parent's ConfigId
-    std::int32_t via;       ///< stepping process
-    std::uint32_t slot;     ///< shard table slot held (winners only)
-    std::uint16_t shard;
-    std::uint16_t winner;   ///< 1 = first occurrence in discovery order
-  };
+  using VisitFn = bool (*)(void*, const ConfigView&);
 
-  struct Worker {
-    ConfigId begin = 0;  ///< frontier slice, contiguous id range
+  /// A stealable range of discovered-but-unexpanded configuration ids.
+  struct WorkItem {
+    ConfigId begin = 0;
     ConfigId end = 0;
-    std::vector<Candidate> cands;           ///< in discovery order
-    std::vector<Value> words;               ///< cands.size() * W words
-    std::vector<std::uint32_t> by_shard[kShards];  ///< candidate indices
-    std::size_t commit_cursor = 0;          ///< phase C progress
   };
 
-  /// One shard of the visited set: an open-addressing table whose `ref` is
-  /// either a committed ConfigId or (kPendingBit | index) into `pending`,
-  /// the words of this level's not-yet-committed winners.
-  struct Shard {
+  /// Chase-Lev-style deque: owner pushes/pops the bottom (LIFO keeps the
+  /// owner in cache-warm ids), thieves take the top (oldest, largest
+  /// ranges first). A per-deque spinlock guards the index updates.
+  struct alignas(64) Deque {
+    std::atomic_flag lock = ATOMIC_FLAG_INIT;
+    std::vector<WorkItem> buf;
+    std::size_t top = 0;  ///< buf[top..) is live; buf.back() is the bottom
+    std::atomic<std::size_t> cap_bytes{0};
+
+    bool pop(WorkItem& out);    // owner, bottom
+    bool steal(WorkItem& out);  // thief, top
+    void push(WorkItem item);   // owner, bottom
+    void clear();
+  };
+
+  /// One shard of the visited set: open addressing over (full hash,
+  /// committed ConfigId), grown under the shard lock by the flushing
+  /// worker (first-touch placement). `ref` is always a committed id whose
+  /// words are already in the arena — publication happens inside the same
+  /// lock hold, so a later probe can safely compare words through it.
+  struct alignas(64) Shard {
+    std::atomic_flag lock = ATOMIC_FLAG_INIT;
     struct Slot {
       std::uint64_t hash = 0;
       std::uint32_t ref = kEmptyRef;
     };
     std::vector<Slot> slots;
     std::size_t mask = 0;
-    std::size_t used = 0;  ///< occupied slots (committed + pending)
-    std::vector<const Value*> pending;
+    std::size_t used = 0;
 
-    void reset();
-    void reserve_for(std::size_t incoming);
-    void insert_committed(std::uint64_t h, ConfigId id);
-    void commit(std::uint32_t slot, ConfigId id) { slots[slot].ref = id; }
+    void reset(std::atomic<std::size_t>& bytes);
+    void reserve_for(std::size_t incoming, std::atomic<std::size_t>& bytes);
   };
 
-  Shard& shard_of(std::uint64_t h) {
-    return shards_[(h >> 60) & (kShards - 1)];
-  }
-  const Shard& shard_of(std::uint64_t h) const {
-    return shards_[(h >> 60) & (kShards - 1)];
-  }
+  /// A successor staged for one shard: meta plus words at the matching
+  /// index of the batch's word buffer.
+  struct Cand {
+    std::uint64_t hash;
+    ConfigId parent;
+    std::int32_t via;
+  };
 
-  void expand_slice(Worker& w, ProcSet p);
-  void dedup_shard(int s);
+  struct Batch {
+    std::vector<Cand> meta;
+    std::vector<Value> words;
+  };
+
+  struct alignas(64) WorkerCtx {
+    std::vector<Batch> batches;     ///< kShards staging buffers
+    std::vector<Value> cur;         ///< copy of the config being expanded
+    std::vector<ConfigId> fresh;    ///< new ids from the last flush
+    std::vector<WorkItem> runs;     ///< coalesced fresh id ranges
+    // Owner-written, other-thread-read (periodic stats): relaxed atomics.
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> steal_fails{0};
+    std::atomic<std::uint64_t> idle_spins{0};
+    std::atomic<std::uint64_t> chunks{0};
+    std::uint64_t visited_delta = 0;  ///< owner-only metric staging
+    std::uint64_t dedup_delta = 0;    ///< dedup hits not yet in the registry
+    std::uint64_t dedup_run = 0;      ///< dedup hits this run (stats.done)
+  };
+
+  /// Stop-the-world spill rendezvous: the requesting worker waits until
+  /// every other still-active worker parks between chunks, spills with
+  /// the arena quiesced, then releases. Workers that exit (termination)
+  /// count themselves out.
+  struct SpillSync {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<bool> requested{false};  ///< checked lock-free between chunks
+    int active = 0;
+    int parked = 0;
+  };
+
+  Result explore_impl(const Config& root, ProcSet p, VisitFn fn, void* ctx);
+  void worker_main(int t, ProcSet p, VisitFn fn, void* ctx,
+                   obs::Heartbeat& hb);
+  void expand_chunk(WorkerCtx& w, WorkItem item, ProcSet p, VisitFn fn,
+                    void* vctx);
+  /// Flush one shard's staged batch; returns false when the run stopped
+  /// (truncation/abort) mid-flush.
+  void flush_shard(WorkerCtx& w, int s);
+  /// Visit + enqueue the ids flush_shard produced.
+  void publish_fresh(WorkerCtx& w, int self, VisitFn fn, void* vctx);
+  void request_spill();
+  void park_for_spill();
+  bool stopping() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
   void update_ledger() const;
+  std::size_t committed() const;
 
-  /// Extend the shared per-level stats record with the parallel-only fields
-  /// (phase wall times, candidate volume, per-shard occupancy + imbalance)
-  /// and buffer it. `t_*` bracket the three phases; "now" closes phase C.
-  void commit_level_stats(detail::LevelStatsTracker& stats,
-                          std::uint64_t frontier, std::uint64_t discovered,
-                          std::uint64_t dedup,
-                          std::chrono::steady_clock::time_point t_expand,
-                          std::chrono::steady_clock::time_point t_dedup,
-                          std::chrono::steady_clock::time_point t_commit);
+  Shard& shard_of(std::uint64_t h) {
+    return shards_[(h >> 58) & (kShards - 1)];
+  }
 
   const Protocol& proto_;
   Options opts_;
   std::size_t budget_bytes_ = 0;
   std::chrono::steady_clock::time_point budget_deadline_ =
       std::chrono::steady_clock::time_point::max();
+
   ConfigArena arena_;
-  std::vector<std::pair<ConfigId, ProcId>> parent_;
-  std::vector<Worker> workers_;
-  std::array<Shard, kShards> shards_;
+  detail::ParentStore parent_;
+  std::vector<Shard> shards_;
+  std::vector<Deque> deques_;
+  std::vector<WorkerCtx> workers_;
   util::WorkerPool pool_;
+
+  // Per-run shared state.
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::int64_t> pending_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> truncated_{false};
+  std::atomic<bool> aborted_{false};
+  std::atomic<bool> budget_exhausted_{false};
+  std::atomic<ConfigId> abort_id_{kNoConfig};
+  std::atomic<std::size_t> shard_bytes_{0};
+  std::mutex visit_mu_;
+  SpillSync spill_;
+  RunStats run_stats_;
+  std::size_t visited_count_ = 0;  ///< committed() of the last run
 };
 
 }  // namespace tsb::sim

@@ -82,6 +82,10 @@ ReachGraph::ReachGraph(const Protocol& proto, Options opts)
   if (opts_.threads > 1) {
     pool_ = std::make_unique<util::WorkerPool>(opts_.threads);
   }
+  if (opts_.spill_threshold_bytes != 0 && !opts_.spill_dir.empty()) {
+    arena_.set_spill(opts_.spill_dir, opts_.spill_threshold_bytes,
+                     opts_.spill_seg_configs);
+  }
 }
 
 std::size_t ReachGraph::memory_bytes() const {
@@ -110,6 +114,13 @@ void ReachGraph::update_ledger() const {
                  edges_.capacity() * sizeof(EdgeRec) +
                  (mark_epoch_.capacity() + mark_idx_.capacity()) *
                      sizeof(std::uint32_t));
+  if (arena_.spill_enabled() || arena_.spilled_bytes() != 0) {
+    // Disk-resident and mmap-resident bytes are tracked separately: the
+    // spill file is not RAM (excluded from memory_bytes/budget), while
+    // mapped read-back pages are reclaimable page cache.
+    ledger.set(obs::MemAccount::kArenaSpill, arena_.spilled_bytes());
+    ledger.set(obs::MemAccount::kArenaMapped, arena_.mapped_bytes());
+  }
 }
 
 void ReachGraph::check_budget() {
@@ -345,6 +356,19 @@ ReachGraph::QueryResult ReachGraph::query(const Config& c, ProcSet p,
     }
     if ((++steps & 0xFF) == 1) {
       check_budget();
+      // Quiescent point: the pool only runs inside precompute_level and
+      // every arena read in the loop body copies or probes synchronously,
+      // so cold full segments can be compressed out to disk here. No pin —
+      // the shared graph has no cold-prefix structure, so the oldest full
+      // segments go first.
+      if (arena_.spill_needed(arena_.size())) {
+        const std::size_t released = arena_.maybe_spill(kNoConfig);
+        if (released != 0) {
+          obs::flight::record(obs::flight::Ev::kSpill,
+                              static_cast<std::int64_t>(released),
+                              static_cast<std::int64_t>(arena_.spilled_bytes()));
+        }
+      }
       hb.beat(
           [&] {
             return "nodes=" + std::to_string(arena_.size()) +

@@ -88,6 +88,19 @@ class ReachGraph {
     /// the point — so once tripped, every later query throws
     /// util::BudgetExhausted too.
     std::size_t max_arena_bytes = 0;
+    /// Out-of-core node arena: once resident packed-node bytes exceed
+    /// spill_threshold_bytes (0 = never spill), cold full segments are
+    /// delta/varint-compressed to an unlinked backing file under
+    /// spill_dir and read back through mmap on demand. Spilled bytes
+    /// leave memory_bytes(), so max_arena_bytes caps RAM while the graph
+    /// keeps growing on disk. Unlike the explorer's cold-prefix pattern,
+    /// re-probes of spilled nodes pay a decode — spilling trades query
+    /// speed for the ability to finish at all.
+    std::string spill_dir = ".";
+    std::size_t spill_threshold_bytes = 0;
+    /// Configs per arena segment (power of two, 0 = default ~4 MB): CI
+    /// smoke tests shrink it to force spilling on small campaigns.
+    std::size_t spill_seg_configs = 0;
   };
 
   ReachGraph(const Protocol& proto, Options opts);

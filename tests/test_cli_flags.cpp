@@ -201,6 +201,52 @@ TEST(ParseArgs, IntrospectionValidation) {
   EXPECT_FALSE(parse_args({"--status-file"}).ok);  // missing value
 }
 
+TEST(ParseArgs, SpillFlagsAcceptBothFormsAndByteSuffixes) {
+  const auto eq = parse_args({"adversary", "--spill-threshold=2g",
+                              "--spill-dir=/var/tmp", "--spill-seg-configs=512",
+                              "7"});
+  const auto sp = parse_args({"adversary", "--spill-threshold", "2g",
+                              "--spill-dir", "/var/tmp", "--spill-seg-configs",
+                              "512", "7"});
+  for (const auto* r : {&eq, &sp}) {
+    ASSERT_TRUE(r->ok) << r->error;
+    EXPECT_EQ(r->flags.spill_threshold, 2ull << 30);
+    EXPECT_EQ(r->flags.spill_dir, "/var/tmp");
+    EXPECT_EQ(r->flags.spill_seg_configs, 512u);
+    EXPECT_EQ(r->args, (std::vector<std::string>{"adversary", "7"}));
+  }
+}
+
+TEST(ParseArgs, SpillDefaultsAndValidation) {
+  const auto r = parse_args({"adversary"});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.flags.spill_threshold, 0u);  // 0 = spilling off
+  EXPECT_EQ(r.flags.spill_dir, ".");
+  EXPECT_EQ(r.flags.spill_seg_configs, 0u);
+  EXPECT_FALSE(parse_args({"--spill-threshold=0"}).ok);
+  EXPECT_FALSE(parse_args({"--spill-threshold=big"}).ok);
+  EXPECT_FALSE(parse_args({"--spill-threshold"}).ok);  // missing value
+  EXPECT_FALSE(parse_args({"--spill-dir="}).ok);
+  EXPECT_FALSE(parse_args({"--spill-seg-configs=0"}).ok);
+}
+
+TEST(ParseArgs, WorkStealingKnobs) {
+  const auto r = parse_args({"adversary", "--chunk-configs=64",
+                             "--parallel-threshold", "1024", "--no-reuse"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.flags.chunk_configs, 64u);
+  EXPECT_EQ(r.flags.parallel_threshold, 1024u);
+  // Defaults: 0 = keep the explorer's built-in tuning.
+  const auto d = parse_args({});
+  EXPECT_EQ(d.flags.chunk_configs, 0u);
+  EXPECT_EQ(d.flags.parallel_threshold, 0u);
+  EXPECT_FALSE(parse_args({"--chunk-configs=0"}).ok);
+  EXPECT_FALSE(parse_args({"--chunk-configs=many"}).ok);
+  // --parallel-threshold=0 parses (explicit "keep the default").
+  EXPECT_TRUE(parse_args({"--parallel-threshold=0"}).ok);
+  EXPECT_FALSE(parse_args({"--parallel-threshold=soon"}).ok);
+}
+
 TEST(ParseArgs, TopSubcommandOnce) {
   const auto r = parse_args({"top", "st.json", "--once"});
   ASSERT_TRUE(r.ok);

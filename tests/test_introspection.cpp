@@ -281,5 +281,62 @@ TEST(BudgetExhaustion, LedgerAttributesAndFlightDumpReplays) {
   ledger.reset();
 }
 
+// --- out-of-core runs keep the forensic story intact -----------------------
+
+TEST(SpillIntrospection, SpillBytesGetTheirOwnAccountsAndFlightEvents) {
+  obs::MemLedger::global().reset();
+  obs::flight::enable(/*ring_events=*/4096);
+
+  // Tiny threshold + tiny segments: a small campaign must go out of core.
+  consensus::BallotConsensus proto(4, 8);
+  bound::SpaceBoundAdversary::Options opts;
+  opts.spill_dir = ::testing::TempDir();
+  opts.spill_threshold_bytes = 32 << 10;
+  opts.spill_seg_configs = 64;
+  bound::SpaceBoundAdversary adversary(proto, opts);
+  const auto result = adversary.run();
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_TRUE(result.check.ok) << "spilling changed the certificate";
+
+  // Disk-resident and mmap-resident bytes are first-class accounts, not
+  // folded into arena.words: an operator reading the ledger can tell RAM
+  // from spill file from page cache.
+  obs::MemLedger& ledger = obs::MemLedger::global();
+  EXPECT_GT(ledger.peak(obs::MemAccount::kArenaSpill), 0u)
+      << "the campaign never spilled — threshold/segment hint miscalibrated";
+  EXPECT_EQ(obs::mem_account_name(obs::MemAccount::kArenaSpill),
+            std::string("arena.spill"));
+  EXPECT_EQ(obs::mem_account_name(obs::MemAccount::kArenaMapped),
+            std::string("arena.mapped"));
+
+  // The attribution bar survives going out of core: named accounts
+  // (including the spill accounts) still cover >= 95% of tracked bytes.
+  const std::size_t named =
+      ledger.get(obs::MemAccount::kReachNodes) +
+      ledger.get(obs::MemAccount::kReachEdges) +
+      ledger.get(obs::MemAccount::kReachFacts) +
+      ledger.get(obs::MemAccount::kReachQuery) +
+      ledger.get(obs::MemAccount::kValencyMemo) +
+      ledger.get(obs::MemAccount::kArenaSpill) +
+      ledger.get(obs::MemAccount::kArenaMapped);
+  EXPECT_GE(named, ledger.total() * 95 / 100);
+
+  // Every spill left a flight-recorder breadcrumb an operator can replay.
+  const std::string path = temp_path("flight_spill.jsonl");
+  ASSERT_TRUE(obs::flight::dump(path, "spill"));
+  obs::flight::disable();
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("\"ev\":\"spill\""), std::string::npos);
+
+  report::RunReport rep;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) rep.ingest_line(line);
+  rep.finalize();
+  EXPECT_EQ(rep.lines_malformed(), 0u);
+  std::remove(path.c_str());
+  ledger.reset();
+}
+
 }  // namespace
 }  // namespace tsb

@@ -691,6 +691,12 @@ void RunReport::render_text(std::ostream& out, int top_k) const {
                  (r.b != 0 ? " (memo hit)" : " (miss)");
       } else if (r.ev == "reach.query") {
         detail = "root " + std::to_string(r.a);
+      } else if (r.ev == "steal") {
+        detail = "worker " + std::to_string(r.a) + " stole from worker " +
+                 std::to_string(r.b);
+      } else if (r.ev == "spill") {
+        detail = "released " + std::to_string(r.a) + " B, " +
+                 std::to_string(r.b) + " B on disk";
       } else if (r.ev == "chaos.fault") {
         detail = "tid " + std::to_string(r.a) + " action " +
                  std::to_string(r.b);

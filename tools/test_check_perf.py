@@ -90,6 +90,52 @@ class CompareTest(unittest.TestCase):
         self.assertAlmostEqual(check_perf.delta_pct(100, 90), -10.0)
         self.assertIsNone(check_perf.delta_pct(0, 5))
 
+    def test_parallel_floor_passes_when_faster(self):
+        cur = {"bench": "explore", "rows": [
+            {"n": 4, "threads": 1, "configs_per_sec": 1000.0},
+            {"n": 4, "threads": 2, "configs_per_sec": 1500.0},
+        ]}
+        self.assertEqual(
+            check_perf.parallel_floor_failures(cur, 0.9, cpu_count=8), [])
+
+    def test_parallel_floor_allows_small_dip(self):
+        cur = {"bench": "explore", "rows": [
+            {"n": 4, "threads": 1, "configs_per_sec": 1000.0},
+            {"n": 4, "threads": 2, "configs_per_sec": 950.0},
+        ]}
+        self.assertEqual(
+            check_perf.parallel_floor_failures(cur, 0.9, cpu_count=8), [])
+
+    def test_parallel_floor_fails_on_regression(self):
+        cur = {"bench": "explore", "rows": [
+            {"n": 4, "threads": 1, "configs_per_sec": 1000.0},
+            {"n": 4, "threads": 2, "configs_per_sec": 800.0},
+        ]}
+        failures = check_perf.parallel_floor_failures(cur, 0.9, cpu_count=8)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("threads=2", failures[0])
+        self.assertIn("slower than not parallelizing", failures[0])
+
+    def test_parallel_floor_exempts_oversubscribed_rows(self):
+        # threads > cores measures scheduling overhead by design.
+        cur = {"bench": "explore", "rows": [
+            {"n": 4, "threads": 1, "configs_per_sec": 1000.0},
+            {"n": 4, "threads": 8, "configs_per_sec": 100.0},
+        ]}
+        self.assertEqual(
+            check_perf.parallel_floor_failures(cur, 0.9, cpu_count=4), [])
+        self.assertEqual(
+            len(check_perf.parallel_floor_failures(cur, 0.9, cpu_count=16)),
+            1)
+
+    def test_parallel_floor_only_gates_explore(self):
+        cur = {"bench": "lemmas", "rows": [
+            {"n": 4, "threads": 1, "configs_per_sec": 1000.0},
+            {"n": 4, "threads": 2, "configs_per_sec": 1.0},
+        ]}
+        self.assertEqual(
+            check_perf.parallel_floor_failures(cur, 0.9, cpu_count=8), [])
+
     def test_table_renders_all_rows(self):
         cur = doc([{"n": 4, "threads": 1, "configs": 101,
                     "configs_per_sec": 700.0, "seconds": 0.2}])

@@ -49,6 +49,22 @@
 //   --mem-budget=BYTES[k|m|g]  cap on the valency arena's heap growth
 //   --time-budget-ms=MS        wall-clock watchdog across valency queries
 //
+// Out-of-core flags (tsb adversary; campaigns past the RAM wall):
+//   --spill-threshold=BYTES[k|m|g]  once resident packed configs pass this,
+//                    cold arena segments are delta/varint-compressed to an
+//                    unlinked backing file and read back through mmap; the
+//                    ledger tracks disk bytes under arena.spill. 0 = off.
+//   --spill-dir=DIR  where the backing file lives (default "."; pick a
+//                    real disk, not tmpfs, or spilling cannot free RAM)
+//   --spill-seg-configs=N  configs per arena segment (testing/CI: small
+//                    values force spilling on small campaigns)
+//
+// Work-stealing knobs (tsb adversary --no-reuse; pure perf tuning —
+// verdicts are identical at any setting):
+//   --chunk-configs=N       configs per stealable work item (default 256)
+//   --parallel-threshold=N  visited count at which the warm sequential
+//                           phase hands off to the worker pool (32768)
+//
 // Exit codes (distinct so CI can tell misuse from refutation):
 //   0  success
 //   1  violation / failed construction / report inconsistency
@@ -60,6 +76,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -118,6 +135,9 @@ int usage() {
          "adversary budgets: --mem-budget=BYTES[k|m|g] --time-budget-ms=MS\n"
          "adversary backend: --no-reuse (fresh-BFS valency; default is the\n"
          "                   shared-subgraph engine)\n"
+         "out-of-core: --spill-threshold=BYTES[k|m|g] --spill-dir=DIR\n"
+         "             --spill-seg-configs=N (segment size, testing)\n"
+         "work stealing: --chunk-configs=N --parallel-threshold=N\n"
          "exit codes: 0 ok, 1 violation/failed construction, 2 usage "
          "error,\n"
          "            3 chaos timeouts (no violation), 4 budget exhausted\n";
@@ -165,6 +185,14 @@ int cmd_adversary(int n, int cap, const ObsFlags& obs_flags) {
       static_cast<std::size_t>(obs_flags.mem_budget);
   opts.valency_time_budget_ms = obs_flags.time_budget_ms;
   opts.reuse = !obs_flags.no_reuse;
+  opts.spill_dir = obs_flags.spill_dir;
+  opts.spill_threshold_bytes =
+      static_cast<std::size_t>(obs_flags.spill_threshold);
+  opts.spill_seg_configs =
+      static_cast<std::size_t>(obs_flags.spill_seg_configs);
+  opts.chunk_configs = static_cast<std::uint32_t>(obs_flags.chunk_configs);
+  opts.parallel_threshold =
+      static_cast<std::size_t>(obs_flags.parallel_threshold);
   bound::SpaceBoundAdversary adversary(proto, opts);
   const auto result = adversary.run();
   if (result.budget_exhausted) {
@@ -185,6 +213,13 @@ int cmd_adversary(int n, int cap, const ObsFlags& obs_flags) {
               << result.reach_reused << " fact-answered "
               << result.reach_fact_answers << " nodes "
               << result.reach_graph_nodes << "\n";
+  }
+  if (opts.spill_threshold_bytes != 0) {
+    std::cout << "spill: peak " << std::fixed << std::setprecision(1)
+              << static_cast<double>(obs::MemLedger::global().peak(
+                     obs::MemAccount::kArenaSpill)) /
+                     (1024.0 * 1024.0)
+              << " MiB on disk\n";
   }
   std::cout << "covered " << result.check.distinct_registers
             << " distinct registers "

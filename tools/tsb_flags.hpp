@@ -49,6 +49,13 @@ struct ObsFlags {
   std::uint64_t mem_budget = 0;      ///< --mem-budget=BYTES[k|m|g]; 0 = off
   std::uint64_t time_budget_ms = 0;  ///< --time-budget-ms=MS; 0 = off
 
+  // Out-of-core spilling and work-stealing knobs (tsb adversary / check).
+  std::string spill_dir = ".";        ///< --spill-dir=DIR (backing file home)
+  std::uint64_t spill_threshold = 0;  ///< --spill-threshold=BYTES[k|m|g]; 0=off
+  std::uint64_t spill_seg_configs = 0;///< --spill-seg-configs=N; 0 = default
+  std::uint64_t chunk_configs = 0;    ///< --chunk-configs=N; 0 = default
+  std::uint64_t parallel_threshold = 0;  ///< --parallel-threshold=N; 0=default
+
   /// --no-reuse: run valency queries on the fresh-BFS-per-query backend
   /// instead of the shared-subgraph engine (differential anchor / A-B
   /// timing). Applies to tsb adversary and the lemma benchmarks.
@@ -222,6 +229,26 @@ inline ParseResult parse_args(const std::vector<std::string>& argv) {
       if (bad_value || out.flags.time_budget_ms == 0) {
         return fail("bad --time-budget-ms (want >= 1)");
       }
+    } else if (value_flag("--spill-dir", &out.flags.spill_dir)) {
+      if (bad_value || out.flags.spill_dir.empty()) {
+        return fail("--spill-dir needs a directory");
+      }
+    } else if (value_flag("--spill-threshold", &sval)) {
+      if (bad_value || !parse_bytes(sval, &out.flags.spill_threshold) ||
+          out.flags.spill_threshold == 0) {
+        return fail("bad --spill-threshold (want BYTES with optional k/m/g)");
+      }
+    } else if (u64_flag("--spill-seg-configs", &out.flags.spill_seg_configs)) {
+      if (bad_value || out.flags.spill_seg_configs == 0) {
+        return fail("bad --spill-seg-configs (want >= 1)");
+      }
+    } else if (u64_flag("--chunk-configs", &out.flags.chunk_configs)) {
+      if (bad_value || out.flags.chunk_configs == 0) {
+        return fail("bad --chunk-configs (want >= 1)");
+      }
+    } else if (u64_flag("--parallel-threshold",
+                        &out.flags.parallel_threshold)) {
+      if (bad_value) return fail("bad --parallel-threshold");
     } else if (a.rfind("--", 0) == 0) {
       return fail("unknown flag: " + a);
     } else {
