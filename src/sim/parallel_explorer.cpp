@@ -129,7 +129,13 @@ void ParallelExplorer::Deque::clear() {
 // --- Shard --------------------------------------------------------------
 
 void ParallelExplorer::Shard::reset(std::atomic<std::size_t>&) {
-  slots.assign(std::size_t{1} << 10, Slot{});
+  // Swap against a fresh table rather than assign(): assign() keeps the
+  // prior run's capacity, so a reused explorer (the valency oracle runs
+  // many queries through one instance) would hold every shard at its
+  // high-water mark forever — and the next reserve_for would see a new
+  // capacity *smaller* than `before`. The caller recomputes shard_bytes_
+  // from the released capacities right after resetting every shard.
+  std::vector<Slot>(std::size_t{1} << 10).swap(slots);
   mask = slots.size() - 1;
   used = 0;
 }
@@ -153,8 +159,13 @@ void ParallelExplorer::Shard::reserve_for(std::size_t incoming,
   }
   slots = std::move(bigger);
   mask = bigger_mask;
-  bytes.fetch_add(slots.capacity() * sizeof(Slot) - before,
-                  std::memory_order_relaxed);
+  // Add-then-subtract instead of adding the difference: the counter always
+  // includes `before`, so this never goes negative in aggregate, whereas a
+  // single unsigned delta would wrap to ~2^64 if the new capacity were ever
+  // smaller than the old one — corrupting tracked_bytes() and spuriously
+  // tripping every later memory budget check.
+  bytes.fetch_add(slots.capacity() * sizeof(Slot), std::memory_order_relaxed);
+  bytes.fetch_sub(before, std::memory_order_relaxed);
 }
 
 // --- ParallelExplorer ---------------------------------------------------
@@ -167,7 +178,10 @@ ParallelExplorer::ParallelExplorer(const Protocol& proto, Options opts)
       deques_(static_cast<std::size_t>(resolve_threads(opts.threads))),
       workers_(static_cast<std::size_t>(resolve_threads(opts.threads))),
       pool_(resolve_threads(opts.threads)) {
-  opts_.max_configs = std::min<std::size_t>(opts_.max_configs, kNoConfig - 1);
+  // At least 1: the root is always interned, and prepare(0) would leave the
+  // parent directory empty for the root's ensure()/set() to dereference.
+  opts_.max_configs =
+      std::clamp<std::size_t>(opts_.max_configs, 1, kNoConfig - 1);
   if (opts_.chunk_configs == 0) opts_.chunk_configs = 1;
   const std::size_t W = arena_.words_per_config();
   for (WorkerCtx& w : workers_) {

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -283,6 +284,59 @@ TEST(ParallelExplorer, RepeatedRunsVisitTheSameSet) {
                                  .chunk_configs = 16,
                                  .parallel_threshold = 64});
   expect_same_set(first, set_snapshot(proto, fresh, root, everyone));
+}
+
+TEST(ParallelExplorer, ZeroMaxConfigsClampsToRootOnly) {
+  // max_configs = 0 used to leave the parent directory unprepared while
+  // the root was still interned — ensure()/set() then dereferenced a null
+  // directory. The cap is clamped to 1: the root is visited, nothing else.
+  ToyProtocol proto(3);
+  const Config root = initial_config(proto, {3, 4, 5});
+  ParallelExplorer par(proto, {.max_configs = 0, .threads = 2});
+  const auto res = par.explore(root, ProcSet::first_n(3),
+                               [](const ConfigView&) { return true; });
+  EXPECT_TRUE(res.truncated);
+  EXPECT_FALSE(res.aborted);
+  EXPECT_EQ(res.visited, 1u);
+}
+
+TEST(ParallelExplorer, ReuseUnderBudgetKeepsByteTrackingSane) {
+  // Regression: Shard::reset used assign(), which keeps the prior run's
+  // (larger) table capacity, so on a reused explorer the next shard growth
+  // computed `new_capacity - old_capacity` as a negative unsigned delta —
+  // shard_bytes_ wrapped to ~2^64, tracked_bytes() exceeded any memory
+  // budget, and every later run spuriously reported budget_exhausted.
+  // The valency oracle reuses one ParallelExplorer across queries, so any
+  // budgeted multi-query campaign hit this after the first run big enough
+  // to grow a shard past its reset size (~46k visited configurations).
+  const int n = 4;
+  consensus::BallotConsensus proto(n, 2 * n);
+  const Config root = initial_config(proto, {0, 1, 0, 1});
+  const ProcSet everyone = ProcSet::first_n(n);
+
+  // 150k visited configurations spread over 64 shards push each table to
+  // ~4096 slots — well past the 1024-slot reset size, so the second run's
+  // regrowth reproduces the negative delta. The ballot n=4 space is >2M
+  // configurations, so both runs cap-truncate (schedule-dependent subsets;
+  // only per-run invariants are checkable, not set equality).
+  ParallelExplorer par(proto, {.max_configs = 150'000,
+                               .threads = 2,
+                               .chunk_configs = 64,
+                               .parallel_threshold = 1024});
+  par.set_budget(std::size_t{1} << 30,  // generous: real usage is ~10s of MB
+                 std::chrono::steady_clock::time_point::max());
+
+  for (int run = 0; run < 2; ++run) {
+    const SetSnapshot s = set_snapshot(proto, par, root, everyone);
+    // Pre-fix, the second run died at its first shard growth (~46k
+    // visited) with a spurious budget_exhausted: tracked_bytes() had
+    // wrapped to ~2^64 and no budget can exceed that.
+    EXPECT_FALSE(s.result.budget_exhausted) << "run " << run;
+    EXPECT_TRUE(s.result.truncated) << "run " << run;
+    EXPECT_GT(s.result.visited, 100'000u) << "run " << run;
+    expect_no_duplicate_visits(s);
+    EXPECT_LT(par.tracked_bytes(), std::size_t{1} << 30) << "run " << run;
+  }
 }
 
 TEST(ParallelExplorer, StealAndChunkForensicsAreReported) {

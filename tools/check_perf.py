@@ -17,9 +17,13 @@ is compared:
   * improvements never fail, and `seconds` is reported but not gated
     (configs_per_sec already covers wall-clock, normalized by work done);
   * for the "explore" bench, every parallel row in the CURRENT run must
-    sustain at least TSB_PAR_FLOOR (default 0.9) times the same-n
+    sustain at least TSB_PAR_FLOOR (default 0.75) times the same-n
     sequential row's configs_per_sec — the work-stealing engine must never
-    make small-n exploration slower than just not parallelizing. Rows with
+    make small-n exploration meaningfully slower than just not
+    parallelizing. The default is forgiving because both rows come from
+    one run on a possibly shared/noisy runner, where a transient stall in
+    either row is not a code regression; dedicated runners should set
+    TSB_PAR_FLOOR=0.9 to enforce the strict engineering target. Rows with
     more threads than the machine has cores measure scheduling overhead by
     design and are exempt.
 
@@ -27,7 +31,7 @@ A per-metric delta table (current vs baseline, % change) is printed on both
 pass and fail, so CI logs answer "how close was it?" without a rerun.
 
 Environment: TSB_PERF_TOLERANCE=<percent> overrides the 25% tolerance;
-TSB_PAR_FLOOR=<ratio> overrides the 0.9 parallel floor. Stdlib only — CI
+TSB_PAR_FLOOR=<ratio> overrides the 0.75 parallel floor. Stdlib only — CI
 has no pip.
 """
 
@@ -196,7 +200,7 @@ def main():
     if len(sys.argv) != 3:
         sys.exit(__doc__)
     tolerance = float(os.environ.get("TSB_PERF_TOLERANCE", "25"))
-    par_floor = float(os.environ.get("TSB_PAR_FLOOR", "0.9"))
+    par_floor = float(os.environ.get("TSB_PAR_FLOOR", "0.75"))
     base_doc = load(sys.argv[1])
     cur_doc = load(sys.argv[2])
     rows, failures = compare(base_doc, cur_doc, tolerance)
