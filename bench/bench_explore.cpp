@@ -87,13 +87,17 @@ int run_overhead(int n, std::size_t cap, int threads,
     const char* name;
     bool stats;
     bool trace;
-    bool prof;  ///< sampling profiler + flight recorder (PR 6 acceptance:
-                ///< within a few percent of the bare run)
+    bool prof;   ///< sampling profiler + flight recorder (PR 6 acceptance:
+                 ///< within a few percent of the bare run)
+    bool telem;  ///< --telemetry time-series sampler + watchdog (PR 8
+                 ///< acceptance: within ~1% of the stats tier — it rides
+                 ///< the same heartbeat, adding one JSONL append per tick)
   };
-  const Tier tiers[] = {{"off", false, false, false},
-                        {"stats", true, false, false},
-                        {"stats+trace", true, true, false},
-                        {"prof+flight", false, false, true}};
+  const Tier tiers[] = {{"off", false, false, false, false},
+                        {"stats", true, false, false, false},
+                        {"stats+trace", true, true, false, false},
+                        {"prof+flight", false, false, true, false},
+                        {"telemetry", false, false, false, true}};
 
   std::cout << "E13: instrumentation overhead, ballot n=" << n << " cap "
             << cap << ", " << threads << " threads\n\n";
@@ -109,6 +113,8 @@ int run_overhead(int n, std::size_t cap, int threads,
   util::Table table({"tier", "configs", "seconds", "configs/sec",
                      "vs off"});
   double base_cps = 0.0;
+  double stats_cps = 0.0;
+  double telemetry_cps = 0.0;
   for (const Tier& tier : tiers) {
     if (tier.stats && !obs::stats_sink().open(stats_path)) {
       std::cerr << "could not open " << stats_path << "\n";
@@ -121,6 +127,16 @@ int run_overhead(int n, std::size_t cap, int threads,
         std::cerr << "could not start the sampling profiler\n";
         return 1;
       }
+    }
+    const std::chrono::milliseconds saved_interval = obs::progress_interval();
+    if (tier.telem) {
+      if (!obs::telemetry::open(stats_path + ".tsl")) {
+        std::cerr << "could not open " << stats_path << ".tsl\n";
+        return 1;
+      }
+      // A bench run is short; sample fast enough that the tier actually
+      // pays for ticks instead of idling past the default 1 s cadence.
+      obs::set_progress_interval(std::chrono::milliseconds(100));
     }
 
     RunResult r;
@@ -135,6 +151,10 @@ int run_overhead(int n, std::size_t cap, int threads,
       r = timed_explore(explorer, proto, n);
     }
 
+    if (tier.telem) {
+      obs::telemetry::close();
+      obs::set_progress_interval(saved_interval);
+    }
     if (tier.prof) {
       obs::Profiler::global().stop();
       obs::flight::disable();
@@ -144,12 +164,29 @@ int run_overhead(int n, std::size_t cap, int threads,
 
     const double cps = configs_per_sec(r);
     if (base_cps == 0.0) base_cps = cps;
+    if (std::strcmp(tier.name, "stats") == 0) stats_cps = cps;
+    if (tier.telem) telemetry_cps = cps;
     char rel[32];
     std::snprintf(rel, sizeof rel, "%+.1f%%",
                   base_cps > 0 ? (cps / base_cps - 1.0) * 100.0 : 0.0);
     table.row(tier.name, r.visited, r.secs, cps, rel);
   }
   table.print(std::cout, "instrumentation tiers (same enumeration)");
+
+  // PR 8 acceptance gate: the telemetry tier must stay within tolerance of
+  // the stats tier. The expectation is ~1% (both ride the same heartbeat);
+  // the default gate is looser because shared CI runners jitter far more
+  // than the sampler costs. BENCH_OVERHEAD_TOL_PCT overrides.
+  double tol_pct = 25.0;
+  if (const char* env = std::getenv("BENCH_OVERHEAD_TOL_PCT")) {
+    tol_pct = std::strtod(env, nullptr);
+  }
+  if (stats_cps > 0 && telemetry_cps < stats_cps * (1.0 - tol_pct / 100.0)) {
+    std::cerr << "FAIL: telemetry tier " << telemetry_cps
+              << " configs/s is more than " << tol_pct
+              << "% below the stats tier " << stats_cps << " configs/s\n";
+    return 1;
+  }
 
   // Recover the per-level story from the last tier's artifact with the
   // same analyzer behind `tsb report` — the benches and the CLI must

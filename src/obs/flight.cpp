@@ -26,6 +26,7 @@ const char* ev_name(Ev ev) {
     case Ev::kPhase: return "phase";
     case Ev::kSteal: return "steal";
     case Ev::kSpill: return "spill";
+    case Ev::kWatch: return "watch";
   }
   return "?";
 }

@@ -19,6 +19,7 @@ enum class Ev : std::uint8_t {
   kPhase,         ///< adversary stage entered: a=phase code (see phase_name)
   kSteal,         ///< work-stealing: a=thief worker, b=victim worker
   kSpill,         ///< arena spill: a=bytes released, b=total spilled bytes
+  kWatch,         ///< telemetry watchdog fired: a=WatchRule, b=tick id
 };
 
 const char* ev_name(Ev ev);

@@ -142,6 +142,36 @@ std::string Registry::json() const {
   return out.str();
 }
 
+std::string Registry::counters_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    const std::uint64_t v = c->value();
+    if (v == 0) continue;
+    out << (first ? "" : ",") << '"' << name << "\":" << v;
+    first = false;
+  }
+  out << '}';
+  return out.str();
+}
+
+std::string Registry::gauges_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (const auto& [name, g] : gauges_) {
+    const std::int64_t v = g->value();
+    if (v == 0) continue;
+    out << (first ? "" : ",") << '"' << name << "\":" << v;
+    first = false;
+  }
+  out << '}';
+  return out.str();
+}
+
 std::int64_t peak_rss_kb() {
 #if defined(__unix__) || defined(__APPLE__)
   rusage ru{};

@@ -156,6 +156,12 @@ class Registry {
   /// and p50/p99 upper bounds.
   std::string json() const;
 
+  /// Flat {"name":value} objects of every non-zero counter / every gauge
+  /// with a non-zero last value — the delta-friendly shape the telemetry
+  /// time-series embeds per tick (cumulative values; consumers diff).
+  std::string counters_json() const;
+  std::string gauges_json() const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;

@@ -6,6 +6,7 @@
 #include "obs/flight.hpp"
 #include "obs/memledger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 
 namespace tsb::obs {
 
@@ -51,7 +52,8 @@ void Heartbeat::beat(const std::function<std::string()>& line,
   flight::service_dump_request();
   const bool prog = progress_enabled();
   const bool stat = status_enabled();
-  if (!prog && !stat) return;
+  const bool telem = telemetry::enabled();
+  if (!prog && !stat && !telem) return;
   const auto now = std::chrono::steady_clock::now();
   if (now - last_ < interval_) return;
   last_ = now;
@@ -68,11 +70,12 @@ void Heartbeat::beat(const std::function<std::string()>& line,
                  format_bytes(MemLedger::global().total()).c_str());
     std::fflush(stderr);
   }
-  if (stat) {
+  if (stat || telem) {
     StatusSnapshot s;
     s.phase = what_;
     if (status) status(s);
-    publish_status(s);
+    if (stat) publish_status(s);
+    if (telem) telemetry::tick(s);
   }
 }
 

@@ -4,10 +4,13 @@
 #include <chrono>
 #include <mutex>
 
+#include <vector>
+
 #include "obs/flight.hpp"
 #include "obs/jsonl_sink.hpp"
 #include "obs/memledger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/watchdog.hpp"
 
 namespace tsb::obs {
 
@@ -55,6 +58,8 @@ void publish_status(const StatusSnapshot& s) {
   if (s.frontier >= 0) o.num("frontier", s.frontier);
   if (s.visited >= 0) o.num("visited", s.visited);
   if (s.cap >= 0) o.num("cap", s.cap);
+  if (s.steals >= 0) o.num("steals", s.steals);
+  if (s.idle_spins >= 0) o.num("idle_spins", s.idle_spins);
   double cps = 0.0;
   if (s.visited > 0 && uptime > 0.0) {
     cps = static_cast<double>(s.visited) / uptime;
@@ -66,6 +71,19 @@ void publish_status(const StatusSnapshot& s) {
   if (g_status_deadline != std::chrono::steady_clock::time_point::max()) {
     o.numf("eta_deadline_s",
            std::chrono::duration<double>(g_status_deadline - now).count());
+  }
+  // Active watchdog episodes, so a `tsb top` watcher sees the anomaly the
+  // moment the telemetry tick latches it (empty and omitted when quiet or
+  // when no --telemetry file is feeding the watchdog).
+  const std::vector<WatchRule> alerts = Watchdog::global().active_rules();
+  if (!alerts.empty()) {
+    std::string arr = "[";
+    for (std::size_t i = 0; i < alerts.size(); ++i) {
+      if (i > 0) arr += ",";
+      arr += std::string("\"") + watch_rule_name(alerts[i]) + "\"";
+    }
+    arr += "]";
+    o.raw("watch", arr);
   }
   MemLedger& ledger = MemLedger::global();
   o.num("ledger_total", static_cast<std::int64_t>(ledger.total()))

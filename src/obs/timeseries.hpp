@@ -1,0 +1,49 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/status.hpp"
+
+namespace tsb::obs::telemetry {
+
+namespace detail {
+extern std::atomic<bool> g_telemetry_enabled;
+}  // namespace detail
+
+/// True while a --telemetry file is open. One relaxed load, so the
+/// Heartbeat path can consult it unconditionally.
+inline bool enabled() {
+  return detail::g_telemetry_enabled.load(std::memory_order_relaxed);
+}
+
+/// Open (truncating) the telemetry timeline file and start the clock.
+/// Returns false (telemetry stays off) when the file cannot be opened.
+/// Resets the tick counter and the global watchdog: a file is one run.
+bool open(const std::string& path);
+
+/// Final flush + close. Safe to call repeatedly or when never opened.
+void close();
+
+/// Memory budget the ledger-runaway watchdog projects against (the CLI
+/// forwards --mem-budget). 0 disables that rule.
+void set_mem_budget(std::uint64_t bytes);
+
+/// Append one self-contained {"type":"telemetry.tick",...} record — phase,
+/// level/frontier/visited/cap from the snapshot, interval configs/sec,
+/// every non-zero metrics-registry counter and gauge, the full memory
+/// ledger, and peak RSS — then run the watchdog over the updated window,
+/// appending {"type":"watch.alert"/"watch.clear",...} records, a stderr
+/// warning and a flight-recorder event for every episode edge.
+///
+/// Riding the Heartbeat cadence keeps this off the hot path: callers are
+/// already rate-limited to the progress interval. Each record is written
+/// and flushed as one line, so a run killed mid-campaign loses at most the
+/// interval since the last tick; tick ids are monotonic within the file.
+void tick(const StatusSnapshot& s);
+
+/// Ticks written since open().
+std::uint64_t ticks();
+
+}  // namespace tsb::obs::telemetry

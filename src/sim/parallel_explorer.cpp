@@ -503,6 +503,19 @@ void ParallelExplorer::worker_main(int t, ProcSet p, VisitFn fn, void* vctx,
               s.frontier = pending_.load(std::memory_order_relaxed);
               s.visited = static_cast<std::int64_t>(committed());
               s.cap = static_cast<std::int64_t>(opts_.max_configs);
+              // Registry counters only see steals/idle at run end, so the
+              // live snapshot aggregates the per-worker atomics directly —
+              // telemetry's starvation rule needs mid-run values.
+              std::int64_t steals = 0;
+              std::int64_t idle = 0;
+              for (const WorkerCtx& o : workers_) {
+                steals += static_cast<std::int64_t>(
+                    o.steals.load(std::memory_order_relaxed));
+                idle += static_cast<std::int64_t>(
+                    o.idle_spins.load(std::memory_order_relaxed));
+              }
+              s.steals = steals;
+              s.idle_spins = idle;
             });
       }
       if (t == 0 && (chunks & 0xFF) == 0) {

@@ -254,5 +254,36 @@ TEST(ParseArgs, TopSubcommandOnce) {
   EXPECT_EQ(r.args, (std::vector<std::string>{"top", "st.json"}));
 }
 
+TEST(ParseArgs, TelemetryFlagsAcceptBothForms) {
+  const auto eq = parse_args({"adversary", "--telemetry=run.tsl", "6"});
+  const auto sp = parse_args({"adversary", "--telemetry", "run.tsl", "6"});
+  for (const auto* r : {&eq, &sp}) {
+    ASSERT_TRUE(r->ok) << r->error;
+    EXPECT_EQ(r->flags.telemetry_file, "run.tsl");
+    EXPECT_EQ(r->args, (std::vector<std::string>{"adversary", "6"}));
+  }
+  const auto d = parse_args({"adversary"});
+  EXPECT_TRUE(d.flags.telemetry_file.empty());
+  EXPECT_FALSE(parse_args({"--telemetry="}).ok);
+  EXPECT_FALSE(parse_args({"--telemetry"}).ok);  // missing value
+}
+
+TEST(ParseArgs, CompareAndTolerance) {
+  const auto r = parse_args(
+      {"report", "--compare", "a.tsl", "b.tsl", "--tolerance=10.5"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.flags.compare);
+  EXPECT_DOUBLE_EQ(r.flags.tolerance, 10.5);
+  EXPECT_EQ(r.args, (std::vector<std::string>{"report", "a.tsl", "b.tsl"}));
+  const auto d = parse_args({"report", "x.jsonl"});
+  ASSERT_TRUE(d.ok);
+  EXPECT_FALSE(d.flags.compare);
+  EXPECT_DOUBLE_EQ(d.flags.tolerance, 25.0);
+  EXPECT_FALSE(parse_args({"--tolerance=-3"}).ok);
+  EXPECT_FALSE(parse_args({"--tolerance=loose"}).ok);
+  EXPECT_FALSE(parse_args({"--tolerance="}).ok);
+  EXPECT_FALSE(parse_args({"--tolerance"}).ok);  // missing value
+}
+
 }  // namespace
 }  // namespace tsb::cli

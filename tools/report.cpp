@@ -8,6 +8,7 @@
 
 #include "obs/flight.hpp"
 #include "obs/jsonl_sink.hpp"
+#include "obs/watchdog.hpp"
 #include "util/table.hpp"
 
 namespace tsb::report {
@@ -225,9 +226,22 @@ void RunReport::ingest_line(const std::string& line) {
   } else if (type == "ledger" || type.rfind("prof.", 0) == 0 ||
              type.rfind("flight.", 0) == 0) {
     ingest_introspection(v, type);
+  } else if (type.rfind("telemetry.", 0) == 0 ||
+             type.rfind("watch.", 0) == 0) {
+    ingest_telemetry(v, type);
   } else {
     ingest_audit(v, type);
   }
+}
+
+void RunReport::ingest_telemetry(const JsonValue& v, const std::string& type) {
+  if (type == "telemetry.tick") {
+    ++telemetry_ticks_;
+  } else if (type == "watch.alert") {
+    ++watch_alerts_;
+    ++watch_alert_counts_[v.str_or("rule", "?")];
+  }
+  // watch.clear is episode bookkeeping; nothing to aggregate.
 }
 
 void RunReport::ingest_introspection(const JsonValue& v,
@@ -700,12 +714,31 @@ void RunReport::render_text(std::ostream& out, int top_k) const {
       } else if (r.ev == "chaos.fault") {
         detail = "tid " + std::to_string(r.a) + " action " +
                  std::to_string(r.b);
+      } else if (r.ev == "watch") {
+        detail = std::string(obs::watch_rule_name(
+                     static_cast<obs::WatchRule>(r.a))) +
+                 " at tick " + std::to_string(r.b);
       } else {
         detail = std::to_string(r.a) + ", " + std::to_string(r.b);
       }
       t.row(static_cast<double>(r.ts_ns) / 1e6, r.tid, r.ev, detail);
     }
     t.print(out, "last " + std::to_string(keep) + " flight events");
+  }
+
+  if (telemetry_ticks_ > 0 || watch_alerts_ > 0) {
+    out << "\ntelemetry: " << telemetry_ticks_ << " tick(s), "
+        << watch_alerts_ << " watchdog alert(s)";
+    if (!watch_alert_counts_.empty()) {
+      out << " (";
+      bool first = true;
+      for (const auto& [rule, n] : watch_alert_counts_) {
+        out << (first ? "" : ", ") << rule << " x" << n;
+        first = false;
+      }
+      out << ")";
+    }
+    out << "\n";
   }
 
   if (have_cert_) {
@@ -818,6 +851,242 @@ int analyze_files(const std::vector<std::string>& files, int top_k,
   // engine soundness bug, never a tolerable outcome.
   if (rep.replay_failures() > 0) return 1;
   return 0;
+}
+
+// --- telemetry timelines ---------------------------------------------------
+
+void Timeline::ingest_line(const std::string& line) {
+  if (line.empty()) return;
+  ++lines_;
+  JsonValue v;
+  if (!parse_json(line, v) || v.type != JsonValue::Type::kObj) {
+    ++malformed_;
+    return;
+  }
+  const std::string type = v.str_or("type", "");
+  if (type == "telemetry.tick") {
+    TimelineTick t;
+    t.tick = v.int_or("tick", 0);
+    t.t_s = v.num_or("t_s", 0.0);
+    t.phase = v.str_or("phase", "?");
+    t.level = v.int_or("level", -1);
+    t.frontier = v.int_or("frontier", -1);
+    t.visited = v.int_or("visited", -1);
+    t.cap = v.int_or("cap", -1);
+    t.cps = v.num_or("cps", -1.0);
+    t.steals = v.int_or("steals", -1);
+    t.idle_spins = v.int_or("idle_spins", -1);
+    t.peak_rss_kb = v.int_or("peak_rss_kb", 0);
+    t.ledger_total = v.int_or("ledger_total", 0);
+    if (const JsonValue* led = v.find("ledger");
+        led && led->type == JsonValue::Type::kObj) {
+      for (const auto& [name, val] : led->obj) {
+        t.ledger[name] = static_cast<std::int64_t>(val.num);
+      }
+    }
+    if (const JsonValue* c = v.find("counters");
+        c && c->type == JsonValue::Type::kObj) {
+      for (const auto& [name, val] : c->obj) {
+        t.counters[name] = static_cast<std::int64_t>(val.num);
+      }
+    }
+    ticks_.push_back(std::move(t));
+  } else if (type == "watch.alert" || type == "watch.clear") {
+    TimelineAlert a;
+    a.rule = v.str_or("rule", "?");
+    a.tick = v.int_or("tick", 0);
+    a.t_s = v.num_or("t_s", 0.0);
+    a.phase = v.str_or("phase", "");
+    a.detail = v.str_or("detail", "");
+    a.clear = type == "watch.clear";
+    alerts_.push_back(std::move(a));
+  } else {
+    ++malformed_;
+  }
+}
+
+bool Timeline::load(const std::string& path, std::string* err) {
+  std::ifstream in(path);
+  if (!in) {
+    if (err != nullptr) *err = "cannot read " + path;
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) ingest_line(line);
+  return true;
+}
+
+std::vector<std::string> Timeline::active_alerts() const {
+  std::map<std::string, bool> latched;  // rule -> alert without later clear
+  for (const TimelineAlert& a : alerts_) latched[a.rule] = !a.clear;
+  std::vector<std::string> out;
+  for (const auto& [rule, on] : latched) {
+    if (on) out.push_back(rule);
+  }
+  return out;
+}
+
+bool Timeline::monotonic() const {
+  for (std::size_t i = 1; i < ticks_.size(); ++i) {
+    if (ticks_[i].tick <= ticks_[i - 1].tick) return false;
+  }
+  return true;
+}
+
+std::string sparkline(const std::vector<double>& xs, std::size_t width) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (width == 0) return "";
+  if (xs.empty()) return std::string(width, ' ');
+  // Downsample by averaging equal tick ranges; upsample by repetition is
+  // pointless, so narrow inputs just render short.
+  std::vector<double> cells;
+  const std::size_t n = xs.size();
+  const std::size_t w = std::min(width, n);
+  for (std::size_t c = 0; c < w; ++c) {
+    const std::size_t lo = c * n / w;
+    const std::size_t hi = std::max(lo + 1, (c + 1) * n / w);
+    double sum = 0;
+    for (std::size_t i = lo; i < hi; ++i) sum += xs[i];
+    cells.push_back(sum / static_cast<double>(hi - lo));
+  }
+  const auto [mn_it, mx_it] = std::minmax_element(cells.begin(), cells.end());
+  const double mn = *mn_it, mx = *mx_it;
+  std::string out;
+  for (double x : cells) {
+    const int level =
+        mx > mn ? static_cast<int>((x - mn) / (mx - mn) * 7.0 + 0.5) : 0;
+    out += kBlocks[std::clamp(level, 0, 7)];
+  }
+  out.append(width - w, ' ');
+  return out;
+}
+
+namespace {
+
+// Per-phase aggregates one compare side derives from its timeline. Mean of
+// the per-tick interval rates (not last-minus-first over wall): a phase can
+// run several times (one explore per valency query), resetting visited.
+struct PhaseAgg {
+  std::uint64_t ticks = 0;
+  double cps_sum = 0.0;
+  std::uint64_t cps_samples = 0;
+  std::int64_t max_ledger = 0;
+  std::int64_t max_rss_kb = 0;
+  double mean_cps() const {
+    return cps_samples > 0 ? cps_sum / static_cast<double>(cps_samples) : 0.0;
+  }
+};
+
+struct CompareSide {
+  double wall_s = 0.0;
+  std::uint64_t alerts = 0;
+  PhaseAgg total;
+  std::map<std::string, PhaseAgg> phases;
+};
+
+CompareSide aggregate(const Timeline& tl) {
+  CompareSide s;
+  for (const TimelineTick& t : tl.ticks()) {
+    s.wall_s = std::max(s.wall_s, t.t_s);
+    for (PhaseAgg* agg : {&s.total, &s.phases[t.phase]}) {
+      ++agg->ticks;
+      if (t.cps >= 0) {
+        agg->cps_sum += t.cps;
+        ++agg->cps_samples;
+      }
+      agg->max_ledger = std::max(agg->max_ledger, t.ledger_total);
+      agg->max_rss_kb = std::max(agg->max_rss_kb, t.peak_rss_kb);
+    }
+  }
+  for (const TimelineAlert& a : tl.alerts()) {
+    if (!a.clear) ++s.alerts;
+  }
+  return s;
+}
+
+double pct_delta(double a, double b) {
+  return a != 0.0 ? (b - a) / a * 100.0 : 0.0;
+}
+
+}  // namespace
+
+int compare_timelines(const std::string& path_a, const std::string& path_b,
+                      double tol_pct, std::ostream& out) {
+  Timeline ta, tb;
+  std::string err;
+  if (!ta.load(path_a, &err) || !tb.load(path_b, &err)) {
+    out << "tsb report --compare: " << err << "\n";
+    return 2;
+  }
+  if (ta.ticks().empty() || tb.ticks().empty()) {
+    out << "tsb report --compare: "
+        << (ta.ticks().empty() ? path_a : path_b)
+        << " holds no telemetry.tick records\n";
+    return 2;
+  }
+  const CompareSide a = aggregate(ta);
+  const CompareSide b = aggregate(tb);
+
+  out << "timeline A: " << path_a << " (" << ta.ticks().size()
+      << " ticks, wall " << a.wall_s << " s)\n";
+  out << "timeline B: " << path_b << " (" << tb.ticks().size()
+      << " ticks, wall " << b.wall_s << " s)\n";
+
+  bool regressed = false;
+  util::Table t({"phase", "metric", "A", "B", "delta_pct", "verdict"});
+  // Gated rows: wall time may grow, throughput may shrink, by at most
+  // tol_pct. A phase missing on either side is structural drift the rate
+  // gates cannot judge; it renders as informational.
+  auto gate = [&](const std::string& phase, const char* metric, double va,
+                  double vb, bool higher_is_better) {
+    const double d = pct_delta(va, vb);
+    const bool bad = higher_is_better ? d < -tol_pct : d > tol_pct;
+    regressed = regressed || bad;
+    t.row(phase, metric, va, vb, d, bad ? "REGRESSED" : "ok");
+  };
+  gate("(run)", "wall_s", a.wall_s, b.wall_s, /*higher_is_better=*/false);
+  if (a.total.cps_samples > 0 && b.total.cps_samples > 0) {
+    gate("(run)", "mean_cps", a.total.mean_cps(), b.total.mean_cps(),
+         /*higher_is_better=*/true);
+  }
+  for (const auto& [phase, pa] : a.phases) {
+    const auto it = b.phases.find(phase);
+    if (it == b.phases.end()) {
+      t.row(phase, "ticks", static_cast<double>(pa.ticks), 0.0, -100.0,
+            "info (B missing)");
+      continue;
+    }
+    const PhaseAgg& pb = it->second;
+    if (pa.cps_samples > 0 && pb.cps_samples > 0) {
+      gate(phase, "mean_cps", pa.mean_cps(), pb.mean_cps(),
+           /*higher_is_better=*/true);
+    }
+    t.row(phase, "max_ledger_b", static_cast<double>(pa.max_ledger),
+          static_cast<double>(pb.max_ledger),
+          pct_delta(static_cast<double>(pa.max_ledger),
+                    static_cast<double>(pb.max_ledger)),
+          "info");
+  }
+  for (const auto& [phase, pb] : b.phases) {
+    if (a.phases.find(phase) == a.phases.end()) {
+      t.row(phase, "ticks", 0.0, static_cast<double>(pb.ticks), 100.0,
+            "info (A missing)");
+    }
+  }
+  t.row("(run)", "max_rss_kb", static_cast<double>(a.total.max_rss_kb),
+        static_cast<double>(b.total.max_rss_kb),
+        pct_delta(static_cast<double>(a.total.max_rss_kb),
+                  static_cast<double>(b.total.max_rss_kb)),
+        "info");
+  t.row("(run)", "watch_alerts", static_cast<double>(a.alerts),
+        static_cast<double>(b.alerts),
+        pct_delta(static_cast<double>(a.alerts),
+                  static_cast<double>(b.alerts)),
+        "info");
+  t.print(out, "B vs A, tolerance " + std::to_string(tol_pct) + "%");
+  out << (regressed ? "REGRESSED past tolerance\n" : "within tolerance\n");
+  return regressed ? 1 : 0;
 }
 
 }  // namespace tsb::report

@@ -103,6 +103,10 @@ class RunReport {
   std::uint64_t flight_events() const { return flight_rows_.size(); }
   std::string flight_dump_reason() const { return flight_reason_; }
   std::uint64_t profile_labels() const { return prof_rows_.size(); }
+  /// telemetry.tick / watch.alert records seen (a .tsl fed to `tsb report`
+  /// alongside the other artifacts).
+  std::uint64_t telemetry_ticks() const { return telemetry_ticks_; }
+  std::uint64_t watch_alerts() const { return watch_alerts_; }
 
   // --- aggregates (public: the benches read them directly) ---------------
   struct SpanAgg {
@@ -129,6 +133,7 @@ class RunReport {
   void ingest_audit(const JsonValue& v, const std::string& type);
   void ingest_chaos(const JsonValue& v, const std::string& type);
   void ingest_introspection(const JsonValue& v, const std::string& type);
+  void ingest_telemetry(const JsonValue& v, const std::string& type);
   void count_regs(const std::vector<int>& regs);
 
   std::uint64_t lines_ = 0;
@@ -240,6 +245,11 @@ class RunReport {
   std::int64_t flight_threads_ = 0;
   std::int64_t flight_total_events_ = 0;
 
+  // Telemetry (.tsl records mixed into a report's inputs).
+  std::uint64_t telemetry_ticks_ = 0;
+  std::uint64_t watch_alerts_ = 0;
+  std::map<std::string, std::uint64_t> watch_alert_counts_;
+
   // Certificate (last one wins).
   bool have_cert_ = false;
   bool cert_verified_ = false;
@@ -260,5 +270,75 @@ class RunReport {
 /// narrative, 2 a file could not be read.
 int analyze_files(const std::vector<std::string>& files, int top_k,
                   const std::string& baseline_file, std::ostream& out);
+
+// --- telemetry timelines (--telemetry .tsl files) --------------------------
+
+/// One "telemetry.tick" record. Counter-shaped fields are cumulative (the
+/// sampler never diffs); negative means the emitting engine did not supply
+/// the field on that tick.
+struct TimelineTick {
+  std::int64_t tick = 0;
+  double t_s = 0.0;
+  std::string phase;
+  std::int64_t level = -1;
+  std::int64_t frontier = -1;
+  std::int64_t visited = -1;
+  std::int64_t cap = -1;
+  double cps = -1.0;  ///< interval rate, valid only within one phase
+  std::int64_t steals = -1;
+  std::int64_t idle_spins = -1;
+  std::int64_t peak_rss_kb = 0;
+  std::int64_t ledger_total = 0;
+  std::map<std::string, std::int64_t> ledger;    ///< account -> bytes
+  std::map<std::string, std::int64_t> counters;  ///< registry counters
+};
+
+/// A "watch.alert" (clear == false) or "watch.clear" (clear == true) record.
+struct TimelineAlert {
+  std::string rule;
+  std::int64_t tick = 0;
+  double t_s = 0.0;
+  std::string phase;
+  std::string detail;
+  bool clear = false;
+};
+
+/// Parsed .tsl file. A crash-truncated final line is tolerated (counted as
+/// malformed, never fatal): the sampler flushes per record, so the worst
+/// case a kill -9 leaves behind is one torn tail line.
+class Timeline {
+ public:
+  void ingest_line(const std::string& line);
+  /// Read every line of `path`; false (with *err set) only when the file
+  /// cannot be opened — content problems just bump malformed().
+  bool load(const std::string& path, std::string* err);
+
+  const std::vector<TimelineTick>& ticks() const { return ticks_; }
+  const std::vector<TimelineAlert>& alerts() const { return alerts_; }
+  /// Rules with an alert and no later clear — still latched at end of file.
+  std::vector<std::string> active_alerts() const;
+  /// True iff tick ids strictly increase (the sampler's invariant).
+  bool monotonic() const;
+  std::uint64_t lines() const { return lines_; }
+  std::uint64_t malformed() const { return malformed_; }
+
+ private:
+  std::vector<TimelineTick> ticks_;
+  std::vector<TimelineAlert> alerts_;
+  std::uint64_t lines_ = 0;
+  std::uint64_t malformed_ = 0;
+};
+
+/// Fixed-width block-character trend of `xs` (min..max scaled to 8 levels),
+/// downsampled by averaging when xs.size() > width. Empty input -> spaces.
+std::string sparkline(const std::vector<double>& xs, std::size_t width);
+
+/// `tsb report --compare A.tsl B.tsl`: per-phase, per-metric delta table of
+/// B against baseline A. Wall time and throughput are gated at tol_pct
+/// (B regressing past it fails); memory and rss deltas are informational.
+/// Returns 0 within tolerance, 1 regression past tolerance, 2 a file could
+/// not be read or holds no ticks.
+int compare_timelines(const std::string& path_a, const std::string& path_b,
+                      double tol_pct, std::ostream& out);
 
 }  // namespace tsb::report

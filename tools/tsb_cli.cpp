@@ -7,7 +7,9 @@
 //   tsb perturb [n]                JTT perturbation adversary on a counter
 //   tsb chaos                      seeded fault-injection campaign (rt layer)
 //   tsb report FILE...             analyze trace/stats/audit JSONL artifacts
+//   tsb report --compare A B       diff two --telemetry timelines (.tsl)
 //   tsb top <status-file>          live view of a running tsb's status file
+//   tsb monitor <telemetry-file>   trend view of a --telemetry timeline
 //
 // Observability flags (any position, any subcommand):
 //   --trace=FILE     record a trace; .jsonl gets JSONL, else Chrome
@@ -22,6 +24,17 @@
 //   --status-file=FILE  atomically rewritten JSON snapshot of the run
 //                       (level, frontier, ledger, configs/sec, ETAs);
 //                       watch it live with `tsb top FILE`
+//   --telemetry=FILE measured time-series: one self-contained JSONL record
+//                    per heartbeat tick (counters, ledger, rates, peak RSS,
+//                    monotonic tick ids; flushed per record, so a killed
+//                    run keeps everything up to the last interval). A
+//                    rule-driven watchdog rides the same ticks and emits
+//                    watch.alert records, stderr warnings, and flight
+//                    events on throughput collapse, spill thrash, steal
+//                    starvation, and memory-budget runaway. Watch live
+//                    with `tsb monitor FILE`; diff two runs with
+//                    `tsb report --compare A.tsl B.tsl`.
+//   --tolerance=PCT  report --compare: gate width in percent (default 25)
 //   --flight=FILE    enable the in-memory flight recorder; rings dump to
 //                    FILE on fatal signal, budget exhaustion, SIGUSR1, and
 //                    exit. Feed the dump to `tsb report` for a narrative.
@@ -112,6 +125,13 @@ constexpr int kExitUsage = 2;
 constexpr int kExitTimeout = 3;
 constexpr int kExitBudget = 4;
 
+// Subcommands that execute a run (vs read artifacts someone else wrote).
+// --telemetry only makes sense for the former: a viewer or analyzer must
+// never truncate the file it is about to read.
+bool cmd_is_run(const std::string& cmd) {
+  return cmd != "report" && cmd != "top" && cmd != "monitor";
+}
+
 int usage() {
   std::cerr
       << "usage:\n"
@@ -123,13 +143,16 @@ int usage() {
          "  tsb perturb [n=5]                JTT adversary on the counter\n"
          "  tsb chaos                        seeded rt fault campaign\n"
          "  tsb report FILE...               analyze run artifacts (JSONL)\n"
+         "  tsb report --compare A.tsl B.tsl diff two telemetry timelines\n"
+         "      [--tolerance=PCT]            (exit 1 past tolerance)\n"
          "  tsb top <status-file> [--once]   live view of a --status-file\n"
+         "  tsb monitor <file.tsl> [--once]  trend view of a --telemetry file\n"
          "flags: --trace=FILE --stats=FILE --audit=FILE --metrics "
          "--progress\n"
          "       --valency-cap=N --threads=N (0 = all cores) --top=K "
          "--baseline=FILE\n"
          "introspection: --progress-interval-ms=MS --status-file=FILE\n"
-         "       --flight=FILE --profile --profile-hz=HZ\n"
+         "       --telemetry=FILE --flight=FILE --profile --profile-hz=HZ\n"
          "chaos: --runs=N --seed=S --n=P --targets=LIST|all --mix=LIST|all\n"
          "       --run-timeout-ms=MS --out=FILE\n"
          "adversary budgets: --mem-budget=BYTES[k|m|g] --time-budget-ms=MS\n"
@@ -389,25 +412,123 @@ bool top_frame(const std::string& path, std::ostream& out) {
   return true;
 }
 
-int cmd_top(const std::string& path, bool once) {
-  // Live mode repaints with an ANSI home+clear until interrupted; --once
-  // renders a single frame (CI, scripts) and fails loudly when the file
-  // is absent.
+// Shared viewer driver for `tsb top` and `tsb monitor`. Both read files a
+// live producer owns, so a missing file, an empty file, or a snapshot
+// caught mid-rename is a normal startup state, never a parse-error exit:
+// --once retries briefly before failing loudly (CI probes fire the moment
+// the producer starts), and live mode just keeps waiting.
+int run_viewer(const char* who, const std::string& path, bool once,
+               bool (*frame_fn)(const std::string&, std::ostream&)) {
   if (once) {
-    if (!top_frame(path, std::cout)) {
-      std::cerr << "tsb top: cannot read status file " << path << "\n";
-      return kExitViolation;
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      std::ostringstream frame;
+      if (frame_fn(path, frame)) {
+        std::cout << frame.str();
+        return kExitOk;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
-    return kExitOk;
+    std::cerr << who << ": no readable sample in " << path << "\n";
+    return kExitViolation;
   }
   while (true) {
     std::ostringstream frame;
-    const bool ok = top_frame(path, frame);
-    std::cout << "\x1b[H\x1b[2J" << (ok ? frame.str()
-                                        : "waiting for " + path + " ...\n")
+    const bool ok = frame_fn(path, frame);
+    std::cout << "\x1b[H\x1b[2J"
+              << (ok ? frame.str()
+                     : "waiting for first sample in " + path + " ...\n")
               << std::flush;
     std::this_thread::sleep_for(std::chrono::milliseconds(500));
   }
+}
+
+// One frame of `tsb monitor`: re-read the timeline and render sparkline
+// trend columns over the trailing ticks plus any still-latched alerts.
+bool monitor_frame(const std::string& path, std::ostream& out) {
+  report::Timeline tl;
+  std::string err;
+  if (!tl.load(path, &err)) return false;
+  const auto& ticks = tl.ticks();
+  if (ticks.empty()) return false;
+  const report::TimelineTick& last = ticks.back();
+
+  constexpr std::size_t kTrendTicks = 96;  // window the sparklines cover
+  constexpr std::size_t kWidth = 32;
+  const std::size_t lo =
+      ticks.size() > kTrendTicks ? ticks.size() - kTrendTicks : 0;
+  auto series = [&](auto get) {
+    std::vector<double> xs;
+    for (std::size_t i = lo; i < ticks.size(); ++i) {
+      const double v = get(ticks[i]);
+      if (v >= 0) xs.push_back(v);
+    }
+    return xs;
+  };
+  auto trend = [&](const char* name, const std::vector<double>& xs,
+                   const std::string& current) {
+    if (xs.empty()) return;
+    out << "  " << name << " " << report::sparkline(xs, kWidth) << "  "
+        << current << "\n";
+  };
+
+  out << "tsb monitor — " << path << " (" << ticks.size() << " ticks"
+      << (tl.monotonic() ? "" : ", NON-MONOTONIC TICK IDS")
+      << (tl.malformed() > 0
+              ? ", " + std::to_string(tl.malformed()) + " torn line(s)"
+              : "")
+      << ")\n";
+  out << "  phase      " << last.phase << ", t=" << last.t_s << " s, tick "
+      << last.tick << "\n";
+  if (last.visited >= 0) {
+    out << "  visited    " << last.visited;
+    if (last.cap >= 0) out << " / cap " << last.cap;
+    out << "\n";
+  }
+  trend("cps       ",
+        series([](const report::TimelineTick& t) { return t.cps; }),
+        last.cps >= 0
+            ? std::to_string(static_cast<std::int64_t>(last.cps)) +
+                  " configs/s"
+            : "-");
+  trend("frontier  ",
+        series([](const report::TimelineTick& t) {
+          return static_cast<double>(t.frontier);
+        }),
+        last.frontier >= 0 ? std::to_string(last.frontier) : "-");
+  trend("tracked   ",
+        series([](const report::TimelineTick& t) {
+          return static_cast<double>(t.ledger_total);
+        }),
+        obs::format_bytes(static_cast<std::size_t>(last.ledger_total)));
+  trend("rss       ",
+        series([](const report::TimelineTick& t) {
+          return static_cast<double>(t.peak_rss_kb);
+        }),
+        std::to_string(last.peak_rss_kb) + " KiB");
+  trend("steals    ",
+        series([](const report::TimelineTick& t) {
+          return static_cast<double>(t.steals);
+        }),
+        last.steals >= 0 ? std::to_string(last.steals) : "-");
+
+  const std::vector<std::string> active = tl.active_alerts();
+  if (!active.empty()) {
+    out << "  ALERTS    ";
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      out << (i > 0 ? ", " : "") << active[i];
+    }
+    out << "\n";
+    // The most recent detail line per still-active rule.
+    for (const std::string& rule : active) {
+      for (auto it = tl.alerts().rbegin(); it != tl.alerts().rend(); ++it) {
+        if (it->rule == rule && !it->clear) {
+          out << "    " << rule << ": " << it->detail << "\n";
+          break;
+        }
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -431,6 +552,17 @@ int main(int argc, char** argv) {
     if (obs_flags.time_budget_ms > 0) {
       obs::set_status_deadline_ms(obs_flags.time_budget_ms);
     }
+  }
+  const bool telemetry_run = !obs_flags.telemetry_file.empty() &&
+                             cmd_is_run(args.empty() ? "" : args[0]);
+  if (telemetry_run) {
+    if (!obs::telemetry::open(obs_flags.telemetry_file)) {
+      std::cerr << "could not open telemetry file "
+                << obs_flags.telemetry_file << "\n";
+      return kExitUsage;
+    }
+    // The watchdog's runaway rule projects time-to-exit-4 against this.
+    obs::telemetry::set_mem_budget(obs_flags.mem_budget);
   }
   if (!obs_flags.flight_file.empty()) {
     obs::flight::enable();
@@ -479,6 +611,14 @@ int main(int argc, char** argv) {
     rc = cmd_perturb(arg(1, 5));
   } else if (cmd == "chaos") {
     rc = cmd_chaos(obs_flags);
+  } else if (cmd == "report" && obs_flags.compare) {
+    std::vector<std::string> files(args.begin() + 1, args.end());
+    if (files.size() != 2) {
+      std::cerr << "tsb report --compare needs exactly two timeline files\n";
+      return usage();
+    }
+    rc = report::compare_timelines(files[0], files[1], obs_flags.tolerance,
+                                   std::cout);
   } else if (cmd == "report") {
     // --flight=FILE names an extra input here (symmetric with the flag
     // that produced the dump on the recording side).
@@ -491,7 +631,9 @@ int main(int argc, char** argv) {
     rc = report::analyze_files(files, obs_flags.top, obs_flags.baseline_file,
                                std::cout);
   } else if (cmd == "top" && args.size() >= 2) {
-    return cmd_top(args[1], obs_flags.once);
+    return run_viewer("tsb top", args[1], obs_flags.once, top_frame);
+  } else if (cmd == "monitor" && args.size() >= 2) {
+    return run_viewer("tsb monitor", args[1], obs_flags.once, monitor_frame);
   } else {
     return usage();
   }
@@ -511,12 +653,20 @@ int main(int argc, char** argv) {
   if (obs::stats_enabled() && obs::MemLedger::global().total() > 0) {
     obs::MemLedger::global().emit_record();
   }
-  if (obs::status_enabled()) {
+  if (obs::status_enabled() || obs::telemetry::enabled()) {
     // Final snapshot: short runs can finish inside the first heartbeat
-    // interval, and watchers deserve a terminal state either way.
+    // interval, and watchers deserve a terminal state either way. For the
+    // timeline this is also the record whose ledger must match the exit
+    // report — nothing allocates after it.
     obs::StatusSnapshot last;
     last.phase = rc == kExitBudget ? "budget-exhausted" : "done";
-    obs::publish_status(last);
+    if (obs::status_enabled()) obs::publish_status(last);
+    if (obs::telemetry::enabled()) {
+      obs::telemetry::tick(last);
+      std::cerr << "telemetry: " << obs::telemetry::ticks() << " tick(s) -> "
+                << obs_flags.telemetry_file << "\n";
+      obs::telemetry::close();
+    }
   }
 
   if (!obs_flags.stats_file.empty()) {

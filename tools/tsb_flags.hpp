@@ -27,6 +27,7 @@ struct ObsFlags {
   // In-flight introspection (tsb adversary / tsb chaos / benches).
   std::uint64_t progress_interval_ms = 1'000;  ///< --progress-interval-ms=MS
   std::string status_file;    ///< --status-file=FILE (atomic JSON snapshot)
+  std::string telemetry_file; ///< --telemetry=FILE (append-only .tsl JSONL)
   std::string flight_file;    ///< --flight=FILE (ring dump path / report input)
   bool profile = false;       ///< --profile (SIGPROF sampling profiler)
   int profile_hz = 200;       ///< --profile-hz=HZ (sampling rate)
@@ -60,6 +61,10 @@ struct ObsFlags {
   /// instead of the shared-subgraph engine (differential anchor / A-B
   /// timing). Applies to tsb adversary and the lemma benchmarks.
   bool no_reuse = false;
+
+  // Cross-run regression diffing (tsb report --compare A.tsl B.tsl).
+  bool compare = false;       ///< --compare (report: diff two timelines)
+  double tolerance = 25.0;    ///< --tolerance=PCT (compare gate, percent)
 };
 
 struct ParseResult {
@@ -164,6 +169,20 @@ inline ParseResult parse_args(const std::vector<std::string>& argv) {
       if (bad_value || out.flags.status_file.empty()) {
         return fail("--status-file needs a file");
       }
+    } else if (value_flag("--telemetry", &out.flags.telemetry_file)) {
+      if (bad_value || out.flags.telemetry_file.empty()) {
+        return fail("--telemetry needs a file");
+      }
+    } else if (a == "--compare") {
+      out.flags.compare = true;
+    } else if (value_flag("--tolerance", &sval)) {
+      char* end = nullptr;
+      const double v = std::strtod(sval.c_str(), &end);
+      if (bad_value || sval.empty() || end == sval.c_str() || *end != '\0' ||
+          v < 0.0) {
+        return fail("bad --tolerance (want a percentage >= 0)");
+      }
+      out.flags.tolerance = v;
     } else if (value_flag("--flight", &out.flags.flight_file)) {
       if (bad_value || out.flags.flight_file.empty()) {
         return fail("--flight needs a file");
