@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -32,6 +33,7 @@
 #include "report.hpp"
 #include "sim/explorer.hpp"
 #include "sim/parallel_explorer.hpp"
+#include "util/checkpoint.hpp"
 #include "util/table.hpp"
 
 using namespace tsb;
@@ -92,12 +94,17 @@ int run_overhead(int n, std::size_t cap, int threads,
     bool telem;  ///< --telemetry time-series sampler + watchdog (PR 8
                  ///< acceptance: within ~1% of the stats tier — it rides
                  ///< the same heartbeat, adding one JSONL append per tick)
+    bool ckpt = false;  ///< checkpoint service armed with a state-sized
+                        ///< payload (PR 9 acceptance: serialize+commit time
+                        ///< <= 5% of the tier's wall clock; the quiescent-
+                        ///< point poll itself is two relaxed loads)
   };
   const Tier tiers[] = {{"off", false, false, false, false},
                         {"stats", true, false, false, false},
                         {"stats+trace", true, true, false, false},
                         {"prof+flight", false, false, true, false},
-                        {"telemetry", false, false, false, true}};
+                        {"telemetry", false, false, false, true},
+                        {"checkpoint", false, false, false, false, true}};
 
   std::cout << "E13: instrumentation overhead, ballot n=" << n << " cap "
             << cap << ", " << threads << " threads\n\n";
@@ -115,6 +122,12 @@ int run_overhead(int n, std::size_t cap, int threads,
   double base_cps = 0.0;
   double stats_cps = 0.0;
   double telemetry_cps = 0.0;
+  double ckpt_secs = 0.0;
+  std::uint64_t ckpt_writes = 0;
+  std::uint64_t ckpt_bytes = 0;
+  std::uint64_t ckpt_ms = 0;
+  const std::string ckpt_dir = stats_path + ".ckpt.d";
+  std::vector<std::uint8_t> ckpt_payload;
   for (const Tier& tier : tiers) {
     if (tier.stats && !obs::stats_sink().open(stats_path)) {
       std::cerr << "could not open " << stats_path << "\n";
@@ -138,6 +151,26 @@ int run_overhead(int n, std::size_t cap, int threads,
       // pays for ticks instead of idling past the default 1 s cadence.
       obs::set_progress_interval(std::chrono::milliseconds(100));
     }
+    if (tier.ckpt) {
+      std::filesystem::create_directories(ckpt_dir);
+      // A payload sized like this enumeration's packed state, so the
+      // durable path (CRC, tmp file, fsync, atomic rename) pays a
+      // realistic price. Work-count cadence instead of wall clock keeps
+      // the number of writes stable across machine speeds.
+      ckpt_payload.resize(cap * 8);
+      for (std::size_t i = 0; i < ckpt_payload.size(); ++i) {
+        ckpt_payload[i] = static_cast<std::uint8_t>((i * 2654435761u) >> 24);
+      }
+      util::ckpt::CheckpointService& svc = util::ckpt::CheckpointService::global();
+      svc.configure(ckpt_dir, /*interval_ms=*/0,
+                    /*every_work=*/static_cast<std::uint64_t>(cap / 2),
+                    "bench_explore overhead tier");
+      svc.set_writer([&ckpt_payload](util::ckpt::SectionWriter& w) {
+        w.begin("bench");
+        w.put_bytes(ckpt_payload.data(), ckpt_payload.size());
+        w.end();
+      });
+    }
 
     RunResult r;
     if (threads == 1) {
@@ -151,6 +184,16 @@ int run_overhead(int n, std::size_t cap, int threads,
       r = timed_explore(explorer, proto, n);
     }
 
+    if (tier.ckpt) {
+      util::ckpt::CheckpointService& svc = util::ckpt::CheckpointService::global();
+      ckpt_secs = r.secs;
+      ckpt_writes = svc.checkpoints_written();
+      ckpt_bytes = svc.bytes_written();
+      ckpt_ms = svc.write_ms_total();
+      svc.reset();
+      std::error_code ec;
+      std::filesystem::remove_all(ckpt_dir, ec);
+    }
     if (tier.telem) {
       obs::telemetry::close();
       obs::set_progress_interval(saved_interval);
@@ -185,6 +228,33 @@ int run_overhead(int n, std::size_t cap, int threads,
     std::cerr << "FAIL: telemetry tier " << telemetry_cps
               << " configs/s is more than " << tol_pct
               << "% below the stats tier " << stats_cps << " configs/s\n";
+    return 1;
+  }
+
+  // PR 9 acceptance gate: checkpoint writes (serialize + CRC + fsync +
+  // rename) must stay a small fraction of the tier's wall clock at a sane
+  // cadence — campaigns pay this amortized cost, never a per-config one.
+  // The 5% contract is meaningful at campaign scale (full bench: ~1 s wall
+  // per tier); a smoke tier's whole wall is a few tens of ms, where a
+  // single fsync'd write is a large slice by construction, so the smoke
+  // default only catches runaways. BENCH_CKPT_TOL_PCT overrides both.
+  double ckpt_tol_pct = cap <= 100'000 ? 60.0 : 5.0;
+  if (const char* env = std::getenv("BENCH_CKPT_TOL_PCT")) {
+    ckpt_tol_pct = std::strtod(env, nullptr);
+  }
+  const double ckpt_share =
+      ckpt_secs > 0
+          ? 100.0 * static_cast<double>(ckpt_ms) / (ckpt_secs * 1000.0)
+          : 0.0;
+  std::cout << "\ncheckpoint overhead: " << ckpt_writes << " write(s), "
+            << ckpt_bytes << " B state, " << ckpt_ms
+            << " ms serialize+commit = " << ckpt_share
+            << "% of the tier's wall clock (gate <= " << ckpt_tol_pct
+            << "%)\n";
+  if (ckpt_share > ckpt_tol_pct) {
+    std::cerr << "FAIL: checkpoint writes consumed " << ckpt_share
+              << "% of the checkpoint tier's wall clock (tolerance "
+              << ckpt_tol_pct << "%)\n";
     return 1;
   }
 

@@ -43,11 +43,28 @@ class SpaceBoundAdversary {
     /// the explorer defaults (see ValencyOracle::Options).
     std::uint32_t chunk_configs = 0;
     std::size_t parallel_threshold = 0;
+    /// Crash-safe campaigns: non-empty = checkpoint the oracle's session
+    /// state (roots, memo, shared graph) into this directory at the
+    /// engines' quiescent points, every `checkpoint_interval_ms` of wall
+    /// clock or `checkpoint_every` expansions (0 disables each; with both
+    /// 0 a checkpoint is still written on a requested stop). `resume`
+    /// restores the directory's committed checkpoint before running and
+    /// re-drives the deterministic construction over the warm state —
+    /// identical verdict, visited set and certificate to an uninterrupted
+    /// run. Invalid/mismatched checkpoints throw util::CheckpointInvalid.
+    std::string checkpoint_dir;
+    std::uint64_t checkpoint_interval_ms = 0;
+    std::uint64_t checkpoint_every = 0;
+    bool resume = false;
   };
 
   struct Result {
     bool ok = false;
     bool budget_exhausted = false;  ///< stopped by a configured budget
+    /// Stopped gracefully at a quiescent point (SIGTERM/SIGINT or a test
+    /// hook) after writing a final checkpoint — the campaign continues
+    /// later via resume. Distinct from both ok and budget_exhausted.
+    bool stopped = false;
     std::string error;
     CoveringCertificate certificate;  ///< n-1 covered registers
     CertificateCheck check;           ///< independent verification

@@ -1,10 +1,12 @@
 #include "bound/valency.hpp"
 
 #include <cassert>
+#include <cstring>
 
 #include "obs/flight.hpp"
 #include "obs/jsonl_sink.hpp"
 #include "obs/memledger.hpp"
+#include "util/checkpoint.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
 
@@ -93,6 +95,21 @@ void ValencyOracle::check_deadline() const {
   }
 }
 
+sim::ReachGraph& ValencyOracle::ensure_graph() {
+  if (!graph_) {
+    graph_ = std::make_unique<sim::ReachGraph>(
+        proto_, sim::ReachGraph::Options{
+                    .max_configs = opts_.max_configs,
+                    .threads = opts_.threads,
+                    .max_arena_bytes = opts_.max_arena_bytes,
+                    .spill_dir = opts_.spill_dir,
+                    .spill_threshold_bytes = opts_.spill_threshold_bytes,
+                    .spill_seg_configs = opts_.spill_seg_configs});
+    graph_->set_deadline(deadline_);
+  }
+  return *graph_;
+}
+
 const ValencyOracle::PairAnswer& ValencyOracle::lookup(const Config& c,
                                                        ProcSet p) {
   roots_.pack(c, roots_.scratch());
@@ -100,17 +117,7 @@ const ValencyOracle::PairAnswer& ValencyOracle::lookup(const Config& c,
   last_perm_ = sim::ProcPerm::identity();
   PairKey key{last_root_id_, p.bits()};
   if (opts_.reuse) {
-    if (!graph_) {
-      graph_ = std::make_unique<sim::ReachGraph>(
-          proto_, sim::ReachGraph::Options{
-                      .max_configs = opts_.max_configs,
-                      .threads = opts_.threads,
-                      .max_arena_bytes = opts_.max_arena_bytes,
-                      .spill_dir = opts_.spill_dir,
-                      .spill_threshold_bytes = opts_.spill_threshold_bytes,
-                      .spill_seg_configs = opts_.spill_seg_configs});
-      graph_->set_deadline(deadline_);
-    }
+    ensure_graph();
     // Memoize on the canonical projected (config, ProcSet-orbit, ambient)
     // triple, so any two queries the engine cannot distinguish — same
     // P-states, registers, frozen-process decide bits — share one entry;
@@ -291,6 +298,130 @@ ValencyOracle::PairAnswer ValencyOracle::compute_pair(const Config& c,
     finish(*seq_, seq_->explore(c, p, visit));
   }
   return answer;
+}
+
+// --- checkpoint/resume ----------------------------------------------------
+
+std::string ValencyOracle::state_fingerprint() const {
+  // Everything that changes verdicts or the serialized layout; formatted
+  // as stable text so the manifest diff on a mismatch is human-readable.
+  return "proto=" + proto_.name() +
+         " n=" + std::to_string(proto_.num_processes()) +
+         " m=" + std::to_string(proto_.num_registers()) +
+         " cap=" + std::to_string(opts_.max_configs) +
+         " reuse=" + (opts_.reuse ? std::string("1") : std::string("0")) +
+         " spill_thresh=" + std::to_string(opts_.spill_threshold_bytes) +
+         " spill_seg=" + std::to_string(opts_.spill_seg_configs) +
+         " ckpt_fmt=" + std::to_string(util::ckpt::kFormatVersion);
+}
+
+void ValencyOracle::save_state(util::ckpt::SectionWriter& w) const {
+  w.begin("oracle");
+  w.put_u8(opts_.reuse ? 1 : 0);
+  w.put_u8(graph_ ? 1 : 0);
+  w.end();
+
+  w.begin("roots");
+  const std::size_t W = roots_.words_per_config();
+  const std::size_t count = roots_.size();
+  w.put_u64(count);
+  for (std::size_t id = 0; id < count; ++id) {
+    w.put_bytes(roots_.words(static_cast<sim::ConfigId>(id)),
+                W * sizeof(sim::Value));
+  }
+  w.end();
+
+  w.begin("memo");
+  w.put_u64(memo_.size());
+  for (const auto& [key, a] : memo_) {
+    w.put_u32(key.root);
+    w.put_u64(key.pbits);
+    for (int v = 0; v < 2; ++v) {
+      w.put_u8(a.can[v] ? 1 : 0);
+      w.put_u32(a.witness_id[v]);
+      const auto& steps = a.witness[v].steps();
+      w.put_u32(static_cast<std::uint32_t>(steps.size()));
+      for (const sim::ProcId q : steps) {
+        w.put_u8(static_cast<std::uint8_t>(q));
+      }
+    }
+  }
+  w.end();
+
+  if (graph_) graph_->save(w);
+}
+
+void ValencyOracle::restore_state(util::ckpt::SectionReader& r) {
+  TSB_REQUIRE(roots_.size() == 0 && memo_.empty() && !graph_,
+              "ValencyOracle::restore_state requires a fresh oracle");
+  r.expect("oracle");
+  const bool saved_reuse = r.get_u8() != 0;
+  const bool has_graph = r.get_u8() != 0;
+  r.done();
+  if (saved_reuse != opts_.reuse) {
+    throw util::CheckpointInvalid(
+        "checkpoint was written with --reuse " +
+        std::string(saved_reuse ? "on" : "off") +
+        " but this run has it " + (opts_.reuse ? "on" : "off") +
+        "; memo keys are not comparable across modes");
+  }
+
+  r.expect("roots");
+  const std::size_t W = roots_.words_per_config();
+  const std::uint64_t root_count = r.get_u64();
+  for (std::uint64_t i = 0; i < root_count; ++i) {
+    std::memcpy(roots_.scratch(), r.get_bytes(W * sizeof(sim::Value)),
+                W * sizeof(sim::Value));
+    const auto res = roots_.intern_scratch();
+    if (!res.inserted || static_cast<std::uint64_t>(res.id) != i) {
+      throw util::CheckpointInvalid(
+          "checkpoint roots section re-interned to a different id (root " +
+          std::to_string(i) + " -> " + std::to_string(res.id) + ")");
+    }
+  }
+  r.done();
+
+  r.expect("memo");
+  const std::uint64_t memo_count = r.get_u64();
+  for (std::uint64_t i = 0; i < memo_count; ++i) {
+    PairKey key{};
+    key.root = r.get_u32();
+    key.pbits = r.get_u64();
+    PairAnswer a;
+    for (int v = 0; v < 2; ++v) {
+      a.can[v] = r.get_u8() != 0;
+      a.witness_id[v] = r.get_u32();
+      const std::uint32_t len = r.get_u32();
+      std::vector<sim::ProcId> steps;
+      steps.reserve(len);
+      for (std::uint32_t s = 0; s < len; ++s) {
+        steps.push_back(static_cast<sim::ProcId>(r.get_u8()));
+      }
+      a.witness[v] = Schedule(std::move(steps));
+      memo_witness_bytes_ += a.witness[v].size() * sizeof(sim::ProcId);
+    }
+    if (!memo_.emplace(key, std::move(a)).second) {
+      throw util::CheckpointInvalid(
+          "checkpoint memo section carries a duplicate pair key");
+    }
+  }
+  r.done();
+
+  if (has_graph) {
+    if (!opts_.reuse) {
+      throw util::CheckpointInvalid(
+          "checkpoint carries a reachability graph but reuse is off");
+    }
+    ensure_graph().restore(r);
+  }
+
+  const std::size_t memo_bytes =
+      memo_.bucket_count() * sizeof(void*) +
+      memo_.size() *
+          (sizeof(PairKey) + sizeof(PairAnswer) + 2 * sizeof(void*)) +
+      memo_witness_bytes_;
+  obs::MemLedger::global().set(obs::MemAccount::kValencyMemo,
+                               memo_bytes + roots_.memory_bytes());
 }
 
 }  // namespace tsb::bound

@@ -172,6 +172,29 @@ class ValencyOracle {
     return roots_.intern_scratch().id;
   }
 
+  // --- checkpoint/resume ---------------------------------------------------
+  // The oracle is the session's persistent state: the root arena (audit-
+  // stable ids), the pair memo with its witnesses, and (reuse = true) the
+  // shared reachability graph. save_state writes them as the "oracle",
+  // "roots", "memo" and (iff the graph exists) "graph" sections of a
+  // checkpoint in progress; restore_state rebuilds them into a fresh
+  // oracle before any query runs. Query/hit/exploration counters are
+  // deliberately NOT restored — resume re-runs the deterministic adversary
+  // from its start ("warm replay"), so the counters rebuild themselves
+  // (with more cache hits than the uninterrupted run — verdicts, visited
+  // sets and certificates are what resume keeps identical, not stats).
+
+  /// Append this oracle's sections to a checkpoint state file.
+  void save_state(util::ckpt::SectionWriter& w) const;
+  /// Rebuild from save_state's sections. Must run on a freshly constructed
+  /// oracle; throws util::CheckpointInvalid on any shape/flag disagreement.
+  void restore_state(util::ckpt::SectionReader& r);
+  /// The oracle slice of the checkpoint flag fingerprint: protocol name and
+  /// shape plus every option that changes verdicts or the serialized state
+  /// layout. Thread count is deliberately excluded — results are
+  /// thread-independent, so --threads may change across a resume.
+  std::string state_fingerprint() const;
+
  private:
   struct PairAnswer {
     bool can[2] = {false, false};
@@ -195,6 +218,9 @@ class ValencyOracle {
     std::size_t operator()(const PairKey& k) const;
   };
 
+  /// Lazily construct the reuse = true engine (also the restore path's
+  /// entry point, so a resumed graph exists before the first query).
+  sim::ReachGraph& ensure_graph();
   /// Memoized shared-exploration answer for (c, p).
   const PairAnswer& lookup(const Config& c, ProcSet p);
   PairAnswer compute_pair(const Config& c, ProcSet p);

@@ -27,6 +27,7 @@ const char* ev_name(Ev ev) {
     case Ev::kSteal: return "steal";
     case Ev::kSpill: return "spill";
     case Ev::kWatch: return "watch";
+    case Ev::kCkpt: return "ckpt";
   }
   return "?";
 }

@@ -20,6 +20,7 @@ enum class Ev : std::uint8_t {
   kSteal,         ///< work-stealing: a=thief worker, b=victim worker
   kSpill,         ///< arena spill: a=bytes released, b=total spilled bytes
   kWatch,         ///< telemetry watchdog fired: a=WatchRule, b=tick id
+  kCkpt,          ///< checkpoint committed: a=state-file bytes, b=write ms
 };
 
 const char* ev_name(Ev ev);

@@ -21,6 +21,7 @@ const char* mem_account_name(MemAccount a) {
     case MemAccount::kReachFacts: return "reach.facts";
     case MemAccount::kReachQuery: return "reach.query";
     case MemAccount::kValencyMemo: return "valency.memo";
+    case MemAccount::kCkptState: return "ckpt.state";
     case MemAccount::kCount: break;
   }
   return "?";

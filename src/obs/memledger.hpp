@@ -24,6 +24,7 @@ enum class MemAccount : int {
   kReachFacts,       ///< shared reach graph: persisted fact map
   kReachQuery,       ///< shared reach graph: per-query entry/edge/mark state
   kValencyMemo,      ///< valency oracle: pair memo + root-id arena
+  kCkptState,        ///< last checkpoint state file's on-disk bytes
   kCount
 };
 

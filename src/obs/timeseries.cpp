@@ -27,6 +27,8 @@ std::FILE* g_file = nullptr;
 std::uint64_t g_tick = 0;
 std::chrono::steady_clock::time_point g_epoch{};
 std::uint64_t g_mem_budget = 0;
+std::int64_t (*g_ckpt_age_fn)() = nullptr;
+std::uint64_t g_ckpt_interval_ms = 0;
 
 // Previous tick, for the interval rate. Rates only make sense within one
 // phase: visited restarts when an engine hands off.
@@ -78,6 +80,17 @@ void close() {
 void set_mem_budget(std::uint64_t bytes) {
   std::lock_guard<std::mutex> lock(g_mu);
   g_mem_budget = bytes;
+}
+
+void set_tick_base(std::uint64_t base) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_tick = base;
+}
+
+void set_ckpt_probe(std::int64_t (*age_s)(), std::uint64_t interval_ms) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_ckpt_age_fn = age_s;
+  g_ckpt_interval_ms = interval_ms;
 }
 
 std::uint64_t ticks() {
@@ -135,6 +148,8 @@ void tick(const StatusSnapshot& s) {
   w.spill_bytes = ledger.get(MemAccount::kArenaSpill);
   w.ledger_total = ledger.total();
   w.mem_budget = g_mem_budget;
+  w.ckpt_age_s = g_ckpt_age_fn != nullptr ? g_ckpt_age_fn() : -1;
+  w.ckpt_interval_ms = g_ckpt_interval_ms;
 
   Watchdog& dog = Watchdog::global();
   for (const WatchAlert& a : dog.observe(w)) {

@@ -30,6 +30,19 @@ void close();
 /// forwards --mem-budget). 0 disables that rule.
 void set_mem_budget(std::uint64_t bytes);
 
+/// First tick id the next ticks will use. A resumed run passes the tick
+/// count recorded in the checkpoint manifest so tick ids stay monotonic
+/// across the interruption — `tsb report` can concatenate the original and
+/// resumed timelines and still assert a strictly increasing sequence.
+void set_tick_base(std::uint64_t base);
+
+/// Register the checkpoint-age probe the checkpoint-stall watchdog rule
+/// samples each tick: `age_s` returns seconds since the last successful
+/// checkpoint write (-1 = checkpointing disabled), `interval_ms` is the
+/// configured cadence (0 = no wall-clock cadence, rule off). Pass
+/// (nullptr, 0) to unregister.
+void set_ckpt_probe(std::int64_t (*age_s)(), std::uint64_t interval_ms);
+
 /// Append one self-contained {"type":"telemetry.tick",...} record — phase,
 /// level/frontier/visited/cap from the snapshot, interval configs/sec,
 /// every non-zero metrics-registry counter and gauge, the full memory

@@ -13,6 +13,7 @@ const char* watch_rule_name(WatchRule r) {
     case WatchRule::kSpillThrash: return "spill_thrash";
     case WatchRule::kStealStarvation: return "steal_starvation";
     case WatchRule::kLedgerRunaway: return "ledger_runaway";
+    case WatchRule::kCheckpointStall: return "checkpoint_stall";
     case WatchRule::kCount: break;
   }
   return "?";
@@ -119,6 +120,25 @@ bool Watchdog::runaway_now(std::string* detail) const {
   return true;
 }
 
+bool Watchdog::ckpt_stall_now(std::string* detail) const {
+  const WatchSample& cur = win_.back();
+  // Only armed when a wall-clock cadence is configured and the probe is
+  // live; an expansion-count-only cadence has no wall-clock expectation.
+  if (cur.ckpt_interval_ms == 0 || cur.ckpt_age_s < 0) return false;
+  const double age_s = static_cast<double>(cur.ckpt_age_s);
+  const double expect_s =
+      static_cast<double>(cur.ckpt_interval_ms) / 1000.0;
+  if (age_s < opts_.ckpt_stall_min_s ||
+      age_s < opts_.ckpt_stall_factor * expect_s) {
+    return false;
+  }
+  *detail = "last checkpoint " + std::to_string(cur.ckpt_age_s) +
+            " s ago vs configured interval " +
+            std::to_string(static_cast<std::int64_t>(expect_s)) +
+            " s (engine not reaching a quiescent point, or writes stuck)";
+  return true;
+}
+
 std::vector<WatchAlert> Watchdog::observe(const WatchSample& s) {
   std::lock_guard<std::mutex> lock(mu_);
   // The window is per phase: median-rate and flat-growth comparisons are
@@ -139,6 +159,7 @@ std::vector<WatchAlert> Watchdog::observe(const WatchSample& s) {
       {WatchRule::kSpillThrash, &Watchdog::thrash_now},
       {WatchRule::kStealStarvation, &Watchdog::starvation_now},
       {WatchRule::kLedgerRunaway, &Watchdog::runaway_now},
+      {WatchRule::kCheckpointStall, &Watchdog::ckpt_stall_now},
   };
 
   std::vector<WatchAlert> fired;

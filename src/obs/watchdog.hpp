@@ -15,6 +15,7 @@ enum class WatchRule : int {
   kSpillThrash,             ///< mapped-byte churn with flat visited growth
   kStealStarvation,         ///< idle spins growing while work is pending
   kLedgerRunaway,           ///< tracked bytes racing toward the mem budget
+  kCheckpointStall,         ///< checkpoint age far past the configured cadence
   kCount
 };
 
@@ -40,6 +41,8 @@ struct WatchSample {
   std::uint64_t spill_bytes = 0;  ///< arena.spill ledger account
   std::uint64_t ledger_total = 0; ///< tracked-heap total
   std::uint64_t mem_budget = 0;   ///< --mem-budget; 0 = none configured
+  std::int64_t ckpt_age_s = -1;   ///< s since last checkpoint; -1 = off
+  std::uint64_t ckpt_interval_ms = 0;  ///< cadence; 0 disables the rule
 };
 
 struct WatchAlert {
@@ -73,6 +76,8 @@ class Watchdog {
     int starvation_run = 4;     ///< consecutive idle-growing intervals
     std::int64_t starvation_min_spins = 1024;  ///< spin growth floor
     double runaway_eta_s = 60.0;    ///< alert when exit-4 ETA dips below
+    double ckpt_stall_factor = 3.0;  ///< fire past this multiple of cadence
+    double ckpt_stall_min_s = 5.0;   ///< but never under this absolute age
   };
 
   Watchdog() : Watchdog(Options{}) {}
@@ -102,6 +107,7 @@ class Watchdog {
   bool thrash_now(std::string* detail) const;
   bool starvation_now(std::string* detail) const;
   bool runaway_now(std::string* detail) const;
+  bool ckpt_stall_now(std::string* detail) const;
 
   Options opts_;
   mutable std::mutex mu_;

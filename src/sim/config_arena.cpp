@@ -6,7 +6,11 @@
 
 #include <cassert>
 #include <cerrno>
+#include <cstring>
 
+#include "obs/flight.hpp"
+#include "obs/memledger.hpp"
+#include "util/iofault.hpp"
 #include "util/require.hpp"
 
 namespace tsb::sim {
@@ -361,22 +365,21 @@ bool ConfigArena::spill_segment(Seg& s) {
   block.insert(block.end(), payload.begin(), payload.end());
 
   // Append at a page-aligned offset so the block can be mapped directly.
+  // The write goes through the iofault wrapper (so the CI fault matrix can
+  // inject ENOSPC/short-write/EINTR here); pwrite_full owns the EINTR and
+  // short-write retry loop.
   const std::uint64_t off = spill_file_end_;
-  std::size_t written = 0;
-  while (written < block.size()) {
-    const ssize_t w = ::pwrite(spill_fd_, block.data() + written,
-                               block.size() - written,
-                               static_cast<off_t>(off + written));
-    if (w <= 0) {
-      if (w < 0 && errno == EINTR) continue;
-      ++spill_failures_;
-      return false;
-    }
-    written += static_cast<std::size_t>(w);
+  if (!util::iofault::pwrite_full(spill_fd_, block.data(), block.size(),
+                                  static_cast<off_t>(off))) {
+    ++spill_failures_;
+    return false;
   }
   const std::size_t map_len = round_up(block.size(), page_size());
-  void* map = ::mmap(nullptr, map_len, PROT_READ, MAP_SHARED, spill_fd_,
-                     static_cast<off_t>(off));
+  void* map = MAP_FAILED;
+  do {
+    map = ::mmap(nullptr, map_len, PROT_READ, MAP_SHARED, spill_fd_,
+                 static_cast<off_t>(off));
+  } while (map == MAP_FAILED && errno == EINTR);
   if (map == MAP_FAILED) {
     ++spill_failures_;
     return false;
@@ -414,11 +417,25 @@ std::size_t ConfigArena::maybe_spill(ConfigId pin_floor) {
     Seg& s = *segs_[i];
     if (s.data == nullptr) continue;
     if (!spill_segment(s)) {
-      // Disk trouble: stop trying this run; exploration continues in RAM
-      // and the budget machinery reports the pressure honestly.
+      // Disk trouble (ENOSPC, a dying device). Continuing in RAM would
+      // silently abandon the operator's memory plan mid-campaign, so this
+      // is a budget failure, not a shrug: flight event, ledger
+      // attribution, clean exit 4 upstream.
+      const int err = errno;
       ::close(spill_fd_);
       spill_fd_ = -1;
-      break;
+      const std::uint64_t resident =
+          resident_words_bytes_.load(std::memory_order_relaxed);
+      obs::flight::record(obs::flight::Ev::kBudgetTrip,
+                          static_cast<std::int64_t>(resident),
+                          -static_cast<std::int64_t>(err));
+      throw util::BudgetExhausted(
+          "arena spill write failed (" + std::string(std::strerror(err)) +
+          ") with " + obs::format_bytes(resident) +
+          " resident over a " + obs::format_bytes(spill_threshold_) +
+          " spill threshold; exploration cannot keep its memory plan; "
+          "ledger: " +
+          obs::MemLedger::global().attribution(3));
     }
     first_resident_seg_ = i + 1;
     released += seg_bytes;

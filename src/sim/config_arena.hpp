@@ -213,6 +213,11 @@ class ConfigArena {
   /// pin_floor are never spilled (callers pin the unexpanded frontier so
   /// the hot read path stays pointer-direct). Caller guarantees no
   /// concurrent arena access (quiescent point). Returns bytes released.
+  /// A write/mmap failure (ENOSPC, short write that retries don't clear)
+  /// throws util::BudgetExhausted after recording a flight event: the
+  /// operator's memory plan can no longer be kept, and pretending
+  /// otherwise by quietly staying resident would trade a clean exit 4 for
+  /// an OOM-kill hours later.
   std::size_t maybe_spill(ConfigId pin_floor);
 
   std::size_t spilled_bytes() const {

@@ -13,6 +13,7 @@
 #include "obs/progress.hpp"
 #include "sim/config_arena.hpp"
 #include "sim/engine.hpp"
+#include "util/checkpoint.hpp"
 
 namespace tsb::sim {
 
@@ -254,6 +255,10 @@ class Explorer {
         break;
       }
       if ((expanded & 0xFFF) == 0) {
+        // Quiescent point: per-pass BFS state is rebuilt by replay on
+        // resume, so the checkpoint service may persist the session state
+        // (and throw CheckpointStop on a requested stop) right here.
+        util::ckpt::CheckpointService::global().poll(4096);
         metrics.frontier.set(static_cast<std::int64_t>(arena_.size() - head));
         if (arena_.spill_needed(arena_.size())) {
           // Pin the unexpanded frontier: ids >= head stay resident so the

@@ -393,13 +393,51 @@ void ParallelExplorer::request_spill() {
   // Quiesced: every other active worker is parked between chunks, so no
   // arena reads or writes are in flight anywhere.
   arena_.set_size(committed());
-  const std::size_t released = arena_.maybe_spill(kNoConfig);
+  std::size_t released = 0;
+  try {
+    released = arena_.maybe_spill(kNoConfig);
+  } catch (...) {
+    // Spill failure is fatal (BudgetExhausted), but the parked workers
+    // must be released before the exception unwinds through the pool, or
+    // they wait on `requested` forever.
+    stop_.store(true, std::memory_order_release);
+    spill_.requested.store(false, std::memory_order_relaxed);
+    spill_.cv.notify_all();
+    throw;
+  }
   if (released != 0) {
     ++run_stats_.spill_pauses;
     obs::flight::record(obs::flight::Ev::kSpill,
                         static_cast<std::int64_t>(released),
                         static_cast<std::int64_t>(arena_.spilled_bytes()));
     update_ledger();
+  }
+  spill_.requested.store(false, std::memory_order_relaxed);
+  spill_.cv.notify_all();
+}
+
+void ParallelExplorer::request_checkpoint() {
+  std::unique_lock<std::mutex> lk(spill_.mu);
+  if (spill_.requested.load(std::memory_order_relaxed)) return;
+  spill_.requested.store(true, std::memory_order_relaxed);
+  spill_.cv.notify_all();
+  spill_.cv.wait(lk, [&] { return spill_.parked >= spill_.active - 1; });
+  // Quiesced exactly like a spill pause: every other worker is parked
+  // between chunks, the visitor is idle, and the query thread is blocked
+  // in pool_.run() — so the checkpoint serializer may walk any session
+  // state. Commit the arena size first so a serializer that reads this
+  // explorer sees only fully published configurations.
+  arena_.set_size(committed());
+  try {
+    util::ckpt::CheckpointService::global().poll(0);
+  } catch (...) {
+    // CheckpointStop (or a write failure) must release the parked workers
+    // before unwinding through the pool, or they wait on `requested`
+    // forever. stop_ makes them exit instead of resuming work.
+    stop_.store(true, std::memory_order_release);
+    spill_.requested.store(false, std::memory_order_relaxed);
+    spill_.cv.notify_all();
+    throw;
   }
   spill_.requested.store(false, std::memory_order_relaxed);
   spill_.cv.notify_all();
@@ -489,6 +527,15 @@ void ParallelExplorer::worker_main(int t, ProcSet p, VisitFn fn, void* vctx,
                   std::memory_order_relaxed))) &&
           !stopping()) {
         request_spill();
+      }
+      // Checkpoint-due (or stop-requested) between chunks: workers feed
+      // their chunk's expansions into the work-count cadence (warm-phase
+      // polls stop once the pool takes over), then rendezvous so the write
+      // happens with the whole explorer quiesced. Both calls are one or
+      // two relaxed loads when checkpointing is not configured.
+      util::ckpt::CheckpointService::global().add_work(item.end - item.begin);
+      if (!stopping() && util::ckpt::CheckpointService::global().due()) {
+        request_checkpoint();
       }
       if (t == 0 && (chunks & 0x3F) == 0) {
         metrics.frontier.set(pending_.load(std::memory_order_relaxed));
@@ -704,6 +751,9 @@ ParallelExplorer::Result ParallelExplorer::explore_impl(const Config& root,
       break;
     }
     if ((expanded & 0xFFF) == 0) {
+      // Warm phase runs on the calling thread with the pool idle — the
+      // same quiescent contract as the sequential explorer's poll.
+      util::ckpt::CheckpointService::global().poll(4096);
       metrics.frontier.set(static_cast<std::int64_t>(arena_.size() - head));
       if (arena_.spill_needed(arena_.size())) {
         const std::size_t released = arena_.maybe_spill(head);

@@ -301,6 +301,11 @@ class ParallelExplorer {
   /// Visit + enqueue the ids flush_shard produced.
   void publish_fresh(WorkerCtx& w, int self, VisitFn fn, void* vctx);
   void request_spill();
+  /// Stop-the-world rendezvous (same SpillSync protocol as request_spill)
+  /// so the checkpoint service can run its serializer — or unwind a
+  /// requested stop as CheckpointStop — while every other worker is parked
+  /// between chunks and no shared state is being mutated.
+  void request_checkpoint();
   void park_for_spill();
   bool stopping() const {
     return stop_.load(std::memory_order_relaxed);

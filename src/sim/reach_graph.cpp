@@ -8,6 +8,7 @@
 #include "obs/memledger.hpp"
 #include "obs/progress.hpp"
 #include "obs/span.hpp"
+#include "util/checkpoint.hpp"
 #include "util/require.hpp"
 
 namespace tsb::sim {
@@ -150,6 +151,98 @@ void ReachGraph::check_budget() {
         "ledger: " +
         obs::MemLedger::global().attribution(3));
   }
+}
+
+void ReachGraph::save(util::ckpt::SectionWriter& w) const {
+  w.begin("graph");
+  w.put_u32(static_cast<std::uint32_t>(n_));
+  w.put_u32(static_cast<std::uint32_t>(words_));
+  w.put_u8(sym_ ? 1 : 0);
+  w.put_u8(facts_on_ ? 1 : 0);
+  const std::size_t count = arena_.size();
+  w.put_u64(count);
+  // Logical node words in id order; arena_.words() decodes spilled
+  // segments transparently, so the checkpoint is independent of which
+  // segments happen to be on disk at write time.
+  for (std::size_t id = 0; id < count; ++id) {
+    w.put_bytes(arena_.words(static_cast<ConfigId>(id)),
+                words_ * sizeof(Value));
+  }
+  w.put_bytes(decide_flags_.data(), count);
+  w.put_bytes(succ_.data(),
+              count * static_cast<std::size_t>(n_) * sizeof(ConfigId));
+  if (sym_) {
+    w.put_bytes(succ_perm_.data(),
+                count * static_cast<std::size_t>(n_) * sizeof(std::uint64_t));
+  }
+  w.put_u64(facts_.size());
+  facts_.for_each([&](std::uint64_t key, std::uint32_t val) {
+    w.put_u64(key);
+    w.put_u32(val);
+  });
+  w.put_u64(edges_expanded_);
+  w.put_u64(edges_reused_);
+  w.put_u64(fact_answers_);
+  w.end();
+}
+
+void ReachGraph::restore(util::ckpt::SectionReader& r) {
+  TSB_REQUIRE(arena_.size() == 0,
+              "ReachGraph::restore requires a freshly constructed engine");
+  r.expect("graph");
+  if (r.get_u32() != static_cast<std::uint32_t>(n_) ||
+      r.get_u32() != static_cast<std::uint32_t>(words_) ||
+      r.get_u8() != (sym_ ? 1 : 0) || r.get_u8() != (facts_on_ ? 1 : 0)) {
+    throw util::CheckpointInvalid(
+        "checkpoint graph section disagrees with the protocol's shape "
+        "(process count, word count, or symmetry mode)");
+  }
+  const std::uint64_t count = r.get_u64();
+  // Re-intern in id order: the arena's dedup table (and any spill
+  // segmentation) rebuilds itself, and ids are stable because interning
+  // order defines them.
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint8_t* p = r.get_bytes(words_ * sizeof(Value));
+    std::memcpy(stage_.data(), p, words_ * sizeof(Value));
+    const auto [id, inserted] = arena_.intern_words(stage_.data());
+    if (!inserted || static_cast<std::uint64_t>(id) != i) {
+      throw util::CheckpointInvalid(
+          "checkpoint graph section re-interned to a different id (node " +
+          std::to_string(i) + " -> " + std::to_string(id) +
+          "): duplicate or reordered node words");
+    }
+  }
+  // Bulk-load flags/edges/facts without register_config: the stored
+  // values already carry its decide scan.
+  const std::size_t edge_count = count * static_cast<std::size_t>(n_);
+  decide_flags_.resize(count);
+  succ_.resize(edge_count);
+  if (sym_) succ_perm_.resize(edge_count);
+  if (count != 0) {
+    std::memcpy(decide_flags_.data(), r.get_bytes(count), count);
+    std::memcpy(succ_.data(), r.get_bytes(edge_count * sizeof(ConfigId)),
+                edge_count * sizeof(ConfigId));
+    if (sym_) {
+      std::memcpy(succ_perm_.data(),
+                  r.get_bytes(edge_count * sizeof(std::uint64_t)),
+                  edge_count * sizeof(std::uint64_t));
+    }
+  }
+  const std::uint64_t fact_count = r.get_u64();
+  for (std::uint64_t i = 0; i < fact_count; ++i) {
+    const std::uint64_t key = r.get_u64();
+    const std::uint32_t val = r.get_u32();
+    if (key == 0) {
+      throw util::CheckpointInvalid(
+          "checkpoint graph section carries an empty-sentinel fact key");
+    }
+    facts_.at_or_insert(key) = val;
+  }
+  edges_expanded_ = r.get_u64();
+  edges_reused_ = r.get_u64();
+  fact_answers_ = r.get_u64();
+  r.done();
+  update_ledger();
 }
 
 void ReachGraph::register_config(ConfigId id) {
@@ -358,9 +451,12 @@ ReachGraph::QueryResult ReachGraph::query(const Config& c, ProcSet p,
       check_budget();
       // Quiescent point: the pool only runs inside precompute_level and
       // every arena read in the loop body copies or probes synchronously,
-      // so cold full segments can be compressed out to disk here. No pin —
-      // the shared graph has no cold-prefix structure, so the oldest full
-      // segments go first.
+      // so cold full segments can be compressed out to disk here, and the
+      // whole engine state is consistent for a checkpoint (per-query
+      // scratch excluded — resume replays the in-flight query over the
+      // restored edges). No pin — the shared graph has no cold-prefix
+      // structure, so the oldest full segments go first.
+      util::ckpt::CheckpointService::global().poll(256);
       if (arena_.spill_needed(arena_.size())) {
         const std::size_t released = arena_.maybe_spill(kNoConfig);
         if (released != 0) {

@@ -12,6 +12,11 @@
 #include "sim/engine.hpp"
 #include "util/worker_pool.hpp"
 
+namespace tsb::util::ckpt {
+class SectionWriter;
+class SectionReader;
+}  // namespace tsb::util::ckpt
+
 namespace tsb::sim {
 
 /// Persistent shared-subgraph reachability engine behind the valency oracle.
@@ -155,6 +160,21 @@ class ReachGraph {
   std::size_t fact_entries() const { return facts_.size(); }
   std::size_t memory_bytes() const;
 
+  /// Serialize the engine's persistent cross-query state (node words,
+  /// decide flags, successor edges and renamings, the fact map, and the
+  /// expansion counters) as one "graph" checkpoint section. Per-query
+  /// scratch is deliberately excluded: checkpoints happen at quiescent
+  /// points and resume re-runs the in-flight query from its root, walking
+  /// the restored edges instead of re-paying protocol steps.
+  void save(util::ckpt::SectionWriter& w) const;
+  /// Inverse of save(). Must run on a freshly constructed engine (the
+  /// ctor has already configured arena spill while the arena is empty);
+  /// node words are re-interned in id order so the dedup table rebuilds
+  /// exactly, then flags/edges/facts are bulk-loaded without
+  /// register_config. Shape mismatch (different n, word count, or
+  /// symmetry mode) throws util::CheckpointInvalid.
+  void restore(util::ckpt::SectionReader& r);
+
   /// State word marking a masked (outside-P) slot of a projected
   /// configuration. Protocols never produce it: every state in this repo is
   /// a small packed non-negative word or kNilValue (-1).
@@ -195,6 +215,15 @@ class ReachGraph {
     std::size_t size() const { return count_; }
     std::size_t memory_bytes() const {
       return slots_.capacity() * sizeof(Slot);
+    }
+    /// Visit every occupied slot (checkpoint serialization). Order is the
+    /// table's probe order — arbitrary but content-complete; restore goes
+    /// through at_or_insert so the rebuilt table is content-equal.
+    template <class Fn>
+    void for_each(Fn&& fn) const {
+      for (const Slot& s : slots_) {
+        if (s.key != 0) fn(s.key, s.val);
+      }
     }
 
    private:

@@ -1,0 +1,227 @@
+#include "util/iofault.hpp"
+
+#include <errno.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace tsb::util::iofault {
+
+namespace {
+
+// One armed fault at a time: the matrix tests one hostile event per run,
+// and a single slot keeps every wrapper to one relaxed load when disarmed.
+std::atomic<int> g_kind{static_cast<int>(Kind::kNone)};
+std::atomic<int> g_countdown{0};
+std::atomic<std::uint64_t> g_fired{0};
+
+/// True iff the armed fault is `k` and this call consumed the countdown.
+bool take(Kind k) {
+  if (static_cast<Kind>(g_kind.load(std::memory_order_relaxed)) != k) {
+    return false;
+  }
+  if (g_countdown.fetch_sub(1, std::memory_order_relaxed) != 1) return false;
+  g_fired.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+/// Write-shaped faults share one countdown so "the 3rd write fails" means
+/// the 3rd write whatever its fd. EINTR is transient by definition — it
+/// fires once and disarms, so the caller's retry loop gets to succeed.
+/// ENOSPC and short-write model a full/dying disk and stay armed once
+/// their countdown elapses: the device does not heal between retries.
+Kind take_write_fault() {
+  const Kind k = static_cast<Kind>(g_kind.load(std::memory_order_relaxed));
+  if (k != Kind::kShortWrite && k != Kind::kEnospc && k != Kind::kEintr) {
+    return Kind::kNone;
+  }
+  if (g_countdown.fetch_sub(1, std::memory_order_relaxed) > 1) {
+    return Kind::kNone;
+  }
+  g_fired.fetch_add(1, std::memory_order_relaxed);
+  if (k == Kind::kEintr) {
+    g_kind.store(static_cast<int>(Kind::kNone), std::memory_order_relaxed);
+  } else {
+    // Clamp so the counter never has to wrap its way back to firing.
+    g_countdown.store(0, std::memory_order_relaxed);
+  }
+  return k;
+}
+
+}  // namespace
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kNone: return "none";
+    case Kind::kShortWrite: return "short_write";
+    case Kind::kEnospc: return "enospc";
+    case Kind::kEintr: return "eintr";
+    case Kind::kTornRename: return "torn_rename";
+    case Kind::kBitflip: return "bitflip";
+  }
+  return "?";
+}
+
+void arm(Kind k, int countdown) {
+  g_countdown.store(countdown < 1 ? 1 : countdown, std::memory_order_relaxed);
+  g_fired.store(0, std::memory_order_relaxed);
+  g_kind.store(static_cast<int>(k), std::memory_order_relaxed);
+}
+
+void disarm() {
+  g_kind.store(static_cast<int>(Kind::kNone), std::memory_order_relaxed);
+}
+
+Kind armed() {
+  return static_cast<Kind>(g_kind.load(std::memory_order_relaxed));
+}
+
+std::uint64_t fired() { return g_fired.load(std::memory_order_relaxed); }
+
+bool arm_from_env() {
+  const char* env = std::getenv("TSB_IO_FAULT");
+  if (env == nullptr || *env == '\0') return false;
+  std::string spec(env);
+  int countdown = 1;
+  if (const std::size_t colon = spec.find(':'); colon != std::string::npos) {
+    countdown = std::atoi(spec.c_str() + colon + 1);
+    spec.resize(colon);
+  }
+  for (const Kind k : {Kind::kShortWrite, Kind::kEnospc, Kind::kEintr,
+                       Kind::kTornRename, Kind::kBitflip}) {
+    if (spec == kind_name(k)) {
+      arm(k, countdown);
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Short-write device model: the first faulted call consumes half the
+/// buffer (a legal POSIX short write), every later one accepts nothing —
+/// so a correct retry loop makes forward progress exactly once and then
+/// must report the device dead rather than spin.
+ssize_t short_write_len(std::size_t len) {
+  if (g_fired.load(std::memory_order_relaxed) > 1) return 0;
+  return static_cast<ssize_t>(len > 1 ? len / 2 : len);
+}
+
+}  // namespace
+
+ssize_t write(int fd, const void* buf, std::size_t len) {
+  switch (take_write_fault()) {
+    case Kind::kShortWrite: {
+      const ssize_t l = short_write_len(len);
+      return l == 0 ? 0 : ::write(fd, buf, static_cast<std::size_t>(l));
+    }
+    case Kind::kEnospc:
+      errno = ENOSPC;
+      return -1;
+    case Kind::kEintr:
+      errno = EINTR;
+      return -1;
+    default:
+      return ::write(fd, buf, len);
+  }
+}
+
+ssize_t pwrite(int fd, const void* buf, std::size_t len, off_t off) {
+  switch (take_write_fault()) {
+    case Kind::kShortWrite: {
+      const ssize_t l = short_write_len(len);
+      return l == 0 ? 0 : ::pwrite(fd, buf, static_cast<std::size_t>(l), off);
+    }
+    case Kind::kEnospc:
+      errno = ENOSPC;
+      return -1;
+    case Kind::kEintr:
+      errno = EINTR;
+      return -1;
+    default:
+      return ::pwrite(fd, buf, len, off);
+  }
+}
+
+ssize_t read(int fd, void* buf, std::size_t len) {
+  const ssize_t r = ::read(fd, buf, len);
+  if (r > 0 && take(Kind::kBitflip)) {
+    // Flip one mid-buffer bit: media corruption the CRC layer must catch.
+    static_cast<unsigned char*>(buf)[static_cast<std::size_t>(r) / 2] ^= 0x10;
+  }
+  return r;
+}
+
+int rename(const char* from, const char* to) {
+  if (take(Kind::kTornRename)) {
+    // A crash between "data written" and "rename committed" leaves the
+    // source half-written; modelled as truncating it before the (now
+    // successful) rename, so the renamed file carries torn content that
+    // only checksum validation can refuse.
+    struct ::stat st;
+    if (::stat(from, &st) == 0 && st.st_size > 1) {
+      (void)::truncate(from, st.st_size / 2);
+    }
+  }
+  return ::rename(from, to);
+}
+
+int fsync(int fd) { return ::fsync(fd); }
+
+bool write_full(int fd, const void* buf, std::size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t w = iofault::write(fd, p + done, len - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) {
+      errno = EIO;
+      return false;
+    }
+    done += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool pwrite_full(int fd, const void* buf, std::size_t len, off_t off) {
+  const char* p = static_cast<const char*>(buf);
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t w = iofault::pwrite(fd, p + done, len - done,
+                                      off + static_cast<off_t>(done));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) {
+      errno = EIO;
+      return false;
+    }
+    done += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool read_full(int fd, void* buf, std::size_t len) {
+  char* p = static_cast<char*>(buf);
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t r = iofault::read(fd, p + done, len - done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // EOF before len: truncated input
+    done += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace tsb::util::iofault

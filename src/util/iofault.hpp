@@ -1,0 +1,70 @@
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tsb::util::iofault {
+
+/// Pluggable I/O fault injection for the durability-critical write/read
+/// paths (checkpoint files, the arena spill file), in the spirit of
+/// src/rt/fault.* but aimed at the filesystem instead of the shared-memory
+/// model: the hostile events a multi-day campaign actually meets are a full
+/// disk, a signal-interrupted write, a crash between rename()s, and silent
+/// media corruption. Production code routes those syscalls through the
+/// wrappers below; tests (and the CI fault matrix, via TSB_IO_FAULT) arm
+/// exactly one fault and assert the run degrades to a clean refusal or
+/// exit 4 — never a crash, never a wrong answer.
+///
+/// A countdown of eligible calls arms each fault's onset. Transient kinds
+/// (kEintr) inject once and let the retry succeed — precisely the contract
+/// an EINTR loop must survive. Persistent kinds (kEnospc, kShortWrite)
+/// model a disk that does not heal: once fired they keep failing, so retry
+/// loops surface them as errors instead of spinning. Disarmed cost is one
+/// relaxed load per wrapped call.
+enum class Kind : int {
+  kNone = 0,
+  kShortWrite,  ///< write/pwrite takes half the buffer once, then nothing
+  kEnospc,      ///< write/pwrite fails with ENOSPC (stays failing)
+  kEintr,       ///< write/pwrite fails with EINTR once, then succeeds
+  kTornRename,  ///< source file is truncated to half before the rename
+  kBitflip,     ///< one bit of the next read()'s buffer is flipped
+};
+
+const char* kind_name(Kind k);
+
+/// Arm `k` to fire on the `countdown`-th eligible wrapped call (1 = next).
+void arm(Kind k, int countdown = 1);
+void disarm();
+Kind armed();
+/// Injections performed since the last arm().
+std::uint64_t fired();
+
+/// Arm from the TSB_IO_FAULT environment variable ("enospc", "torn_rename:3",
+/// ...), the CI fault matrix's entry point. Unknown values are ignored (the
+/// layer stays disarmed). Returns true when a fault was armed.
+bool arm_from_env();
+
+// --- wrapped syscalls -----------------------------------------------------
+// Same contracts as the raw calls; the armed fault (if any, and if its
+// countdown elapses on this call) is injected first.
+
+ssize_t write(int fd, const void* buf, std::size_t len);
+ssize_t pwrite(int fd, const void* buf, std::size_t len, off_t off);
+ssize_t read(int fd, void* buf, std::size_t len);
+int rename(const char* from, const char* to);
+int fsync(int fd);
+
+/// write() the whole buffer, retrying short writes and EINTR. Returns false
+/// (with errno set) on any non-retryable failure.
+bool write_full(int fd, const void* buf, std::size_t len);
+/// pwrite() the whole buffer at `off`, retrying short writes and EINTR.
+bool pwrite_full(int fd, const void* buf, std::size_t len, off_t off);
+/// read() exactly `len` bytes, retrying short reads and EINTR. False on
+/// EOF-before-len or error.
+bool read_full(int fd, void* buf, std::size_t len);
+
+}  // namespace tsb::util::iofault

@@ -219,7 +219,7 @@ void RunReport::ingest_line(const std::string& line) {
     return;
   }
   if (type.rfind("explore", 0) == 0 || type.rfind("mc.", 0) == 0 ||
-      type.rfind("bench", 0) == 0) {
+      type.rfind("bench", 0) == 0 || type.rfind("ckpt.", 0) == 0) {
     ingest_stats(v, type);
   } else if (type.rfind("chaos.", 0) == 0) {
     ingest_chaos(v, type);
@@ -329,6 +329,12 @@ void RunReport::ingest_stats(const JsonValue& v, const std::string& type) {
     explore_ms_ += v.num_or("ms", 0.0);
   } else if (type == "mc.input") {
     ++mc_inputs_;
+  } else if (type == "ckpt.write") {
+    ++ckpt_writes_;
+    ckpt_bytes_ += static_cast<std::uint64_t>(v.int_or("bytes", 0));
+    ckpt_ms_ += static_cast<std::uint64_t>(v.int_or("ms", 0));
+    ckpt_last_generation_ = v.int_or("generation", ckpt_last_generation_);
+    ckpt_last_why_ = v.str_or("why", ckpt_last_why_);
   }
 }
 
@@ -399,6 +405,10 @@ void RunReport::ingest_audit(const JsonValue& v, const std::string& type) {
   } else if (type == "adversary.budget_exhausted") {
     budget_exhausted_ = true;
     budget_detail_ = v.str_or("detail", "");
+  } else if (type == "adversary.resume") {
+    ckpt_resumed_ = true;
+  } else if (type == "adversary.stopped") {
+    ckpt_stopped_ = true;
   } else if (type == "certificate") {
     have_cert_ = true;
     cert_verified_ = v.bool_or("verified", false);
@@ -641,6 +651,22 @@ void RunReport::render_text(std::ostream& out, int top_k) const {
            "refutation): "
         << budget_detail_ << "\n";
   }
+  if (ckpt_writes_ > 0 || ckpt_resumed_ || ckpt_stopped_) {
+    out << "\ncheckpoints: " << ckpt_writes_ << " write(s), " << ckpt_bytes_
+        << " B state, overhead " << ckpt_ms_ << " ms";
+    if (ckpt_writes_ > 0) {
+      out << " (last generation " << ckpt_last_generation_ << ", why \""
+          << ckpt_last_why_ << "\")";
+    }
+    out << "\n";
+    if (ckpt_resumed_) {
+      out << "run resumed from a checkpoint (warm replay; verdicts and "
+             "certificate identical to an uninterrupted run)\n";
+    }
+    if (ckpt_stopped_) {
+      out << "run checkpointed and stopped (resumable with tsb resume)\n";
+    }
+  }
 
   if (!ledger_accounts_.empty()) {
     // Sorted by final bytes, so the subsystem that held the memory when
@@ -711,6 +737,9 @@ void RunReport::render_text(std::ostream& out, int top_k) const {
       } else if (r.ev == "spill") {
         detail = "released " + std::to_string(r.a) + " B, " +
                  std::to_string(r.b) + " B on disk";
+      } else if (r.ev == "ckpt") {
+        detail = std::to_string(r.a) + " B state in " + std::to_string(r.b) +
+                 " ms";
       } else if (r.ev == "chaos.fault") {
         detail = "tid " + std::to_string(r.a) + " action " +
                  std::to_string(r.b);

@@ -90,6 +90,15 @@ class RunReport {
   std::uint64_t reuse_records() const { return reuse_records_; }
   bool budget_exhausted() const { return budget_exhausted_; }
 
+  // Checkpointing (ckpt.write stats records + adversary.resume/.stopped
+  // audit events). Writes/bytes/ms are cadence-dependent, so they render
+  // as an overhead line but never enter the baseline JSON.
+  std::uint64_t ckpt_writes() const { return ckpt_writes_; }
+  std::uint64_t ckpt_bytes() const { return ckpt_bytes_; }
+  std::uint64_t ckpt_write_ms() const { return ckpt_ms_; }
+  bool resumed() const { return ckpt_resumed_; }
+  bool checkpoint_stopped() const { return ckpt_stopped_; }
+
   std::uint64_t lines_ingested() const { return lines_; }
   std::uint64_t lines_malformed() const { return malformed_; }
 
@@ -213,6 +222,15 @@ class RunReport {
   std::string chaos_campaign_line_;  ///< campaign summary, re-rendered as-is
   bool budget_exhausted_ = false;
   std::string budget_detail_;
+
+  // Checkpointing.
+  std::uint64_t ckpt_writes_ = 0;
+  std::uint64_t ckpt_bytes_ = 0;   ///< sum of per-write state bytes
+  std::uint64_t ckpt_ms_ = 0;      ///< sum of per-write wall ms (overhead)
+  std::int64_t ckpt_last_generation_ = 0;
+  std::string ckpt_last_why_;
+  bool ckpt_resumed_ = false;      ///< run restored a checkpoint first
+  bool ckpt_stopped_ = false;      ///< run ended checkpointed-and-stopped
 
   // Introspection: memory ledger ("ledger"), sampling profiler
   // ("prof.label"/"prof.summary"), flight recorder ("flight.dump"/

@@ -1,6 +1,7 @@
 // tsb — command-line front end to the library's machinery.
 //
 //   tsb adversary [n] [cap]        run Theorem 1's construction (narrated)
+//   tsb resume <dir> [n] [cap]     resume a checkpointed adversary campaign
 //   tsb check <proto> [n] [cap]    exhaustively model check a protocol
 //   tsb search [modes] [cap]       sweep the 1-register protocol family
 //   tsb mutex [n]                  canonical-cost + Burns-Lynch summary
@@ -78,14 +79,37 @@
 //   --parallel-threshold=N  visited count at which the warm sequential
 //                           phase hands off to the worker pool (32768)
 //
+// Crash-safe campaigns (tsb adversary / tsb resume):
+//   --checkpoint-dir=DIR    checkpoint the oracle's session state (roots,
+//                    memo, shared graph) into DIR at the engines' quiescent
+//                    points: versioned, per-section CRC-checked state file
+//                    committed by an atomic manifest rename. SIGTERM/SIGINT
+//                    then mean "write a final checkpoint and stop" (exit 5)
+//                    instead of losing the campaign; `tsb resume DIR n cap`
+//                    (same flags) warm-replays to the identical verdict,
+//                    visited set and certificate. A corrupt, truncated or
+//                    mismatched checkpoint is refused with exit 6 — never
+//                    silently degraded. TSB_IO_FAULT=kind[:countdown]
+//                    (enospc|short_write|eintr|torn_rename|bitflip) arms
+//                    hostile-I/O injection on the checkpoint/spill writers.
+//   --checkpoint-interval-ms=MS  wall-clock cadence (0 = off)
+//   --checkpoint-every=N    expansion-count cadence (0 = off; with both
+//                    cadences off, checkpoints are written only on a stop)
+//
 // Exit codes (distinct so CI can tell misuse from refutation):
 //   0  success
 //   1  violation / failed construction / report inconsistency
 //   2  usage error: unknown subcommand, unknown protocol, bad flag
 //   3  chaos campaign clean of violations but some runs timed out
 //   4  budget exhausted (adversary stopped by --mem-budget/--time-budget-ms)
+//   5  checkpointed and stopped (SIGTERM/SIGINT at a quiescent point after
+//      a final checkpoint; resume later with `tsb resume DIR`)
+//   6  checkpoint refused (bad CRC, truncated section, format version or
+//      flag-fingerprint mismatch — resume never runs on doubtful state)
 //
 // Protocols for `check`: ballot | racing-strict | racing-atleast | swap
+#include <csignal>
+
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -113,6 +137,8 @@
 #include "sim/model_checker.hpp"
 #include "sim/protocol_search.hpp"
 #include "tsb_flags.hpp"
+#include "util/checkpoint.hpp"
+#include "util/iofault.hpp"
 
 using namespace tsb;
 using cli::ObsFlags;
@@ -124,6 +150,8 @@ constexpr int kExitViolation = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitTimeout = 3;
 constexpr int kExitBudget = 4;
+constexpr int kExitStopped = 5;      ///< checkpointed-and-stopped (resumable)
+constexpr int kExitCkptInvalid = 6;  ///< checkpoint refused (corrupt/mismatch)
 
 // Subcommands that execute a run (vs read artifacts someone else wrote).
 // --telemetry only makes sense for the former: a viewer or analyzer must
@@ -136,6 +164,9 @@ int usage() {
   std::cerr
       << "usage:\n"
          "  tsb adversary [n=4] [cap=2n]     Theorem 1 construction\n"
+         "  tsb resume <dir> [n=4] [cap=2n]  resume a checkpointed campaign\n"
+         "      (pass the same n/cap/flags as the original run; a\n"
+         "      fingerprint mismatch is refused with exit 6)\n"
          "  tsb check <proto> [n=2] [cap=2n] exhaustive model check\n"
          "      proto: ballot | racing-strict | racing-atleast | swap\n"
          "  tsb search [modes=1] [cap=0]     1-register protocol sweep\n"
@@ -161,9 +192,13 @@ int usage() {
          "out-of-core: --spill-threshold=BYTES[k|m|g] --spill-dir=DIR\n"
          "             --spill-seg-configs=N (segment size, testing)\n"
          "work stealing: --chunk-configs=N --parallel-threshold=N\n"
+         "checkpointing: --checkpoint-dir=DIR --checkpoint-interval-ms=MS\n"
+         "               --checkpoint-every=N (SIGTERM/SIGINT = checkpoint\n"
+         "               and stop; continue with tsb resume DIR)\n"
          "exit codes: 0 ok, 1 violation/failed construction, 2 usage "
          "error,\n"
-         "            3 chaos timeouts (no violation), 4 budget exhausted\n";
+         "            3 chaos timeouts (no violation), 4 budget exhausted,\n"
+         "            5 checkpointed and stopped, 6 checkpoint refused\n";
   return kExitUsage;
 }
 
@@ -196,7 +231,12 @@ std::unique_ptr<sim::Protocol> make_protocol(const std::string& name, int n,
   return nullptr;
 }
 
-int cmd_adversary(int n, int cap, const ObsFlags& obs_flags) {
+// `checkpoint_dir` + `resume` come from the subcommand (`tsb resume DIR`
+// overrides the flag form); everything else rides the shared flag set so a
+// resumed run reconstructs the exact options — the manifest fingerprint
+// check refuses anything that would change verdicts or state layout.
+int cmd_adversary(int n, int cap, const ObsFlags& obs_flags,
+                  const std::string& checkpoint_dir, bool resume) {
   consensus::BallotConsensus proto(n, cap);
   bound::SpaceBoundAdversary::Options opts;
   opts.narrative = true;
@@ -216,8 +256,22 @@ int cmd_adversary(int n, int cap, const ObsFlags& obs_flags) {
   opts.chunk_configs = static_cast<std::uint32_t>(obs_flags.chunk_configs);
   opts.parallel_threshold =
       static_cast<std::size_t>(obs_flags.parallel_threshold);
+  opts.checkpoint_dir = checkpoint_dir;
+  opts.checkpoint_interval_ms = obs_flags.checkpoint_interval_ms;
+  opts.checkpoint_every = obs_flags.checkpoint_every;
+  opts.resume = resume;
   bound::SpaceBoundAdversary adversary(proto, opts);
   const auto result = adversary.run();
+  if (result.stopped) {
+    // A graceful stop, not a failure: the final checkpoint (if a directory
+    // is configured) holds everything the campaign learned so far.
+    std::cout << "CHECKPOINTED AND STOPPED: " << result.error << "\n";
+    if (!checkpoint_dir.empty()) {
+      std::cout << "resume with: tsb resume " << checkpoint_dir << " " << n
+                << " " << cap << "\n";
+    }
+    return kExitStopped;
+  }
   if (result.budget_exhausted) {
     // Clean truncation, not a refutation: the construction was stopped by
     // a configured budget before it could finish either way. The ledger
@@ -531,6 +585,23 @@ bool monitor_frame(const std::string& path, std::ostream& out) {
   return true;
 }
 
+// SIGTERM/SIGINT on a run command request a graceful stop: the handler is
+// two relaxed atomic stores, and the next engine quiescent point writes a
+// final checkpoint and unwinds as CheckpointStop -> exit 5 with every sink
+// flushed. SA_RESTART keeps in-flight writes (telemetry, spill) intact.
+void graceful_stop_handler(int) {
+  util::ckpt::CheckpointService::global().request_stop();
+}
+
+void install_stop_handlers() {
+  struct sigaction sa;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  sa.sa_handler = graceful_stop_handler;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -596,10 +667,27 @@ int main(int argc, char** argv) {
     return args.size() > i ? std::atoi(args[i].c_str()) : def;
   };
 
+  if (cmd_is_run(cmd)) {
+    // Hostile-I/O fault injection (TSB_IO_FAULT=kind[:countdown]) arms the
+    // layer every write-path syscall in the spill/checkpoint writers runs
+    // through; a no-op without the env var.
+    if (util::iofault::arm_from_env()) {
+      std::cerr << "iofault: armed from TSB_IO_FAULT="
+                << std::getenv("TSB_IO_FAULT") << "\n";
+    }
+    install_stop_handlers();
+  }
+
   int rc = kExitUsage;
+  try {
   if (cmd == "adversary") {
     const int n = arg(1, 4);
-    rc = cmd_adversary(n, arg(2, default_ballot_cap(n)), obs_flags);
+    rc = cmd_adversary(n, arg(2, default_ballot_cap(n)), obs_flags,
+                       obs_flags.checkpoint_dir, /*resume=*/false);
+  } else if (cmd == "resume" && args.size() >= 2) {
+    const int n = arg(2, 4);
+    rc = cmd_adversary(n, arg(3, default_ballot_cap(n)), obs_flags,
+                       /*checkpoint_dir=*/args[1], /*resume=*/true);
   } else if (cmd == "check" && args.size() >= 2) {
     const int n = arg(2, 2);
     rc = cmd_check(args[1], n, arg(3, 2 * n), obs_flags);
@@ -637,6 +725,13 @@ int main(int argc, char** argv) {
   } else {
     return usage();
   }
+  } catch (const util::CheckpointInvalid& e) {
+    // A refusal, never a degraded answer: resume (or a mid-run write that
+    // discovered corruption on load) found state it cannot trust. The
+    // teardown below still flushes every sink so the refusal is diagnosable.
+    std::cerr << "checkpoint refused: " << e.what() << "\n";
+    rc = kExitCkptInvalid;
+  }
 
   // Profiler first (stop the itimers before teardown), then the flight
   // exit dump, so the sinks below flush after all introspection output.
@@ -648,7 +743,9 @@ int main(int argc, char** argv) {
   }
   if (!obs_flags.flight_file.empty() && cmd != "report") {
     obs::flight::dump(obs_flags.flight_file,
-                      rc == kExitBudget ? "budget" : "exit");
+                      rc == kExitBudget     ? "budget"
+                      : rc == kExitStopped  ? "checkpoint"
+                                            : "exit");
   }
   if (obs::stats_enabled() && obs::MemLedger::global().total() > 0) {
     obs::MemLedger::global().emit_record();
@@ -659,7 +756,9 @@ int main(int argc, char** argv) {
     // timeline this is also the record whose ledger must match the exit
     // report — nothing allocates after it.
     obs::StatusSnapshot last;
-    last.phase = rc == kExitBudget ? "budget-exhausted" : "done";
+    last.phase = rc == kExitBudget    ? "budget-exhausted"
+                 : rc == kExitStopped ? "checkpointed"
+                                      : "done";
     if (obs::status_enabled()) obs::publish_status(last);
     if (obs::telemetry::enabled()) {
       obs::telemetry::tick(last);

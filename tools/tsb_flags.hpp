@@ -62,6 +62,14 @@ struct ObsFlags {
   /// timing). Applies to tsb adversary and the lemma benchmarks.
   bool no_reuse = false;
 
+  // Crash-safe campaigns (tsb adversary / tsb resume). A non-empty dir
+  // checkpoints the oracle session at the engines' quiescent points; the
+  // cadences pick wall-clock and/or expansion-count triggers (0 disables
+  // each; both 0 still checkpoints on SIGTERM/SIGINT). Same two flag forms.
+  std::string checkpoint_dir;  ///< --checkpoint-dir=DIR; empty = off
+  std::uint64_t checkpoint_interval_ms = 0;  ///< --checkpoint-interval-ms=MS
+  std::uint64_t checkpoint_every = 0;  ///< --checkpoint-every=EXPANSIONS
+
   // Cross-run regression diffing (tsb report --compare A.tsl B.tsl).
   bool compare = false;       ///< --compare (report: diff two timelines)
   double tolerance = 25.0;    ///< --tolerance=PCT (compare gate, percent)
@@ -268,6 +276,19 @@ inline ParseResult parse_args(const std::vector<std::string>& argv) {
     } else if (u64_flag("--parallel-threshold",
                         &out.flags.parallel_threshold)) {
       if (bad_value) return fail("bad --parallel-threshold");
+    } else if (value_flag("--checkpoint-dir", &out.flags.checkpoint_dir)) {
+      if (bad_value || out.flags.checkpoint_dir.empty()) {
+        return fail("--checkpoint-dir needs a directory");
+      }
+    } else if (u64_flag("--checkpoint-interval-ms",
+                        &out.flags.checkpoint_interval_ms)) {
+      if (bad_value || out.flags.checkpoint_interval_ms == 0) {
+        return fail("bad --checkpoint-interval-ms (want >= 1)");
+      }
+    } else if (u64_flag("--checkpoint-every", &out.flags.checkpoint_every)) {
+      if (bad_value || out.flags.checkpoint_every == 0) {
+        return fail("bad --checkpoint-every (want >= 1)");
+      }
     } else if (a.rfind("--", 0) == 0) {
       return fail("unknown flag: " + a);
     } else {
