@@ -192,11 +192,20 @@ void SectionWriter::finish() {
   raw(sentinel, sizeof(sentinel));
   if (iofault::fsync(fd_) != 0) fail("fsync " + tmp_);
   if (::close(fd_) != 0) {
+    // fd_ is dead either way, so the destructor won't run the unlink:
+    // remove the tmp file here (preserving the close errno for fail) or
+    // a close failure leaves .tmp debris the error contract forbids.
+    const int err = errno;
     fd_ = -1;
+    ::unlink(tmp_.c_str());
+    errno = err;
     fail("close " + tmp_);
   }
   fd_ = -1;
   if (iofault::rename(tmp_.c_str(), path_.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp_.c_str());
+    errno = err;
     fail("rename " + tmp_);
   }
   fsync_dir_of(path_);
@@ -494,6 +503,7 @@ void CheckpointService::reset() {
   bytes_.store(0, std::memory_order_relaxed);
   write_ms_.store(0, std::memory_order_relaxed);
   active_.store(false, std::memory_order_relaxed);
+  in_write_.store(false, std::memory_order_relaxed);
   stop_requested_.store(false, std::memory_order_relaxed);
   stop_after_.store(0, std::memory_order_relaxed);
   engaged_.store(false, std::memory_order_relaxed);
@@ -509,8 +519,9 @@ void CheckpointService::set_writer(Serializer s,
 bool CheckpointService::due() const {
   if (stop_requested_.load(std::memory_order_relaxed)) return true;
   if (!active_.load(std::memory_order_relaxed)) return false;
+  if (in_write_.load(std::memory_order_relaxed)) return false;
   std::lock_guard<std::mutex> lock(mu_);
-  if (!writer_ || in_write_) return false;
+  if (!writer_) return false;
   if (every_work_ != 0 && work_acc_ >= every_work_) return true;
   if (interval_ms_ != 0) {
     const auto now = std::chrono::steady_clock::now();
@@ -525,6 +536,12 @@ void CheckpointService::stop_after_polls(std::uint64_t n) {
 }
 
 void CheckpointService::poll_slow(std::uint64_t work) {
+  // Checked first: during a write the serializer runs with mu_ released,
+  // so a serializer that re-enters a polling loop lands here and must
+  // bail out — without touching the lock, the test hook, or the stop
+  // unwind — instead of recursing into write_now.
+  if (in_write_.load(std::memory_order_relaxed)) return;
+
   // Deterministic-interrupt test hook: the n-th poll becomes a stop
   // request, exactly as if SIGTERM had landed at this quiescent point.
   std::uint64_t hook = stop_after_.load(std::memory_order_relaxed);
@@ -539,7 +556,6 @@ void CheckpointService::poll_slow(std::uint64_t work) {
   bool due_now = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (in_write_) return;  // serializer re-entered a polling loop
     work_acc_ += work;
     if (active_.load(std::memory_order_relaxed) && writer_ != nullptr &&
         !stop_requested_.load(std::memory_order_relaxed)) {
@@ -565,23 +581,39 @@ void CheckpointService::poll_slow(std::uint64_t work) {
 }
 
 void CheckpointService::write_now(const char* why) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (!active_.load(std::memory_order_relaxed) || !writer_ || in_write_) {
-    return;
+  // Copy everything the write needs under the lock, then run the
+  // serializer with mu_ RELEASED: a serializer that calls poll(),
+  // add_work(), or due() on the same thread must hit the in_write_
+  // reentrancy guard, not deadlock on the non-recursive mutex.
+  Serializer writer;
+  std::function<void(Manifest&)> extra;
+  std::string dir;
+  std::string fingerprint;
+  std::uint64_t gen = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!active_.load(std::memory_order_relaxed) || !writer_ ||
+        in_write_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    in_write_.store(true, std::memory_order_relaxed);
+    writer = writer_;
+    extra = manifest_extra_;
+    dir = dir_;
+    fingerprint = fingerprint_;
+    gen = generation_ + 1;
   }
-  in_write_ = true;
   struct Guard {
-    bool* flag;
-    ~Guard() { *flag = false; }
+    std::atomic<bool>* flag;
+    ~Guard() { flag->store(false, std::memory_order_relaxed); }
   } guard{&in_write_};
 
   const auto t0 = std::chrono::steady_clock::now();
-  const std::uint64_t gen = generation_ + 1;
-  const std::string spath = state_path(dir_, gen);
+  const std::string spath = state_path(dir, gen);
   std::uint64_t state_bytes = 0;
   {
     SectionWriter w(spath);
-    writer_(w);
+    writer(w);
     w.finish();
     state_bytes = w.bytes_written();
   }
@@ -589,30 +621,34 @@ void CheckpointService::write_now(const char* why) {
   m.set_u64("format", kFormatVersion);
   m.set_u64("generation", gen);
   m.set("state", "state-" + std::to_string(gen) + ".bin");
-  m.set("fingerprint", fingerprint_);
+  m.set("fingerprint", fingerprint);
   m.set("why", why);
   m.set_u64("checkpoints", writes_.load(std::memory_order_relaxed) + 1);
-  if (manifest_extra_) manifest_extra_(m);
-  m.save(manifest_path(dir_));
+  if (extra) extra(m);
+  m.save(manifest_path(dir));
 
-  // The new manifest is committed; the previous generation's state file is
-  // now garbage and can go. (Deleting only after the commit point is what
-  // makes a crash during THIS write recoverable from the previous one.)
-  if (generation_ != 0 && generation_ != gen) {
-    ::unlink(state_path(dir_, generation_).c_str());
+  std::uint64_t ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // The new manifest is committed; the previous generation's state file
+    // is now garbage and can go. (Deleting only after the commit point is
+    // what makes a crash during THIS write recoverable from the previous
+    // one.)
+    if (generation_ != 0 && generation_ != gen) {
+      ::unlink(state_path(dir, generation_).c_str());
+    }
+    generation_ = gen;
+    work_acc_ = 0;
+    last_write_ = std::chrono::steady_clock::now();
+    ever_wrote_ = true;
+
+    ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(last_write_ - t0)
+            .count());
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(state_bytes, std::memory_order_relaxed);
+    write_ms_.fetch_add(ms, std::memory_order_relaxed);
   }
-  generation_ = gen;
-  work_acc_ = 0;
-  last_write_ = std::chrono::steady_clock::now();
-  ever_wrote_ = true;
-
-  const std::uint64_t ms = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::milliseconds>(last_write_ - t0)
-          .count());
-  writes_.fetch_add(1, std::memory_order_relaxed);
-  bytes_.fetch_add(state_bytes, std::memory_order_relaxed);
-  write_ms_.fetch_add(ms, std::memory_order_relaxed);
-  lock.unlock();
 
   obs::MemLedger::global().set(obs::MemAccount::kCkptState, state_bytes);
   obs::flight::record(obs::flight::Ev::kCkpt,

@@ -292,7 +292,11 @@ class CheckpointService {
   std::function<void(Manifest&)> manifest_extra_;
   std::uint64_t generation_ = 0;
   std::uint64_t work_acc_ = 0;
-  bool in_write_ = false;  ///< reentrancy guard (serializer must not poll)
+  /// Reentrancy guard: set (outside mu_) for the duration of a write so a
+  /// serializer that calls poll()/due() no-ops instead of recursing. The
+  /// serializer itself runs with mu_ released — holding the non-recursive
+  /// mutex across the callback would deadlock any such re-entry.
+  std::atomic<bool> in_write_{false};
   std::chrono::steady_clock::time_point last_write_{};
   bool ever_wrote_ = false;
   std::atomic<std::uint64_t> writes_{0};

@@ -260,6 +260,19 @@ class IoFaultTest : public ::testing::Test {
   void TearDown() override { util::iofault::disarm(); }
 };
 
+TEST(SectionWriterErrors, RenameFailureLeavesNoTmpDebris) {
+  // rename() onto an existing directory fails with EISDIR — a stand-in
+  // for any commit-time rename failure. The error contract says "no .tmp
+  // debris": finish() must unlink the fully written tmp file itself,
+  // because by then it has already closed the fd and the destructor's
+  // cleanup no longer fires.
+  const std::string dir = tdir("rename_fail");
+  const std::string path = dir + "/state.bin";
+  fs::create_directories(path);  // occupy the final name with a directory
+  EXPECT_THROW(write_sample(path), BudgetExhausted);
+  EXPECT_FALSE(fs::exists(path + ".tmp")) << "tmp must be cleaned up";
+}
+
 TEST_F(IoFaultTest, EnospcFailsWriterWithBudgetExhausted) {
   const std::string path = tdir("enospc") + "/state.bin";
   util::iofault::arm(util::iofault::Kind::kEnospc, 1);
@@ -447,6 +460,27 @@ TEST_F(CheckpointServiceTest, StopWithoutDirectoryStillStopsGracefully) {
   svc.stop_after_polls(1);
   EXPECT_THROW(svc.poll(1), CheckpointStop);
   EXPECT_EQ(svc.checkpoints_written(), 0u);
+}
+
+TEST_F(CheckpointServiceTest, SerializerMayPollWithoutDeadlockOrRecursion) {
+  // A serializer whose save_state walks engine code that itself contains
+  // quiescent-point hooks (poll/add_work/due) must hit the in_write_
+  // reentrancy guard, not deadlock on the service mutex or recurse into a
+  // nested write. The write runs with the mutex released, so all three
+  // calls return immediately.
+  auto& svc = CheckpointService::global();
+  svc.configure(tdir("reenter"), 0, /*every_work=*/1, "fp");
+  svc.set_writer([&svc](SectionWriter& w) {
+    w.begin("reenter");
+    EXPECT_NO_THROW(svc.poll(1000));  // due by work count, but in_write_
+    EXPECT_FALSE(svc.due());
+    svc.add_work(1000);
+    w.put_u64(1);
+    w.end();
+  });
+  svc.poll(1);  // work cadence of 1: immediately due, triggers the write
+  EXPECT_EQ(svc.checkpoints_written(), 1u)
+      << "exactly one write: the serializer's own poll must not nest";
 }
 
 // --- Oracle state roundtrip ------------------------------------------------

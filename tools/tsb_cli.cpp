@@ -139,6 +139,7 @@
 #include "tsb_flags.hpp"
 #include "util/checkpoint.hpp"
 #include "util/iofault.hpp"
+#include "util/require.hpp"
 
 using namespace tsb;
 using cli::ObsFlags;
@@ -589,11 +590,30 @@ bool monitor_frame(const std::string& path, std::ostream& out) {
 // two relaxed atomic stores, and the next engine quiescent point writes a
 // final checkpoint and unwinds as CheckpointStop -> exit 5 with every sink
 // flushed. SA_RESTART keeps in-flight writes (telemetry, spill) intact.
-void graceful_stop_handler(int) {
-  util::ckpt::CheckpointService::global().request_stop();
+//
+// A SECOND signal escalates: if a stop is already pending — the engine has
+// no poll site on its current path, or the operator is impatient — the
+// handler restores the default disposition and re-raises, so the process
+// is always killable with two Ctrl-Cs even on code paths that never reach
+// a quiescent point.
+void graceful_stop_handler(int sig) {
+  util::ckpt::CheckpointService& svc = util::ckpt::CheckpointService::global();
+  if (svc.stop_requested()) {
+    struct sigaction dfl;
+    sigemptyset(&dfl.sa_mask);
+    dfl.sa_flags = 0;
+    dfl.sa_handler = SIG_DFL;
+    sigaction(sig, &dfl, nullptr);
+    raise(sig);
+    return;
+  }
+  svc.request_stop();
 }
 
 void install_stop_handlers() {
+  // Touch the singleton now so the handler never runs its first-call
+  // construction in signal context.
+  (void)util::ckpt::CheckpointService::global();
   struct sigaction sa;
   sigemptyset(&sa.sa_mask);
   sa.sa_flags = SA_RESTART;
@@ -731,6 +751,19 @@ int main(int argc, char** argv) {
     // teardown below still flushes every sink so the refusal is diagnosable.
     std::cerr << "checkpoint refused: " << e.what() << "\n";
     rc = kExitCkptInvalid;
+  } catch (const util::CheckpointStop& e) {
+    // The adversary catches this itself and reports a structured Result;
+    // every other engine (check/search/mutex/perturb) lets the SIGTERM/
+    // SIGINT unwind reach here. Same contract either way: exit 5 with the
+    // sinks below flushed — never std::terminate.
+    std::cerr << "stopped: " << e.what() << "\n";
+    rc = kExitStopped;
+  } catch (const util::BudgetExhausted& e) {
+    // Budget/disk exhaustion (including a spill-write failure under
+    // --spill-*) on a path with no engine-level catch: degrade to the
+    // clean exit 4 the adversary path already produces.
+    std::cerr << "budget exhausted: " << e.what() << "\n";
+    rc = kExitBudget;
   }
 
   // Profiler first (stop the itimers before teardown), then the flight
