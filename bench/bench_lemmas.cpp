@@ -44,9 +44,10 @@ int main(int argc, char** argv) {
             << (reuse ? "shared-subgraph engine" : "fresh-BFS backend")
             << ").\n\n";
 
-  util::Table table({"n", "lemma1", "lemma3", "lemma4", "Di stages",
+  util::Table table({"n", "spill", "lemma1", "lemma3", "lemma4", "Di stages",
                      "escapes", "queries", "hit rate %", "expanded",
-                     "reused", "reuse %", "facts", "cert steps", "seconds"});
+                     "reused", "reuse %", "facts", "subsumed", "cert steps",
+                     "seconds"});
   std::ofstream json;
   if (!json_file.empty()) {
     json.open(json_file);
@@ -84,11 +85,12 @@ int main(int argc, char** argv) {
         traversals > 0
             ? 100.0 * static_cast<double>(result.reach_reused) / traversals
             : 0.0;
-    table.row(n, ls.lemma1_calls, ls.lemma3_calls, ls.lemma4_calls,
+    table.row(n, 0, ls.lemma1_calls, ls.lemma3_calls, ls.lemma4_calls,
               ls.total_di_stages, ls.solo_escapes, result.valency_queries,
               hit_rate, result.reach_expanded, result.reach_reused,
               reuse_rate, result.reach_fact_answers,
-              result.certificate.schedule.size(), secs);
+              result.reach_fact_subsumed, result.certificate.schedule.size(),
+              secs);
     // The oracle shares one exploration between both values of a (C, P)
     // pair, so the lemma machinery's bivalence/univalence probes (two
     // queries on the same pair) hit the cache on their second query; only
@@ -108,18 +110,102 @@ int main(int argc, char** argv) {
                 << " shared-subgraph engine reused zero stored edges\n";
       rc = 1;
     }
+    // The peel loops probe strictly shrinking ProcSets at shared roots, so
+    // once fact subsumption lets a superset's stored negative answer a
+    // subset query, whole pair computations resolve from facts. The first
+    // campaign deep enough to revisit a canonical node with a smaller
+    // ProcSet after an exhausted superset pass is n = 5 (n = 4 runs 73
+    // queries and never does); zero there means the subsuming lookup
+    // regressed to exact-key-only.
+    if (reuse && n >= 5 && result.reach_fact_answers == 0) {
+      std::cout << "FAIL: n = " << n
+                << " persisted facts answered zero pair computations\n";
+      rc = 1;
+    }
     if (json.is_open()) {
       if (!first_row) json << ",";
       first_row = false;
-      json << "{\"n\":" << n << ",\"queries\":" << result.valency_queries
+      json << "{\"n\":" << n << ",\"spill\":0"
+           << ",\"queries\":" << result.valency_queries
            << ",\"cache_hits\":" << result.valency_cache_hits
            << ",\"hit_rate\":" << hit_rate
            << ",\"expanded\":" << result.reach_expanded
            << ",\"reused\":" << result.reach_reused
            << ",\"reuse_rate\":" << reuse_rate
            << ",\"fact_answers\":" << result.reach_fact_answers
+           << ",\"fact_subsumed\":" << result.reach_fact_subsumed
            << ",\"cert_steps\":" << result.certificate.schedule.size()
            << ",\"seconds\":" << secs << "}";
+    }
+
+    // Forced-spill leg: same campaign with the node arena AND the edge
+    // stores pushed out of core on tiny segments. Spilling is a memory
+    // plan, not a semantics change, so every deterministic count must
+    // match the resident row bit for bit — and the row is only evidence
+    // if edges actually left RAM (graph_spill > 0, gated by
+    // tools/check_perf.py).
+    if (reuse && n >= 4) {
+      bound::SpaceBoundAdversary spilled_adv(
+          proto, {.reuse = reuse,
+                  .spill_threshold_bytes = 64 * 1024,
+                  .spill_seg_configs = 512});
+      const auto s0 = std::chrono::steady_clock::now();
+      const auto spilled = spilled_adv.run();
+      const double ssecs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - s0)
+              .count();
+      if (!spilled.ok) {
+        std::cout << "n = " << n << " (spill) FAILED: " << spilled.error
+                  << "\n";
+        rc = 1;
+        continue;
+      }
+      if (spilled.valency_queries != result.valency_queries ||
+          spilled.reach_expanded != result.reach_expanded ||
+          spilled.reach_fact_answers != result.reach_fact_answers ||
+          spilled.certificate.schedule.size() !=
+              result.certificate.schedule.size()) {
+        std::cout << "FAIL: n = " << n
+                  << " forced-spill run diverged from the resident run\n";
+        rc = 1;
+      }
+      if (spilled.graph_spilled_bytes == 0) {
+        std::cout << "FAIL: n = " << n
+                  << " forced-spill run never pushed edge bytes to disk\n";
+        rc = 1;
+      }
+      const double shit_rate =
+          spilled.valency_queries == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(spilled.valency_cache_hits) /
+                    static_cast<double>(spilled.valency_queries);
+      const double straversals =
+          static_cast<double>(spilled.reach_expanded + spilled.reach_reused);
+      const double sreuse_rate =
+          straversals > 0
+              ? 100.0 * static_cast<double>(spilled.reach_reused) / straversals
+              : 0.0;
+      const auto& sls = spilled.lemma_stats;
+      table.row(n, 1, sls.lemma1_calls, sls.lemma3_calls, sls.lemma4_calls,
+                sls.total_di_stages, sls.solo_escapes, spilled.valency_queries,
+                shit_rate, spilled.reach_expanded, spilled.reach_reused,
+                sreuse_rate, spilled.reach_fact_answers,
+                spilled.reach_fact_subsumed,
+                spilled.certificate.schedule.size(), ssecs);
+      if (json.is_open()) {
+        json << ",{\"n\":" << n << ",\"spill\":1"
+             << ",\"queries\":" << spilled.valency_queries
+             << ",\"cache_hits\":" << spilled.valency_cache_hits
+             << ",\"hit_rate\":" << shit_rate
+             << ",\"expanded\":" << spilled.reach_expanded
+             << ",\"reused\":" << spilled.reach_reused
+             << ",\"reuse_rate\":" << sreuse_rate
+             << ",\"fact_answers\":" << spilled.reach_fact_answers
+             << ",\"fact_subsumed\":" << spilled.reach_fact_subsumed
+             << ",\"graph_spill\":" << spilled.graph_spilled_bytes
+             << ",\"cert_steps\":" << spilled.certificate.schedule.size()
+             << ",\"seconds\":" << ssecs << "}";
+      }
     }
   }
   table.print(std::cout, "lemma machinery cost profile");

@@ -70,6 +70,7 @@ SpaceBoundAdversary::Result SpaceBoundAdversary::run_impl() {
                         .spill_dir = opts_.spill_dir,
                         .spill_threshold_bytes = opts_.spill_threshold_bytes,
                         .spill_seg_configs = opts_.spill_seg_configs,
+                        .graph_spill = opts_.graph_spill,
                         .chunk_configs = opts_.chunk_configs,
                         .parallel_threshold = opts_.parallel_threshold});
 
@@ -147,6 +148,8 @@ SpaceBoundAdversary::Result SpaceBoundAdversary::run_impl() {
         .num("threads", opts_.threads)
         .boolean("reuse", opts_.reuse)
         .boolean("spill", opts_.spill_threshold_bytes != 0)
+        .boolean("graph_spill",
+                 opts_.spill_threshold_bytes != 0 && opts_.graph_spill)
         .boolean("symmetric", proto_.symmetric());
     obs::audit_sink().write(ev.render());
   }
@@ -231,7 +234,9 @@ SpaceBoundAdversary::Result SpaceBoundAdversary::run_impl() {
   out.reach_expanded = oracle.edges_expanded();
   out.reach_reused = oracle.edges_reused();
   out.reach_fact_answers = oracle.fact_answers();
+  out.reach_fact_subsumed = oracle.fact_subsumed();
   out.reach_graph_nodes = oracle.graph_nodes();
+  out.graph_spilled_bytes = oracle.graph_spilled_bytes();
   out.narrative = lemmas.narrative();
 
   obs::Registry& reg = obs::Registry::global();
@@ -240,6 +245,7 @@ SpaceBoundAdversary::Result SpaceBoundAdversary::run_impl() {
   reg.counter("bound.reach_expanded").add(out.reach_expanded);
   reg.counter("bound.reach_reused").add(out.reach_reused);
   reg.counter("bound.reach_fact_answers").add(out.reach_fact_answers);
+  reg.counter("bound.reach_fact_subsumed").add(out.reach_fact_subsumed);
   reg.counter("bound.reach_graph_nodes").add(out.reach_graph_nodes);
   reg.counter("bound.lemma1_calls").add(out.lemma_stats.lemma1_calls);
   reg.counter("bound.lemma3_calls").add(out.lemma_stats.lemma3_calls);

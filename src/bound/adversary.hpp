@@ -39,6 +39,9 @@ class SpaceBoundAdversary {
     std::string spill_dir = ".";
     std::size_t spill_threshold_bytes = 0;
     std::size_t spill_seg_configs = 0;
+    /// Spill the shared engine's edge arrays too (ValencyOracle::Options::
+    /// graph_spill); false reproduces the PR 7 node-arena-only behaviour.
+    bool graph_spill = true;
     /// Work-stealing tuning for the --no-reuse parallel backend; 0 keeps
     /// the explorer defaults (see ValencyOracle::Options).
     std::uint32_t chunk_configs = 0;
@@ -75,7 +78,9 @@ class SpaceBoundAdversary {
     std::uint64_t reach_expanded = 0;   ///< protocol steps actually paid
     std::uint64_t reach_reused = 0;     ///< stored edges walked instead
     std::uint64_t reach_fact_answers = 0;  ///< queries settled by facts alone
+    std::uint64_t reach_fact_subsumed = 0;  ///< superset negatives transferred
     std::size_t reach_graph_nodes = 0;  ///< projected configs interned
+    std::size_t graph_spilled_bytes = 0;  ///< edge bytes on disk at finish
     std::string narrative;  ///< populated when Options::narrative
   };
 

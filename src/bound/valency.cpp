@@ -104,7 +104,8 @@ sim::ReachGraph& ValencyOracle::ensure_graph() {
                     .max_arena_bytes = opts_.max_arena_bytes,
                     .spill_dir = opts_.spill_dir,
                     .spill_threshold_bytes = opts_.spill_threshold_bytes,
-                    .spill_seg_configs = opts_.spill_seg_configs});
+                    .spill_seg_configs = opts_.spill_seg_configs,
+                    .graph_spill = opts_.graph_spill});
     graph_->set_deadline(deadline_);
   }
   return *graph_;

@@ -85,6 +85,12 @@ class ValencyOracle {
     std::string spill_dir = ".";
     std::size_t spill_threshold_bytes = 0;
     std::size_t spill_seg_configs = 0;
+    /// Out-of-core edge arrays: with spilling enabled, the shared engine's
+    /// per-node edge data spills alongside the node arena. False keeps the
+    /// PR 7 behaviour (edge arrays always resident) for A/B comparisons.
+    /// Purely a memory-plan knob — verdicts and witnesses never change, so
+    /// it is excluded from the checkpoint fingerprint.
+    bool graph_spill = true;
     /// Work-stealing tuning for the reuse = false parallel backend
     /// (ParallelExplorer::Options::chunk_configs / parallel_threshold);
     /// 0 keeps each explorer default. Purely perf — verdicts never change.
@@ -153,6 +159,21 @@ class ValencyOracle {
   /// Pair computations answered entirely from persisted facts.
   std::uint64_t fact_answers() const {
     return graph_ ? graph_->fact_answers() : 0;
+  }
+  /// Pair computations where a superset projection's stored negative
+  /// transferred to the query's strictly smaller ProcSet at the root.
+  std::uint64_t fact_subsumed() const {
+    return graph_ ? graph_->fact_subsumed() : 0;
+  }
+  /// Edge-store spill accounting (0 unless graph spilling is armed).
+  std::size_t graph_spilled_bytes() const {
+    return graph_ ? graph_->edge_spilled_bytes() : 0;
+  }
+  std::size_t graph_spilled_segments() const {
+    return graph_ ? graph_->edge_spilled_segments() : 0;
+  }
+  std::size_t graph_faulted_in() const {
+    return graph_ ? graph_->edge_faulted_in() : 0;
   }
   std::size_t graph_nodes() const { return graph_ ? graph_->nodes() : 0; }
   std::size_t fact_entries() const {

@@ -18,6 +18,8 @@ const char* mem_account_name(MemAccount a) {
     case MemAccount::kExploreShards: return "explore.shards";
     case MemAccount::kReachNodes: return "reach.nodes";
     case MemAccount::kReachEdges: return "reach.edges";
+    case MemAccount::kGraphSpill: return "graph.spill";
+    case MemAccount::kGraphMapped: return "graph.mapped";
     case MemAccount::kReachFacts: return "reach.facts";
     case MemAccount::kReachQuery: return "reach.query";
     case MemAccount::kValencyMemo: return "valency.memo";

@@ -21,6 +21,8 @@ enum class MemAccount : int {
   kExploreShards,    ///< ParallelExplorer per-shard dedup tables
   kReachNodes,       ///< shared reach graph: projected-config arena
   kReachEdges,       ///< shared reach graph: succ/perm edges + decide flags
+  kGraphSpill,       ///< compressed bytes in edge-store spill backing files
+  kGraphMapped,      ///< mmap'd (clean, file-backed) edge spill block bytes
   kReachFacts,       ///< shared reach graph: persisted fact map
   kReachQuery,       ///< shared reach graph: per-query entry/edge/mark state
   kValencyMemo,      ///< valency oracle: pair memo + root-id arena

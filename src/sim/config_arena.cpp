@@ -18,11 +18,9 @@ namespace tsb::sim {
 namespace {
 constexpr std::size_t kInitialSlots = 1u << 10;
 
-/// Configurations per delta group in a spilled block: the first is stored
-/// raw (a random-access checkpoint), the rest as deltas against their
-/// predecessor. 64 keeps worst-case decode at 63 delta applications while
-/// amortizing the raw checkpoint to under an eighth of the group.
-constexpr std::size_t kGroup = 64;
+/// Configurations per delta group in a spilled block (the shared codec's
+/// group size — see util/spill_store.hpp for the format).
+constexpr std::size_t kGroup = util::spill::kGroupRecords;
 
 // splitmix64 finalizer: one full-avalanche pass over the accumulated
 // hash. The per-word step is a single xor-multiply (FNV-ish) — one mul of
@@ -36,56 +34,6 @@ inline std::uint64_t finalize(std::uint64_t h) {
   return h ^ (h >> 31);
 }
 
-inline std::uint64_t zigzag(std::int64_t v) {
-  return (static_cast<std::uint64_t>(v) << 1) ^
-         static_cast<std::uint64_t>(v >> 63);
-}
-
-inline std::int64_t unzigzag(std::uint64_t u) {
-  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
-}
-
-inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  while (v >= 0x80) {
-    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  out.push_back(static_cast<std::uint8_t>(v));
-}
-
-inline std::uint64_t get_varint(const std::uint8_t*& p) {
-  std::uint64_t v = 0;
-  int shift = 0;
-  while (*p & 0x80) {
-    v |= static_cast<std::uint64_t>(*p++ & 0x7f) << shift;
-    shift += 7;
-  }
-  v |= static_cast<std::uint64_t>(*p++) << shift;
-  return v;
-}
-
-inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  out.push_back(static_cast<std::uint8_t>(v));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v >> 16));
-  out.push_back(static_cast<std::uint8_t>(v >> 24));
-}
-
-inline std::uint32_t get_u32(const std::uint8_t* p) {
-  return static_cast<std::uint32_t>(p[0]) |
-         static_cast<std::uint32_t>(p[1]) << 8 |
-         static_cast<std::uint32_t>(p[2]) << 16 |
-         static_cast<std::uint32_t>(p[3]) << 24;
-}
-
-std::size_t page_size() {
-  static const std::size_t sz = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
-  return sz;
-}
-
-inline std::size_t round_up(std::size_t v, std::size_t align) {
-  return (v + align - 1) & ~(align - 1);
-}
 }  // namespace
 
 ConfigArena::ConfigArena(int num_states, int num_regs)
@@ -117,7 +65,6 @@ ConfigArena::~ConfigArena() {
     release_map(*s);
     delete[] s->data;
   }
-  if (spill_fd_ >= 0) ::close(spill_fd_);
 }
 
 void ConfigArena::alloc_seg_data(Seg& s) {
@@ -162,13 +109,12 @@ void ConfigArena::ensure_capacity(std::size_t up_to) {
 void ConfigArena::clear() {
   count_ = 0;
   for (Slot& s : table_) s = Slot{};
-  if (spilled_segments_ != 0 || spill_file_end_ != 0) {
+  if (spilled_segments_ != 0 || spill_file_.end_offset() != 0) {
     for (auto& s : segs_) {
       release_map(*s);
       if (s->data == nullptr) alloc_seg_data(*s);  // was spilled; re-arm
     }
-    if (spill_fd_ >= 0 && ::ftruncate(spill_fd_, 0) != 0) ++spill_failures_;
-    spill_file_end_ = 0;
+    spill_file_.truncate();
     first_resident_seg_ = 0;
     spilled_segments_ = 0;
     spilled_bytes_.store(0, std::memory_order_relaxed);
@@ -276,10 +222,7 @@ bool ConfigArena::set_spill(const std::string& dir,
               "ConfigArena::set_spill requires an empty arena");
   TSB_REQUIRE(words_ <= 255,
               "spill delta encoding stores slot counts in one byte");
-  if (spill_fd_ >= 0) {
-    ::close(spill_fd_);
-    spill_fd_ = -1;
-  }
+  spill_file_.close();
   // Segment geometry may change below; drop any allocations from a prior
   // run (set_spill is a per-run reconfiguration, not a hot path).
   for (auto& s : segs_) {
@@ -292,7 +235,6 @@ bool ConfigArena::set_spill(const std::string& dir,
   spilled_bytes_.store(0, std::memory_order_relaxed);
   first_resident_seg_ = 0;
   spilled_segments_ = 0;
-  spill_file_end_ = 0;
   if (seg_configs_hint != 0) {
     std::size_t sc = kGroup;
     while (sc < seg_configs_hint) sc <<= 1;
@@ -301,106 +243,44 @@ bool ConfigArena::set_spill(const std::string& dir,
     seg_shift_ = 0;
     for (std::size_t s = sc; s > 1; s >>= 1) ++seg_shift_;
   }
-  // The backing file is unlinked the moment it exists: the fd keeps the
-  // space alive, the name never leaks past a crash, and the ledger (not
-  // the filesystem) is the interface for "how much is spilled".
-  const std::string path = dir + "/tsb-spill-" + std::to_string(::getpid()) +
-                           "-" + std::to_string(reinterpret_cast<std::uintptr_t>(
-                                     this) &
-                                 0xffffffu) +
-                           ".bin";
-  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
-  if (fd < 0) return false;
-  ::unlink(path.c_str());
-  spill_fd_ = fd;
+  if (!spill_file_.open(dir)) return false;
   spill_threshold_ = threshold_bytes;
   return true;
 }
 
 void ConfigArena::release_map(Seg& s) {
-  if (s.map != nullptr) {
-    ::munmap(s.map, s.map_len);
-    mapped_bytes_.fetch_sub(s.map_len, std::memory_order_relaxed);
-    s.map = nullptr;
-    s.map_len = 0;
-    s.comp_bytes = 0;
+  if (s.blk.valid()) {
+    mapped_bytes_.fetch_sub(s.blk.map_len, std::memory_order_relaxed);
+    spill_file_.release(s.blk);
   }
 }
 
 bool ConfigArena::spill_segment(Seg& s) {
-  // Encode: groups of kGroup configurations, the first raw, the rest as
-  // (changed-slot count, then per change a varint slot index and a
-  // zigzag-varint value delta) against their predecessor. A per-group
-  // offset table up front gives random access at group granularity.
-  const std::size_t ngroups = seg_configs_ / kGroup;
-  std::vector<std::uint8_t> payload;
-  payload.reserve(seg_configs_ * 8);
-  std::vector<std::uint32_t> offsets(ngroups);
-  for (std::size_t g = 0; g < ngroups; ++g) {
-    offsets[g] = static_cast<std::uint32_t>(payload.size());
-    const Value* prev = nullptr;
-    for (std::size_t c = 0; c < kGroup; ++c) {
-      const Value* cur = s.data + (g * kGroup + c) * words_;
-      if (prev == nullptr) {
-        const std::size_t at = payload.size();
-        payload.resize(at + words_ * sizeof(Value));
-        std::memcpy(payload.data() + at, cur, words_ * sizeof(Value));
-      } else {
-        std::uint8_t nchanged = 0;
-        for (std::size_t i = 0; i < words_; ++i) nchanged += cur[i] != prev[i];
-        payload.push_back(nchanged);
-        for (std::size_t i = 0; i < words_; ++i) {
-          if (cur[i] == prev[i]) continue;
-          put_varint(payload, i);
-          put_varint(payload, zigzag(cur[i] - prev[i]));
-        }
-      }
-      prev = cur;
-    }
-  }
+  // Encode through the shared codec (see util/spill_store.hpp for the
+  // block format), then append at a page-aligned offset so the block can
+  // be mapped directly. The write goes through the iofault wrapper (so the
+  // CI fault matrix can inject ENOSPC/short-write/EINTR here); pwrite_full
+  // owns the EINTR and short-write retry loop.
   std::vector<std::uint8_t> block;
-  block.reserve(4 + 4 * ngroups + payload.size());
-  put_u32(block, static_cast<std::uint32_t>(ngroups));
-  for (std::uint32_t off : offsets) put_u32(block, off);
-  block.insert(block.end(), payload.begin(), payload.end());
-
-  // Append at a page-aligned offset so the block can be mapped directly.
-  // The write goes through the iofault wrapper (so the CI fault matrix can
-  // inject ENOSPC/short-write/EINTR here); pwrite_full owns the EINTR and
-  // short-write retry loop.
-  const std::uint64_t off = spill_file_end_;
-  if (!util::iofault::pwrite_full(spill_fd_, block.data(), block.size(),
-                                  static_cast<off_t>(off))) {
+  util::spill::encode_block<Value>(s.data, seg_configs_, words_, block);
+  util::spill::BackingFile::Block blk;
+  if (!spill_file_.append(block.data(), block.size(), blk)) {
     ++spill_failures_;
     return false;
   }
-  const std::size_t map_len = round_up(block.size(), page_size());
-  void* map = MAP_FAILED;
-  do {
-    map = ::mmap(nullptr, map_len, PROT_READ, MAP_SHARED, spill_fd_,
-                 static_cast<off_t>(off));
-  } while (map == MAP_FAILED && errno == EINTR);
-  if (map == MAP_FAILED) {
-    ++spill_failures_;
-    return false;
-  }
-  spill_file_end_ = off + map_len;
-  s.map = static_cast<std::uint8_t*>(map);
-  s.map_len = map_len;
-  s.map_skip = 0;
-  s.comp_bytes = block.size();
+  s.blk = blk;
   delete[] s.data;
   s.data = nullptr;
   resident_words_bytes_.fetch_sub(seg_configs_ * words_ * sizeof(Value),
                                   std::memory_order_relaxed);
-  spilled_bytes_.fetch_add(block.size(), std::memory_order_relaxed);
-  mapped_bytes_.fetch_add(map_len, std::memory_order_relaxed);
+  spilled_bytes_.fetch_add(blk.bytes, std::memory_order_relaxed);
+  mapped_bytes_.fetch_add(blk.map_len, std::memory_order_relaxed);
   ++spilled_segments_;
   return true;
 }
 
 std::size_t ConfigArena::maybe_spill(ConfigId pin_floor) {
-  if (spill_fd_ < 0) return 0;
+  if (!spill_file_.valid()) return 0;
   const std::size_t seg_bytes = seg_configs_ * words_ * sizeof(Value);
   // Only FULL segments spill (the partial tail is still being appended
   // to), and never one at or above the pin floor: callers pin the
@@ -417,25 +297,12 @@ std::size_t ConfigArena::maybe_spill(ConfigId pin_floor) {
     Seg& s = *segs_[i];
     if (s.data == nullptr) continue;
     if (!spill_segment(s)) {
-      // Disk trouble (ENOSPC, a dying device). Continuing in RAM would
-      // silently abandon the operator's memory plan mid-campaign, so this
-      // is a budget failure, not a shrug: flight event, ledger
-      // attribution, clean exit 4 upstream.
       const int err = errno;
-      ::close(spill_fd_);
-      spill_fd_ = -1;
-      const std::uint64_t resident =
-          resident_words_bytes_.load(std::memory_order_relaxed);
-      obs::flight::record(obs::flight::Ev::kBudgetTrip,
-                          static_cast<std::int64_t>(resident),
-                          -static_cast<std::int64_t>(err));
-      throw util::BudgetExhausted(
-          "arena spill write failed (" + std::string(std::strerror(err)) +
-          ") with " + obs::format_bytes(resident) +
-          " resident over a " + obs::format_bytes(spill_threshold_) +
-          " spill threshold; exploration cannot keep its memory plan; "
-          "ledger: " +
-          obs::MemLedger::global().attribution(3));
+      spill_file_.close();
+      util::spill::throw_spill_failure(
+          "arena", err,
+          resident_words_bytes_.load(std::memory_order_relaxed),
+          spill_threshold_);
     }
     first_resident_seg_ = i + 1;
     released += seg_bytes;
@@ -447,23 +314,8 @@ const Value* ConfigArena::decode_spilled(const Seg& s,
                                          std::size_t local) const {
   static thread_local std::vector<Value> buf;
   if (buf.size() < words_) buf.resize(words_);
-  const std::uint8_t* base = s.map + s.map_skip;
-  const std::size_t ngroups = get_u32(base);
-  const std::size_t g = local / kGroup;
-  assert(g < ngroups);
-  const std::uint8_t* p =
-      base + 4 + 4 * ngroups + get_u32(base + 4 + 4 * g);
-  std::memcpy(buf.data(), p, words_ * sizeof(Value));
-  p += words_ * sizeof(Value);
-  const std::size_t upto = local % kGroup;
-  for (std::size_t c = 1; c <= upto; ++c) {
-    const std::uint8_t nchanged = *p++;
-    for (std::uint8_t j = 0; j < nchanged; ++j) {
-      const std::size_t slot = get_varint(p);
-      const std::int64_t delta = unzigzag(get_varint(p));
-      buf[slot] += delta;
-    }
-  }
+  util::spill::decode_record<Value>(s.blk.map + s.blk.skip, local, words_,
+                                    buf.data());
   return buf.data();
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sim/config.hpp"
+#include "util/spill_store.hpp"
 
 namespace tsb::sim {
 
@@ -194,7 +195,7 @@ class ConfigArena {
   bool set_spill(const std::string& dir, std::size_t threshold_bytes,
                  std::size_t seg_configs_hint = 0);
 
-  bool spill_enabled() const { return spill_fd_ >= 0; }
+  bool spill_enabled() const { return spill_file_.valid(); }
   std::size_t spill_threshold() const { return spill_threshold_; }
 
   /// True when resident word bytes exceed the spill threshold and at least
@@ -202,7 +203,7 @@ class ConfigArena {
   /// view of how many configurations exist (the work-stealing explorer's
   /// id counter runs ahead of size()). Cheap; any thread.
   bool spill_needed(std::size_t cur_size) const {
-    return spill_fd_ >= 0 &&
+    return spill_file_.valid() &&
            resident_words_bytes_.load(std::memory_order_relaxed) >
                spill_threshold_ &&
            first_resident_seg_ < cur_size >> seg_shift_;
@@ -259,14 +260,11 @@ class ConfigArena {
   };
 
   /// One fixed-size segment of seg_configs_ configurations. `data` is the
-  /// flat resident array (null once spilled); the remaining fields
-  /// describe the compressed block in the backing file after a spill.
+  /// flat resident array (null once spilled); `blk` describes the
+  /// compressed block in the backing file after a spill.
   struct Seg {
     Value* data = nullptr;
-    std::uint8_t* map = nullptr;  ///< mmap'd compressed block (read-only)
-    std::size_t map_len = 0;      ///< mapped length (page-aligned)
-    std::size_t map_skip = 0;     ///< offset of the block within the map
-    std::size_t comp_bytes = 0;   ///< compressed payload bytes
+    util::spill::BackingFile::Block blk;
   };
 
   void grow_table();
@@ -309,9 +307,8 @@ class ConfigArena {
   // Spill state. resident_words_bytes_ is atomic because the parallel
   // explorer's budget checks read it from worker threads while another
   // worker's flush is growing the arena.
-  int spill_fd_ = -1;
+  util::spill::BackingFile spill_file_;
   std::size_t spill_threshold_ = 0;
-  std::uint64_t spill_file_end_ = 0;  ///< next write offset (page aligned)
   std::size_t first_resident_seg_ = 0;
   std::size_t spilled_segments_ = 0;
   std::size_t spill_failures_ = 0;

@@ -79,21 +79,34 @@ ReachGraph::ReachGraph(const Protocol& proto, Options opts)
       facts_on_(proto.num_processes() <= 28),
       arena_(proto.num_processes(), proto.num_registers()),
       stage_(words_, 0),
+      sub_stage_(words_, 0),
       exp_words_(words_ * static_cast<std::size_t>(proto.num_processes()), 0) {
   if (opts_.threads > 1) {
     pool_ = std::make_unique<util::WorkerPool>(opts_.threads);
   }
+  flags_.init("graph.flags", 1, 0);
+  succ_.init("graph.succ", static_cast<std::size_t>(n_), kUnexpanded);
+  if (sym_) {
+    perm_.init("graph.perm", static_cast<std::size_t>(n_),
+               ProcPerm::identity().packed());
+  }
   if (opts_.spill_threshold_bytes != 0 && !opts_.spill_dir.empty()) {
     arena_.set_spill(opts_.spill_dir, opts_.spill_threshold_bytes,
                      opts_.spill_seg_configs);
+    if (opts_.graph_spill) {
+      // The edge stores share the arena's segment-size hint so CI smoke
+      // runs that shrink segments to force spilling force it everywhere.
+      edge_spill_on_ =
+          flags_.set_spill(opts_.spill_dir, opts_.spill_seg_configs) &&
+          succ_.set_spill(opts_.spill_dir, opts_.spill_seg_configs) &&
+          (!sym_ || perm_.set_spill(opts_.spill_dir, opts_.spill_seg_configs));
+    }
   }
 }
 
 std::size_t ReachGraph::memory_bytes() const {
-  return arena_.memory_bytes() + decide_flags_.capacity() +
-         succ_.capacity() * sizeof(ConfigId) +
-         succ_perm_.capacity() * sizeof(std::uint64_t) + facts_.memory_bytes() +
-         entries_.capacity() * sizeof(Entry) +
+  return arena_.memory_bytes() + edge_resident_bytes() +
+         facts_.memory_bytes() + entries_.capacity() * sizeof(Entry) +
          entry_perm_.capacity() * sizeof(ProcPerm) +
          edges_.capacity() * sizeof(EdgeRec) +
          (mark_epoch_.capacity() + mark_idx_.capacity()) *
@@ -105,9 +118,7 @@ void ReachGraph::update_ledger() const {
   // attributes 100% of the graph's tracked bytes to named subsystems.
   obs::MemLedger& ledger = obs::MemLedger::global();
   ledger.set(obs::MemAccount::kReachNodes, arena_.memory_bytes());
-  ledger.set(obs::MemAccount::kReachEdges,
-             decide_flags_.capacity() + succ_.capacity() * sizeof(ConfigId) +
-                 succ_perm_.capacity() * sizeof(std::uint64_t));
+  ledger.set(obs::MemAccount::kReachEdges, edge_resident_bytes());
   ledger.set(obs::MemAccount::kReachFacts, facts_.memory_bytes());
   ledger.set(obs::MemAccount::kReachQuery,
              entries_.capacity() * sizeof(Entry) +
@@ -121,6 +132,10 @@ void ReachGraph::update_ledger() const {
     // mapped read-back pages are reclaimable page cache.
     ledger.set(obs::MemAccount::kArenaSpill, arena_.spilled_bytes());
     ledger.set(obs::MemAccount::kArenaMapped, arena_.mapped_bytes());
+  }
+  if (edge_spill_on_ || edge_spilled_bytes() != 0) {
+    ledger.set(obs::MemAccount::kGraphSpill, edge_spilled_bytes());
+    ledger.set(obs::MemAccount::kGraphMapped, edge_mapped_bytes());
   }
 }
 
@@ -139,7 +154,8 @@ void ReachGraph::check_budget() {
     throw util::BudgetExhausted(
         "reachability engine memory budget exhausted (" +
         std::to_string(opts_.max_arena_bytes) +
-        " bytes; the shared graph is cumulative across queries); ledger: " +
+        " bytes; the shared graph is cumulative across queries) after " +
+        std::to_string(arena_.size()) + " graph nodes; ledger: " +
         obs::MemLedger::global().attribution(3));
   }
   if (deadline_ != std::chrono::steady_clock::time_point::max() &&
@@ -163,17 +179,23 @@ void ReachGraph::save(util::ckpt::SectionWriter& w) const {
   w.put_u64(count);
   // Logical node words in id order; arena_.words() decodes spilled
   // segments transparently, so the checkpoint is independent of which
-  // segments happen to be on disk at write time.
+  // segments happen to be on disk at write time. The edge stores stream
+  // record by record through read() for the same reason: a checkpoint
+  // taken while edge segments sit on disk is byte-identical to one taken
+  // fully resident.
   for (std::size_t id = 0; id < count; ++id) {
     w.put_bytes(arena_.words(static_cast<ConfigId>(id)),
                 words_ * sizeof(Value));
   }
-  w.put_bytes(decide_flags_.data(), count);
-  w.put_bytes(succ_.data(),
-              count * static_cast<std::size_t>(n_) * sizeof(ConfigId));
+  for (std::size_t id = 0; id < count; ++id) w.put_bytes(flags_.read(id), 1);
+  for (std::size_t id = 0; id < count; ++id) {
+    w.put_bytes(succ_.read(id), static_cast<std::size_t>(n_) * sizeof(ConfigId));
+  }
   if (sym_) {
-    w.put_bytes(succ_perm_.data(),
-                count * static_cast<std::size_t>(n_) * sizeof(std::uint64_t));
+    for (std::size_t id = 0; id < count; ++id) {
+      w.put_bytes(perm_.read(id),
+                  static_cast<std::size_t>(n_) * sizeof(std::uint64_t));
+    }
   }
   w.put_u64(facts_.size());
   facts_.for_each([&](std::uint64_t key, std::uint32_t val) {
@@ -183,6 +205,7 @@ void ReachGraph::save(util::ckpt::SectionWriter& w) const {
   w.put_u64(edges_expanded_);
   w.put_u64(edges_reused_);
   w.put_u64(fact_answers_);
+  w.put_u64(fact_subsumed_);
   w.end();
 }
 
@@ -213,19 +236,29 @@ void ReachGraph::restore(util::ckpt::SectionReader& r) {
     }
   }
   // Bulk-load flags/edges/facts without register_config: the stored
-  // values already carry its decide scan.
+  // values already carry its decide scan. Everything lands resident
+  // (restore runs on a fresh engine); the trailing maybe_spill_edges()
+  // re-establishes the memory plan before the first query.
   const std::size_t edge_count = count * static_cast<std::size_t>(n_);
-  decide_flags_.resize(count);
-  succ_.resize(edge_count);
-  if (sym_) succ_perm_.resize(edge_count);
+  flags_.ensure(count);
+  succ_.ensure(count);
+  if (sym_) perm_.ensure(count);
   if (count != 0) {
-    std::memcpy(decide_flags_.data(), r.get_bytes(count), count);
-    std::memcpy(succ_.data(), r.get_bytes(edge_count * sizeof(ConfigId)),
-                edge_count * sizeof(ConfigId));
+    const std::uint8_t* fb = r.get_bytes(count);
+    for (std::uint64_t i = 0; i < count; ++i) *flags_.write_ptr(i) = fb[i];
+    const std::uint8_t* sb = r.get_bytes(edge_count * sizeof(ConfigId));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::memcpy(succ_.write_ptr(i),
+                  sb + i * static_cast<std::size_t>(n_) * sizeof(ConfigId),
+                  static_cast<std::size_t>(n_) * sizeof(ConfigId));
+    }
     if (sym_) {
-      std::memcpy(succ_perm_.data(),
-                  r.get_bytes(edge_count * sizeof(std::uint64_t)),
-                  edge_count * sizeof(std::uint64_t));
+      const std::uint8_t* pb = r.get_bytes(edge_count * sizeof(std::uint64_t));
+      for (std::uint64_t i = 0; i < count; ++i) {
+        std::memcpy(perm_.write_ptr(i),
+                    pb + i * static_cast<std::size_t>(n_) * sizeof(std::uint64_t),
+                    static_cast<std::size_t>(n_) * sizeof(std::uint64_t));
+      }
     }
   }
   const std::uint64_t fact_count = r.get_u64();
@@ -241,23 +274,24 @@ void ReachGraph::restore(util::ckpt::SectionReader& r) {
   edges_expanded_ = r.get_u64();
   edges_reused_ = r.get_u64();
   fact_answers_ = r.get_u64();
+  fact_subsumed_ = r.get_u64();
   r.done();
+  maybe_spill_edges();
   update_ledger();
 }
 
 void ReachGraph::register_config(ConfigId id) {
-  decide_flags_.resize(arena_.size(), 0);
-  succ_.resize(arena_.size() * static_cast<std::size_t>(n_), kUnexpanded);
-  if (sym_) {
-    succ_perm_.resize(arena_.size() * static_cast<std::size_t>(n_),
-                      ProcPerm::identity().packed());
-  }
+  flags_.ensure(arena_.size());
+  succ_.ensure(arena_.size());
+  if (sym_) perm_.ensure(arena_.size());
   // Decide scan happens once per configuration ever (the fresh-BFS oracle
   // pays it once per visit per pass); decided processes get their "no edge"
   // marker now so expansion never re-derives it. Masked slots are frozen
   // processes outside the projection's P — their (query-constant) decide
-  // contribution is query_ambient_, not a per-node flag.
+  // contribution is query_ambient_, not a per-node flag. A fresh id always
+  // lands in the resident tail segment, so these write_ptrs never fault.
   const Value* st = arena_.words(id);
+  ConfigId* srow = succ_.write_ptr(id);
   std::uint8_t flags = 0;
   for (int q = 0; q < n_; ++q) {
     if (st[q] == kMaskedState) continue;
@@ -266,9 +300,9 @@ void ReachGraph::register_config(ConfigId id) {
     if (op.value == 0 || op.value == 1) {
       flags |= static_cast<std::uint8_t>(1u << op.value);
     }
-    succ_[static_cast<std::size_t>(id) * n_ + q] = kNoConfig;
+    srow[q] = kNoConfig;
   }
-  decide_flags_[id] = flags;
+  *flags_.write_ptr(id) = flags;
 }
 
 ReachGraph::Node ReachGraph::intern_node(const Config& c, ProcSet p,
@@ -312,10 +346,10 @@ void ReachGraph::compute_successor(ConfigId id, int q, Value* out,
 }
 
 ConfigId ReachGraph::expand_edge(ConfigId id, int q, ProcPerm* sigma) {
-  const std::size_t ei = static_cast<std::size_t>(id) * n_ + q;
+  const std::uint64_t key = static_cast<std::uint64_t>(id) * n_ + q;
   const Value* buf = nullptr;
   if (pool_) {
-    if (auto it = batch_index_.find(ei); it != batch_index_.end()) {
+    if (auto it = batch_index_.find(key); it != batch_index_.end()) {
       buf = batch_words_.data() + static_cast<std::size_t>(it->second) * words_;
       *sigma = ProcPerm(batch_perms_[it->second]);
     }
@@ -326,8 +360,8 @@ ConfigId ReachGraph::expand_edge(ConfigId id, int q, ProcPerm* sigma) {
   }
   const auto [sid, inserted] = arena_.intern_words(buf);
   if (inserted) register_config(sid);
-  succ_[ei] = sid;
-  if (sym_) succ_perm_[ei] = sigma->packed();
+  succ_.write_ptr(id)[q] = sid;
+  if (sym_) perm_.write_ptr(id)[q] = sigma->packed();
   ++edges_expanded_;
   return sid;
 }
@@ -344,9 +378,10 @@ void ReachGraph::precompute_level(std::uint32_t lo, std::uint32_t hi) {
     const Entry& e = entries_[i];
     if ((e.fact & 0x3) == 0x3) continue;  // pruned at dequeue
     const std::uint64_t pb = sym_ ? e.pbits : query_pbits_;
+    const ConfigId* row = succ_.read(e.id);
     ProcSet(pb).for_each([&](int q) {
+      if (row[q] != kUnexpanded) return;
       const std::uint64_t ei = static_cast<std::uint64_t>(e.id) * n_ + q;
-      if (succ_[ei] != kUnexpanded) return;
       if (batch_index_.try_emplace(ei, count).second) ++count;
     });
   }
@@ -378,6 +413,84 @@ void ReachGraph::ensure_marks(ConfigId id) {
   const std::size_t ns = std::max(arena_.size(), mark_epoch_.size() * 2);
   mark_epoch_.resize(ns, 0);
   mark_idx_.resize(ns, kNoEntry);
+}
+
+void ReachGraph::maybe_spill_edges() {
+  if (!edge_spill_on_) return;
+  const std::size_t target = opts_.spill_threshold_bytes;
+  std::size_t resident = edge_resident_bytes();
+  if (resident <= target) return;
+  std::size_t over = resident - target;
+  std::size_t released = 0;
+  // Coldest stores first: renamings (largest per record, read only when an
+  // edge is reused in symmetric mode), then successor rows, then the decide
+  // flags last — one byte per node but touched on every dequeue. Each store
+  // spills down only by the remaining overshoot, so a hot flags store stays
+  // resident while perm/succ can cover the plan. No pin: the shared graph
+  // has no cold-prefix structure, and the drain pass never spills.
+  const auto spill_one = [&](auto& store) {
+    if (over == 0) return;
+    const std::size_t cur = store.resident_bytes();
+    const std::size_t want = cur > over ? cur - over : 0;
+    const std::size_t rel =
+        store.maybe_spill(want, std::numeric_limits<std::size_t>::max());
+    released += rel;
+    over -= rel < over ? rel : over;
+  };
+  spill_one(perm_);
+  spill_one(succ_);
+  spill_one(flags_);
+  if (released != 0) {
+    obs::flight::record(obs::flight::Ev::kSpill,
+                        static_cast<std::int64_t>(released),
+                        static_cast<std::int64_t>(edge_spilled_bytes()));
+  }
+}
+
+std::uint8_t ReachGraph::subsume_root_bits(const Config& c, ProcSet p) {
+  // For each q0 outside P, look up the exact stored fact of the superset
+  // projection P ∪ {q0} at this configuration — find() only, never intern:
+  // a probe must not grow the graph. Negative bits transfer to P:
+  // monotonicity (every P-only execution is a (P ∪ {q0})-only execution)
+  // rules out deciding inside P, and the negative itself rules out the two
+  // ways the ambient context could differ — an outside-everything decider
+  // would have made the superset fact positive via its ambient bit, and a
+  // poised q0 would have made the superset root self-deciding. Positive
+  // facts do NOT transfer (their witness may schedule q0).
+  std::uint8_t neg = 0;
+  for (int q0 = 0; q0 < n_ && neg != 0x3; ++q0) {
+    if (p.contains(q0)) continue;
+    const ProcSet sup = p.with(q0);
+    arena_.pack(c, sub_stage_.data());
+    std::uint8_t ambient = 0;
+    for (int q = 0; q < n_; ++q) {
+      if (sup.contains(q)) continue;
+      const PendingOp op =
+          proto_.poised(q, sub_stage_[static_cast<std::size_t>(q)]);
+      if (op.is_decide() && (op.value == 0 || op.value == 1)) {
+        ambient |= static_cast<std::uint8_t>(1u << op.value);
+      }
+      sub_stage_[static_cast<std::size_t>(q)] = kMaskedState;
+    }
+    std::uint64_t pbits = sup.bits();
+    if (sym_) {
+      const ProcPerm rho = canonicalize_states(sub_stage_.data(), n_);
+      ProcSet pc;
+      refine_procset(sub_stage_.data(), n_, rho.apply(sup), &pc);
+      pbits = pc.bits();
+    }
+    const ConfigId id = arena_.find(sub_stage_.data());
+    if (id == kNoConfig) continue;
+    const std::uint32_t* f = facts_.find(
+        (pbits << 34) | (static_cast<std::uint64_t>(ambient) << 32) | id);
+    if (f == nullptr) continue;
+    for (int v = 0; v < 2; ++v) {
+      if (((*f >> v) & 1) && !((*f >> (2 + v)) & 1)) {
+        neg |= static_cast<std::uint8_t>(1u << v);
+      }
+    }
+  }
+  return neg;
 }
 
 ReachGraph::QueryResult ReachGraph::query(const Config& c, ProcSet p,
@@ -433,6 +546,26 @@ ReachGraph::QueryResult ReachGraph::query(const Config& c, ProcSet p,
   enter(root.id, static_cast<std::uint8_t>(sym_ ? root.pbits : 0), kNoEntry, 0,
         ProcPerm::identity());
 
+  // Root-level fact subsumption: a stored exact negative for a superset
+  // projection P ∪ {q0} at this configuration transfers to the strictly
+  // smaller P (P-only executions are a subset of the superset's, and the
+  // negative rules out both an ambient decider and a poised q0). Bits the
+  // root's own exact fact already knows are skipped so fact_subsumed_
+  // counts only queries where subsumption added information.
+  std::uint8_t neg_known = 0;
+  if (facts_on_ && (entries_[0].fact & 0x3) != 0x3) {
+    neg_known = static_cast<std::uint8_t>(subsume_root_bits(c, p) &
+                                          ~entries_[0].fact & 0x3);
+    if (neg_known != 0) {
+      ++fact_subsumed_;
+      entries_[0].fact |= neg_known;  // known, can stays 0
+      // Persist into the root's exact fact slot so the next identical
+      // query answers without re-probing the superset keys.
+      std::uint32_t& slot = facts_.at_or_insert(fact_key(root.id, root.pbits));
+      slot |= neg_known;
+    }
+  }
+
   std::uint32_t found[2] = {kNoEntry, kNoEntry};
   bool by_fact[2] = {false, false};
   bool early = false;
@@ -465,6 +598,7 @@ ReachGraph::QueryResult ReachGraph::query(const Config& c, ProcSet p,
                               static_cast<std::int64_t>(arena_.spilled_bytes()));
         }
       }
+      maybe_spill_edges();
       hb.beat(
           [&] {
             return "nodes=" + std::to_string(arena_.size()) +
@@ -484,7 +618,8 @@ ReachGraph::QueryResult ReachGraph::query(const Config& c, ProcSet p,
     // deciding configuration in discovery order" witness choice — then
     // persisted facts. Ambient bits count as decisions at every node
     // (frozen processes stay poised throughout the P-only subgraph).
-    const std::uint8_t df = decide_flags_[e.id] | query_ambient_;
+    const std::uint8_t df =
+        static_cast<std::uint8_t>(*flags_.read(e.id) | query_ambient_);
     for (int v = 0; v < 2; ++v) {
       if (found[v] == kNoEntry && ((df >> v) & 1)) found[v] = cur;
     }
@@ -495,7 +630,11 @@ ReachGraph::QueryResult ReachGraph::query(const Config& c, ProcSet p,
         by_fact[v] = true;
       }
     }
-    if (found[0] != kNoEntry && found[1] != kNoEntry) {
+    // A value covered by a subsumed negative can never be found; treat it
+    // as settled so e.g. a bivalence probe stops at the first witness of
+    // the other value instead of draining the subgraph.
+    if ((found[0] != kNoEntry || (neg_known & 0x1)) &&
+        (found[1] != kNoEntry || (neg_known & 0x2))) {
       early = true;
       break;
     }
@@ -514,7 +653,22 @@ ReachGraph::QueryResult ReachGraph::query(const Config& c, ProcSet p,
 
     const std::uint64_t pb = sym_ ? e.pbits : query_pbits_;
     const ProcPerm eperm = sym_ ? entry_perm_[cur] : ProcPerm::identity();
-    const std::size_t row = static_cast<std::size_t>(e.id) * n_;
+    // Snapshot this entry's successor (and renaming) row into locals: a
+    // spilled row decodes into a thread-local buffer that later store reads
+    // would clobber, and the interning below can grow the stores. Edge
+    // writes go through lazily fetched write pointers — write_ptr faults a
+    // spilled segment back resident, and the heap row it returns is stable
+    // across store growth (segments never move).
+    ConfigId srow[64];
+    std::memcpy(srow, succ_.read(e.id),
+                static_cast<std::size_t>(n_) * sizeof(ConfigId));
+    std::uint64_t prow[64];
+    if (sym_) {
+      std::memcpy(prow, perm_.read(e.id),
+                  static_cast<std::size_t>(n_) * sizeof(std::uint64_t));
+    }
+    ConfigId* wrow = nullptr;
+    std::uint64_t* pwrow = nullptr;
     // Inline expansion is two-phase: first compute, hash and prefetch
     // every unexpanded successor of this entry, then intern them. The
     // dedup table dwarfs the cache at adversary scale, so overlapping up
@@ -526,7 +680,7 @@ ReachGraph::QueryResult ReachGraph::query(const Config& c, ProcSet p,
     int npend = 0;
     if (!pool_) {
       ProcSet(pb).for_each([&](int q) {
-        const ConfigId s = succ_[row + static_cast<std::size_t>(q)];
+        const ConfigId s = srow[q];
         if (s == kUnexpanded) {
           Value* buf =
               exp_words_.data() + static_cast<std::size_t>(npend) * words_;
@@ -542,8 +696,7 @@ ReachGraph::QueryResult ReachGraph::query(const Config& c, ProcSet p,
     }
     int pend = 0;
     ProcSet(pb).for_each([&](int q) {
-      const std::size_t ei = row + static_cast<std::size_t>(q);
-      ConfigId s = succ_[ei];
+      ConfigId s = srow[q];
       if (s == kNoConfig) return;  // q decided here: no edge
       ProcPerm sigma;
       if (s == kUnexpanded) {
@@ -557,8 +710,12 @@ ReachGraph::QueryResult ReachGraph::query(const Config& c, ProcSet p,
               arena_.intern_prehashed(buf, pend_h[pend]);
           ++pend;
           if (inserted) register_config(sid);
-          succ_[ei] = sid;
-          if (sym_) succ_perm_[ei] = sigma.packed();
+          if (!wrow) wrow = succ_.write_ptr(e.id);
+          wrow[q] = sid;
+          if (sym_) {
+            if (!pwrow) pwrow = perm_.write_ptr(e.id);
+            pwrow[q] = sigma.packed();
+          }
           ++edges_expanded_;
           s = sid;
         }
@@ -566,7 +723,7 @@ ReachGraph::QueryResult ReachGraph::query(const Config& c, ProcSet p,
       } else {
         ++res.reused;
         ++edges_reused_;
-        if (sym_) sigma = ProcPerm(succ_perm_[ei]);
+        if (sym_) sigma = ProcPerm(prow[q]);
       }
       std::uint32_t child;
       if (sym_) {
@@ -597,7 +754,7 @@ ReachGraph::QueryResult ReachGraph::query(const Config& c, ProcSet p,
     std::uint64_t pb = sym_ ? entries_[ent].pbits : query_pbits_;
     ProcPerm pi = sym_ ? entry_perm_[ent] : ProcPerm::identity();
     while (true) {
-      if (((decide_flags_[id] | query_ambient_) >> v) & 1) return id;
+      if (((*flags_.read(id) | query_ambient_) >> v) & 1) return id;
       const std::uint32_t* f = facts_.find(fact_key(id, pb));
       TSB_REQUIRE(f != nullptr && ((*f >> v) & 1) && ((*f >> (2 + v)) & 1),
                   "fact chase hit a node without a positive fact");
@@ -605,12 +762,11 @@ ReachGraph::QueryResult ReachGraph::query(const Config& c, ProcSet p,
       TSB_REQUIRE(q != kWpUnset && q != kWpSelf && q < n_,
                   "fact chase: malformed next-hop");
       out.push_back(sym_ ? pi.inverse()(q) : q);
-      const std::size_t ei = static_cast<std::size_t>(id) * n_ + q;
-      const ConfigId s = succ_[ei];
+      const ConfigId s = succ_.read(id)[q];
       TSB_REQUIRE(s != kUnexpanded && s != kNoConfig,
                   "fact chase: next-hop edge missing");
       if (sym_) {
-        const ProcPerm sigma(succ_perm_[ei]);
+        const ProcPerm sigma(perm_.read(id)[q]);
         ProcSet cpbs;
         const ProcPerm tau = refine_procset(arena_.words(s), n_,
                                             sigma.apply(ProcSet(pb)), &cpbs);
@@ -645,10 +801,14 @@ ReachGraph::QueryResult ReachGraph::query(const Config& c, ProcSet p,
     }
     res.witness[v] = Schedule(std::move(steps_out));
   }
+  TSB_REQUIRE((neg_known & ((res.can[0] ? 1u : 0u) | (res.can[1] ? 2u : 0u))) ==
+                  0,
+              "subsumed superset negative contradicts a found witness");
   // "Answered from facts": no graph work at all, and persisted facts (not
-  // just the root configuration deciding by itself) carried the verdicts.
+  // just the root configuration deciding by itself) carried the verdicts —
+  // including a subsumed superset negative settling its value for free.
   res.from_facts = res.expanded == 0 && res.reused == 0 &&
-                   (by_fact[0] || by_fact[1] ||
+                   (by_fact[0] || by_fact[1] || neg_known != 0 ||
                     (entries_[0].fact & 0x3) == 0x3);
   if (res.from_facts) ++fact_answers_;
 
@@ -675,7 +835,7 @@ ReachGraph::QueryResult ReachGraph::query(const Config& c, ProcSet p,
         work_.clear();
         for (std::size_t i = 0; i < ne; ++i) {
           const Entry& ei = entries_[i];
-          const bool self = ((decide_flags_[ei.id] | query_ambient_) >> v) & 1;
+          const bool self = ((*flags_.read(ei.id) | query_ambient_) >> v) & 1;
           const bool fact_pos =
               ((ei.fact >> v) & 1) && ((ei.fact >> (2 + v)) & 1);
           if (!self && !fact_pos) continue;

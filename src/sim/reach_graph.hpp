@@ -10,6 +10,7 @@
 #include "sim/canonical.hpp"
 #include "sim/config_arena.hpp"
 #include "sim/engine.hpp"
+#include "util/spill_store.hpp"
 #include "util/worker_pool.hpp"
 
 namespace tsb::util::ckpt {
@@ -106,6 +107,13 @@ class ReachGraph {
     /// Configs per arena segment (power of two, 0 = default ~4 MB): CI
     /// smoke tests shrink it to force spilling on small campaigns.
     std::size_t spill_seg_configs = 0;
+    /// Out-of-core edge arrays: with spilling enabled, the per-node edge
+    /// data (successor ids, per-edge renamings, decide flags) also spills
+    /// — each store's cold full segments compress to the same-format
+    /// backing files once their combined resident bytes exceed
+    /// spill_threshold_bytes. False reproduces the PR 7 behaviour (node
+    /// arena spills, edge arrays stay resident) for A/B runs.
+    bool graph_spill = true;
   };
 
   ReachGraph(const Protocol& proto, Options opts);
@@ -157,8 +165,34 @@ class ReachGraph {
   std::uint64_t edges_reused() const { return edges_reused_; }
   /// Queries answered entirely from persisted facts (zero expansion).
   std::uint64_t fact_answers() const { return fact_answers_; }
+  /// Queries where a superset projection's stored negative transferred to
+  /// the (strictly smaller) query ProcSet at the root.
+  std::uint64_t fact_subsumed() const { return fact_subsumed_; }
   std::size_t fact_entries() const { return facts_.size(); }
   std::size_t memory_bytes() const;
+
+  /// Edge-store spill accounting (graph.spill / graph.mapped ledger
+  /// accounts): compressed bytes of the spilled edge segments on disk,
+  /// their mmap'd read-back pages, and the resident remainder.
+  bool edge_spill_enabled() const { return edge_spill_on_; }
+  std::size_t edge_spilled_bytes() const {
+    return succ_.spilled_bytes() + perm_.spilled_bytes() +
+           flags_.spilled_bytes();
+  }
+  std::size_t edge_mapped_bytes() const {
+    return succ_.mapped_bytes() + perm_.mapped_bytes() + flags_.mapped_bytes();
+  }
+  std::size_t edge_resident_bytes() const {
+    return succ_.resident_bytes() + perm_.resident_bytes() +
+           flags_.resident_bytes();
+  }
+  std::size_t edge_spilled_segments() const {
+    return succ_.spilled_segments() + perm_.spilled_segments() +
+           flags_.spilled_segments();
+  }
+  std::size_t edge_faulted_in() const {
+    return succ_.faulted_in() + perm_.faulted_in() + flags_.faulted_in();
+  }
 
   /// Serialize the engine's persistent cross-query state (node words,
   /// decide flags, successor edges and renamings, the fact map, and the
@@ -256,6 +290,15 @@ class ReachGraph {
   void check_budget();
   void update_ledger() const;
   void ensure_marks(ConfigId id);
+  /// Spill cold full edge segments until their combined resident bytes
+  /// drop to the spill threshold. Renamings go first (largest, read only
+  /// on edge reuse), then successor rows, then the decide flags last
+  /// (hottest: one byte per dequeue). Quiescent points only.
+  void maybe_spill_edges();
+  /// Root-level fact subsumption: bit v set means some superset projection
+  /// P ∪ {q} holds an exact stored negative "cannot decide v" at this
+  /// configuration, which transfers to the query's strictly smaller P.
+  std::uint8_t subsume_root_bits(const Config& c, ProcSet p);
 
   const Protocol& proto_;
   Options opts_;
@@ -265,10 +308,14 @@ class ReachGraph {
   bool facts_on_;
 
   ConfigArena arena_;
-  std::vector<std::uint8_t> decide_flags_;  ///< per config: bit v set iff
-                                            ///< some process poised-decides v
-  std::vector<ConfigId> succ_;              ///< [id*n + q] -> successor id
-  std::vector<std::uint64_t> succ_perm_;    ///< symmetric mode: sigma per edge
+  /// Per-node edge data, one spillable record per node id. flags_: bit v
+  /// set iff some process poised-decides v here. succ_: n successor ids
+  /// per node ([q] -> successor, kUnexpanded / kNoConfig sentinels).
+  /// perm_: symmetric mode only, the renaming sigma per edge.
+  util::spill::SpillStore<std::uint8_t> flags_;
+  util::spill::SpillStore<ConfigId> succ_;
+  util::spill::SpillStore<std::uint64_t> perm_;
+  bool edge_spill_on_ = false;
   FactMap facts_;
 
   std::chrono::steady_clock::time_point deadline_ =
@@ -276,6 +323,7 @@ class ReachGraph {
   std::uint64_t edges_expanded_ = 0;
   std::uint64_t edges_reused_ = 0;
   std::uint64_t fact_answers_ = 0;
+  std::uint64_t fact_subsumed_ = 0;
 
   // Per-query state (members so allocations are reused across queries).
   std::uint64_t query_pbits_ = 0;   ///< asymmetric mode: constant P
@@ -289,7 +337,8 @@ class ReachGraph {
   std::vector<std::uint32_t> mark_idx_;
   std::uint32_t epoch_ = 0;
   std::unordered_map<std::uint64_t, std::uint32_t> visited_;  ///< symmetric
-  std::vector<Value> stage_;  ///< inline expansion staging buffer
+  std::vector<Value> stage_;      ///< inline expansion staging buffer
+  std::vector<Value> sub_stage_;  ///< superset-projection probe staging
   std::vector<Value> exp_words_;  ///< per-process successor staging: the
                                   ///< expansion loop computes and hashes a
                                   ///< whole entry's successors (prefetching

@@ -38,6 +38,47 @@ TEST(ParseJson, ObjectsArraysAndScalars) {
   EXPECT_EQ(v.int_or("missing", 7), 7);
 }
 
+TEST(ParseJson, DecodesUnicodeEscapes) {
+  // Foreign tooling (jq, python's json) escapes non-ASCII as \uXXXX by
+  // default; the mini parser must decode them to UTF-8, not reject the
+  // line. BMP code points first:
+  {
+    JsonValue v;
+    ASSERT_TRUE(parse_json(R"({"a":"A\u00e9\u20ac"})", v));
+    EXPECT_EQ(v.str_or("a", ""), "A\xc3\xa9\xe2\x82\xac");  // A U+00E9 U+20AC
+  }
+  {
+    // Escaped ASCII decodes to plain one-byte output.
+    JsonValue v;
+    ASSERT_TRUE(parse_json(R"({"a":"A\u0009"})", v));
+    EXPECT_EQ(v.str_or("a", ""), "A\t");
+  }
+  {
+    // Surrogate pairs combine into one astral code point (U+1F600).
+    JsonValue v;
+    ASSERT_TRUE(parse_json(R"({"a":"x\ud83d\ude00y"})", v));
+    EXPECT_EQ(v.str_or("a", ""), "x\xf0\x9f\x98\x80y");
+  }
+  {
+    // Case-insensitive hex digits.
+    JsonValue v;
+    ASSERT_TRUE(parse_json(R"({"a":"\u00E9"})", v));
+    EXPECT_EQ(v.str_or("a", ""), "\xc3\xa9");
+  }
+}
+
+TEST(ParseJson, RejectsMalformedUnicodeEscapes) {
+  JsonValue v;
+  EXPECT_FALSE(parse_json(R"({"a":"\u12"})", v));      // short hex run
+  EXPECT_FALSE(parse_json(R"({"a":"\u12zz"})", v));    // non-hex digit
+  EXPECT_FALSE(parse_json(R"({"a":"\ud83d"})", v));    // lone high surrogate
+  EXPECT_FALSE(parse_json(R"({"a":"\ud83dx"})", v));   // high then raw char
+  EXPECT_FALSE(parse_json(R"({"a":"\ud83d\n"})", v));  // high then non-\u
+  EXPECT_FALSE(parse_json(R"({"a":"\ude00"})", v));    // stray low surrogate
+  EXPECT_FALSE(
+      parse_json(R"({"a":"\ud83d\ud83d"})", v));  // high followed by high
+}
+
 TEST(ParseJson, RejectsMalformedInputAndTrailingGarbage) {
   JsonValue v;
   EXPECT_FALSE(parse_json("", v));

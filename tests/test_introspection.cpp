@@ -304,10 +304,17 @@ TEST(SpillIntrospection, SpillBytesGetTheirOwnAccountsAndFlightEvents) {
   obs::MemLedger& ledger = obs::MemLedger::global();
   EXPECT_GT(ledger.peak(obs::MemAccount::kArenaSpill), 0u)
       << "the campaign never spilled — threshold/segment hint miscalibrated";
+  EXPECT_GT(ledger.peak(obs::MemAccount::kGraphSpill), 0u)
+      << "the edge stores never spilled — threshold/segment hint "
+         "miscalibrated";
   EXPECT_EQ(obs::mem_account_name(obs::MemAccount::kArenaSpill),
             std::string("arena.spill"));
   EXPECT_EQ(obs::mem_account_name(obs::MemAccount::kArenaMapped),
             std::string("arena.mapped"));
+  EXPECT_EQ(obs::mem_account_name(obs::MemAccount::kGraphSpill),
+            std::string("graph.spill"));
+  EXPECT_EQ(obs::mem_account_name(obs::MemAccount::kGraphMapped),
+            std::string("graph.mapped"));
 
   // The attribution bar survives going out of core: named accounts
   // (including the spill accounts) still cover >= 95% of tracked bytes.
@@ -318,7 +325,9 @@ TEST(SpillIntrospection, SpillBytesGetTheirOwnAccountsAndFlightEvents) {
       ledger.get(obs::MemAccount::kReachQuery) +
       ledger.get(obs::MemAccount::kValencyMemo) +
       ledger.get(obs::MemAccount::kArenaSpill) +
-      ledger.get(obs::MemAccount::kArenaMapped);
+      ledger.get(obs::MemAccount::kArenaMapped) +
+      ledger.get(obs::MemAccount::kGraphSpill) +
+      ledger.get(obs::MemAccount::kGraphMapped);
   EXPECT_GE(named, ledger.total() * 95 / 100);
 
   // Every spill left a flight-recorder breadcrumb an operator can replay.

@@ -5,12 +5,17 @@ Usage: check_perf.py BASELINE.json CURRENT.json
 
 Both files are the one-object output of `bench_explore --json=` /
 `bench_lemmas --json=`: {"bench": ..., "rows": [{...}, ...]}. Rows are
-joined on their identity keys (n, threads) and every shared numeric metric
-is compared:
+joined on their identity keys (n, threads, spill) and every shared numeric
+metric is compared:
 
   * deterministic counts (configs, queries, cache_hits, expanded, reused,
-    fact_answers, cert_steps) must match EXACTLY — the engines' determinism
-    contract means any drift is a real behaviour change, not noise;
+    fact_answers, fact_subsumed, cert_steps) must match EXACTLY — the
+    engines' determinism contract means any drift is a real behaviour
+    change, not noise;
+  * every current row marked spill=1 must report nonzero spilled bytes
+    (graph_spill for the lemmas bench's edge stores, arena_spill for the
+    explore bench) — a forced-spill row that stayed resident measures
+    nothing;
   * throughput (configs_per_sec) and efficiency ratios (hit_rate,
     reuse_rate) may regress by at most TSB_PERF_TOLERANCE percent
     (default 25) before the check fails;
@@ -39,7 +44,7 @@ import json
 import os
 import sys
 
-ID_KEYS = ("n", "threads")
+ID_KEYS = ("n", "threads", "spill")
 EXACT_KEYS = {
     "configs",
     "queries",
@@ -47,15 +52,25 @@ EXACT_KEYS = {
     "expanded",
     "reused",
     "fact_answers",
+    "fact_subsumed",
     "cert_steps",
 }
 # Higher is better; gated by the relative tolerance.
 RATE_KEYS = {"configs_per_sec", "hit_rate", "reuse_rate"}
-# Reported but not gated: wall-clock is covered by configs_per_sec, and the
-# checkpoint counters (write count / bytes / serialize+commit ms) depend on
-# cadence flags and disk speed — bench_explore --overhead gates the
-# checkpoint write share of wall clock directly.
-UNGATED_KEYS = {"seconds", "ckpt_writes", "ckpt_bytes", "ckpt_ms"}
+# Reported but not gated numerically: wall-clock is covered by
+# configs_per_sec; the checkpoint counters (write count / bytes /
+# serialize+commit ms) depend on cadence flags and disk speed —
+# bench_explore --overhead gates the checkpoint write share of wall clock
+# directly; the spill byte counts are deterministic per binary but shift
+# with every codec tweak, so only their nonzero-ness is gated (below).
+UNGATED_KEYS = {
+    "seconds",
+    "ckpt_writes",
+    "ckpt_bytes",
+    "ckpt_ms",
+    "arena_spill",
+    "graph_spill",
+}
 
 
 def load(path):
@@ -142,6 +157,31 @@ def compare(base_doc, cur_doc, tolerance):
     return rows, failures
 
 
+def forced_spill_failures(cur_doc):
+    """The out-of-core evidence gate, on the CURRENT run only.
+
+    A row marked spill=1 exists to measure the out-of-core path; it is only
+    evidence if bytes actually left RAM. The lemmas bench's spill rows must
+    report graph_spill > 0 (the edge stores are the quantity under test);
+    the explore bench's must report arena_spill > 0. A spill row carrying
+    neither key predates the column and is skipped. Pure: returns a failure
+    list, prints nothing.
+    """
+    failures = []
+    for row in cur_doc.get("rows", []):
+        if row.get("spill") != 1:
+            continue
+        label = ",".join(
+            f"{k}={row[k]}" for k in ID_KEYS if k in row) or "(row)"
+        for key in ("graph_spill", "arena_spill"):
+            if key in row and row[key] <= 0:
+                failures.append(
+                    f"{label} {key}: {row[key]} — forced-spill row never "
+                    "pushed bytes to disk (vacuous out-of-core measurement)"
+                )
+    return failures
+
+
 def parallel_floor_failures(cur_doc, floor, cpu_count):
     """The work-stealing smoke gate, on the CURRENT run only.
 
@@ -154,6 +194,11 @@ def parallel_floor_failures(cur_doc, floor, cpu_count):
         return []
     seq_cps = {}
     for row in cur_doc["rows"]:
+        # The forced-spill sequential row measures the out-of-core codec,
+        # not the engine floor — it must not stand in for the resident
+        # sequential anchor.
+        if row.get("spill") == 1:
+            continue
         if row.get("threads") == 1 and "configs_per_sec" in row:
             seq_cps[row.get("n")] = row["configs_per_sec"]
     failures = []
@@ -208,6 +253,7 @@ def main():
     base_doc = load(sys.argv[1])
     cur_doc = load(sys.argv[2])
     rows, failures = compare(base_doc, cur_doc, tolerance)
+    failures += forced_spill_failures(cur_doc)
     failures += parallel_floor_failures(cur_doc, par_floor, os.cpu_count())
     print_table(rows)
     gated = sum(1 for *_, s in rows if s in ("exact", "DRIFT", "ok", "FAIL"))

@@ -1,6 +1,7 @@
 #include "report.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <ostream>
@@ -129,13 +130,72 @@ class Parser {
           case '/': out += '/'; break;
           case '"': out += '"'; break;
           case '\\': out += '\\'; break;
-          default: return false;  // \uXXXX not needed by our emitters
+          case 'u': {
+            // \uXXXX escapes, decoded to UTF-8. Our emitters never write
+            // them, but foreign tooling feeding `tsb report` (jq, python's
+            // json) escapes anything non-ASCII by default. Surrogate pairs
+            // combine; a lone or out-of-order surrogate is a parse error.
+            std::uint32_t cp;
+            if (!hex4(cp)) return false;
+            if (cp >= 0xDC00 && cp <= 0xDFFF) return false;  // stray low
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              std::uint32_t lo;
+              if (pos_ + 1 >= s_.size() || s_[pos_] != '\\' ||
+                  s_[pos_ + 1] != 'u') {
+                return false;  // lone high surrogate
+              }
+              pos_ += 2;
+              if (!hex4(lo) || lo < 0xDC00 || lo > 0xDFFF) return false;
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            }
+            append_utf8(out, cp);
+            break;
+          }
+          default: return false;
         }
         continue;
       }
       out += c;
     }
     return false;  // unterminated
+  }
+
+  /// Four hex digits at pos_ -> code unit; advances past them.
+  bool hex4(std::uint32_t& out) {
+    if (pos_ + 4 > s_.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = s_[pos_++];
+      out <<= 4;
+      if (h >= '0' && h <= '9') {
+        out |= static_cast<std::uint32_t>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        out |= static_cast<std::uint32_t>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        out |= static_cast<std::uint32_t>(h - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
   }
 
   bool number(JsonValue& out) {

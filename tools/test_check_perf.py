@@ -136,6 +136,56 @@ class CompareTest(unittest.TestCase):
         self.assertEqual(
             check_perf.parallel_floor_failures(cur, 0.9, cpu_count=8), [])
 
+    def test_forced_spill_gate_requires_nonzero_bytes(self):
+        cur = {"bench": "lemmas", "rows": [
+            {"n": 4, "spill": 0, "queries": 10},
+            {"n": 4, "spill": 1, "queries": 10, "graph_spill": 0},
+        ]}
+        failures = check_perf.forced_spill_failures(cur)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("graph_spill", failures[0])
+        self.assertIn("spill=1", failures[0])
+
+    def test_forced_spill_gate_passes_with_bytes_on_disk(self):
+        cur = {"bench": "lemmas", "rows": [
+            {"n": 4, "spill": 1, "queries": 10, "graph_spill": 4096},
+            {"n": 4, "threads": 1, "spill": 1, "arena_spill": 512},
+        ]}
+        self.assertEqual(check_perf.forced_spill_failures(cur), [])
+
+    def test_forced_spill_gate_skips_resident_and_legacy_rows(self):
+        # spill=0 rows and pre-column rows (no spill key, no byte counts)
+        # are not evidence rows; the gate must not invent failures there.
+        cur = {"bench": "explore", "rows": [
+            {"n": 4, "spill": 0, "arena_spill": 0},
+            {"n": 4, "configs": 100},
+            {"n": 4, "spill": 1},
+        ]}
+        self.assertEqual(check_perf.forced_spill_failures(cur), [])
+
+    def test_parallel_floor_ignores_spilled_sequential_anchor(self):
+        # The forced-spill sequential row is slower by design; it must not
+        # replace the resident anchor and mask (or cause) a floor failure.
+        cur = {"bench": "explore", "rows": [
+            {"n": 4, "threads": 1, "spill": 0, "configs_per_sec": 1000.0},
+            {"n": 4, "threads": 1, "spill": 1, "configs_per_sec": 200.0},
+            {"n": 4, "threads": 2, "spill": 0, "configs_per_sec": 500.0},
+        ]}
+        failures = check_perf.parallel_floor_failures(cur, 0.9, cpu_count=8)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("sequential 1000", failures[0])
+
+    def test_spill_identity_key_separates_rows(self):
+        base = doc([{"n": 4, "threads": 1, "spill": 0, "configs": 100},
+                    {"n": 4, "threads": 1, "spill": 1, "configs": 100}])
+        cur = doc([{"n": 4, "threads": 1, "spill": 0, "configs": 100},
+                   {"n": 4, "threads": 1, "spill": 1, "configs": 101}])
+        rows, failures = check_perf.compare(base, cur, tolerance=25)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("spill=1", failures[0])
+        self.assertEqual(
+            [s for label, *_, s in rows if "spill=0" in label], ["exact"])
+
     def test_table_renders_all_rows(self):
         cur = doc([{"n": 4, "threads": 1, "configs": 101,
                     "configs_per_sec": 700.0, "seconds": 0.2}])

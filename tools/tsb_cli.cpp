@@ -67,11 +67,15 @@
 //   --spill-threshold=BYTES[k|m|g]  once resident packed configs pass this,
 //                    cold arena segments are delta/varint-compressed to an
 //                    unlinked backing file and read back through mmap; the
-//                    ledger tracks disk bytes under arena.spill. 0 = off.
-//   --spill-dir=DIR  where the backing file lives (default "."; pick a
+//                    ledger tracks disk bytes under arena.spill. The shared
+//                    engine's edge arrays spill the same way (graph.spill)
+//                    unless --no-graph-spill. 0 = off.
+//   --spill-dir=DIR  where the backing files live (default "."; pick a
 //                    real disk, not tmpfs, or spilling cannot free RAM)
-//   --spill-seg-configs=N  configs per arena segment (testing/CI: small
-//                    values force spilling on small campaigns)
+//   --spill-seg-configs=N  configs per arena/edge segment (testing/CI:
+//                    small values force spilling on small campaigns)
+//   --no-graph-spill  keep the edge arrays resident (node arena still
+//                    spills): the pre-edge-spill memory plan, for A/B runs
 //
 // Work-stealing knobs (tsb adversary --no-reuse; pure perf tuning —
 // verdicts are identical at any setting):
@@ -192,6 +196,7 @@ int usage() {
          "                   shared-subgraph engine)\n"
          "out-of-core: --spill-threshold=BYTES[k|m|g] --spill-dir=DIR\n"
          "             --spill-seg-configs=N (segment size, testing)\n"
+         "             --no-graph-spill (edge arrays stay resident)\n"
          "work stealing: --chunk-configs=N --parallel-threshold=N\n"
          "checkpointing: --checkpoint-dir=DIR --checkpoint-interval-ms=MS\n"
          "               --checkpoint-every=N (SIGTERM/SIGINT = checkpoint\n"
@@ -254,6 +259,7 @@ int cmd_adversary(int n, int cap, const ObsFlags& obs_flags,
       static_cast<std::size_t>(obs_flags.spill_threshold);
   opts.spill_seg_configs =
       static_cast<std::size_t>(obs_flags.spill_seg_configs);
+  opts.graph_spill = !obs_flags.no_graph_spill;
   opts.chunk_configs = static_cast<std::uint32_t>(obs_flags.chunk_configs);
   opts.parallel_threshold =
       static_cast<std::size_t>(obs_flags.parallel_threshold);
@@ -289,14 +295,20 @@ int cmd_adversary(int n, int cap, const ObsFlags& obs_flags,
   if (opts.reuse) {
     std::cout << "engine: expanded " << result.reach_expanded << " reused "
               << result.reach_reused << " fact-answered "
-              << result.reach_fact_answers << " nodes "
+              << result.reach_fact_answers << " fact-subsumed "
+              << result.reach_fact_subsumed << " nodes "
               << result.reach_graph_nodes << "\n";
   }
   if (opts.spill_threshold_bytes != 0) {
-    std::cout << "spill: peak " << std::fixed << std::setprecision(1)
+    const double mib = 1024.0 * 1024.0;
+    std::cout << "spill: peak arena " << std::fixed << std::setprecision(1)
               << static_cast<double>(obs::MemLedger::global().peak(
                      obs::MemAccount::kArenaSpill)) /
-                     (1024.0 * 1024.0)
+                     mib
+              << " MiB + graph "
+              << static_cast<double>(obs::MemLedger::global().peak(
+                     obs::MemAccount::kGraphSpill)) /
+                     mib
               << " MiB on disk\n";
   }
   std::cout << "covered " << result.check.distinct_registers
